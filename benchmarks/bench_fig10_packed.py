@@ -1,0 +1,85 @@
+"""Figure 10 — the benefit of packed (single-layer) communication.
+
+Sync SGD on the AlexNet-style network processing CIFAR-like data, with the
+only difference being the message plan: one packed buffer per collective
+hop vs one message per parameter blob. Numerics are identical (asserted);
+the packed plan's simulated time is strictly better because the per-blob
+plan pays L alpha latencies per hop.
+
+This experiment lives in the regime Section 5.2 describes — "beta is much
+smaller than alpha, which is the major communication overhead" — so the
+cost model is *self-consistent* (the runnable network's own message
+sizes), where per-blob latency terms dominate. At the full 249 MB AlexNet
+scale the transfer is bandwidth-bound and packing saves only the ~1%
+latency share; EXPERIMENTS.md records both regimes.
+"""
+
+from conftest import run_once
+from repro.harness import ExperimentSpec, run_method
+
+ITERATIONS = 200
+
+
+def bench_fig10_packed_vs_unpacked(benchmark, cifar_spec):
+    """Regenerate the Figure 10 comparison (alpha-dominated regime)."""
+
+    spec = ExperimentSpec(
+        train_set=cifar_spec.train_set,
+        test_set=cifar_spec.test_set,
+        model_builder=cifar_spec.model_builder,
+        num_gpus=cifar_spec.num_gpus,
+        config=cifar_spec.config,
+        cost_model=None,  # self-consistent: the mini net's own blob sizes
+    )
+    spec.normalized = True  # cifar_spec already normalized these arrays
+
+    def experiment():
+        return {
+            "packed": run_method(spec, "sync-sgd", iterations=ITERATIONS),
+            "per-layer": run_method(spec, "sync-sgd-unpacked", iterations=ITERATIONS),
+        }
+
+    runs = run_once(benchmark, experiment)
+
+    print("\n=== Figure 10: packed vs per-layer communication (Sync SGD, AlexNet) ===")
+    for name, res in runs.items():
+        print(
+            f"  {name:10s} sim time={res.sim_time:8.3f}s  final acc={res.final_accuracy:.3f}  "
+            f"comm ratio={res.breakdown.comm_ratio * 100:.0f}%"
+        )
+
+    packed, unpacked = runs["packed"], runs["per-layer"]
+
+    # Identical trajectories: packing is time-only.
+    assert [r.test_accuracy for r in packed.records] == [
+        r.test_accuracy for r in unpacked.records
+    ]
+    # Packed is strictly faster; report the gap.
+    gain = unpacked.sim_time / packed.sim_time
+    print(f"\npacked speedup: {gain:.2f}x over per-layer "
+          "(paper: visible gap in Figure 10)")
+    assert gain > 1.1
+
+    # The gap is entirely removed alpha terms.
+    assert unpacked.breakdown.comm_seconds > packed.breakdown.comm_seconds
+
+
+def bench_fig10_bandwidth_bound_regime(benchmark, cifar_spec):
+    """Contrast: at the full 249 MB AlexNet scale the collective is
+    bandwidth-bound, so packing saves only the small latency share —
+    quantified here rather than hidden."""
+    from repro.cluster import GpuPlatform
+
+    plat = GpuPlatform(num_gpus=4, seed=0)
+
+    def gap():
+        packed = plat.tree_reduce_time(cifar_spec.cost_model, "gpu-gpu para", packed=True)
+        unpacked = plat.tree_reduce_time(cifar_spec.cost_model, "gpu-gpu para", packed=False)
+        return packed, unpacked
+
+    packed_t, unpacked_t = benchmark(gap)
+    print(
+        f"\nfull-scale AlexNet tree reduce: packed={packed_t * 1e3:.1f} ms, "
+        f"per-blob={unpacked_t * 1e3:.1f} ms ({unpacked_t / packed_t:.3f}x)"
+    )
+    assert unpacked_t > packed_t

@@ -1,0 +1,83 @@
+"""Figure 12 — partitioning the KNL chip into groups.
+
+AlexNet on CIFAR-like data, one KNL chip split into P = 1/4/8/16 groups
+(each holding a weight replica + data copy in MCDRAM). The paper's
+measured times to accuracy 0.625 are 1605/1025/823/490 s (a 3.3x speedup
+at 16 parts), with MCDRAM holding at most 16 copies. Shapes asserted:
+
+- time-to-accuracy strictly improves from 1 to 16 parts;
+- the 16-part speedup is >= 2x (paper: 3.3x);
+- 32 parts spill to DDR4 and regress.
+"""
+
+from conftest import CIFAR_TARGET, run_once
+from repro.algorithms import TrainerConfig
+from repro.cluster import CostModel
+from repro.knl import ChipPartitionTrainer
+from repro.knl.partition import CIFAR_COPY_BYTES
+from repro.nn.models import build_alexnet_mini
+from repro.nn.spec import ALEXNET
+
+PARTS = (1, 4, 8, 16)
+PAPER_SECONDS = {1: 1605, 4: 1025, 8: 823, 16: 490}
+
+
+def _trainer(spec, parts):
+    cfg = TrainerConfig(
+        batch_size=32, lr=0.04, rho=2.0, seed=0, eval_every=25, eval_samples=512
+    )
+    return ChipPartitionTrainer(
+        build_alexnet_mini(seed=9),
+        spec.train_set,
+        spec.test_set,
+        cfg,
+        parts=parts,
+        cost_model=CostModel.from_spec(ALEXNET),
+        data_bytes=CIFAR_COPY_BYTES,
+    )
+
+
+def bench_fig12_partition_sweep(benchmark, cifar_spec):
+    """Regenerate the Figure 12 sweep (time to the 0.625 target)."""
+
+    def experiment():
+        out = {}
+        for parts in PARTS:
+            res = _trainer(cifar_spec, parts).train_to_accuracy(
+                CIFAR_TARGET, max_iterations=1500
+            )
+            assert res.reached_target, f"{parts}-part run missed {CIFAR_TARGET}"
+            out[parts] = res
+        return out
+
+    runs = run_once(benchmark, experiment)
+
+    print(f"\n=== Figure 12: KNL chip partitioning (time to accuracy {CIFAR_TARGET}) ===")
+    base = runs[1].sim_time
+    for parts, res in runs.items():
+        paper_speedup = PAPER_SECONDS[1] / PAPER_SECONDS[parts]
+        print(
+            f"  P={parts:2d}: sim time={res.sim_time:8.2f}s  speedup={base / res.sim_time:4.2f}x "
+            f"(paper {paper_speedup:.2f}x)  memory={res.extras['in_mcdram'] and 'MCDRAM' or 'DDR4'}"
+        )
+
+    # Monotone improvement up to 16 parts.
+    times = [runs[p].sim_time for p in PARTS]
+    assert all(a > b for a, b in zip(times, times[1:]))
+    # X2 headline: the paper gets 3.3x at 16 parts; we require >= 2x.
+    speedup16 = runs[1].sim_time / runs[16].sim_time
+    print(f"\n16-part speedup: {speedup16:.2f}x (paper: 3.3x)")
+    assert speedup16 >= 2.0
+    # All four stayed in MCDRAM (the paper's P <= 16 feasibility claim).
+    assert all(res.extras["in_mcdram"] for res in runs.values())
+
+
+def bench_fig12_ddr4_spill(benchmark, cifar_spec):
+    """32 copies exceed MCDRAM: per-round time regresses vs 16 parts."""
+
+    def iter_times():
+        return {p: _trainer(cifar_spec, p)._iter_time() for p in (16, 32)}
+
+    t = benchmark(iter_times)
+    print(f"\nper-round: P=16 {t[16] * 1e3:.1f} ms (MCDRAM)  P=32 {t[32] * 1e3:.1f} ms (DDR4)")
+    assert t[32] > t[16]

@@ -1,0 +1,65 @@
+"""Figure 8 — overall comparison: log10 error rate vs simulated time.
+
+All eight methods run under one spec; the figure's qualitative claims:
+
+- every "ours" method beats its existing counterpart (already covered
+  panel-by-panel in Figure 6);
+- Sync EASGD and Hogwild EASGD are essentially tied for fastest.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.harness import run_method
+from repro.harness.figures import FIG8_METHODS, log10_error_series
+
+ITERATIONS = 400
+TARGET = 0.85
+
+
+def bench_fig8_overall(benchmark, mnist_spec):
+    """Regenerate the Figure 8 series for all eight methods."""
+
+    def experiment():
+        return {m: run_method(mnist_spec, m, iterations=ITERATIONS) for m in FIG8_METHODS}
+
+    runs = run_once(benchmark, experiment)
+
+    series = log10_error_series({m: r.series() for m, r in runs.items()})
+    print("\n=== Figure 8: log10(error rate) vs simulated time ===")
+    times_to_target = {}
+    for m, res in runs.items():
+        t = res.time_to_accuracy(TARGET)
+        times_to_target[m] = t if t is not None else float("inf")
+        _, logerr = series[m]
+        print(
+            f"  {m:16s} time-to-{TARGET}={times_to_target[m]:8.3f}s  "
+            f"final log10(err)={logerr[-1]:+.2f}  sim time={res.sim_time:.2f}s"
+        )
+
+    from repro.harness import ascii_plot
+
+    print("\n" + ascii_plot(
+        {m: s for m, s in series.items()},
+        x_label="simulated seconds",
+        y_label="log10(error)",
+    ))
+
+    finite = {m: t for m, t in times_to_target.items() if np.isfinite(t)}
+    assert "sync-easgd3" in finite and "hogwild-easgd" in finite
+
+    # Shape: the winner is one of the paper's two fastest methods.
+    winner = min(finite, key=finite.get)
+    print(f"\nfastest to {TARGET}: {winner}")
+    assert winner in ("sync-easgd3", "hogwild-easgd", "async-measgd"), winner
+
+    # Shape: Sync EASGD and Hogwild EASGD are both near the front —
+    # within 2x of the winner (the paper calls them "essentially tied").
+    best = finite[winner]
+    assert finite["sync-easgd3"] <= 2.0 * best
+    assert finite["hogwild-easgd"] <= 2.0 * best
+
+    # Shape: both beat the Original EASGD baseline decisively.
+    orig = times_to_target["original-easgd"]
+    assert finite["sync-easgd3"] < orig
+    assert finite["hogwild-easgd"] < orig

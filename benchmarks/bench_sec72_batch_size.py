@@ -1,0 +1,64 @@
+"""Section 7.2 — the impact of batch size.
+
+Not a numbered figure, but a quantified discussion: small-to-medium
+batches speed up training as BLAS efficiency climbs; past a threshold the
+sharp-minima effect demands more epochs and training slows. The study
+measures samples-to-accuracy with *real* training per batch size and
+models seconds-per-sample with the BLAS saturation curve — the product is
+the U-shaped time-to-accuracy this bench asserts.
+"""
+
+from conftest import run_once
+from repro.data import make_mnist_like, standardize, standardize_like
+from repro.nn.models import build_mlp
+from repro.scaling import batch_size_study
+
+BATCH_SIZES = (8, 32, 128, 512, 2048)
+
+
+def bench_sec72_batch_size(benchmark):
+    """Regenerate the Section 7.2 batch-size sweep."""
+
+    train, test = make_mnist_like(n_train=8192, n_test=1024, seed=55, difficulty=2.2)
+    mean, std = standardize(train)
+    standardize_like(test, mean, std)
+
+    def experiment():
+        return batch_size_study(
+            model_builder=lambda: build_mlp(seed=9),
+            train_set=train,
+            test_set=test,
+            batch_sizes=BATCH_SIZES,
+            target_accuracy=0.93,
+            lr_scale=lambda b: min(0.02 * b / 32, 0.4),
+            max_samples=1_500_000,
+            eval_every_samples=4_096,
+        )
+
+    points = run_once(benchmark, experiment)
+
+    print("\n=== Section 7.2: the impact of batch size ===")
+    for p in points:
+        print(
+            f"  b={p.batch_size:5d}: iters={p.iterations:6d} samples={p.samples:8d} "
+            f"s/sample={p.seconds_per_sample * 1e6:6.2f} us  "
+            f"time-to-target={p.sim_time:7.3f}s  reached={p.reached}"
+        )
+
+    assert all(p.reached for p in points)
+    by_batch = {p.batch_size: p for p in points}
+
+    # BLAS half: throughput per sample strictly improves with batch size.
+    sps = [by_batch[b].seconds_per_sample for b in BATCH_SIZES]
+    assert all(a > b for a, b in zip(sps, sps[1:]))
+
+    # Small->medium speeds up: time(8) > time(512).
+    assert by_batch[8].sim_time > by_batch[512].sim_time
+    # Sharp-minima half: the largest batch consumes the most samples and is
+    # slower than the sweet spot (the U turns back up).
+    assert by_batch[2048].samples > by_batch[512].samples
+    assert by_batch[2048].sim_time > by_batch[512].sim_time
+
+    best = min(points, key=lambda p: p.sim_time)
+    print(f"\nsweet spot: batch {best.batch_size} "
+          "(the paper places it between 1024 and 4096 at ImageNet scale)")

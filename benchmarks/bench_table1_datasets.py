@@ -1,0 +1,39 @@
+"""Table 1 — the test datasets.
+
+Regenerates the dataset table and benchmarks the synthetic generators that
+stand in for MNIST/CIFAR/ImageNet (the real files are not available
+offline; see DESIGN.md substitutions).
+"""
+
+from repro.data import make_cifar_like, make_imagenet_like, make_mnist_like
+from repro.data.synthetic import DATASET_GEOMETRY
+from repro.harness import render_table1
+
+
+def bench_table1_render(benchmark):
+    """Print the Table 1 reproduction and sanity-check the geometry."""
+    text = benchmark(render_table1)
+    print("\n=== Table 1: The Test Datasets ===")
+    print(text)
+    assert "mnist" in text and "imagenet" in text
+    assert DATASET_GEOMETRY["imagenet"]["train"] == 1_200_000
+
+
+def bench_generate_mnist_like(benchmark):
+    """Throughput of the MNIST-geometry generator (60k-image scale / 15)."""
+    train, test = benchmark(make_mnist_like, n_train=4096, n_test=512, seed=1)
+    assert train.sample_shape == (1, 28, 28)
+    assert len(train) == 4096
+
+
+def bench_generate_cifar_like(benchmark):
+    """Throughput of the CIFAR-geometry generator."""
+    train, _ = benchmark(make_cifar_like, n_train=2048, n_test=256, seed=2)
+    assert train.sample_shape == (3, 32, 32)
+
+
+def bench_generate_imagenet_like(benchmark):
+    """Throughput of the scaled ImageNet-like generator (64x64, 100-class)."""
+    train, _ = benchmark(make_imagenet_like, n_train=512, n_test=64, seed=3)
+    assert train.sample_shape == (3, 64, 64)
+    assert train.num_classes == 100

@@ -1,0 +1,55 @@
+"""Table 2 — InfiniBand performance under the alpha-beta model.
+
+Regenerates the constants table and benchmarks the cost-model arithmetic
+the simulator leans on, then verifies the paper's point that beta is much
+smaller than alpha (so one big message beats many small ones).
+"""
+
+import numpy as np
+
+from repro.comm.alphabeta import TABLE2_NETWORKS
+from repro.comm.packing import packed_plan, per_layer_plan
+from repro.harness import render_table2
+from repro.nn.spec import ALEXNET
+
+
+def bench_table2_render(benchmark):
+    """Print the Table 2 reproduction."""
+    text = benchmark(render_table2)
+    print("\n=== Table 2: InfiniBand Performance under alpha-beta Model ===")
+    print(text)
+    for link in TABLE2_NETWORKS:
+        # The regime the paper highlights: latency dominates for messages
+        # up to ~1 KB on every listed network.
+        assert link.alpha > 1000 * link.beta
+
+
+def bench_message_cost_sweep(benchmark):
+    """Cost arithmetic over a realistic message-size sweep (hot path of the
+    simulated clock)."""
+    sizes = np.logspace(2, 9, 64)
+
+    def sweep():
+        return sum(link.cost(n) for link in TABLE2_NETWORKS for n in sizes)
+
+    total = benchmark(sweep)
+    assert total > 0
+
+
+def bench_packed_vs_per_layer_cost(benchmark):
+    """Evaluating both message plans for AlexNet on each Table 2 network."""
+    layer_sizes = ALEXNET.layer_messages()
+
+    def plans():
+        out = []
+        for link in TABLE2_NETWORKS:
+            out.append(
+                (packed_plan(layer_sizes).cost(link), per_layer_plan(layer_sizes).cost(link))
+            )
+        return out
+
+    results = benchmark(plans)
+    print("\nAlexNet one-hop transfer cost (packed vs per-blob):")
+    for link, (p, u) in zip(TABLE2_NETWORKS, results):
+        print(f"  {link.name:30s} packed={p * 1e3:8.3f} ms  per-blob={u * 1e3:8.3f} ms")
+        assert p <= u

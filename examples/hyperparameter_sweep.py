@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Hyperparameter sweep on the fast method (the Section 1 motivation).
+
+"Deep learning researchers often need to tune many hyperparameters, which
+is extremely time-consuming" — the whole point of a 5.3x-faster trainer is
+that a grid like this one finishes 5.3x sooner. The sweep runs Sync EASGD3
+over an (lr x rho) grid under identical data/hardware and reports the grid
+ranked by time to a target accuracy.
+
+Run:  python examples/hyperparameter_sweep.py
+"""
+
+from repro.algorithms import TrainerConfig
+from repro.cluster import CostModel
+from repro.data import make_mnist_like
+from repro.harness import ExperimentSpec, best_point, grid_sweep
+from repro.nn import build_lenet
+from repro.nn.spec import LENET
+from repro.util.tables import TextTable
+
+TARGET = 0.9
+GRID = {"lr": [0.01, 0.03, 0.06], "rho": [1.0, 2.0]}
+
+
+def main() -> None:
+    train, test = make_mnist_like(n_train=2048, n_test=512, seed=21, difficulty=1.5)
+    spec = ExperimentSpec(
+        train_set=train,
+        test_set=test,
+        model_builder=lambda: build_lenet(seed=3),
+        num_gpus=4,
+        config=TrainerConfig(batch_size=32, eval_every=20),
+        cost_model=CostModel.from_spec(LENET),
+    ).normalize()
+
+    print(f"sweeping {GRID} with sync-easgd3 ({len(GRID['lr']) * len(GRID['rho'])} runs)...")
+    points = grid_sweep(spec, "sync-easgd3", GRID, iterations=150)
+
+    table = TextTable(["lr", "rho", f"time to {TARGET}", "final acc"])
+    for p in sorted(points, key=lambda p: p.time_to(TARGET) or float("inf")):
+        t = p.time_to(TARGET)
+        table.add_row(
+            [
+                p.params["lr"],
+                p.params["rho"],
+                f"{t:.3f}s" if t is not None else "(not reached)",
+                f"{p.final_accuracy:.3f}",
+            ]
+        )
+    print(table.render())
+
+    winner = best_point(points, target=TARGET)
+    print(f"\nbest configuration: lr={winner.params['lr']}, rho={winner.params['rho']}")
+
+
+if __name__ == "__main__":
+    main()

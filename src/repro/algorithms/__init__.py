@@ -1,0 +1,41 @@
+"""The paper's distributed training algorithms (Sections 3, 5, 6).
+
+Existing methods reproduced as baselines: Original EASGD (round-robin,
+Algorithm 1), Async SGD (parameter server), Async MSGD, Hogwild SGD.
+The paper's methods: Async EASGD, Async MEASGD, Hogwild EASGD, and
+Sync EASGD1/2/3 (Algorithms 2-4), plus Sync SGD for the packed-layer study.
+"""
+
+from repro.algorithms.base import TrainerConfig, TrainRecord, RunResult, TimeBreakdown
+from repro.algorithms.original_easgd import OriginalEASGDTrainer
+from repro.algorithms.sync_easgd import SyncEASGDTrainer
+from repro.algorithms.sync_sgd import SyncSGDTrainer
+from repro.algorithms.async_ps import (
+    AsyncSGDTrainer,
+    AsyncMSGDTrainer,
+    HogwildSGDTrainer,
+    AsyncEASGDTrainer,
+    AsyncMEASGDTrainer,
+    HogwildEASGDTrainer,
+)
+from repro.algorithms.multinode import ClusterSyncEASGDTrainer
+from repro.algorithms.registry import ALGORITHMS, make_trainer
+
+__all__ = [
+    "TrainerConfig",
+    "TrainRecord",
+    "RunResult",
+    "TimeBreakdown",
+    "OriginalEASGDTrainer",
+    "SyncEASGDTrainer",
+    "SyncSGDTrainer",
+    "AsyncSGDTrainer",
+    "AsyncMSGDTrainer",
+    "HogwildSGDTrainer",
+    "AsyncEASGDTrainer",
+    "AsyncMEASGDTrainer",
+    "HogwildEASGDTrainer",
+    "ClusterSyncEASGDTrainer",
+    "ALGORITHMS",
+    "make_trainer",
+]

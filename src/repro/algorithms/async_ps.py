@@ -1,0 +1,290 @@
+"""Asynchronous parameter-server trainers (Sections 3.1, 3.2, 5.1).
+
+Six methods share one discrete-event simulation; they differ along two
+axes — update rule and master service discipline:
+
+=================  ==================  =============================
+method             master service      update rule
+=================  ==================  =============================
+Async SGD          FCFS with a lock    W <- W - eta dW (master)
+Async MSGD         FCFS with a lock    momentum on the master
+Hogwild SGD        lock-free           W <- W - eta dW (master)
+Async EASGD        FCFS with a lock    Eq 2 (master), Eq 1 (worker)
+Async MEASGD       FCFS with a lock    Eq 2 (master), Eqs 5-6 (worker)
+Hogwild EASGD      lock-free           Eq 2 (master), Eq 1 (worker)
+=================  ==================  =============================
+
+Timing structure (the paper's design point in Section 5.1): an SGD worker
+must *wait* for the master's reply before it can compute (its gradient is
+taken at the weights the master returns), so its cycle is strictly serial.
+An EASGD worker computes on its own local weights, so its forward/backward
+pass overlaps the master exchange; only the elastic update (Eq 1) needs the
+returned Wbar. Lock-free (Hogwild) service removes the master's queueing
+delay. Events are processed in arrival order with deterministic
+tie-breaking, so runs are reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    BaseTrainer,
+    RunResult,
+    TimeBreakdown,
+    TrainRecord,
+    TrainerConfig,
+)
+from repro.cluster.cost import CostModel
+from repro.cluster.platform import GpuPlatform
+from repro.cluster.simclock import EventQueue
+from repro.data.dataset import Dataset
+from repro.nn.network import Network
+from repro.optim.easgd import (
+    EASGDHyper,
+    elastic_center_update_single,
+    elastic_momentum_worker_update,
+    elastic_worker_update,
+)
+
+__all__ = [
+    "AsyncSGDTrainer",
+    "AsyncMSGDTrainer",
+    "HogwildSGDTrainer",
+    "AsyncEASGDTrainer",
+    "AsyncMEASGDTrainer",
+    "HogwildEASGDTrainer",
+]
+
+
+class _AsyncPSBase(BaseTrainer):
+    """Shared DES loop; subclasses set flags and implement the numerics."""
+
+    name = "async-base"
+    lock_free = False  # Hogwild variants override
+    elastic = False  # EASGD variants override (enables compute/comm overlap)
+    momentum = False
+    packed = False  # existing async implementations send per-blob
+
+    def __init__(
+        self,
+        network: Network,
+        train_set: Dataset,
+        test_set: Dataset,
+        platform: GpuPlatform,
+        config: TrainerConfig,
+        cost_model: Optional[CostModel] = None,
+        failures: Optional[Dict[int, float]] = None,
+    ) -> None:
+        """``failures`` maps a worker index to the simulated instant it
+        dies (fail-stop): events the dead worker would deliver after that
+        time are dropped and it is never rescheduled. This is the fault
+        model behind the paper's "high fault-tolerance requirement on
+        cloud systems" motivation — asynchronous masters keep making
+        progress with the surviving workers."""
+        super().__init__(network, train_set, test_set, config, cost_model)
+        self.platform = platform
+        self.hyper = EASGDHyper(lr=config.lr, rho=config.rho, mu=config.mu)
+        self.failures: Dict[int, float] = dict(failures or {})
+        for worker, when in self.failures.items():
+            if not 0 <= worker < platform.num_gpus:
+                raise ValueError(f"failure worker {worker} out of range")
+            if when < 0:
+                raise ValueError("failure time must be non-negative")
+
+    # -- numerics hooks ------------------------------------------------------
+    def _init_states(self, g: int, init: np.ndarray) -> None:
+        """Master weights and per-worker replicas/velocities."""
+        self.master = init.copy()
+        self.worker_w: List[np.ndarray] = [init.copy() for _ in range(g)]
+        self.worker_v: List[np.ndarray] = [np.zeros_like(init) for _ in range(g)]
+        self.master_v = np.zeros_like(init)
+
+    def _interaction(self, j: int, grad: np.ndarray) -> None:
+        """Apply one worker-master exchange's updates (in arrival order)."""
+        raise NotImplementedError
+
+    def _eval_vector(self) -> np.ndarray:
+        """The vector whose accuracy the trajectory tracks (master state)."""
+        return self.master
+
+    # -- the simulation --------------------------------------------------------
+    def train(self, iterations: int) -> RunResult:
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        g = self.platform.num_gpus
+        cfg = self.config
+
+        self._init_states(g, self.net.get_params())
+        samplers = [self.make_sampler(("worker", j)) for j in range(g)]
+
+        breakdown = TimeBreakdown()
+        records: List[TrainRecord] = []
+        last_loss = float("nan")
+
+        stage_t = self.platform.stage_batch_time(self.cost, cfg.batch_size)
+        oneway_t = self.platform.cpu_gpu_param_time(self.cost, packed=self.packed)
+        service_t = self.platform.cpu_update_time(self.cost)
+        local_upd_t = self.platform.gpu_update_time(self.cost) if self.elastic else 0.0
+
+        queue = EventQueue()
+
+        def launch_cycle(j: int, start: float) -> None:
+            """Schedule worker j's next master-arrival event."""
+            fwdbwd = self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
+            compute_done = start + stage_t + fwdbwd
+            if self.elastic:
+                # EASGD: the send does not wait for the pass (overlap).
+                arrival = start + oneway_t
+            else:
+                # SGD: the gradient is what gets sent; pass first.
+                arrival = compute_done + oneway_t
+            queue.push(arrival, (j, compute_done, fwdbwd))
+
+        for j in range(g):
+            launch_cycle(j, 0.0)
+
+        master_free = 0.0
+        sim_time = 0.0
+        waiting_total = 0.0
+        dropped = 0
+        # Staleness instrumentation: how many master updates landed between
+        # a worker's last sync and the application of its contribution —
+        # the quantity asynchronous convergence analyses bound.
+        master_version = 0
+        worker_version = [0] * g
+        staleness_sum = 0
+        staleness_max = 0
+        t = 0
+        while t < iterations and queue:
+            event = queue.pop()
+            j, compute_done, fwdbwd = event.payload
+            arrival = event.time
+            if j in self.failures and arrival > self.failures[j]:
+                dropped += 1  # fail-stop: the message never arrives
+                continue
+
+            if self.lock_free:
+                service_start = arrival
+            else:
+                service_start = max(arrival, master_free)
+            service_done = service_start + service_t
+            if not self.lock_free:
+                master_free = service_done
+            waiting_total += service_start - arrival
+
+            # --- numerics: gradient at the worker's current local weights ---
+            images, labels = samplers[j].next_batch()
+            self.net.set_params(self.worker_w[j])
+            last_loss = self.net.gradient(images, labels, self.loss)
+            staleness = master_version - worker_version[j]
+            staleness_sum += staleness
+            staleness_max = max(staleness_max, staleness)
+            self._interaction(j, self.net.grads)
+            master_version += 1
+            worker_version[j] = master_version
+
+            # --- bookkeeping -----------------------------------------------
+            t += 1
+            reply_at = service_done + oneway_t
+            if self.elastic:
+                resume = max(reply_at, compute_done) + local_upd_t
+            else:
+                resume = reply_at
+            sim_time = max(sim_time, service_done)
+            launch_cycle(j, resume)
+
+            breakdown.add("cpu-gpu data", stage_t)
+            breakdown.add("cpu-gpu para", 2.0 * oneway_t)
+            breakdown.add("for/backward", fwdbwd)
+            breakdown.add("cpu update", service_t)
+            if self.elastic:
+                breakdown.add("gpu update", local_upd_t)
+
+            if t % cfg.eval_every == 0 or t == iterations:
+                acc = self.evaluate_params(self._eval_vector())
+                records.append(TrainRecord(t, sim_time, last_loss, acc))
+                if self.should_stop(acc):
+                    break
+
+        final_acc = records[-1].test_accuracy if records else 0.0
+        return RunResult(
+            method=self.name,
+            records=records,
+            breakdown=breakdown,
+            iterations=records[-1].iteration if records else 0,
+            sim_time=sim_time,
+            final_accuracy=final_acc,
+            extras={
+                "master_wait_seconds": waiting_total,
+                "failed_worker_events_dropped": float(dropped),
+                "mean_staleness": staleness_sum / t if t else 0.0,
+                "max_staleness": float(staleness_max),
+            },
+        )
+
+
+class AsyncSGDTrainer(_AsyncPSBase):
+    """Parameter server / Async SGD (Dean et al.; paper Section 3.1)."""
+
+    name = "Async SGD"
+
+    def _interaction(self, j: int, grad: np.ndarray) -> None:
+        self.master -= self.hyper.lr * grad
+        self.worker_w[j][...] = self.master  # reply: the fresh weights
+
+
+class AsyncMSGDTrainer(_AsyncPSBase):
+    """Async SGD with master-side momentum (Equations 3-4)."""
+
+    name = "Async MSGD"
+    momentum = True
+
+    def _interaction(self, j: int, grad: np.ndarray) -> None:
+        self.master_v *= self.hyper.mu
+        self.master_v -= self.hyper.lr * grad
+        self.master += self.master_v
+        self.worker_w[j][...] = self.master
+
+
+class HogwildSGDTrainer(AsyncSGDTrainer):
+    """Async SGD without the master lock (Recht et al.; Section 3.2)."""
+
+    name = "Hogwild SGD"
+    lock_free = True
+
+
+class AsyncEASGDTrainer(_AsyncPSBase):
+    """The paper's Async EASGD: FCFS parameter server + elastic averaging."""
+
+    name = "Async EASGD"
+    elastic = True
+
+    def _interaction(self, j: int, grad: np.ndarray) -> None:
+        wbar_t = self.master.copy()  # what the master returns (step 1)
+        elastic_center_update_single(self.master, self.worker_w[j], self.hyper)
+        elastic_worker_update(self.worker_w[j], grad, wbar_t, self.hyper)
+
+
+class AsyncMEASGDTrainer(_AsyncPSBase):
+    """The paper's Async MEASGD: elastic averaging + momentum (Eqs 5-6)."""
+
+    name = "Async MEASGD"
+    elastic = True
+    momentum = True
+
+    def _interaction(self, j: int, grad: np.ndarray) -> None:
+        wbar_t = self.master.copy()
+        elastic_center_update_single(self.master, self.worker_w[j], self.hyper)
+        elastic_momentum_worker_update(
+            self.worker_w[j], self.worker_v[j], grad, wbar_t, self.hyper
+        )
+
+
+class HogwildEASGDTrainer(AsyncEASGDTrainer):
+    """The paper's Hogwild EASGD: elastic averaging, lock-free master."""
+
+    name = "Hogwild EASGD"
+    lock_free = True

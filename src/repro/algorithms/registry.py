@@ -1,0 +1,54 @@
+"""Name -> trainer-factory registry used by the harness and benchmarks.
+
+Keys match the method names of Figures 8-9. Each factory has the uniform
+signature ``(network, train_set, test_set, platform, config, cost_model)``.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable, Dict
+
+from repro.algorithms.async_ps import (
+    AsyncEASGDTrainer,
+    AsyncMEASGDTrainer,
+    AsyncMSGDTrainer,
+    AsyncSGDTrainer,
+    HogwildEASGDTrainer,
+    HogwildSGDTrainer,
+)
+from repro.algorithms.base import BaseTrainer
+from repro.algorithms.original_easgd import OriginalEASGDTrainer
+from repro.algorithms.sync_easgd import SyncEASGDTrainer
+from repro.algorithms.sync_sgd import SyncSGDTrainer
+
+__all__ = ["ALGORITHMS", "make_trainer"]
+
+ALGORITHMS: Dict[str, Callable[..., BaseTrainer]] = {
+    # existing methods (baselines the paper compares against)
+    "original-easgd": partial(OriginalEASGDTrainer, overlapped=True),
+    "original-easgd*": partial(OriginalEASGDTrainer, overlapped=False),
+    "async-sgd": AsyncSGDTrainer,
+    "async-msgd": AsyncMSGDTrainer,
+    "hogwild-sgd": HogwildSGDTrainer,
+    "sync-sgd": SyncSGDTrainer,
+    "sync-sgd-unpacked": partial(SyncSGDTrainer, packed=False),
+    # the paper's methods
+    "async-easgd": AsyncEASGDTrainer,
+    "async-measgd": AsyncMEASGDTrainer,
+    "hogwild-easgd": HogwildEASGDTrainer,
+    "sync-easgd1": partial(SyncEASGDTrainer, variant=1),
+    "sync-easgd2": partial(SyncEASGDTrainer, variant=2),
+    "sync-easgd3": partial(SyncEASGDTrainer, variant=3),
+    "sync-easgd": partial(SyncEASGDTrainer, variant=3),  # the headline method
+}
+
+
+def make_trainer(name: str, *args, **kwargs) -> BaseTrainer:
+    """Instantiate a registered trainer by method name."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    return factory(*args, **kwargs)

@@ -1,0 +1,160 @@
+"""Sync EASGD (Algorithms 2-4): tree-reduction EASGD, three codesign steps.
+
+All three variants run *identical numerics* — per iteration every worker
+computes a gradient, the workers' weights are tree-reduced, the workers
+apply Eq 1 against the broadcast Wbar_t, and the master applies Eq 2. They
+differ only in where the center lives and what overlaps, i.e. in simulated
+time (Section 6.1):
+
+- **variant 1** (Algorithm 2): center on the CPU; tree bcast/reduce over
+  the CPU<->GPU link; packed single-message transfers (Section 5.2).
+- **variant 2** (Algorithm 3): center on GPU1; tree bcast/reduce over the
+  GPU<->GPU switch; the CPU<->GPU parameter traffic disappears.
+- **variant 3** (Algorithm 3 + overlap): the GPU<->GPU communication
+  (steps 11-12) overlaps the data staging + forward/backward critical path
+  (steps 7-10) — they are independent, since Eq 2 needs only W_j^t and
+  Eq 1 needs only Wbar_t, both available at iteration start.
+
+That the three variants produce bit-identical weight trajectories while
+their clocks strictly improve is the paper's determinism + speedup story,
+and is asserted by the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    BaseTrainer,
+    RunResult,
+    TimeBreakdown,
+    TrainRecord,
+    TrainerConfig,
+)
+from repro.cluster.cost import CostModel
+from repro.cluster.platform import GpuPlatform
+from repro.comm.collectives import tree_reduce
+from repro.data.dataset import Dataset
+from repro.nn.network import Network
+from repro.optim.easgd import EASGDHyper, elastic_worker_update
+
+__all__ = ["SyncEASGDTrainer"]
+
+
+class SyncEASGDTrainer(BaseTrainer):
+    """Sync EASGD1/2/3 — deterministic tree-reduction EASGD."""
+
+    def __init__(
+        self,
+        network: Network,
+        train_set: Dataset,
+        test_set: Dataset,
+        platform: GpuPlatform,
+        config: TrainerConfig,
+        cost_model: Optional[CostModel] = None,
+        variant: int = 3,
+        packed: bool = True,
+    ) -> None:
+        super().__init__(network, train_set, test_set, config, cost_model)
+        if variant not in (1, 2, 3):
+            raise ValueError("variant must be 1, 2, or 3")
+        self.platform = platform
+        self.variant = variant
+        self.packed = packed
+        self.name = f"Sync EASGD{variant}"
+        self.hyper = EASGDHyper(lr=config.lr, rho=config.rho, mu=config.mu)
+        self.hyper.validate_sync(platform.num_gpus if hasattr(platform, 'num_gpus') else platform.num_nodes)
+
+    def train(self, iterations: int) -> RunResult:
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        g = self.platform.num_gpus
+        cfg = self.config
+
+        center = self.net.get_params()
+        workers: List[np.ndarray] = [center.copy() for _ in range(g)]
+        samplers = [self.make_sampler(("worker", j)) for j in range(g)]
+
+        breakdown = TimeBreakdown()
+        records: List[TrainRecord] = []
+        sim_time = 0.0
+        last_loss = float("nan")
+
+        # Constant per-iteration costs.
+        stage_t = self.platform.stage_batch_time(self.cost, cfg.batch_size)
+        gpu_upd_t = self.platform.gpu_update_time(self.cost)
+        cpu_upd_t = self.platform.cpu_update_time(self.cost)
+        if self.variant == 1:
+            param_traffic = "cpu-gpu para"
+        else:
+            param_traffic = "gpu-gpu para"
+        bcast_t = self.platform.tree_bcast_time(self.cost, param_traffic, self.packed)
+        reduce_t = self.platform.tree_reduce_time(self.cost, param_traffic, self.packed)
+
+        for t in range(1, iterations + 1):
+            # --- numerics (identical across variants) -----------------------
+            grads: List[np.ndarray] = []
+            for j in range(g):
+                images, labels = samplers[j].next_batch()
+                self.net.set_params(workers[j])
+                last_loss = self.net.gradient(images, labels, self.loss)
+                grads.append(self.net.grads.copy())
+
+            sum_w = tree_reduce(workers)  # step 3: deterministic tree sum
+            center_t = center  # Eq 1/Eq 2 both read the pre-update center
+            for j in range(g):  # step 4: Eq 1 on every GPU
+                elastic_worker_update(workers[j], grads[j], center_t, self.hyper)
+            # step 5: Eq 2 — in place, reading the pre-update value once.
+            center += self.hyper.alpha * (sum_w - g * center)
+
+            # --- simulated time ---------------------------------------------
+            fwdbwd_max = max(
+                self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
+                for j in range(g)
+            )
+            if self.variant == 1:
+                # Serial: stage, bcast, compute, reduce, GPU update, CPU update.
+                iter_time = stage_t + bcast_t + fwdbwd_max + reduce_t + gpu_upd_t + cpu_upd_t
+                breakdown.add("cpu-gpu data", stage_t)
+                breakdown.add("cpu-gpu para", bcast_t + reduce_t)
+                breakdown.add("for/backward", fwdbwd_max)
+                breakdown.add("gpu update", gpu_upd_t)
+                breakdown.add("cpu update", cpu_upd_t)
+            elif self.variant == 2:
+                # Center on GPU1: switch traffic; GPU1 also applies Eq 2.
+                upd = 2.0 * gpu_upd_t
+                iter_time = stage_t + bcast_t + fwdbwd_max + reduce_t + upd
+                breakdown.add("cpu-gpu data", stage_t)
+                breakdown.add("gpu-gpu para", bcast_t + reduce_t)
+                breakdown.add("for/backward", fwdbwd_max)
+                breakdown.add("gpu update", upd)
+            else:
+                # Variant 3: GPU-GPU comm overlaps the stage+compute path.
+                comm = bcast_t + reduce_t
+                hidden = cfg.overlap_efficiency * min(comm, stage_t + fwdbwd_max)
+                visible_comm = comm - hidden
+                upd = 2.0 * gpu_upd_t
+                iter_time = stage_t + fwdbwd_max + visible_comm + upd
+                breakdown.add("cpu-gpu data", stage_t)
+                breakdown.add("gpu-gpu para", visible_comm)
+                breakdown.add("for/backward", fwdbwd_max)
+                breakdown.add("gpu update", upd)
+            sim_time += iter_time
+
+            if t % cfg.eval_every == 0 or t == iterations:
+                acc = self.evaluate_params(center)
+                records.append(TrainRecord(t, sim_time, last_loss, acc))
+                if self.should_stop(acc):
+                    break
+
+        final_acc = records[-1].test_accuracy if records else 0.0
+        return RunResult(
+            method=self.name,
+            records=records,
+            breakdown=breakdown,
+            iterations=records[-1].iteration if records else 0,
+            sim_time=sim_time,
+            final_accuracy=final_acc,
+        )

@@ -1,0 +1,146 @@
+"""Synchronous data-parallel SGD with tree allreduce.
+
+The workhorse for the single-layer (packed) communication study of
+Figure 10: per iteration every worker computes a gradient at the shared
+weights, gradients are tree-reduced, and the averaged gradient is applied
+everywhere. The ``packed`` flag switches between one message carrying all
+layers and one message per parameter blob — the only difference Figure 10
+measures.
+
+``quantize_bits`` enables the paper's reserved future-work direction
+(Section 3.4: low-precision gradient communication a la 1-bit SGD): each
+worker's gradient is stochastically quantized to the given width before
+the reduction, and the collective's byte volume shrinks proportionally.
+It trades trajectory fidelity for bandwidth — the ablation benchmark
+measures both sides.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    BaseTrainer,
+    RunResult,
+    TimeBreakdown,
+    TrainRecord,
+    TrainerConfig,
+)
+from repro.cluster.cost import CostModel
+from repro.cluster.platform import GpuPlatform
+from repro.comm.collectives import tree_reduce
+from repro.data.dataset import Dataset
+from repro.nn.network import Network
+from repro.optim.quantize import quantize_gradient
+from repro.util.rng import spawn_rng
+
+__all__ = ["SyncSGDTrainer"]
+
+
+class SyncSGDTrainer(BaseTrainer):
+    """Tree-allreduce synchronous SGD (the paper's Sync SGD, Figure 10)."""
+
+    def __init__(
+        self,
+        network: Network,
+        train_set: Dataset,
+        test_set: Dataset,
+        platform: GpuPlatform,
+        config: TrainerConfig,
+        cost_model: Optional[CostModel] = None,
+        packed: bool = True,
+        param_traffic: str = "gpu-gpu para",
+        quantize_bits: Optional[int] = None,
+    ) -> None:
+        super().__init__(network, train_set, test_set, config, cost_model)
+        if quantize_bits is not None and not 1 <= quantize_bits <= 16:
+            raise ValueError("quantize_bits must be in [1, 16]")
+        self.platform = platform
+        self.packed = packed
+        self.param_traffic = param_traffic
+        self.quantize_bits = quantize_bits
+        suffix = "packed" if packed else "per-layer"
+        if quantize_bits is not None:
+            suffix += f", {quantize_bits}-bit"
+        self.name = f"Sync SGD ({suffix})"
+        self._quant_rng = spawn_rng(config.seed, "grad-quantize") if quantize_bits else None
+
+    def train(self, iterations: int) -> RunResult:
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        g = self.platform.num_gpus
+        cfg = self.config
+
+        weights = self.net.get_params()
+        samplers = [self.make_sampler(("worker", j)) for j in range(g)]
+
+        breakdown = TimeBreakdown()
+        records: List[TrainRecord] = []
+        sim_time = 0.0
+        last_loss = float("nan")
+
+        stage_t = self.platform.stage_batch_time(self.cost, cfg.batch_size)
+        gpu_upd_t = self.platform.gpu_update_time(self.cost)
+        bcast_t = self.platform.tree_bcast_time(self.cost, self.param_traffic, self.packed)
+        reduce_t = self.platform.tree_reduce_time(self.cost, self.param_traffic, self.packed)
+        if self.quantize_bits is not None:
+            # Low-precision wire format: the latency (alpha) terms stay, the
+            # byte volume scales with the bit width.
+            shrink = self.quantize_bits / 32.0
+            plan = self.platform.param_plan(self.cost, self.packed)
+            link = self.platform.topology.link_for(self.param_traffic)
+            full_bytes_time = link.beta * plan.total_bytes
+            from repro.comm.collectives import tree_rounds
+
+            hops = tree_rounds(g)
+            saved = hops * full_bytes_time * (1.0 - shrink)
+            bcast_t = max(bcast_t - saved, hops * link.alpha * plan.num_messages)
+            reduce_t = max(reduce_t - saved, hops * link.alpha * plan.num_messages)
+        comm_part = "gpu-gpu para" if self.param_traffic == "gpu-gpu para" else "cpu-gpu para"
+
+        self.net.set_params(weights)
+        for t in range(1, iterations + 1):
+            grads: List[np.ndarray] = []
+            losses = []
+            for j in range(g):
+                images, labels = samplers[j].next_batch()
+                losses.append(self.net.gradient(images, labels, self.loss))
+                grads.append(self.net.grads.copy())
+            last_loss = float(np.mean(losses))
+            if self.quantize_bits is not None:
+                grads = [
+                    quantize_gradient(grad, self.quantize_bits, self._quant_rng)[0]
+                    for grad in grads
+                ]
+            mean_grad = tree_reduce(grads) / g
+            weights -= cfg.lr * mean_grad
+            self.net.set_params(weights)
+
+            fwdbwd_max = max(
+                self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
+                for j in range(g)
+            )
+            iter_time = stage_t + fwdbwd_max + reduce_t + bcast_t + gpu_upd_t
+            breakdown.add("cpu-gpu data", stage_t)
+            breakdown.add(comm_part, reduce_t + bcast_t)
+            breakdown.add("for/backward", fwdbwd_max)
+            breakdown.add("gpu update", gpu_upd_t)
+            sim_time += iter_time
+
+            if t % cfg.eval_every == 0 or t == iterations:
+                acc = self.evaluate_params(weights)
+                records.append(TrainRecord(t, sim_time, last_loss, acc))
+                if self.should_stop(acc):
+                    break
+
+        final_acc = records[-1].test_accuracy if records else 0.0
+        return RunResult(
+            method=self.name,
+            records=records,
+            breakdown=breakdown,
+            iterations=records[-1].iteration if records else 0,
+            sim_time=sim_time,
+            final_accuracy=final_acc,
+        )

@@ -1,0 +1,32 @@
+"""Simulated cluster hardware: device models, the simulated clock, and the
+discrete-event engine that asynchronous trainers run on."""
+
+from repro.cluster.devices import (
+    DeviceModel,
+    K80_HALF,
+    M40,
+    KNL_7250,
+    XEON_E5_HOST,
+    ComputeJitter,
+)
+from repro.cluster.simclock import SimClock, EventQueue, Event
+from repro.cluster.platform import GpuPlatform, KnlPlatform
+from repro.cluster.cost import CostModel, BWD_FLOPS_FACTOR
+from repro.cluster.multinode import GpuClusterPlatform
+
+__all__ = [
+    "DeviceModel",
+    "K80_HALF",
+    "M40",
+    "KNL_7250",
+    "XEON_E5_HOST",
+    "ComputeJitter",
+    "SimClock",
+    "EventQueue",
+    "Event",
+    "GpuPlatform",
+    "KnlPlatform",
+    "CostModel",
+    "BWD_FLOPS_FACTOR",
+    "GpuClusterPlatform",
+]

@@ -1,0 +1,82 @@
+"""CostModel: the bridge between real networks and paper-scale timing.
+
+A trainer runs its numerics on a runnable mini network but may charge the
+simulated clock for a *full-scale* model (e.g. train the mini LeNet while
+costing the true 431 k-parameter LeNet, or cost VGG-19's 575 MB for the
+weak-scaling table). ``CostModel.from_network`` derives costs from the
+actual network (self-consistent mode); ``CostModel.from_spec`` takes them
+from a :class:`repro.nn.spec.ModelSpec` (paper-scale mode). EXPERIMENTS.md
+states which mode each experiment uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.nn.spec import ModelSpec
+
+__all__ = ["CostModel", "BWD_FLOPS_FACTOR"]
+
+#: Backward propagation costs roughly two forward passes (dX and dW GEMMs).
+BWD_FLOPS_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cost-relevant numbers of one model + input geometry."""
+
+    name: str
+    weight_bytes: int  # packed model size (one message)
+    layer_bytes: Tuple[int, ...]  # per-layer message sizes (unpacked plan)
+    flops_fwd_per_sample: float  # forward FLOPs per input sample
+    sample_bytes: int  # bytes of one input sample (data staging)
+
+    def __post_init__(self) -> None:
+        if self.weight_bytes <= 0:
+            raise ValueError("weight_bytes must be positive")
+        if sum(self.layer_bytes) != self.weight_bytes:
+            raise ValueError("layer_bytes must sum to weight_bytes")
+        if self.flops_fwd_per_sample <= 0 or self.sample_bytes <= 0:
+            raise ValueError("flops and sample size must be positive")
+
+    def fwdbwd_flops(self, batch_size: int) -> float:
+        """FLOPs for one forward+backward pass over a batch."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        return (1.0 + BWD_FLOPS_FACTOR) * self.flops_fwd_per_sample * batch_size
+
+    def batch_bytes(self, batch_size: int) -> int:
+        """Bytes of one staged batch of samples."""
+        return self.sample_bytes * batch_size
+
+    @classmethod
+    def from_network(cls, net: Network) -> "CostModel":
+        """Self-consistent mode: cost exactly the runnable network.
+
+        The unpacked plan sends one message per parameter tensor (weight and
+        bias separately — Caffe-style per-blob transfers), so layer_bytes
+        comes from the packed buffer's segment table.
+        """
+        layer_bytes = tuple(seg.nbytes for seg in net.segments)
+        return cls(
+            name=net.name,
+            weight_bytes=net.nbytes,
+            layer_bytes=layer_bytes,
+            flops_fwd_per_sample=float(net.flops_per_sample()),
+            sample_bytes=int(np.prod(net.input_shape)) * 4,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: ModelSpec) -> "CostModel":
+        """Paper-scale mode: cost the full-size model of the spec table."""
+        return cls(
+            name=spec.name,
+            weight_bytes=spec.nbytes,
+            layer_bytes=tuple(spec.layer_messages()),
+            flops_fwd_per_sample=float(spec.flops_per_sample),
+            sample_bytes=int(np.prod(spec.input_shape)) * 4,
+        )

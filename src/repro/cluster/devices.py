@@ -1,0 +1,134 @@
+"""Analytic device models for the simulated clock.
+
+Compute time for a forward+backward pass is ``flops / (peak * efficiency)``;
+weight-update time is ``bytes_touched / memory_bandwidth``. Peaks come from
+the paper (KNL: 6 Tflops single precision; K80/M40 from vendor specs);
+``efficiency`` captures that DNN kernels reach a fraction of peak (cuDNN on
+small batches lands around a third). Worker asynchrony comes from
+:class:`ComputeJitter` — seeded lognormal multipliers on each pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import spawn_rng
+
+__all__ = [
+    "DeviceModel",
+    "K80_HALF",
+    "M40",
+    "KNL_7250",
+    "XEON_E5_HOST",
+    "ComputeJitter",
+]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A compute device with a peak rate and memory bandwidth.
+
+    ``kernel_overhead`` is the fixed launch/synchronization latency of one
+    weight-update kernel (or the fused update loop on a CPU) — it dominates
+    the GPU update of small models, which is why Table 3 shows a 4%-of-total
+    GPU update for a 1.7 MB LeNet.
+    """
+
+    name: str
+    peak_flops: float  # single-precision peak, flops/s
+    mem_bandwidth: float  # bytes/s achieved by the streaming update kernel
+    efficiency: float = 0.35  # achieved fraction of peak on DNN kernels
+    kernel_overhead: float = 0.0  # fixed seconds per update invocation
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("rates must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        if self.kernel_overhead < 0:
+            raise ValueError("kernel_overhead must be non-negative")
+
+    @property
+    def effective_flops(self) -> float:
+        return self.peak_flops * self.efficiency
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` floating-point operations."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.effective_flops
+
+    def update_time(self, nbytes: float) -> float:
+        """Seconds for a streaming weight update touching ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.kernel_overhead + nbytes / self.mem_bandwidth
+
+
+# One half of a Tesla K80 (the paper's 16-node cluster exposes K80 halves):
+# 2.8 Tflops SP peak, 240 GB/s GDDR5. Efficiency is calibrated to Table 3's
+# measured LeNet forward+backward (~6 ms on batch 64): small-kernel CNN
+# layers achieve only a few percent of peak on Kepler-class GPUs.
+K80_HALF = DeviceModel(
+    "Tesla K80 (half)",
+    peak_flops=2.8e12,
+    mem_bandwidth=240e9,
+    efficiency=0.055,
+    kernel_overhead=400e-6,
+)
+
+# Tesla M40 (the paper's 4-node, 8-GPU system): 7 Tflops SP, 288 GB/s.
+M40 = DeviceModel(
+    "Tesla M40",
+    peak_flops=7.0e12,
+    mem_bandwidth=288e9,
+    efficiency=0.08,
+    kernel_overhead=300e-6,
+)
+
+# Xeon Phi 7250 (Cori KNL): 6 Tflops SP (paper Section 1), MCDRAM 475 GB/s
+# measured STREAM (Section 2.1). Conv kernels via MKL reach a larger
+# fraction of peak than tiny GPU kernels do.
+KNL_7250 = DeviceModel(
+    "Xeon Phi 7250 (KNL)",
+    peak_flops=6.0e12,
+    mem_bandwidth=475e9,
+    efficiency=0.25,
+    kernel_overhead=20e-6,
+)
+
+# Host CPU of the GPU nodes (E5-2680 v3-class). The update bandwidth is the
+# *effective* rate of the single-threaded Eq-2 loop with temporaries (a few
+# GB/s), calibrated to Table 3's cpu-update column, not the socket's STREAM
+# number.
+XEON_E5_HOST = DeviceModel(
+    "Xeon E5 host",
+    peak_flops=0.96e12,
+    mem_bandwidth=8e9,
+    efficiency=0.5,
+    kernel_overhead=50e-6,
+)
+
+
+class ComputeJitter:
+    """Per-worker multiplicative lognormal jitter on compute times.
+
+    ``sigma = 0`` makes every pass take exactly the modeled time (used by
+    the deterministic Sync algorithms); positive sigma staggers workers,
+    which is what creates the FCFS/queueing dynamics of the async methods.
+    """
+
+    def __init__(self, seed: int, worker: object, sigma: float = 0.08) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+        self._rng = spawn_rng(seed, "jitter", worker)
+
+    def sample(self) -> float:
+        """A multiplier with mean ~1 (exactly 1 when sigma == 0)."""
+        if self.sigma == 0.0:
+            return 1.0
+        # mean-one lognormal: exp(N(-sigma^2/2, sigma))
+        return float(np.exp(self._rng.normal(-0.5 * self.sigma**2, self.sigma)))

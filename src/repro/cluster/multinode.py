@@ -1,0 +1,123 @@
+"""Multi-node GPU cluster platform (Artifact Description 10.4).
+
+The paper's first system: 16 nodes, each with GPUs behind a PCIe switch,
+connected by 56 Gbit/s FDR InfiniBand, with MPI + NCCL for communication.
+Collectives are hierarchical: reduce within each node over the PCIe switch,
+then across nodes over the fabric (tree or bandwidth-optimal ring), then
+broadcast back down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cluster.cost import CostModel
+from repro.cluster.devices import (
+    ComputeJitter,
+    DeviceModel,
+    K80_HALF,
+    XEON_E5_HOST,
+)
+from repro.comm.alphabeta import LinkModel, MELLANOX_FDR_56G
+from repro.comm.collectives import (
+    ring_allreduce_cost,
+    tree_bcast_cost,
+    tree_reduce_cost,
+)
+from repro.comm.topology import GpuNodeTopology
+
+__all__ = ["GpuClusterPlatform"]
+
+
+@dataclass
+class GpuClusterPlatform:
+    """``num_nodes`` multi-GPU nodes on an InfiniBand-class fabric."""
+
+    num_nodes: int
+    gpus_per_node: int
+    gpu: DeviceModel = K80_HALF
+    host: DeviceModel = XEON_E5_HOST
+    network: LinkModel = MELLANOX_FDR_56G
+    node_topology: GpuNodeTopology = None  # type: ignore[assignment]
+    jitter_sigma: float = 0.08
+    seed: int = 0
+    _jitters: Dict[int, ComputeJitter] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0 or self.gpus_per_node <= 0:
+            raise ValueError("node and GPU counts must be positive")
+        if self.node_topology is None:
+            self.node_topology = GpuNodeTopology(self.gpus_per_node)
+        elif self.node_topology.num_gpus != self.gpus_per_node:
+            raise ValueError("node topology GPU count disagrees with platform")
+
+    @property
+    def num_workers(self) -> int:
+        """Total GPU count across the cluster (one worker per GPU)."""
+        return self.num_nodes * self.gpus_per_node
+
+    # -- compute ---------------------------------------------------------------
+    def fwdbwd_time(self, cost: CostModel, batch_size: int, worker: int, jittered: bool = True) -> float:
+        """One pass on one GPU anywhere in the cluster."""
+        base = self.gpu.compute_time(cost.fwdbwd_flops(batch_size))
+        if not jittered or self.jitter_sigma == 0.0:
+            return base
+        jitter = self._jitters.get(worker)
+        if jitter is None:
+            jitter = ComputeJitter(self.seed, ("cluster-gpu", worker), self.jitter_sigma)
+            self._jitters[worker] = jitter
+        return base * jitter.sample()
+
+    def stage_batch_time(self, cost: CostModel, batch_size: int) -> float:
+        """Host -> GPU staging inside a node (concurrent across nodes)."""
+        link = self.node_topology.link_for("cpu-gpu data")
+        return link.cost(cost.batch_bytes(batch_size))
+
+    def gpu_update_time(self, cost: CostModel) -> float:
+        return self.gpu.update_time(3 * cost.weight_bytes)
+
+    # -- hierarchical collectives -------------------------------------------------
+    def _intra_hop(self, cost: CostModel, packed: bool) -> float:
+        from repro.comm.packing import packed_plan, per_layer_plan
+
+        plan = packed_plan(cost.layer_bytes) if packed else per_layer_plan(cost.layer_bytes)
+        return plan.cost(self.node_topology.link_for("gpu-gpu para"))
+
+    def intra_node_reduce_time(self, cost: CostModel, packed: bool = True) -> float:
+        """Tree reduce among the GPUs of one node (all nodes concurrently)."""
+        per_hop = self._intra_hop(cost, packed)
+        return tree_reduce_cost(LinkModel("derived", per_hop, 0.0), 0, self.gpus_per_node)
+
+    def intra_node_bcast_time(self, cost: CostModel, packed: bool = True) -> float:
+        per_hop = self._intra_hop(cost, packed)
+        return tree_bcast_cost(LinkModel("derived", per_hop, 0.0), 0, self.gpus_per_node)
+
+    def inter_node_allreduce_time(
+        self, cost: CostModel, algorithm: str = "tree", packed: bool = True
+    ) -> float:
+        """Allreduce of the packed weights across node leaders."""
+        messages = 1 if packed else max(len(cost.layer_bytes), 1)
+        if algorithm == "tree":
+            per_hop = messages * self.network.alpha + cost.weight_bytes * self.network.beta
+            link = LinkModel("derived", per_hop, 0.0)
+            return tree_reduce_cost(link, 0, self.num_nodes) + tree_bcast_cost(
+                link, 0, self.num_nodes
+            )
+        if algorithm == "ring":
+            # Ring chunks the buffer: latency per step still pays the
+            # per-message alphas of the plan.
+            extra_alpha = (messages - 1) * self.network.alpha * 2 * max(self.num_nodes - 1, 0)
+            return ring_allreduce_cost(self.network, cost.weight_bytes, self.num_nodes) + extra_alpha
+        raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+
+    def hierarchical_allreduce_time(
+        self, cost: CostModel, algorithm: str = "tree", packed: bool = True
+    ) -> float:
+        """Full cluster weight allreduce: intra-reduce, inter-allreduce,
+        intra-bcast. Intra-node phases run concurrently on every node."""
+        return (
+            self.intra_node_reduce_time(cost, packed)
+            + self.inter_node_allreduce_time(cost, algorithm, packed)
+            + self.intra_node_bcast_time(cost, packed)
+        )

@@ -1,0 +1,81 @@
+"""Simulated time: a monotonic clock and a deterministic event queue.
+
+The asynchronous trainers are discrete-event simulations: each "worker
+finished its pass" is an event; the master's service discipline (FCFS with a
+lock, or lock-free) decides how arrivals turn into weight updates. Ties are
+broken by an insertion sequence number so identical timestamps never make
+the run order depend on heap internals — determinism is load-bearing for
+the reproducibility tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["SimClock", "Event", "EventQueue"]
+
+
+class SimClock:
+    """A simulated clock that can only move forward."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock to absolute time ``t`` (must not go backward)."""
+        if t < self._now:
+            raise ValueError(f"clock cannot go backward: {t} < {self._now}")
+        self._now = t
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        self._now += dt
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A timestamped event; payload excluded from ordering."""
+
+    time: float
+    seq: int
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Min-heap of events with deterministic FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, payload: Any = None) -> Event:
+        """Schedule a payload at an absolute simulated time."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time, next(self._counter), payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (FIFO among ties)."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,51 @@
+"""Communication substrate: alpha-beta cost model, message packing plans,
+tree collectives (real numerics + modeled cost), and platform topologies."""
+
+from repro.comm.alphabeta import (
+    LinkModel,
+    MELLANOX_FDR_56G,
+    INTEL_QDR_40G,
+    INTEL_10GBE,
+    PCIE_GEN3_X16,
+    PCIE_SWITCH_P2P,
+    CRAY_ARIES,
+    TABLE2_NETWORKS,
+)
+from repro.comm.packing import MessagePlan, packed_plan, per_layer_plan
+from repro.comm.collectives import (
+    tree_reduce,
+    tree_bcast_order,
+    tree_reduce_cost,
+    tree_bcast_cost,
+    flat_sequential_cost,
+    allreduce_cost,
+)
+from repro.comm.topology import GpuNodeTopology, KnlClusterTopology
+from repro.comm.runtime import InProcessCommunicator, RankContext
+from repro.comm.collectives import ring_allreduce, ring_allreduce_cost
+
+__all__ = [
+    "LinkModel",
+    "MELLANOX_FDR_56G",
+    "INTEL_QDR_40G",
+    "INTEL_10GBE",
+    "PCIE_GEN3_X16",
+    "PCIE_SWITCH_P2P",
+    "CRAY_ARIES",
+    "TABLE2_NETWORKS",
+    "MessagePlan",
+    "packed_plan",
+    "per_layer_plan",
+    "tree_reduce",
+    "tree_bcast_order",
+    "tree_reduce_cost",
+    "tree_bcast_cost",
+    "flat_sequential_cost",
+    "allreduce_cost",
+    "GpuNodeTopology",
+    "KnlClusterTopology",
+    "InProcessCommunicator",
+    "RankContext",
+    "ring_allreduce",
+    "ring_allreduce_cost",
+]

@@ -1,0 +1,91 @@
+"""The alpha-beta communication model (Section 5.2, Table 2).
+
+Sending an n-byte message costs ``alpha + beta * n`` seconds, where alpha is
+the per-message latency and beta the reciprocal bandwidth. The paper's
+Table 2 lists measured constants for three InfiniBand-class networks; we add
+PCIe and Cray Aries entries for the multi-GPU node and the Cori KNL cluster
+(Artifact Description 10.4). beta << alpha for small messages, which is why
+packing L layer messages into one (L*alpha -> alpha) wins — Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LinkModel",
+    "MELLANOX_FDR_56G",
+    "INTEL_QDR_40G",
+    "INTEL_10GBE",
+    "PCIE_GEN3_X16",
+    "PCIE_SWITCH_P2P",
+    "CRAY_ARIES",
+    "MCDRAM_LINK",
+    "DDR4_LINK",
+    "TABLE2_NETWORKS",
+]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """One communication link under the alpha-beta model."""
+
+    name: str
+    alpha: float  # latency, seconds per message
+    beta: float  # reciprocal bandwidth, seconds per byte
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+
+    def cost(self, nbytes: float) -> float:
+        """Time to move one ``nbytes`` message across this link."""
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.alpha + self.beta * nbytes
+
+    def cost_many(self, sizes) -> float:
+        """Time to move several messages back-to-back (no pipelining)."""
+        total_bytes = 0.0
+        count = 0
+        for n in sizes:
+            if n < 0:
+                raise ValueError("message size must be non-negative")
+            total_bytes += n
+            count += 1
+        return count * self.alpha + self.beta * total_bytes
+
+    @property
+    def bandwidth(self) -> float:
+        """Asymptotic bandwidth in bytes/second."""
+        return float("inf") if self.beta == 0 else 1.0 / self.beta
+
+
+# --- Table 2 (measured by the paper) ----------------------------------------
+MELLANOX_FDR_56G = LinkModel("Mellanox 56Gb/s FDR IB", alpha=0.7e-6, beta=0.2e-9)
+INTEL_QDR_40G = LinkModel("Intel 40Gb/s QDR IB", alpha=1.2e-6, beta=0.3e-9)
+INTEL_10GBE = LinkModel("Intel 10GbE NetEffect NE020", alpha=7.2e-6, beta=0.9e-9)
+
+TABLE2_NETWORKS = (MELLANOX_FDR_56G, INTEL_QDR_40G, INTEL_10GBE)
+
+# --- Platform links (calibration constants; not from Table 2) ---------------
+# PCIe gen3 x16 host<->GPU: ~12 GB/s wire rate, but each cudaMemcpy of an
+# unpinned weight tensor pays a large fixed driver/synchronization latency.
+# alpha is calibrated so that the per-layer (16-message) LeNet weight
+# exchange of Original EASGD costs ~7 ms/iteration — the value Table 3
+# measures (86% of 8.2 ms) — which in turn is what makes packing layers
+# into one message (Section 5.2, Figure 10) matter.
+PCIE_GEN3_X16 = LinkModel("PCIe gen3 x16 (host-GPU)", alpha=420e-6, beta=1 / 12e9)
+
+# Peer-to-peer through the 96-lane PCIe switch (GPU<->GPU, NCCL-style):
+# lower per-message overhead, similar wire rate. Calibrated against the
+# Sync EASGD2 row of Table 3 (gpu-gpu para = 16% of 8.2 ms).
+PCIE_SWITCH_P2P = LinkModel("PCIe switch p2p (GPU-GPU)", alpha=200e-6, beta=1 / 10e9)
+
+# Cray Aries (Cori): per-node injection ~10 GB/s, ~1.3 us latency.
+CRAY_ARIES = LinkModel("Cray Aries (Cori)", alpha=1.3e-6, beta=0.1e-9)
+
+# On-package memories of the KNL, expressed as links for the partitioning
+# model (Section 6.2): moving a weight replica through MCDRAM vs DDR4.
+MCDRAM_LINK = LinkModel("KNL MCDRAM", alpha=0.3e-6, beta=1 / 475e9)
+DDR4_LINK = LinkModel("KNL DDR4", alpha=0.3e-6, beta=1 / 90e9)

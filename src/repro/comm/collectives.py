@@ -1,0 +1,214 @@
+"""Tree collectives: real numerics plus alpha-beta cost functions.
+
+The paper's Sync EASGD replaces the round-robin's P sequential interactions
+with a binomial-tree reduction/broadcast: Theta(log P) rounds instead of
+Theta(P). Two faces are provided:
+
+- **Numerics**: :func:`tree_reduce` actually sums NumPy vectors pairwise in
+  a *fixed* binomial-tree order, so Sync EASGD's result is bit-deterministic
+  (the paper's reproducibility claim) regardless of worker count parity.
+- **Cost**: closed-form alpha-beta times for tree reduce/bcast, the flat
+  sequential (round-robin / parameter-server) exchange, and allreduce.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.alphabeta import LinkModel
+
+__all__ = [
+    "tree_rounds",
+    "tree_reduce",
+    "tree_bcast_order",
+    "tree_reduce_cost",
+    "tree_bcast_cost",
+    "flat_sequential_cost",
+    "allreduce_cost",
+    "ring_allreduce",
+    "ring_allreduce_cost",
+    "tree_gather",
+    "scatter_shards",
+    "tree_gather_cost",
+    "scatter_cost",
+]
+
+
+def tree_rounds(p: int) -> int:
+    """Number of rounds of a binomial tree over ``p`` ranks: ceil(log2 p)."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    return int(math.ceil(math.log2(p))) if p > 1 else 0
+
+
+def tree_reduce(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Binomial-tree sum of equal-shape vectors, deterministic association.
+
+    Round k folds rank ``i + 2**k`` into rank ``i`` for every i that is a
+    multiple of ``2**(k+1)`` — the textbook recursive halving schedule. The
+    association order is a pure function of ``len(vectors)``, which is what
+    makes Sync EASGD runs bit-reproducible.
+    """
+    if not vectors:
+        raise ValueError("need at least one vector")
+    shape = vectors[0].shape
+    for v in vectors:
+        if v.shape != shape:
+            raise ValueError("all vectors must have the same shape")
+    acc: List[np.ndarray | None] = [np.array(v, copy=True) for v in vectors]
+    p = len(acc)
+    stride = 1
+    while stride < p:
+        for i in range(0, p - stride, 2 * stride):
+            acc[i] = acc[i] + acc[i + stride]  # type: ignore[operator]
+            acc[i + stride] = None
+        stride *= 2
+    assert acc[0] is not None
+    return acc[0]
+
+
+def tree_bcast_order(p: int) -> List[Tuple[int, int]]:
+    """Binomial-tree broadcast edge list as (source, destination) pairs.
+
+    Round k has every rank i < 2**k forward to i + 2**k (if it exists), so
+    after ceil(log2 p) rounds all ranks hold the root's value.
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    edges: List[Tuple[int, int]] = []
+    have = 1
+    while have < p:
+        for src in range(min(have, p - have)):
+            edges.append((src, src + have))
+        have *= 2
+    return edges
+
+
+def tree_reduce_cost(link: LinkModel, nbytes: int, p: int) -> float:
+    """ceil(log2 P) rounds, each one full-message hop: logP * (alpha + n*beta)."""
+    return tree_rounds(p) * link.cost(nbytes)
+
+
+def tree_bcast_cost(link: LinkModel, nbytes: int, p: int) -> float:
+    """Broadcast cost mirrors the reduce under alpha-beta."""
+    return tree_rounds(p) * link.cost(nbytes)
+
+
+def flat_sequential_cost(link: LinkModel, nbytes: int, p: int) -> float:
+    """P sequential full-message exchanges at the root: P * (alpha + n*beta).
+
+    This is the round-robin / one-at-a-time parameter-server pattern the
+    paper starts from — the Theta(P) term Sync EASGD eliminates.
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    return p * link.cost(nbytes)
+
+
+def allreduce_cost(link: LinkModel, nbytes: int, p: int) -> float:
+    """Tree reduce followed by tree broadcast: 2 * logP * (alpha + n*beta)."""
+    return tree_reduce_cost(link, nbytes, p) + tree_bcast_cost(link, nbytes, p)
+
+
+def ring_allreduce(vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Ring allreduce numerics: every rank ends with the (identical) sum.
+
+    Implements the classic two-phase schedule — reduce-scatter around the
+    ring, then allgather — chunk by chunk, with a fixed chunk/rank order so
+    the floating-point association is deterministic. Returns a list of P
+    result vectors (all equal; separate arrays, as separate ranks would
+    hold).
+    """
+    if not vectors:
+        raise ValueError("need at least one vector")
+    shape = vectors[0].shape
+    for v in vectors:
+        if v.shape != shape:
+            raise ValueError("all vectors must have the same shape")
+    p = len(vectors)
+    if p == 1:
+        return [np.array(vectors[0], copy=True)]
+
+    # Work on per-rank copies split into P chunks.
+    flats = [np.array(v, copy=True).reshape(-1) for v in vectors]
+    bounds = np.linspace(0, flats[0].size, p + 1).astype(int)
+
+    def chunk(rank: int, c: int) -> np.ndarray:
+        return flats[rank][bounds[c] : bounds[c + 1]]
+
+    # Phase 1: reduce-scatter. After P-1 steps, rank r holds the full sum
+    # of chunk (r+1) mod P.
+    for step in range(p - 1):
+        for rank in range(p):
+            send_c = (rank - step) % p
+            dst = (rank + 1) % p
+            chunk(dst, send_c)[...] += chunk(rank, send_c)
+    # NOTE: the loop above mutates in a fixed rank order; because each
+    # (step, chunk) pair is touched by exactly one (src, dst) edge, the
+    # result is schedule-correct despite the sequential simulation.
+
+    # Phase 2: allgather the finished chunks around the ring.
+    for step in range(p - 1):
+        for rank in range(p):
+            send_c = (rank + 1 - step) % p
+            dst = (rank + 1) % p
+            chunk(dst, send_c)[...] = chunk(rank, send_c)
+
+    return [f.reshape(shape) for f in flats]
+
+
+def ring_allreduce_cost(link: LinkModel, nbytes: int, p: int) -> float:
+    """Bandwidth-optimal ring allreduce: 2(P-1) steps of n/P-byte messages.
+
+    Total bytes moved per rank ~ 2n(P-1)/P (asymptotically 2n, independent
+    of P) at the price of 2(P-1) latency terms — the classic tree-vs-ring
+    trade: rings win for large n, trees for small n / large P.
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    if p == 1:
+        return 0.0
+    return 2 * (p - 1) * link.cost(nbytes / p)
+
+
+def tree_gather(vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Gather all ranks' vectors to rank 0 in binomial-tree order.
+
+    Returns the list in rank order — the concatenation the root would hold
+    after a tree gather (each hop forwards its accumulated block upward).
+    """
+    if not vectors:
+        raise ValueError("need at least one vector")
+    return [np.array(v, copy=True) for v in vectors]
+
+
+def scatter_shards(data: np.ndarray, p: int) -> List[np.ndarray]:
+    """Root-side scatter: split ``data`` into ``p`` near-equal row shards.
+
+    The distribution step of data parallelism (Figure 4.1: "the dataset is
+    partitioned into P parts and each machine only gets one part").
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    if len(data) < p:
+        raise ValueError(f"cannot scatter {len(data)} rows to {p} ranks")
+    return [np.array(shard, copy=True) for shard in np.array_split(data, p)]
+
+
+def tree_gather_cost(link: LinkModel, nbytes_per_rank: int, p: int) -> float:
+    """Binomial-tree gather: round k moves blocks of 2^k ranks' data.
+
+    Total: sum_k (alpha + 2^k * n * beta) = logP * alpha + (P-1) * n * beta.
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    rounds = tree_rounds(p)
+    return rounds * link.alpha + (p - 1) * nbytes_per_rank * link.beta
+
+
+def scatter_cost(link: LinkModel, nbytes_per_rank: int, p: int) -> float:
+    """Tree scatter mirrors the gather under alpha-beta."""
+    return tree_gather_cost(link, nbytes_per_rank, p)

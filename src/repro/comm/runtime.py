@@ -1,0 +1,168 @@
+"""In-process MPI-style runtime: threads as ranks, queues as the fabric.
+
+The paper's artifact runs its distributed algorithms over MPI ("We use MPI
+for distributed processing on the KNL cluster / multi-GPU multi-node
+system"). This module is the offline substitute: an
+:class:`InProcessCommunicator` spawns one Python thread per rank and gives
+each a :class:`RankContext` with the familiar API — ``send``/``recv`` with
+source+tag matching, and collectives (``bcast``, ``reduce``,
+``allreduce``, ``barrier``) built *on top of* point-to-point messages with
+the same binomial-tree schedules as :mod:`repro.comm.collectives`, so the
+floating-point association (and hence bit-level results) matches the
+simulated trainers.
+
+This is real concurrency: NumPy kernels release the GIL, messages really
+cross thread boundaries, and a bug in the schedule deadlocks exactly as it
+would under MPI.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RankContext", "InProcessCommunicator"]
+
+_DEFAULT_TIMEOUT = 60.0  # seconds before a recv declares a deadlock
+
+
+class _Mailbox:
+    """Per-rank mailbox with (source, tag) selective receive."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[Tuple[int, int], "queue.Queue[Any]"] = {}
+        self._lock = threading.Lock()
+
+    def _queue_for(self, source: int, tag: int) -> "queue.Queue[Any]":
+        with self._lock:
+            key = (source, tag)
+            q = self._queues.get(key)
+            if q is None:
+                q = self._queues[key] = queue.Queue()
+            return q
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        self._queue_for(source, tag).put(payload)
+
+    def get(self, source: int, tag: int, timeout: float) -> Any:
+        try:
+            return self._queue_for(source, tag).get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"recv(source={source}, tag={tag}) timed out after {timeout}s — "
+                "likely a schedule deadlock"
+            ) from None
+
+
+class RankContext:
+    """One rank's view of the communicator (the object rank functions get)."""
+
+    def __init__(self, comm: "InProcessCommunicator", rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+        self.size = comm.size
+
+    # -- point to point --------------------------------------------------------
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Deliver ``payload`` to ``dest`` (asynchronous, buffered)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range for size {self.size}")
+        self.comm._mailboxes[dest].put(self.rank, tag, payload)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Block until a message from ``source`` with ``tag`` arrives."""
+        if not 0 <= source < self.size:
+            raise ValueError(f"source {source} out of range for size {self.size}")
+        return self.comm._mailboxes[self.rank].get(source, tag, self.comm.timeout)
+
+    # -- collectives (binomial-tree schedules) ------------------------------------
+    def bcast(self, payload: Any, root: int = 0, tag: int = 101) -> Any:
+        """Broadcast from ``root``; every rank returns the payload."""
+        rel = (self.rank - root) % self.size
+        # receive from parent (the rank that turned our bit on)
+        if rel != 0:
+            have = 1
+            while have * 2 <= rel:
+                have *= 2
+            parent_rel = rel - have
+            payload = self.recv((parent_rel + root) % self.size, tag)
+        # forward to children
+        have = 1
+        while have <= rel:
+            have *= 2
+        while have < self.size:
+            child_rel = rel + have
+            if child_rel < self.size:
+                self.send(payload, (child_rel + root) % self.size, tag)
+            have *= 2
+        return payload
+
+    def reduce(self, array: np.ndarray, root: int = 0, tag: int = 102) -> Optional[np.ndarray]:
+        """Tree-sum arrays to ``root`` with the same association order as
+        :func:`repro.comm.collectives.tree_reduce`. Returns the sum at the
+        root, ``None`` elsewhere."""
+        rel = (self.rank - root) % self.size
+        acc = np.array(array, copy=True)
+        stride = 1
+        while stride < self.size:
+            if rel % (2 * stride) == 0:
+                partner = rel + stride
+                if partner < self.size:
+                    acc = acc + self.recv((partner + root) % self.size, tag)
+            elif rel % (2 * stride) == stride:
+                self.send(acc, (rel - stride + root) % self.size, tag)
+                return None  # sent upstream; this rank is done
+            stride *= 2
+        return acc if rel == 0 else None
+
+    def allreduce(self, array: np.ndarray, tag: int = 103) -> np.ndarray:
+        """Tree reduce to rank 0 followed by tree broadcast."""
+        total = self.reduce(array, root=0, tag=tag)
+        return self.bcast(total, root=0, tag=tag + 1)
+
+    def barrier(self, tag: int = 104) -> None:
+        """Synchronize all ranks (zero-byte allreduce)."""
+        self.allreduce(np.zeros(1, dtype=np.float32), tag=tag)
+
+
+class InProcessCommunicator:
+    """Spawn ``size`` rank threads and run a function on each."""
+
+    def __init__(self, size: int, timeout: float = _DEFAULT_TIMEOUT) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.size = size
+        self.timeout = timeout
+        self._mailboxes = [_Mailbox() for _ in range(size)]
+
+    def run(self, fn: Callable[..., Any], *args: Any) -> List[Any]:
+        """Execute ``fn(ctx, *args)`` on every rank; return per-rank results.
+
+        Any rank's exception is re-raised in the caller after all threads
+        have been joined (no silent partial failures).
+        """
+        results: List[Any] = [None] * self.size
+        errors: List[BaseException] = []
+
+        def runner(rank: int) -> None:
+            try:
+                results[rank] = fn(RankContext(self, rank), *args)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"rank-{r}")
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return results

@@ -1,0 +1,66 @@
+"""Platform topologies: which link carries which traffic class.
+
+Mirrors the paper's two experimental systems (Artifact Description 10.4):
+a multi-GPU node whose GPUs hang off a PCIe switch with the host CPU, and a
+KNL cluster on a Cray Aries fabric. Trainers never touch raw LinkModels;
+they ask the topology for the link of a traffic class, which keeps the
+Table 3 breakdown categories (cpu-gpu data, cpu-gpu para, gpu-gpu para)
+honest by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.alphabeta import (
+    CRAY_ARIES,
+    LinkModel,
+    PCIE_GEN3_X16,
+    PCIE_SWITCH_P2P,
+)
+
+__all__ = ["GpuNodeTopology", "KnlClusterTopology"]
+
+
+@dataclass(frozen=True)
+class GpuNodeTopology:
+    """One multi-GPU node: host CPU + ``num_gpus`` GPUs on a PCIe switch."""
+
+    num_gpus: int
+    cpu_gpu: LinkModel = PCIE_GEN3_X16
+    gpu_gpu: LinkModel = PCIE_SWITCH_P2P
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+
+    def link_for(self, traffic: str) -> LinkModel:
+        """Resolve a traffic class to its link.
+
+        ``cpu-gpu data``  — staging a batch of samples host -> GPU;
+        ``cpu-gpu para``  — weights host <-> GPU (Algorithms 1-2);
+        ``gpu-gpu para``  — weights GPU <-> GPU via the switch (Algorithm 3).
+        """
+        if traffic in ("cpu-gpu data", "cpu-gpu para"):
+            return self.cpu_gpu
+        if traffic == "gpu-gpu para":
+            return self.gpu_gpu
+        raise KeyError(f"unknown traffic class {traffic!r}")
+
+
+@dataclass(frozen=True)
+class KnlClusterTopology:
+    """A cluster of self-hosted KNL nodes on a Cray Aries-style fabric."""
+
+    num_nodes: int
+    network: LinkModel = CRAY_ARIES
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+
+    def link_for(self, traffic: str) -> LinkModel:
+        """KNL nodes are self-hosted: all inter-node traffic is one fabric."""
+        if traffic in ("node-node para", "node-node data"):
+            return self.network
+        raise KeyError(f"unknown traffic class {traffic!r}")

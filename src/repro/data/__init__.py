@@ -1,0 +1,40 @@
+"""Synthetic stand-ins for the paper's datasets (Table 1).
+
+The paper trains on MNIST, CIFAR-10, and ImageNet (ILSVRC-2012). Those files
+are not available offline, so this package generates deterministic,
+class-conditional synthetic datasets with the *same tensor geometry*
+(28x28x1/10 classes, 3x32x32/10 classes, 3xHxW/many classes) that are
+learnable by the mini networks in :mod:`repro.nn.models`. Accuracy-vs-time
+comparisons between training algorithms remain meaningful because every
+algorithm consumes the same sample stream through the same model.
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import (
+    make_mnist_like,
+    make_cifar_like,
+    make_imagenet_like,
+    DATASET_GEOMETRY,
+)
+from repro.data.normalize import standardize, standardize_like
+from repro.data.loader import BatchSampler, partition_dataset, replicate_dataset
+from repro.data.augment import AugmentingSampler, random_horizontal_flip, random_shift_crop
+from repro.data.io import save_dataset, load_dataset
+
+__all__ = [
+    "Dataset",
+    "make_mnist_like",
+    "make_cifar_like",
+    "make_imagenet_like",
+    "DATASET_GEOMETRY",
+    "standardize",
+    "standardize_like",
+    "BatchSampler",
+    "partition_dataset",
+    "replicate_dataset",
+    "AugmentingSampler",
+    "random_horizontal_flip",
+    "random_shift_crop",
+    "save_dataset",
+    "load_dataset",
+]

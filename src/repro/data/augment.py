@@ -1,0 +1,84 @@
+"""Training-time data augmentation (the standard CIFAR/ImageNet recipe).
+
+The paper's pipelines (Caffe) crop and mirror training images; these are
+the vectorized equivalents. Augmentations apply per *batch* and draw from
+a named seeded stream so augmented runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.loader import BatchSampler
+from repro.util.rng import spawn_rng
+
+__all__ = ["random_horizontal_flip", "random_shift_crop", "AugmentingSampler"]
+
+
+def random_horizontal_flip(
+    images: np.ndarray, rng: np.random.Generator, prob: float = 0.5
+) -> np.ndarray:
+    """Mirror a random subset of the batch along the width axis."""
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError("prob must be in [0, 1]")
+    flip = rng.random(len(images)) < prob
+    if not flip.any():
+        return images
+    out = images.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_shift_crop(
+    images: np.ndarray, rng: np.random.Generator, max_shift: int = 2
+) -> np.ndarray:
+    """Pad-and-crop translation: each image shifts by up to ``max_shift``
+    pixels per axis (zeros fill the exposed border)."""
+    if max_shift < 0:
+        raise ValueError("max_shift must be non-negative")
+    if max_shift == 0:
+        return images
+    n, c, h, w = images.shape
+    padded = np.pad(
+        images,
+        ((0, 0), (0, 0), (max_shift, max_shift), (max_shift, max_shift)),
+        mode="constant",
+    )
+    offsets_h = rng.integers(0, 2 * max_shift + 1, size=n)
+    offsets_w = rng.integers(0, 2 * max_shift + 1, size=n)
+    out = np.empty_like(images)
+    for i in range(n):  # per-sample window; n is a batch, not the dataset
+        oh, ow = offsets_h[i], offsets_w[i]
+        out[i] = padded[i, :, oh : oh + h, ow : ow + w]
+    return out
+
+
+class AugmentingSampler:
+    """A :class:`BatchSampler` wrapper applying flip + shift per batch."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        seed: int,
+        name: object = "augment",
+        flip_prob: float = 0.5,
+        max_shift: int = 2,
+    ) -> None:
+        self._inner = BatchSampler(dataset, batch_size, seed, name=name)
+        self._rng = spawn_rng(seed, "augment", name)
+        self.flip_prob = flip_prob
+        self.max_shift = max_shift
+
+    @property
+    def batches_drawn(self) -> int:
+        return self._inner.batches_drawn
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        images, labels = self._inner.next_batch()
+        images = random_horizontal_flip(images, self._rng, self.flip_prob)
+        images = random_shift_crop(images, self._rng, self.max_shift)
+        return images, labels

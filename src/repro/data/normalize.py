@@ -1,0 +1,38 @@
+"""Input normalization (Algorithm 1, line 1).
+
+The paper normalizes X on the host "by standard deviation: E(X) = 0 (mean)
+and sigma(X) = 1 (variance)" before training. We implement exactly that:
+global mean/std over the training set, applied in place (views, not copies —
+datasets can be hundreds of MB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["standardize", "standardize_like"]
+
+
+def standardize(dataset: Dataset, eps: float = 1e-8) -> tuple[float, float]:
+    """Normalize ``dataset.images`` in place to zero mean, unit std.
+
+    Returns the ``(mean, std)`` that were removed so a paired test set can be
+    normalized with the *training* statistics (the standard protocol — using
+    test statistics would leak).
+    """
+    images = dataset.images
+    mean = float(images.mean())
+    std = float(images.std())
+    images -= np.float32(mean)
+    images /= np.float32(max(std, eps))
+    dataset.meta["normalized"] = dict(mean=mean, std=std)
+    return mean, std
+
+
+def standardize_like(dataset: Dataset, mean: float, std: float, eps: float = 1e-8) -> None:
+    """Normalize ``dataset`` in place using externally supplied statistics."""
+    dataset.images -= np.float32(mean)
+    dataset.images /= np.float32(max(std, eps))
+    dataset.meta["normalized"] = dict(mean=mean, std=std)

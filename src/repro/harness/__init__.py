@@ -1,0 +1,49 @@
+"""Experiment harness: standardized runners for every table and figure."""
+
+from repro.harness.experiment import ExperimentSpec, run_method, run_methods
+from repro.harness.breakdown import Table3Row, breakdown_row, render_table3
+from repro.harness.figures import (
+    fig6_pairwise_series,
+    fig8_overall_series,
+    fig10_packed_series,
+    fig13_scaling_series,
+)
+from repro.harness.tables import render_table2, render_table4, render_table1
+from repro.harness.results import result_to_dict, results_to_json, results_from_json
+from repro.harness.sweeps import SweepPoint, grid_sweep, best_point
+from repro.harness.plots import ascii_plot
+from repro.harness.analysis import (
+    accuracy_at_time,
+    time_to_accuracy_interp,
+    speedup_at_accuracy,
+    crossover_time,
+    trajectory_auc,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "run_method",
+    "run_methods",
+    "Table3Row",
+    "breakdown_row",
+    "render_table3",
+    "fig6_pairwise_series",
+    "fig8_overall_series",
+    "fig10_packed_series",
+    "fig13_scaling_series",
+    "render_table1",
+    "render_table2",
+    "render_table4",
+    "result_to_dict",
+    "results_to_json",
+    "results_from_json",
+    "SweepPoint",
+    "grid_sweep",
+    "best_point",
+    "ascii_plot",
+    "accuracy_at_time",
+    "time_to_accuracy_interp",
+    "speedup_at_accuracy",
+    "crossover_time",
+    "trajectory_auc",
+]

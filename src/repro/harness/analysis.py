@@ -1,0 +1,101 @@
+"""Trajectory analytics: the quantities EXPERIMENTS.md reports.
+
+Run trajectories are step functions of simulated time; these helpers
+interpolate them, compute speedups at matched accuracy, and locate
+crossovers between two methods — the "who wins, where" questions the
+reproduction bands care about.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import RunResult
+
+__all__ = [
+    "accuracy_at_time",
+    "time_to_accuracy_interp",
+    "speedup_at_accuracy",
+    "crossover_time",
+    "trajectory_auc",
+]
+
+
+def _series(result: RunResult) -> Tuple[np.ndarray, np.ndarray]:
+    times, accs = result.series()
+    if times.size == 0:
+        raise ValueError(f"run {result.method!r} has no trajectory records")
+    return times, accs
+
+
+def accuracy_at_time(result: RunResult, t: float) -> float:
+    """Best accuracy observed at or before simulated time ``t`` (0 before
+    the first record)."""
+    times, accs = _series(result)
+    mask = times <= t
+    if not mask.any():
+        return 0.0
+    return float(np.maximum.accumulate(accs)[mask][-1])
+
+
+def time_to_accuracy_interp(result: RunResult, target: float) -> Optional[float]:
+    """Linearly interpolated first time the trajectory crosses ``target``.
+
+    Finer than :meth:`RunResult.time_to_accuracy` (which snaps to record
+    boundaries); returns ``None`` if the run never got there.
+    """
+    times, accs = _series(result)
+    best = np.maximum.accumulate(accs)
+    idx = np.argmax(best >= target)
+    if best[idx] < target:
+        return None
+    if idx == 0 or best[idx - 1] >= target:
+        return float(times[idx])
+    a0, a1 = best[idx - 1], best[idx]
+    t0, t1 = times[idx - 1], times[idx]
+    frac = (target - a0) / (a1 - a0)
+    return float(t0 + frac * (t1 - t0))
+
+
+def speedup_at_accuracy(fast: RunResult, slow: RunResult, target: float) -> Optional[float]:
+    """``slow``'s time-to-target divided by ``fast``'s (None if either
+    never reaches it)."""
+    tf = time_to_accuracy_interp(fast, target)
+    ts = time_to_accuracy_interp(slow, target)
+    if tf is None or ts is None or tf <= 0:
+        return None
+    return ts / tf
+
+
+def crossover_time(a: RunResult, b: RunResult, samples: int = 200) -> Optional[float]:
+    """First simulated time after which ``a``'s accuracy stays >= ``b``'s.
+
+    Returns ``None`` if ``a`` never overtakes; ``0.0`` if it leads
+    throughout.
+    """
+    t_hi = min(a.records[-1].sim_time, b.records[-1].sim_time)
+    grid = np.linspace(0.0, t_hi, samples)
+    lead = np.array(
+        [accuracy_at_time(a, t) >= accuracy_at_time(b, t) for t in grid]
+    )
+    if not lead[-1]:
+        return None
+    # last index where a was behind; crossover just after it
+    behind = np.where(~lead)[0]
+    if behind.size == 0:
+        return 0.0
+    return float(grid[behind[-1] + 1])
+
+
+def trajectory_auc(result: RunResult, t_max: Optional[float] = None, samples: int = 200) -> float:
+    """Area under the accuracy-vs-time curve up to ``t_max`` (default: the
+    run's end), normalized to [0, 1]. Rewards reaching accuracy *early*."""
+    end = t_max if t_max is not None else result.records[-1].sim_time
+    if end <= 0:
+        raise ValueError("t_max must be positive")
+    grid = np.linspace(0.0, end, samples)
+    values = np.array([accuracy_at_time(result, t) for t in grid])
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 2.x rename
+    return float(trapezoid(values, grid) / end)

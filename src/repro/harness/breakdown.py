@@ -1,0 +1,73 @@
+"""Table 3 machinery: per-method time breakdown rows and rendering.
+
+Table 3's columns: method, accuracy, iterations, time, then the fraction of
+total time in each of the six parts, then the communication ratio. Rows are
+built from :class:`repro.algorithms.base.RunResult` objects produced under
+the ``train_to_accuracy`` protocol (all methods run to the same accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.algorithms.base import BREAKDOWN_PARTS, RunResult
+from repro.util.format import format_percent, format_seconds
+from repro.util.tables import TextTable
+
+__all__ = ["Table3Row", "breakdown_row", "render_table3", "speedup_over"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One rendered row of Table 3."""
+
+    method: str
+    accuracy: float
+    iterations: int
+    seconds: float
+    fractions: Dict[str, float]
+    comm_ratio: float
+
+
+def breakdown_row(result: RunResult) -> Table3Row:
+    """Convert a finished run into a Table 3 row."""
+    return Table3Row(
+        method=result.method,
+        accuracy=result.final_accuracy,
+        iterations=result.iterations,
+        seconds=result.sim_time,
+        fractions=result.breakdown.fractions(),
+        comm_ratio=result.breakdown.comm_ratio,
+    )
+
+
+def render_table3(rows: Iterable[Table3Row]) -> str:
+    """Monospace rendering mirroring the paper's Table 3 column order."""
+    table = TextTable(
+        ["Method", "accuracy", "iterations", "time"]
+        + list(BREAKDOWN_PARTS)
+        + ["comm ratio"]
+    )
+    for row in rows:
+        table.add_row(
+            [row.method, f"{row.accuracy:.3f}", row.iterations, format_seconds(row.seconds)]
+            + [format_percent(row.fractions[p]) for p in BREAKDOWN_PARTS]
+            + [format_percent(row.comm_ratio)]
+        )
+    return table.render()
+
+
+def speedup_over(rows: List[Table3Row], baseline: str, method: str) -> float:
+    """Time-to-accuracy speedup of ``method`` over ``baseline``.
+
+    The paper's headline: Sync EASGD3 is 5.3x over Original EASGD.
+    """
+    by_name = {r.method: r for r in rows}
+    try:
+        base, fast = by_name[baseline], by_name[method]
+    except KeyError as exc:
+        raise KeyError(f"row {exc} not present; have {sorted(by_name)}") from None
+    if fast.seconds <= 0:
+        raise ValueError(f"{method} has non-positive time")
+    return base.seconds / fast.seconds

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the registered training methods.
+``run``
+    Train one method on a synthetic dataset and print the summary
+    (optionally archive the trajectory as JSON).
+``table``
+    Print a reproduction of paper Table 1, 2, or 4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algorithms import ALGORITHMS, TrainerConfig
+from repro.cluster import CostModel
+from repro.data import make_cifar_like, make_mnist_like
+from repro.harness.breakdown import breakdown_row, render_table3
+from repro.harness.experiment import ExperimentSpec, run_method
+from repro.harness.results import results_to_json
+from repro.harness.tables import render_table1, render_table2, render_table4
+from repro.nn.models import (
+    build_alexnet_mini,
+    build_googlenet_mini,
+    build_lenet,
+    build_mlp,
+    build_resnet_mini,
+    build_vgg_mini,
+)
+from repro.nn.spec import LENET, ALEXNET
+
+_DATASETS = {"mnist": make_mnist_like, "cifar": make_cifar_like}
+_MODELS = {
+    "mlp": build_mlp,
+    "lenet": build_lenet,
+    "alexnet": build_alexnet_mini,
+    "vgg": build_vgg_mini,
+    "googlenet": build_googlenet_mini,
+    "resnet": build_resnet_mini,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Scaling Deep Learning on GPU and KNL clusters' (SC'17)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered training methods")
+
+    run = sub.add_parser("run", help="train one method on a synthetic dataset")
+    run.add_argument("--method", required=True, choices=sorted(ALGORITHMS))
+    run.add_argument("--dataset", default="mnist", choices=sorted(_DATASETS))
+    run.add_argument("--model", default="lenet", choices=sorted(_MODELS))
+    run.add_argument("--gpus", type=int, default=4)
+    run.add_argument("--iterations", type=int, default=200)
+    run.add_argument("--target", type=float, default=None,
+                     help="train to this test accuracy instead of a fixed length")
+    run.add_argument("--batch-size", type=int, default=32)
+    run.add_argument("--lr", type=float, default=0.03)
+    run.add_argument("--rho", type=float, default=2.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--train-samples", type=int, default=4096)
+    run.add_argument("--difficulty", type=float, default=1.5)
+    run.add_argument("--paper-scale-cost", action="store_true",
+                     help="charge the clock for the full-scale model (LeNet/AlexNet spec)")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="write the trajectory to a JSON file")
+
+    table = sub.add_parser("table", help="print a paper-table reproduction")
+    table.add_argument("id", choices=["1", "2", "4"])
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in sorted(ALGORITHMS):
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    train, test = _DATASETS[args.dataset](
+        n_train=args.train_samples,
+        n_test=max(args.train_samples // 4, 256),
+        seed=args.seed,
+        difficulty=args.difficulty,
+    )
+    cost = None
+    if args.paper_scale_cost:
+        cost = CostModel.from_spec(LENET if args.dataset == "mnist" else ALEXNET)
+    builder = _MODELS[args.model]
+    if args.dataset == "cifar" and args.model in ("mlp", "lenet"):
+        spec_builder = lambda: builder(input_shape=(3, 32, 32), seed=args.seed)  # noqa: E731
+    else:
+        spec_builder = lambda: builder(seed=args.seed)  # noqa: E731
+    spec = ExperimentSpec(
+        train_set=train,
+        test_set=test,
+        model_builder=spec_builder,
+        num_gpus=args.gpus,
+        config=TrainerConfig(
+            batch_size=args.batch_size, lr=args.lr, rho=args.rho, seed=args.seed
+        ),
+        cost_model=cost,
+    ).normalize()
+
+    if args.target is not None:
+        result = run_method(spec, args.method, target_accuracy=args.target,
+                            max_iterations=args.iterations)
+    else:
+        result = run_method(spec, args.method, iterations=args.iterations)
+
+    print(f"method          : {result.method}")
+    print(f"iterations      : {result.iterations}")
+    print(f"simulated time  : {result.sim_time:.3f} s")
+    print(f"final accuracy  : {result.final_accuracy:.3f}")
+    if result.reached_target is not None:
+        print(f"reached target  : {result.reached_target}")
+    print(f"comm ratio      : {result.breakdown.comm_ratio * 100:.0f}%")
+    print()
+    print(render_table3([breakdown_row(result)]))
+    if args.json:
+        results_to_json([result], args.json)
+        print(f"\ntrajectory written to {args.json}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.id == "1":
+        print(render_table1())
+    elif args.id == "2":
+        print(render_table2())
+    else:
+        from repro.nn.spec import GOOGLENET, VGG19
+        from repro.scaling import weak_scaling_sweep
+        from repro.scaling.baselines import our_implementation
+
+        sweeps = {s.name: weak_scaling_sweep(our_implementation(s)) for s in (GOOGLENET, VGG19)}
+        print(render_table4(sweeps, {"GoogleNet": "300 Iters Time", "VGG-19": "80 Iters Time"}))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "table":
+            return _cmd_table(args)
+    except BrokenPipeError:  # e.g. `repro list | head` — not an error
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""The standard experiment runner: one spec, many methods, fair comparison.
+
+The paper's protocol (Section 2.4): "All algorithmic comparisons used the
+same hardware and the same hyper-parameters." An :class:`ExperimentSpec`
+pins dataset, model builder, platform shape, hyperparameters, and the cost
+model once; ``run_method(s)`` then instantiates each trainer from the same
+frozen ingredients so no method sees different data or constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.algorithms.base import RunResult, TrainerConfig
+from repro.algorithms.registry import make_trainer
+from repro.cluster.cost import CostModel
+from repro.cluster.platform import GpuPlatform
+from repro.data.dataset import Dataset
+from repro.data.normalize import standardize, standardize_like
+from repro.nn.network import Network
+
+__all__ = ["ExperimentSpec", "run_method", "run_methods"]
+
+
+@dataclass
+class ExperimentSpec:
+    """Everything an algorithm comparison holds fixed."""
+
+    train_set: Dataset
+    test_set: Dataset
+    model_builder: Callable[[], Network]  # fresh identical model per method
+    num_gpus: int = 4
+    config: TrainerConfig = field(default_factory=TrainerConfig)
+    cost_model: Optional[CostModel] = None  # None -> self-consistent costing
+    jitter_sigma: float = 0.08
+    normalized: bool = False
+
+    def normalize(self) -> "ExperimentSpec":
+        """Apply Algorithm 1 line 1 once (idempotent): train-set statistics."""
+        if not self.normalized:
+            mean, std = standardize(self.train_set)
+            standardize_like(self.test_set, mean, std)
+            self.normalized = True
+        return self
+
+    def make_platform(self) -> GpuPlatform:
+        """A fresh platform so per-worker jitter streams restart identically."""
+        return GpuPlatform(
+            num_gpus=self.num_gpus,
+            jitter_sigma=self.jitter_sigma,
+            seed=self.config.seed,
+        )
+
+
+def run_method(
+    spec: ExperimentSpec,
+    method: str,
+    iterations: Optional[int] = None,
+    target_accuracy: Optional[float] = None,
+    max_iterations: int = 20_000,
+    **trainer_kwargs,
+) -> RunResult:
+    """Run one registered method under the spec.
+
+    Exactly one of ``iterations`` (fixed-length run) or ``target_accuracy``
+    (Table 3 protocol: run until the target, report truncated time) must be
+    given.
+    """
+    if (iterations is None) == (target_accuracy is None):
+        raise ValueError("pass exactly one of iterations / target_accuracy")
+    trainer = make_trainer(
+        method,
+        spec.model_builder(),
+        spec.train_set,
+        spec.test_set,
+        spec.make_platform(),
+        spec.config,
+        spec.cost_model,
+        **trainer_kwargs,
+    )
+    if iterations is not None:
+        return trainer.train(iterations)
+    return trainer.train_to_accuracy(target_accuracy, max_iterations)
+
+
+def run_methods(
+    spec: ExperimentSpec,
+    methods: Iterable[str],
+    iterations: Optional[int] = None,
+    target_accuracy: Optional[float] = None,
+    max_iterations: int = 20_000,
+) -> Dict[str, RunResult]:
+    """Run several methods under identical conditions; keyed by method name."""
+    return {
+        m: run_method(spec, m, iterations, target_accuracy, max_iterations)
+        for m in methods
+    }

@@ -1,0 +1,61 @@
+"""Terminal plots: render accuracy-vs-time series as ASCII line charts.
+
+The paper's Figures 6/8/10/13 are line plots; without a display stack the
+benchmark output renders them as monospace charts so the crossovers are
+visible directly in the pytest ``-s`` stream and in logged output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "time",
+    y_label: str = "value",
+) -> str:
+    """Render ``{name: (xs, ys)}`` as a monospace chart with a legend.
+
+    Points are nearest-neighbour binned onto a ``width x height`` grid;
+    later series overwrite earlier ones where they collide (collisions are
+    rare at these sizes and the legend disambiguates).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("plot must be at least 16x4")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+
+    all_x = np.concatenate([np.asarray(xs, dtype=float) for xs, _ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, dtype=float) for _, ys in series.values()])
+    if all_x.size == 0:
+        raise ValueError("series are empty")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for marker, (name, (xs, ys)) in zip(_MARKERS, series.items()):
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(xs, ys):
+            col = int(round((float(x) - x_lo) / x_span * (width - 1)))
+            row = int(round((float(y) - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = [f"{y_label} [{y_lo:.3g} .. {y_hi:.3g}]"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_lo:.3g} .. {x_hi:.3g}]    " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Serialization of run results for downstream analysis/plotting.
+
+``RunResult`` objects flatten to plain dicts (JSON-safe) so sweeps can be
+archived and compared across code versions; the schema is stable and
+versioned.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.algorithms.base import RunResult
+
+__all__ = ["SCHEMA_VERSION", "result_to_dict", "results_to_json", "results_from_json"]
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Flatten one run to a JSON-safe dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "method": result.method,
+        "iterations": result.iterations,
+        "sim_time": result.sim_time,
+        "final_accuracy": result.final_accuracy,
+        "reached_target": result.reached_target,
+        "comm_ratio": result.breakdown.comm_ratio,
+        "breakdown": dict(result.breakdown.parts),
+        "extras": dict(result.extras),
+        "records": [
+            {
+                "iteration": r.iteration,
+                "sim_time": r.sim_time,
+                "train_loss": r.train_loss,
+                "test_accuracy": r.test_accuracy,
+            }
+            for r in result.records
+        ],
+    }
+
+
+def results_to_json(
+    results: Iterable[RunResult], path: Union[str, Path, None] = None
+) -> str:
+    """Serialize runs to a JSON document; optionally write it to ``path``."""
+    payload = json.dumps([result_to_dict(r) for r in results], indent=2)
+    if path is not None:
+        Path(path).write_text(payload)
+    return payload
+
+
+def results_from_json(source: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load archived runs (as dicts) from a JSON file or document string."""
+    text = source
+    if isinstance(source, Path):
+        text = source.read_text()
+    elif isinstance(source, str):
+        try:
+            if Path(source).is_file():
+                text = Path(source).read_text()
+        except OSError:  # the string is a JSON document, not a path
+            pass
+    data = json.loads(text)
+    if not isinstance(data, list):
+        raise ValueError("expected a JSON list of run records")
+    for entry in data:
+        if entry.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported schema {entry.get('schema')!r}; expected {SCHEMA_VERSION}"
+            )
+    return data

@@ -1,0 +1,92 @@
+"""Hyperparameter sweeps — the workload the paper's introduction motivates.
+
+"Deep learning researchers often need to tune many hyperparameters, which
+is extremely time-consuming" (Section 1) — that is exactly why the
+Θ(log P) Sync EASGD matters. This module runs a grid of (lr, rho, ...)
+configurations through one method under the fair-comparison protocol and
+ranks the outcomes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import RunResult, TrainerConfig
+from repro.harness.experiment import ExperimentSpec, run_method
+
+__all__ = ["SweepPoint", "grid_sweep", "best_point"]
+
+
+@dataclass
+class SweepPoint:
+    """One grid cell's configuration and outcome."""
+
+    params: Dict[str, float]
+    result: RunResult
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.result.final_accuracy
+
+    def time_to(self, target: float) -> Optional[float]:
+        return self.result.time_to_accuracy(target)
+
+
+def grid_sweep(
+    spec: ExperimentSpec,
+    method: str,
+    grid: Dict[str, Sequence[float]],
+    iterations: int,
+) -> List[SweepPoint]:
+    """Run ``method`` at every point of the cartesian ``grid``.
+
+    ``grid`` keys must be :class:`TrainerConfig` fields (``lr``, ``rho``,
+    ``mu``, ``batch_size``, ...). Each point gets a fresh model and
+    platform (identical seeds), so only the swept values differ.
+    """
+    if not grid:
+        raise ValueError("grid must contain at least one axis")
+    for key in grid:
+        if not hasattr(spec.config, key):
+            raise KeyError(f"unknown TrainerConfig field {key!r}")
+    if any(len(values) == 0 for values in grid.values()):
+        raise ValueError("every grid axis needs at least one value")
+
+    keys = sorted(grid)
+    points: List[SweepPoint] = []
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, combo))
+        swept = ExperimentSpec(
+            train_set=spec.train_set,
+            test_set=spec.test_set,
+            model_builder=spec.model_builder,
+            num_gpus=spec.num_gpus,
+            config=replace(spec.config, **params),
+            cost_model=spec.cost_model,
+            jitter_sigma=spec.jitter_sigma,
+            normalized=True,  # shares the (already normalized) arrays
+        )
+        result = run_method(swept, method, iterations=iterations)
+        points.append(SweepPoint(params=params, result=result))
+    return points
+
+
+def best_point(
+    points: Sequence[SweepPoint], target: Optional[float] = None
+) -> SweepPoint:
+    """Pick the winner: fastest to ``target``, or highest final accuracy.
+
+    Points that never reach the target are ranked after all that do.
+    """
+    if not points:
+        raise ValueError("no sweep points")
+    if target is None:
+        return max(points, key=lambda p: p.final_accuracy)
+
+    def key(p: SweepPoint) -> Tuple[int, float]:
+        t = p.time_to(target)
+        return (0, t) if t is not None else (1, -p.final_accuracy)
+
+    return min(points, key=key)

@@ -1,0 +1,82 @@
+"""Renderers for the paper's Tables 1, 2, and 4.
+
+Table 3's renderer lives in :mod:`repro.harness.breakdown` (it needs run
+results); these three are driven by static substrate data plus the
+weak-scaling models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.comm.alphabeta import TABLE2_NETWORKS, LinkModel
+from repro.data.synthetic import DATASET_GEOMETRY
+from repro.scaling.weak_scaling import ScalingPoint, WeakScalingModel
+from repro.util.tables import TextTable
+
+__all__ = ["render_table1", "render_table2", "render_table4"]
+
+
+def render_table1() -> str:
+    """Table 1: the test datasets (geometry as the paper lists them)."""
+    table = TextTable(["Dataset", "Training Images", "Test Images", "Pixels", "Classes"])
+    pixel_text = {
+        "mnist": "28x28",
+        "cifar": "3x32x32",
+        "imagenet": "256x256",
+    }
+    for name, geo in DATASET_GEOMETRY.items():
+        table.add_row(
+            [
+                name,
+                f"{geo['train']:,}",
+                f"{geo['test']:,}",
+                pixel_text[name],
+                geo["classes"],
+            ]
+        )
+    return table.render()
+
+
+def render_table2(networks: Sequence[LinkModel] = TABLE2_NETWORKS) -> str:
+    """Table 2: InfiniBand performance under the alpha-beta model."""
+    table = TextTable(["Network", "alpha (latency)", "beta (1/bandwidth)"])
+    for link in networks:
+        table.add_row(
+            [
+                link.name,
+                f"{link.alpha * 1e6:.1f} x 10^-6 s",
+                f"{link.beta * 1e9:.1f} x 10^-9 s",
+            ]
+        )
+    return table.render()
+
+
+def render_table4(
+    sweeps: Dict[str, List[ScalingPoint]], iteration_labels: Dict[str, str]
+) -> str:
+    """Table 4: weak-scaling time and efficiency rows.
+
+    ``sweeps`` maps a row label (e.g. ``"GoogleNet"``) to its sweep points;
+    ``iteration_labels`` maps the same label to the budget text
+    (e.g. ``"300 Iters Time"``).
+    """
+    if not sweeps:
+        raise ValueError("need at least one sweep")
+    core_headers = None
+    for points in sweeps.values():
+        cores = [p.cores for p in points]
+        if core_headers is None:
+            core_headers = cores
+        elif cores != core_headers:
+            raise ValueError("all sweeps must cover the same node counts")
+    table = TextTable(["Models"] + [f"{c} cores" for c in core_headers])
+    for label, points in sweeps.items():
+        table.add_row(
+            [f"{label} ({iteration_labels[label]})"]
+            + [f"{p.total_seconds:.0f}s" for p in points]
+        )
+        table.add_row(
+            [f"{label} (Efficiency)"] + [f"{p.efficiency * 100:.1f}%" for p in points]
+        )
+    return table.render()

@@ -1,0 +1,14 @@
+"""Real shared-memory Hogwild (substrate S7).
+
+The DES trainers in :mod:`repro.algorithms.async_ps` *model* lock-free
+master service; this package *implements* it with actual Python threads
+updating one shared NumPy weight vector (NumPy ufuncs release the GIL, so
+updates genuinely interleave). Used to demonstrate that the lock-free
+Hogwild EASGD update rule converges on real concurrent hardware, per the
+paper's convergence claim (Section 5.1 and the proof appendix).
+"""
+
+from repro.hogwild.shared import SharedWeights
+from repro.hogwild.threads import HogwildRunner, HogwildResult
+
+__all__ = ["SharedWeights", "HogwildRunner", "HogwildResult"]

@@ -1,0 +1,59 @@
+"""The shared master weight store with optional locking.
+
+``use_lock=True`` reproduces the classic parameter-server master (one
+update at a time — Async SGD/EASGD semantics); ``use_lock=False`` is
+Hogwild: concurrent in-place ``+=`` on the same buffer, racy at element
+granularity and intentionally so.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+
+import numpy as np
+
+from repro.optim.easgd import EASGDHyper
+
+__all__ = ["SharedWeights"]
+
+
+class SharedWeights:
+    """A flat float32 weight vector shared by worker threads."""
+
+    def __init__(self, init: np.ndarray, use_lock: bool) -> None:
+        self._weights = np.array(init, dtype=np.float32, copy=True)
+        self.use_lock = use_lock
+        self._lock = threading.Lock()
+        self.update_count = 0  # approximate under races; exact with the lock
+
+    def _guard(self):
+        return self._lock if self.use_lock else nullcontext()
+
+    @property
+    def size(self) -> int:
+        return int(self._weights.size)
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the current weights (may be mid-update when lock-free)."""
+        with self._guard():
+            return self._weights.copy()
+
+    def sgd_update(self, grad: np.ndarray) -> None:
+        """Hogwild/Async SGD master step: ``W -= grad_step`` in place."""
+        with self._guard():
+            self._weights -= grad
+            self.update_count += 1
+
+    def elastic_interaction(self, worker_weights: np.ndarray, hyper: EASGDHyper) -> np.ndarray:
+        """One EASGD master exchange: fold the worker in (Eq 2, single term)
+        and return the center the worker should elastic-pull toward.
+
+        Lock-free mode reads and writes without exclusion — the Hogwild
+        EASGD setting whose safety the paper proves for the convex case.
+        """
+        with self._guard():
+            returned = self._weights.copy()
+            self._weights += hyper.alpha * (worker_weights - self._weights)
+            self.update_count += 1
+        return returned

@@ -1,0 +1,18 @@
+"""Knights Landing substrate: chip model, NUMA-style partitioning (Section
+6.2, Figure 12), and the communication-efficient EASGD trainer for KNL
+clusters (Algorithm 4)."""
+
+from repro.knl.chip import KnlChip, ClusterMode, McdramMode, KNL_7250_CHIP
+from repro.knl.partition import PartitionPlan, plan_partition, ChipPartitionTrainer
+from repro.knl.trainer import KnlSyncEASGDTrainer
+
+__all__ = [
+    "KnlChip",
+    "ClusterMode",
+    "McdramMode",
+    "KNL_7250_CHIP",
+    "PartitionPlan",
+    "plan_partition",
+    "ChipPartitionTrainer",
+    "KnlSyncEASGDTrainer",
+]

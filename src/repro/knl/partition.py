@@ -1,0 +1,203 @@
+"""KNL chip partitioning (Section 6.2, Figure 12).
+
+The optimization: partition the 68-core chip into P SNC-style groups, give
+every group its own *copy* of the data and its own weight replica, let the
+groups compute gradients independently, and tree-reduce the gradient sum
+across groups each iteration (divide-and-conquer). Two effects drive the
+3.3x speedup:
+
+1. Smaller synchronization domains: a 4-17 core group runs its kernels at
+   much better parallel efficiency than one 68-core OpenMP region, and its
+   slice of the batch streams through NUMA-local MCDRAM (SNC-4-style
+   pinning) instead of bouncing across all tag directories.
+2. The conquer step (tree-reducing P partial gradients) is cheap as long
+   as all P weight/data copies stay in MCDRAM.
+
+Each group computes the gradient of its ``b/P`` slice of the global batch;
+the tree-reduced sum is *exactly* the batch-b gradient, so partitioning
+changes the clock, not the optimization trajectory — the paper's "same
+accuracy (0.625)" comparison is then purely a time ratio.
+
+The gate: all P copies of (weights + data) must fit in 16 GB MCDRAM, or the
+working set spills to DDR4 bandwidth. AlexNet (249 MB) + one CIFAR copy
+(687 MB) fits 16 copies, not 32 — the paper's "P <= 16" limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    BaseTrainer,
+    RunResult,
+    TimeBreakdown,
+    TrainRecord,
+    TrainerConfig,
+)
+from repro.cluster.cost import CostModel
+from repro.comm.collectives import tree_reduce, tree_rounds
+from repro.data.dataset import Dataset
+from repro.knl.chip import KnlChip, KNL_7250_CHIP
+from repro.nn.network import Network
+
+__all__ = ["PartitionPlan", "plan_partition", "ChipPartitionTrainer"]
+
+#: One CIFAR-10 copy as the paper counts it ("one Cifar data copy is 687 MB").
+CIFAR_COPY_BYTES = int(687e6)
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The placement decision for P groups on one chip."""
+
+    parts: int
+    cores_per_group: float
+    copy_bytes: int  # one replica: weights + data copy
+    total_bytes: int  # P * copy_bytes
+    in_mcdram: bool
+    bandwidth: float  # bytes/s the working set sees
+
+    @property
+    def memory_name(self) -> str:
+        return "MCDRAM" if self.in_mcdram else "DDR4"
+
+
+def plan_partition(
+    parts: int,
+    weight_bytes: int,
+    data_bytes: int,
+    chip: KnlChip = KNL_7250_CHIP,
+) -> PartitionPlan:
+    """Decide where P replicas of (weights + data) live on the chip."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if parts > chip.cores:
+        raise ValueError(f"cannot make {parts} groups on a {chip.cores}-core chip")
+    if weight_bytes <= 0 or data_bytes <= 0:
+        raise ValueError("weight and data sizes must be positive")
+    copy = weight_bytes + data_bytes
+    total = parts * copy
+    if total > chip.ddr4_bytes:
+        raise ValueError(
+            f"{parts} copies ({total / 1e9:.1f} GB) exceed even DDR4 capacity"
+        )
+    in_mcdram = chip.fits_in_mcdram(total)
+    return PartitionPlan(
+        parts=parts,
+        cores_per_group=chip.cores / parts,
+        copy_bytes=copy,
+        total_bytes=total,
+        in_mcdram=in_mcdram,
+        bandwidth=chip.working_set_bandwidth(total),
+    )
+
+
+class ChipPartitionTrainer(BaseTrainer):
+    """Real-numerics trainer for the Figure 12 experiment.
+
+    P groups each compute the gradient of their ``b/P`` slice of the global
+    batch; per round the slice gradients are tree-reduced and every group
+    applies the same batch-b update (divide and conquer). The clock charges
+    each group's compute at the partition's parallel efficiency and the
+    reduction/update at the working set's memory bandwidth (MCDRAM while
+    the P copies fit, DDR4 after the spill).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        train_set: Dataset,
+        test_set: Dataset,
+        config: TrainerConfig,
+        parts: int,
+        chip: KnlChip = KNL_7250_CHIP,
+        cost_model: Optional[CostModel] = None,
+        data_bytes: Optional[int] = None,
+        kernel_efficiency: float = 0.25,
+    ) -> None:
+        super().__init__(network, train_set, test_set, config, cost_model)
+        self.chip = chip
+        self.parts = parts
+        self.kernel_efficiency = kernel_efficiency
+        if config.batch_size % parts != 0:
+            raise ValueError(
+                f"batch_size {config.batch_size} must divide evenly into "
+                f"{parts} groups"
+            )
+        self.group_batch = config.batch_size // parts
+        self.plan = plan_partition(
+            parts,
+            weight_bytes=self.cost.weight_bytes,
+            data_bytes=data_bytes if data_bytes is not None else train_set.nbytes,
+            chip=chip,
+        )
+        self.name = f"KNL {parts}-part"
+
+    def _iter_time(self) -> float:
+        """Simulated seconds per round (all groups in parallel + reduction)."""
+        group_rate = self.chip.group_flops(self.parts, self.kernel_efficiency)
+        compute = self.cost.fwdbwd_flops(self.group_batch) / group_rate
+        # Conquer step: tree-reduce the packed gradient across groups, then
+        # every group streams one update pass — all at working-set bandwidth.
+        hops = tree_rounds(self.parts)
+        reduce_time = hops * (2 * self.cost.weight_bytes / self.plan.bandwidth)
+        update_time = 3 * self.cost.weight_bytes / self.plan.bandwidth
+        return compute + reduce_time + update_time
+
+    def train(self, iterations: int) -> RunResult:
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        cfg = self.config
+        p = self.parts
+
+        weights = self.net.get_params()
+        # One global batch per round, divided into P equal slices — the
+        # partitioning must be invisible to the optimization trajectory.
+        sampler = self.make_sampler("global-batch")
+        iter_time = self._iter_time()
+
+        breakdown = TimeBreakdown()
+        records: List[TrainRecord] = []
+        sim_time = 0.0
+        last_loss = float("nan")
+
+        self.net.set_params(weights)
+        for t in range(1, iterations + 1):
+            images, labels = sampler.next_batch()
+            grads: List[np.ndarray] = []
+            losses = []
+            for j in range(p):
+                lo, hi = j * self.group_batch, (j + 1) * self.group_batch
+                losses.append(self.net.gradient(images[lo:hi], labels[lo:hi], self.loss))
+                grads.append(self.net.grads.copy())
+            last_loss = float(np.mean(losses))
+            weights -= cfg.lr * (tree_reduce(grads) / p)
+            self.net.set_params(weights)
+
+            sim_time += iter_time
+            breakdown.add("for/backward", iter_time)  # single-chip: no links
+
+            if t % cfg.eval_every == 0 or t == iterations:
+                acc = self.evaluate_params(weights)
+                records.append(TrainRecord(t, sim_time, last_loss, acc))
+                if self.should_stop(acc):
+                    break
+
+        final_acc = records[-1].test_accuracy if records else 0.0
+        return RunResult(
+            method=self.name,
+            records=records,
+            breakdown=breakdown,
+            iterations=records[-1].iteration if records else 0,
+            sim_time=sim_time,
+            final_accuracy=final_acc,
+            extras={
+                "parts": float(p),
+                "in_mcdram": float(self.plan.in_mcdram),
+                "bandwidth": self.plan.bandwidth,
+                "iter_time": iter_time,
+            },
+        )

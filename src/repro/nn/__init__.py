@@ -1,0 +1,65 @@
+"""From-scratch NumPy deep-learning framework (substrate S1).
+
+The paper's single-node engine is Caffe/cuDNN; here forward/backward
+propagation, weight update, and the packed contiguous parameter layout of
+Section 5.2 are implemented directly on NumPy arrays. The key structural
+feature is :class:`repro.nn.network.Network`: all layer parameters live as
+views into one flat float32 buffer, so "single-layer communication" (one
+message carrying every layer) is the natural representation and the
+per-layer ("unpacked") scheme of Figure 10 is derived from the recorded
+segment table.
+"""
+
+from repro.nn.layers import Layer, Dense, Conv2D, MaxPool2D, AvgPool2D, Flatten
+from repro.nn.activations import ReLU, Tanh, Sigmoid
+from repro.nn.regularization import Dropout, BatchNorm, LocalResponseNorm
+from repro.nn.losses import SoftmaxCrossEntropy, MeanSquaredError
+from repro.nn.network import Network, ParamSegment
+from repro.nn.models import (
+    build_lenet,
+    build_mlp,
+    build_alexnet_mini,
+    build_vgg_mini,
+    build_googlenet_mini,
+    build_resnet_mini,
+    InceptionBlock,
+    ResidualBlock,
+)
+from repro.nn.spec import ModelSpec, LayerSpec, LENET, ALEXNET, VGG19, GOOGLENET
+from repro.nn.serialize import save_checkpoint, load_checkpoint, structure_fingerprint
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Flatten",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "BatchNorm",
+    "LocalResponseNorm",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "Network",
+    "ParamSegment",
+    "build_lenet",
+    "build_mlp",
+    "build_alexnet_mini",
+    "build_vgg_mini",
+    "build_googlenet_mini",
+    "build_resnet_mini",
+    "InceptionBlock",
+    "ResidualBlock",
+    "ModelSpec",
+    "LayerSpec",
+    "LENET",
+    "ALEXNET",
+    "VGG19",
+    "GOOGLENET",
+    "save_checkpoint",
+    "load_checkpoint",
+    "structure_fingerprint",
+]

@@ -1,0 +1,70 @@
+"""Elementwise nonlinearities (Section 2.2 lists Tanh, Sigmoid, ReLU)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["ReLU", "Tanh", "Sigmoid"]
+
+
+class ReLU(Layer):
+    """Rectified linear unit: ``max(x, 0)``."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+            return x * self._mask
+        return np.maximum(x, 0)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called without a training-mode forward")
+        return dy * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        y = np.tanh(x)
+        self._y = y if training else None
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called without a training-mode forward")
+        return dy * (1.0 - self._y * self._y)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid, computed stably for both signs of x."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        y = np.empty_like(x)
+        pos = x >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        y[~pos] = ex / (1.0 + ex)
+        self._y = y if training else None
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called without a training-mode forward")
+        return dy * self._y * (1.0 - self._y)

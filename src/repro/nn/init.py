@@ -1,0 +1,41 @@
+"""Weight initialization (Algorithm 1, line 2: "random and Xavier weight filling")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "he_normal", "zeros", "INITIALIZERS"]
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform filling: U(-a, a), a = sqrt(6 / (fan_in + fan_out))."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def he_normal(rng: np.random.Generator, shape: tuple, fan_in: int, fan_out: int) -> np.ndarray:
+    """He/Kaiming normal filling: N(0, sqrt(2 / fan_in)) — suited to ReLU nets."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    std = np.sqrt(2.0 / fan_in)
+    return (std * rng.standard_normal(shape)).astype(np.float32)
+
+
+def zeros(rng: np.random.Generator, shape: tuple, fan_in: int, fan_out: int) -> np.ndarray:
+    """All-zeros filling (biases, batch-norm shift)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(rng: np.random.Generator, shape: tuple, fan_in: int, fan_out: int) -> np.ndarray:
+    """All-ones filling (batch-norm scale)."""
+    return np.ones(shape, dtype=np.float32)
+
+
+INITIALIZERS = {
+    "xavier": xavier_uniform,
+    "he": he_normal,
+    "zeros": zeros,
+    "ones": ones,
+}

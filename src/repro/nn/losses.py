@@ -1,0 +1,67 @@
+"""Loss functions producing both the scalar loss and the output gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SoftmaxCrossEntropy", "MeanSquaredError"]
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy with integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns
+    ``(softmax(x) - onehot(y)) / N`` — the fused form avoids forming the
+    Jacobian and is numerically stable (log-sum-exp shift).
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, classes), got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError("labels must be (N,) ints matching logits batch")
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._probs = probs
+        self._labels = labels
+        n = logits.shape[0]
+        picked = probs[np.arange(n), labels]
+        return float(-np.log(np.maximum(picked, 1e-12)).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        return grad / n
+
+    @staticmethod
+    def predict(logits: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax); softmax is monotone so skip it."""
+        return logits.argmax(axis=1)
+
+
+class MeanSquaredError:
+    """Mean squared error against dense targets (used in unit tests)."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        if outputs.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: outputs {outputs.shape} vs targets {targets.shape}"
+            )
+        self._diff = outputs - targets
+        return float((self._diff**2).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size

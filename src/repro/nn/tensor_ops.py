@@ -1,0 +1,88 @@
+"""Low-level tensor transforms: im2col / col2im.
+
+Convolution is implemented as a single large matrix multiply over an
+im2col-unfolded input — the standard GEMM formulation the paper's substrate
+(cuDNN/MKL) uses, and the vectorization idiom the HPC guides call for
+(one big BLAS call instead of Python-level loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, field: int, stride: int, pad: int) -> int:
+    """Spatial output size of a conv/pool window sweep."""
+    out = (size + 2 * pad - field) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size: input={size}, field={field}, "
+            f"stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, field_h: int, field_w: int, stride: int, pad: int
+) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into ``(N * out_h * out_w, C * field_h * field_w)``.
+
+    Built with ``stride_tricks.sliding_window_view`` so the unfolding itself
+    is a zero-copy view; only the final reshape materializes memory.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, field_h, stride, pad)
+    out_w = conv_output_size(w, field_w, stride, pad)
+
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+    # windows: (N, C, H', W', field_h, field_w) where H'/W' enumerate window
+    # origins at stride 1; then subsample by stride.
+    windows = np.lib.stride_tricks.sliding_window_view(x, (field_h, field_w), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    assert windows.shape[2] == out_h and windows.shape[3] == out_w
+
+    # reorder to (N, out_h, out_w, C, field_h, field_w) then flatten.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * field_h * field_w
+    )
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple,
+    field_h: int,
+    field_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into an image.
+
+    ``cols`` has shape ``(N * out_h * out_w, C * field_h * field_w)``;
+    returns an array of ``x_shape``. Overlapping windows accumulate, which is
+    exactly the gradient of the unfolding.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, field_h, stride, pad)
+    out_w = conv_output_size(w, field_w, stride, pad)
+
+    cols6 = cols.reshape(n, out_h, out_w, c, field_h, field_w).transpose(
+        0, 3, 1, 2, 4, 5
+    )  # (N, C, out_h, out_w, fh, fw)
+
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    # Scatter-add each in-window offset as one vectorized strided assignment:
+    # field_h * field_w iterations instead of N * out_h * out_w.
+    for i in range(field_h):
+        i_max = i + stride * out_h
+        for j in range(field_w):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, :, :, i, j]
+
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded

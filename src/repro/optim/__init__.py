@@ -1,0 +1,28 @@
+"""Update rules: plain SGD, momentum SGD, and the EASGD family (Eqs 1-6)."""
+
+from repro.optim.sgd import SGDRule, MomentumRule
+from repro.optim.easgd import (
+    elastic_worker_update,
+    elastic_center_update,
+    elastic_center_update_single,
+    elastic_momentum_worker_update,
+    EASGDHyper,
+)
+from repro.optim.schedules import ConstantLR, StepDecayLR, InverseScalingLR
+from repro.optim.quantize import quantize_gradient
+from repro.optim.clip import clip_gradient_norm
+
+__all__ = [
+    "SGDRule",
+    "MomentumRule",
+    "elastic_worker_update",
+    "elastic_center_update",
+    "elastic_center_update_single",
+    "elastic_momentum_worker_update",
+    "EASGDHyper",
+    "ConstantLR",
+    "StepDecayLR",
+    "InverseScalingLR",
+    "quantize_gradient",
+    "clip_gradient_norm",
+]

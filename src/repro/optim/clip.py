@@ -1,0 +1,25 @@
+"""Gradient clipping by global norm.
+
+Large-batch and momentum runs occasionally spike (the Async MSGD
+instability of Figure 6.2); clipping bounds the update without changing
+its direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["clip_gradient_norm"]
+
+
+def clip_gradient_norm(grads: np.ndarray, max_norm: float) -> float:
+    """Scale ``grads`` in place so its L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for monitoring).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = float(np.linalg.norm(grads))
+    if norm > max_norm:
+        grads *= max_norm / norm
+    return norm

@@ -1,0 +1,54 @@
+"""Learning-rate schedules.
+
+Section 7.2 notes that batch size, learning rate, and momentum must be tuned
+together; the harness exposes schedules so sweeps can do that. All schedules
+are callables ``iteration -> lr``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ConstantLR", "StepDecayLR", "InverseScalingLR"]
+
+
+class ConstantLR:
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def __call__(self, iteration: int) -> float:
+        return self.lr
+
+
+class StepDecayLR:
+    """Multiply the rate by ``gamma`` every ``step_size`` iterations."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.1) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.lr = lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def __call__(self, iteration: int) -> float:
+        return self.lr * self.gamma ** (iteration // self.step_size)
+
+
+class InverseScalingLR:
+    """Caffe's ``inv`` policy: ``lr * (1 + gamma * iter)^(-power)``."""
+
+    def __init__(self, lr: float, gamma: float = 1e-4, power: float = 0.75) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.gamma = gamma
+        self.power = power
+
+    def __call__(self, iteration: int) -> float:
+        return self.lr * (1.0 + self.gamma * iteration) ** (-self.power)

@@ -1,0 +1,23 @@
+"""Weak-scaling study (Section 7.1, Table 4, Figure 13) and the
+Intel-Caffe-like behavioural baseline."""
+
+from repro.scaling.weak_scaling import (
+    WeakScalingModel,
+    ScalingPoint,
+    weak_scaling_sweep,
+    CORES_PER_NODE,
+)
+from repro.scaling.baselines import our_implementation, intel_caffe_like
+from repro.scaling.batch_size import blas_efficiency, BatchPoint, batch_size_study
+
+__all__ = [
+    "WeakScalingModel",
+    "ScalingPoint",
+    "weak_scaling_sweep",
+    "CORES_PER_NODE",
+    "our_implementation",
+    "intel_caffe_like",
+    "blas_efficiency",
+    "BatchPoint",
+    "batch_size_study",
+]

@@ -1,0 +1,129 @@
+"""The impact of batch size (Section 7.2).
+
+The paper's discussion: for small batches (32..1024), increasing the batch
+speeds up DNN training "because larger batch size makes BLAS functions run
+more efficiently"; beyond a threshold (~4096) it slows down because sharp
+minima demand more epochs (Keskar et al.). Both effects are modeled /
+measured here:
+
+- **BLAS efficiency** is an analytic saturation curve: GEMMs on b-row
+  matrices reach a fraction ``b / (b + b_half)`` of the device's large-
+  batch throughput (calibration constant ``b_half``).
+- **Epoch demand** is *measured*: real training of a mini network at each
+  batch size until a target accuracy, counting samples consumed.
+
+Time-to-accuracy = samples x seconds-per-sample(batch), which is U-shaped
+in the batch size exactly as Section 7.2 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.cluster.cost import CostModel
+from repro.cluster.devices import DeviceModel, K80_HALF
+from repro.data.dataset import Dataset
+from repro.data.loader import BatchSampler
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.network import Network
+
+__all__ = ["blas_efficiency", "BatchPoint", "batch_size_study"]
+
+
+def blas_efficiency(batch_size: int, b_half: int = 64) -> float:
+    """Fraction of large-batch GEMM throughput achieved at ``batch_size``.
+
+    Saturating curve ``b / (b + b_half)``: at b = b_half the device runs at
+    half its asymptotic rate; tiny batches are launch/latency bound.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if b_half <= 0:
+        raise ValueError("b_half must be positive")
+    return batch_size / (batch_size + b_half)
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One batch size's measured outcome."""
+
+    batch_size: int
+    iterations: int
+    samples: int
+    reached: bool
+    seconds_per_sample: float
+
+    @property
+    def sim_time(self) -> float:
+        """Time-to-accuracy under the batch-dependent throughput model."""
+        return self.samples * self.seconds_per_sample
+
+
+def batch_size_study(
+    model_builder: Callable[[], Network],
+    train_set: Dataset,
+    test_set: Dataset,
+    batch_sizes: Sequence[int],
+    target_accuracy: float,
+    lr_scale: Callable[[int], float],
+    cost_model: Optional[CostModel] = None,
+    device: DeviceModel = K80_HALF,
+    b_half: int = 64,
+    max_samples: int = 2_000_000,
+    eval_every_samples: int = 8_192,
+    eval_samples: int = 512,
+    seed: int = 0,
+) -> List[BatchPoint]:
+    """Measure samples-to-accuracy per batch size; model seconds/sample.
+
+    ``lr_scale(batch)`` supplies the learning rate per batch size — the
+    paper notes users "need to change learning rate and momentum at the
+    same time" when scaling the batch (linear scaling is the usual rule).
+    """
+    if not batch_sizes:
+        raise ValueError("need at least one batch size")
+    if not 0.0 < target_accuracy <= 1.0:
+        raise ValueError("target_accuracy must be in (0, 1]")
+
+    points: List[BatchPoint] = []
+    loss = SoftmaxCrossEntropy()
+    n_eval = min(eval_samples, len(test_set))
+    eval_x = test_set.images[:n_eval]
+    eval_y = test_set.labels[:n_eval]
+
+    for b in batch_sizes:
+        net = model_builder()
+        sampler = BatchSampler(train_set, b, seed, name=("batch-study", b))
+        lr = lr_scale(b)
+        samples = 0
+        iterations = 0
+        reached = False
+        next_eval = eval_every_samples
+        while samples < max_samples:
+            images, labels = sampler.next_batch()
+            net.gradient(images, labels, loss)
+            net.params -= lr * net.grads
+            samples += b
+            iterations += 1
+            if samples >= next_eval:
+                next_eval += eval_every_samples
+                if net.evaluate(eval_x, eval_y) >= target_accuracy:
+                    reached = True
+                    break
+
+        cost = cost_model or CostModel.from_network(net)
+        per_sample_flops = (cost.fwdbwd_flops(b) / b)
+        seconds_per_sample = per_sample_flops / (
+            device.effective_flops * blas_efficiency(b, b_half)
+        )
+        points.append(
+            BatchPoint(
+                batch_size=b,
+                iterations=iterations,
+                samples=samples,
+                reached=reached,
+                seconds_per_sample=seconds_per_sample,
+            )
+        )
+    return points

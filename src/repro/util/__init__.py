@@ -1,0 +1,15 @@
+"""Small shared utilities: seeded RNG streams, human formatting, text tables."""
+
+from repro.util.rng import RngStream, spawn_rng, derive_seed
+from repro.util.format import format_bytes, format_seconds, format_percent
+from repro.util.tables import TextTable
+
+__all__ = [
+    "RngStream",
+    "spawn_rng",
+    "derive_seed",
+    "format_bytes",
+    "format_seconds",
+    "format_percent",
+    "TextTable",
+]

@@ -1,0 +1,35 @@
+"""Human-readable formatting helpers used by the experiment harness output."""
+
+from __future__ import annotations
+
+__all__ = ["format_bytes", "format_seconds", "format_percent"]
+
+_BYTE_UNITS = ["B", "KB", "MB", "GB", "TB"]
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary-ish unit, e.g. ``249.0 MB``."""
+    value = float(n)
+    for unit in _BYTE_UNITS:
+        if abs(value) < 1024.0 or unit == _BYTE_UNITS[-1]:
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration: microseconds up to hours, matching paper-style rows."""
+    if t < 1e-3:
+        return f"{t * 1e6:.1f} us"
+    if t < 1.0:
+        return f"{t * 1e3:.1f} ms"
+    if t < 120.0:
+        return f"{t:.1f} s"
+    if t < 7200.0:
+        return f"{t / 60.0:.1f} min"
+    return f"{t / 3600.0:.2f} h"
+
+
+def format_percent(fraction: float) -> str:
+    """Render a fraction in [0, 1] as a percentage string, e.g. ``87%``."""
+    return f"{100.0 * fraction:.0f}%"

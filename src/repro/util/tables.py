@@ -1,0 +1,45 @@
+"""Minimal text-table renderer for paper-style table output.
+
+The benchmark harness prints rows that mirror the paper's Tables 3 and 4;
+this keeps that rendering in one place and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """Accumulate rows and render an aligned monospace table."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers: List[str] = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(row: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+        lines = [fmt(self.headers), fmt(["-" * w for w in widths])]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

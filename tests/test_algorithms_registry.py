@@ -1,0 +1,53 @@
+"""Registry: every advertised method constructs and runs."""
+
+import pytest
+
+from repro.algorithms import ALGORITHMS, make_trainer
+from repro.algorithms.base import BaseTrainer
+from repro.cluster import CostModel, GpuPlatform
+from repro.nn.models import build_mlp
+from repro.nn.spec import LENET
+
+
+EXPECTED_METHODS = {
+    "original-easgd",
+    "original-easgd*",
+    "async-sgd",
+    "async-msgd",
+    "hogwild-sgd",
+    "sync-sgd",
+    "sync-sgd-unpacked",
+    "async-easgd",
+    "async-measgd",
+    "hogwild-easgd",
+    "sync-easgd1",
+    "sync-easgd2",
+    "sync-easgd3",
+    "sync-easgd",
+}
+
+
+class TestRegistry:
+    def test_all_paper_methods_present(self):
+        assert EXPECTED_METHODS == set(ALGORITHMS)
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            make_trainer("definitely-not-a-method")
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_METHODS))
+    def test_constructs_and_runs_one_iteration(self, name, mnist_tiny, fast_config):
+        train, test = mnist_tiny
+        tr = make_trainer(
+            name,
+            build_mlp(seed=0),
+            train,
+            test,
+            GpuPlatform(num_gpus=2, seed=0),
+            fast_config,
+            CostModel.from_spec(LENET),
+        )
+        assert isinstance(tr, BaseTrainer)
+        res = tr.train(4)
+        assert res.iterations == 4
+        assert res.sim_time > 0

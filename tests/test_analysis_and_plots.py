@@ -1,0 +1,233 @@
+"""Trajectory analytics, ASCII plots, staleness metrics, scatter/gather,
+MCDRAM modes, dataset IO."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import RunResult, TimeBreakdown, TrainRecord
+from repro.comm.alphabeta import CRAY_ARIES
+from repro.comm.collectives import (
+    scatter_cost,
+    scatter_shards,
+    tree_gather,
+    tree_gather_cost,
+    tree_rounds,
+)
+from repro.data.io import load_dataset, save_dataset
+from repro.data.synthetic import make_synthetic
+from repro.harness.analysis import (
+    accuracy_at_time,
+    crossover_time,
+    speedup_at_accuracy,
+    time_to_accuracy_interp,
+    trajectory_auc,
+)
+from repro.harness.plots import ascii_plot
+from repro.knl.chip import KnlChip, McdramMode
+
+
+def _run(times, accs, method="m"):
+    records = [
+        TrainRecord(i + 1, float(t), 1.0, float(a))
+        for i, (t, a) in enumerate(zip(times, accs))
+    ]
+    return RunResult(
+        method=method,
+        records=records,
+        breakdown=TimeBreakdown(),
+        iterations=len(records),
+        sim_time=float(times[-1]),
+        final_accuracy=float(accs[-1]),
+    )
+
+
+class TestAnalysis:
+    def test_accuracy_at_time(self):
+        r = _run([1, 2, 3], [0.2, 0.5, 0.9])
+        assert accuracy_at_time(r, 0.5) == 0.0
+        assert accuracy_at_time(r, 2.5) == 0.5
+        assert accuracy_at_time(r, 10) == 0.9
+
+    def test_time_to_accuracy_interpolates(self):
+        r = _run([1, 2], [0.0, 1.0])
+        assert time_to_accuracy_interp(r, 0.5) == pytest.approx(1.5)
+
+    def test_time_to_accuracy_unreachable(self):
+        r = _run([1, 2], [0.1, 0.2])
+        assert time_to_accuracy_interp(r, 0.9) is None
+
+    def test_time_to_accuracy_monotone_envelope(self):
+        # dips in the raw trajectory don't un-reach the target
+        r = _run([1, 2, 3], [0.8, 0.3, 0.9])
+        assert time_to_accuracy_interp(r, 0.7) == pytest.approx(1.0)
+
+    def test_speedup(self):
+        fast = _run([1, 2], [0.0, 1.0])
+        slow = _run([2, 4], [0.0, 1.0])
+        assert speedup_at_accuracy(fast, slow, 0.5) == pytest.approx(2.0)
+
+    def test_speedup_none_when_unreached(self):
+        fast = _run([1, 2], [0.0, 1.0])
+        stuck = _run([1, 2], [0.0, 0.1])
+        assert speedup_at_accuracy(fast, stuck, 0.5) is None
+
+    def test_crossover(self):
+        late_bloomer = _run([1, 5, 10], [0.1, 0.5, 1.0])
+        early = _run([1, 5, 10], [0.4, 0.45, 0.5])
+        t = crossover_time(late_bloomer, early)
+        assert t is not None and 1 < t < 10
+
+    def test_crossover_never(self):
+        worse = _run([1, 10], [0.1, 0.2])
+        better = _run([1, 10], [0.5, 0.9])
+        assert crossover_time(worse, better) is None
+
+    def test_crossover_leads_throughout(self):
+        a = _run([1, 10], [0.5, 0.9])
+        b = _run([1, 10], [0.1, 0.2])
+        assert crossover_time(a, b) == 0.0
+
+    def test_auc_bounds(self):
+        r = _run([1, 2, 3], [0.5, 0.7, 0.9])
+        auc = trajectory_auc(r)
+        assert 0.0 < auc < 0.9
+
+    def test_auc_rewards_early_convergence(self):
+        early = _run([1, 10], [0.9, 0.9])
+        late = _run([9, 10], [0.0, 0.9])
+        assert trajectory_auc(early, t_max=10) > trajectory_auc(late, t_max=10)
+
+
+class TestAsciiPlot:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_plot({"a": ([0, 1, 2], [0, 1, 2]), "b": ([0, 1, 2], [2, 1, 0])})
+        assert "o = a" in chart and "x = b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_dimension_bounds(self):
+        chart = ascii_plot({"a": ([0, 1], [0, 1])}, width=30, height=10)
+        lines = chart.splitlines()
+        assert len(lines) == 10 + 3  # grid + header + axis + footer
+
+    def test_constant_series_ok(self):
+        chart = ascii_plot({"flat": ([0, 1], [1.0, 1.0])})
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([0], [0])}, width=4)
+
+
+class TestScatterGather:
+    def test_gather_preserves_rank_order(self):
+        vecs = [np.full(3, r, dtype=np.float32) for r in range(5)]
+        out = tree_gather(vecs)
+        for r, v in enumerate(out):
+            np.testing.assert_array_equal(v, r)
+
+    def test_scatter_covers_data(self):
+        data = np.arange(103).reshape(103, 1)
+        shards = scatter_shards(data, 4)
+        assert sum(len(s) for s in shards) == 103
+        np.testing.assert_array_equal(np.concatenate(shards), data)
+
+    def test_scatter_validation(self):
+        with pytest.raises(ValueError):
+            scatter_shards(np.zeros((2, 1)), 5)
+
+    def test_gather_cost_formula(self):
+        n, p = 10**6, 8
+        expected = tree_rounds(p) * CRAY_ARIES.alpha + (p - 1) * n * CRAY_ARIES.beta
+        assert tree_gather_cost(CRAY_ARIES, n, p) == pytest.approx(expected)
+
+    def test_scatter_cost_mirrors_gather(self):
+        assert scatter_cost(CRAY_ARIES, 1000, 8) == tree_gather_cost(CRAY_ARIES, 1000, 8)
+
+
+class TestMcdramModes:
+    GiB = 1024**3
+
+    def test_flat_cliff(self):
+        chip = KnlChip(mcdram_mode=McdramMode.FLAT)
+        assert chip.working_set_bandwidth(8 * self.GiB) == chip.mcdram_bandwidth
+        assert chip.working_set_bandwidth(17 * self.GiB) == chip.ddr4_bandwidth
+
+    def test_cache_degrades_gradually(self):
+        chip = KnlChip(mcdram_mode=McdramMode.CACHE)
+        bw24 = chip.working_set_bandwidth(24 * self.GiB)
+        bw48 = chip.working_set_bandwidth(48 * self.GiB)
+        assert chip.ddr4_bandwidth < bw48 < bw24 < chip.mcdram_bandwidth
+
+    def test_cache_beats_flat_past_capacity(self):
+        flat = KnlChip(mcdram_mode=McdramMode.FLAT)
+        cache = KnlChip(mcdram_mode=McdramMode.CACHE)
+        n = 20 * self.GiB
+        assert cache.working_set_bandwidth(n) > flat.working_set_bandwidth(n)
+
+    def test_hybrid_between(self):
+        n = 24 * self.GiB
+        flat = KnlChip(mcdram_mode=McdramMode.FLAT).working_set_bandwidth(n)
+        cache = KnlChip(mcdram_mode=McdramMode.CACHE).working_set_bandwidth(n)
+        hybrid = KnlChip(mcdram_mode=McdramMode.HYBRID).working_set_bandwidth(n)
+        assert flat < hybrid < cache
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path):
+        ds = make_synthetic("io-test", 32, num_classes=3, channels=1, height=6, width=6, seed=5)
+        path = tmp_path / "ds.npz"
+        save_dataset(ds, path)
+        back = load_dataset(path)
+        assert back.name == "io-test"
+        assert back.num_classes == 3
+        np.testing.assert_array_equal(back.images, ds.images)
+        np.testing.assert_array_equal(back.labels, ds.labels)
+        assert back.meta["seed"] == 5
+
+    def test_bad_format_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            images=np.zeros((2, 1, 2, 2), dtype=np.float32),
+            labels=np.zeros(2, dtype=np.int64),
+            meta=np.frombuffer(json.dumps({"format": 99}).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError, match="format"):
+            load_dataset(path)
+
+
+class TestStalenessMetrics:
+    def test_async_reports_staleness(self, mnist_tiny, fast_config):
+        from repro.algorithms.async_ps import AsyncSGDTrainer, HogwildSGDTrainer
+        from repro.cluster import CostModel, GpuPlatform
+        from repro.nn.models import build_mlp
+        from repro.nn.spec import LENET
+
+        train, test = mnist_tiny
+        tr = AsyncSGDTrainer(
+            build_mlp(seed=1), train, test, GpuPlatform(num_gpus=4, seed=0),
+            fast_config, CostModel.from_spec(LENET),
+        )
+        res = tr.train(80)
+        # With 4 workers round-tripping, gradients are typically ~3 updates
+        # stale (the other workers land in between).
+        assert 0.5 < res.extras["mean_staleness"] < 4.5
+        assert res.extras["max_staleness"] >= res.extras["mean_staleness"]
+
+    def test_single_worker_has_no_staleness(self, mnist_tiny, fast_config):
+        from repro.algorithms.async_ps import AsyncSGDTrainer
+        from repro.cluster import CostModel, GpuPlatform
+        from repro.nn.models import build_mlp
+        from repro.nn.spec import LENET
+
+        train, test = mnist_tiny
+        tr = AsyncSGDTrainer(
+            build_mlp(seed=1), train, test, GpuPlatform(num_gpus=1, seed=0),
+            fast_config, CostModel.from_spec(LENET),
+        )
+        res = tr.train(30)
+        assert res.extras["mean_staleness"] == 0.0

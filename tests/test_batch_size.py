@@ -1,0 +1,95 @@
+"""Section 7.2: the impact of batch size."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import make_mnist_like, standardize, standardize_like
+from repro.nn.models import build_mlp
+from repro.scaling import batch_size_study, blas_efficiency
+
+
+class TestBlasEfficiency:
+    def test_monotone_increasing(self):
+        effs = [blas_efficiency(b) for b in (8, 32, 128, 1024)]
+        assert all(a < b for a, b in zip(effs, effs[1:]))
+
+    def test_half_point(self):
+        assert blas_efficiency(64, b_half=64) == pytest.approx(0.5)
+
+    def test_bounded_by_one(self):
+        assert blas_efficiency(10**9) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blas_efficiency(0)
+        with pytest.raises(ValueError):
+            blas_efficiency(32, b_half=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(b=st.integers(1, 10**6))
+    def test_in_unit_interval(self, b):
+        assert 0.0 < blas_efficiency(b) < 1.0
+
+
+class TestBatchSizeStudy:
+    @pytest.fixture(scope="class")
+    def data(self):
+        train, test = make_mnist_like(n_train=2048, n_test=512, seed=66, difficulty=1.5)
+        mean, std = standardize(train)
+        standardize_like(test, mean, std)
+        return train, test
+
+    def _study(self, data, batch_sizes, target=0.9, max_samples=120_000):
+        train, test = data
+        return batch_size_study(
+            model_builder=lambda: build_mlp(seed=9),
+            train_set=train,
+            test_set=test,
+            batch_sizes=batch_sizes,
+            target_accuracy=target,
+            lr_scale=lambda b: min(0.02 * b / 32, 0.3),
+            max_samples=max_samples,
+            eval_every_samples=2_048,
+            eval_samples=256,
+        )
+
+    def test_all_points_reported(self, data):
+        points = self._study(data, [16, 64])
+        assert [p.batch_size for p in points] == [16, 64]
+        assert all(p.iterations > 0 and p.samples > 0 for p in points)
+
+    def test_seconds_per_sample_decrease_with_batch(self, data):
+        """The BLAS-efficiency half of Section 7.2."""
+        points = self._study(data, [8, 64, 512])
+        sps = [p.seconds_per_sample for p in points]
+        assert all(a > b for a, b in zip(sps, sps[1:]))
+
+    def test_small_batches_reach_target(self, data):
+        points = self._study(data, [16, 64])
+        assert all(p.reached for p in points)
+
+    def test_sim_time_is_samples_times_rate(self, data):
+        p = self._study(data, [32])[0]
+        assert p.sim_time == pytest.approx(p.samples * p.seconds_per_sample)
+
+    def test_huge_batch_needs_more_samples(self, data):
+        """The sharp-minima half: the biggest batch consumes more samples
+        to the same accuracy than the sweet spot (Keskar et al. effect)."""
+        points = self._study(data, [64, 1024], target=0.9, max_samples=200_000)
+        by_batch = {p.batch_size: p for p in points}
+        assert by_batch[1024].samples >= by_batch[64].samples
+
+    def test_validation(self, data):
+        train, test = data
+        with pytest.raises(ValueError):
+            batch_size_study(
+                model_builder=lambda: build_mlp(),
+                train_set=train,
+                test_set=test,
+                batch_sizes=[],
+                target_accuracy=0.9,
+                lr_scale=lambda b: 0.01,
+            )
+        with pytest.raises(ValueError):
+            self._study(data, [16], target=1.5)

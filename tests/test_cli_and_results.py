@@ -1,0 +1,130 @@
+"""CLI and JSON result archiving."""
+
+import json
+
+import pytest
+
+from repro.algorithms import ALGORITHMS, TrainerConfig
+from repro.harness.cli import main
+from repro.harness.experiment import ExperimentSpec, run_method
+from repro.harness.results import (
+    SCHEMA_VERSION,
+    result_to_dict,
+    results_from_json,
+    results_to_json,
+)
+from repro.nn.models import build_mlp
+
+
+@pytest.fixture(scope="module")
+def quick_result(mnist_tiny_module):
+    train, test = mnist_tiny_module
+    spec = ExperimentSpec(
+        train_set=train,
+        test_set=test,
+        model_builder=lambda: build_mlp(seed=1),
+        num_gpus=2,
+        config=TrainerConfig(batch_size=16, lr=0.03, rho=2.0, eval_every=10, eval_samples=128),
+    )
+    spec.normalized = True
+    return run_method(spec, "sync-easgd3", iterations=20)
+
+
+@pytest.fixture(scope="module")
+def mnist_tiny_module():
+    from repro.data import make_mnist_like, standardize, standardize_like
+
+    train, test = make_mnist_like(n_train=256, n_test=128, seed=77, difficulty=0.8)
+    mean, std = standardize(train)
+    standardize_like(test, mean, std)
+    return train, test
+
+
+class TestResultsSerialization:
+    def test_roundtrip(self, quick_result, tmp_path):
+        path = tmp_path / "runs.json"
+        results_to_json([quick_result], path)
+        data = results_from_json(path)
+        assert len(data) == 1
+        entry = data[0]
+        assert entry["method"] == "Sync EASGD3"
+        assert entry["schema"] == SCHEMA_VERSION
+        assert entry["final_accuracy"] == pytest.approx(quick_result.final_accuracy)
+        assert len(entry["records"]) == len(quick_result.records)
+
+    def test_dict_is_json_safe(self, quick_result):
+        json.dumps(result_to_dict(quick_result))  # must not raise
+
+    def test_from_document_string(self, quick_result):
+        doc = results_to_json([quick_result])
+        assert results_from_json(doc)[0]["iterations"] == quick_result.iterations
+
+    def test_schema_mismatch_rejected(self):
+        bad = json.dumps([{"schema": 999}])
+        with pytest.raises(ValueError, match="schema"):
+            results_from_json(bad)
+
+    def test_non_list_rejected(self):
+        with pytest.raises(ValueError):
+            results_from_json(json.dumps({"schema": 1}))
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert set(out) == set(ALGORITHMS)
+
+    def test_table_2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "Mellanox" in capsys.readouterr().out
+
+    def test_table_1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "60,000" in capsys.readouterr().out
+
+    def test_table_4(self, capsys):
+        assert main(["table", "4"]) == 0
+        assert "4352 cores" in capsys.readouterr().out
+
+    def test_run_fixed_iterations(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code = main(
+            [
+                "run",
+                "--method", "sync-easgd3",
+                "--iterations", "20",
+                "--train-samples", "256",
+                "--batch-size", "16",
+                "--json", str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sync EASGD3" in out and "comm ratio" in out
+        assert path.exists()
+        assert results_from_json(path)[0]["iterations"] == 20
+
+    def test_run_to_target(self, capsys):
+        code = main(
+            [
+                "run",
+                "--method", "sync-easgd3",
+                "--model", "mlp",
+                "--iterations", "150",
+                "--target", "0.5",
+                "--train-samples", "256",
+                "--batch-size", "16",
+                "--difficulty", "0.8",
+            ]
+        )
+        assert code == 0
+        assert "reached target" in capsys.readouterr().out
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--method", "quantum-sgd"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,138 @@
+"""Direct tests for paths previously exercised only through benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import TrainerConfig
+from repro.algorithms.sync_sgd import SyncSGDTrainer
+from repro.cluster import CostModel, GpuClusterPlatform, GpuPlatform, KnlPlatform
+from repro.harness.figures import fig6_pairwise_series
+from repro.knl import ChipPartitionTrainer, KnlChip, KnlSyncEASGDTrainer, McdramMode
+from repro.knl.partition import CIFAR_COPY_BYTES
+from repro.nn.models import build_mlp
+from repro.nn.spec import ALEXNET, LENET
+
+
+class TestQuantizedSyncSGD:
+    def _trainer(self, mnist_tiny, bits):
+        train, test = mnist_tiny
+        cfg = TrainerConfig(batch_size=16, lr=0.03, rho=2.0, eval_every=10, eval_samples=128)
+        return SyncSGDTrainer(
+            build_mlp(seed=3),
+            train,
+            test,
+            GpuPlatform(num_gpus=4, seed=0),
+            cfg,
+            CostModel.from_spec(LENET),
+            quantize_bits=bits,
+        )
+
+    def test_quantized_still_learns(self, mnist_tiny):
+        res = self._trainer(mnist_tiny, 4).train(60)
+        assert res.final_accuracy > 0.7
+
+    def test_quantized_is_faster_on_the_wire(self, mnist_tiny):
+        full = self._trainer(mnist_tiny, None).train(10)
+        q4 = self._trainer(mnist_tiny, 4).train(10)
+        assert q4.sim_time < full.sim_time
+
+    def test_one_bit_extreme_still_moves(self, mnist_tiny):
+        res = self._trainer(mnist_tiny, 1).train(40)
+        assert res.final_accuracy > 0.3  # crude but nonzero signal
+
+    def test_name_reflects_bits(self, mnist_tiny):
+        assert "4-bit" in self._trainer(mnist_tiny, 4).name
+
+    def test_invalid_bits_rejected(self, mnist_tiny):
+        with pytest.raises(ValueError):
+            self._trainer(mnist_tiny, 0)
+        with pytest.raises(ValueError):
+            self._trainer(mnist_tiny, 32)
+
+
+class TestKnlTrainerVariants:
+    def _trainer(self, mnist_tiny, overlap):
+        train, test = mnist_tiny
+        cfg = TrainerConfig(batch_size=16, lr=0.05, rho=2.0, eval_every=10, eval_samples=128)
+        return KnlSyncEASGDTrainer(
+            build_mlp(seed=5),
+            train,
+            test,
+            KnlPlatform(num_nodes=4, seed=0),
+            cfg,
+            CostModel.from_spec(LENET),
+            overlap=overlap,
+        )
+
+    def test_overlap_is_faster(self, mnist_tiny):
+        with_overlap = self._trainer(mnist_tiny, True).train(10)
+        without = self._trainer(mnist_tiny, False).train(10)
+        assert with_overlap.sim_time < without.sim_time
+
+    def test_overlap_same_numerics(self, mnist_tiny):
+        a = self._trainer(mnist_tiny, True).train(10)
+        b = self._trainer(mnist_tiny, False).train(10)
+        assert [r.test_accuracy for r in a.records] == [r.test_accuracy for r in b.records]
+
+
+class TestClusterPlatformPieces:
+    def test_intra_node_times_scale_with_gpus(self):
+        cost = CostModel.from_spec(LENET)
+        two = GpuClusterPlatform(num_nodes=2, gpus_per_node=2)
+        eight = GpuClusterPlatform(num_nodes=2, gpus_per_node=8)
+        assert two.intra_node_reduce_time(cost) < eight.intra_node_reduce_time(cost)
+
+    def test_stage_time_independent_of_cluster_size(self):
+        cost = CostModel.from_spec(LENET)
+        small = GpuClusterPlatform(num_nodes=1, gpus_per_node=2)
+        big = GpuClusterPlatform(num_nodes=16, gpus_per_node=2)
+        assert small.stage_batch_time(cost, 32) == big.stage_batch_time(cost, 32)
+
+    def test_jitter_free_compute_deterministic(self):
+        cost = CostModel.from_spec(LENET)
+        plat = GpuClusterPlatform(num_nodes=2, gpus_per_node=2, jitter_sigma=0.0)
+        assert plat.fwdbwd_time(cost, 32, worker=0) == plat.fwdbwd_time(cost, 32, worker=1)
+
+
+class TestFig6Builder:
+    def test_builds_all_panels(self, mnist_tiny, fast_config):
+        from repro.harness.experiment import ExperimentSpec
+
+        train, test = mnist_tiny
+        spec = ExperimentSpec(
+            train_set=train,
+            test_set=test,
+            model_builder=lambda: build_mlp(seed=2),
+            num_gpus=2,
+            config=fast_config,
+            cost_model=CostModel.from_spec(LENET),
+            normalized=True,
+        )
+        panels = fig6_pairwise_series(spec, iterations=10, pairs=(("async-easgd", "async-sgd"),))
+        assert set(panels) == {"6.1"}
+        assert set(panels["6.1"]) == {"async-easgd", "async-sgd"}
+        for times, accs in panels["6.1"].values():
+            assert len(times) == len(accs) > 0
+
+
+class TestPartitionWithCacheMode:
+    def test_cache_mode_softens_the_spill(self, mnist_tiny):
+        """In cache mode the 32-part working set degrades gradually instead
+        of dropping to DDR4 speed — Figure 2's cache-vs-flat trade."""
+        train, test = mnist_tiny
+        cfg = TrainerConfig(batch_size=32, lr=0.05, eval_every=10, eval_samples=128)
+
+        def iter_time(mode):
+            trainer = ChipPartitionTrainer(
+                build_mlp(input_shape=(1, 28, 28), seed=4),
+                train,
+                test,
+                cfg,
+                parts=32,
+                chip=KnlChip(mcdram_mode=mode),
+                cost_model=CostModel.from_spec(ALEXNET),
+                data_bytes=CIFAR_COPY_BYTES,
+            )
+            return trainer._iter_time()
+
+        assert iter_time(McdramMode.CACHE) < iter_time(McdramMode.FLAT)

@@ -1,0 +1,212 @@
+"""Datasets: container validation, generators, normalization, samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.loader import BatchSampler, partition_dataset, replicate_dataset
+from repro.data.normalize import standardize, standardize_like
+from repro.data.synthetic import (
+    DATASET_GEOMETRY,
+    make_cifar_like,
+    make_imagenet_like,
+    make_mnist_like,
+    make_synthetic,
+)
+
+
+def _tiny(n=32, seed=0):
+    return make_synthetic("t", n, num_classes=4, channels=1, height=6, width=6, seed=seed)
+
+
+class TestDataset:
+    def test_valid_construction(self):
+        ds = _tiny()
+        assert len(ds) == 32
+        assert ds.sample_shape == (1, 6, 6)
+
+    def test_nbytes(self):
+        ds = _tiny()
+        assert ds.nbytes == 32 * 1 * 6 * 6 * 4
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((4, 3, 3)), np.zeros(4, dtype=int), 2)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((4, 1, 2, 2)), np.zeros(3, dtype=int), 2)
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((2, 1, 2, 2)), np.array([0, 5]), 2)
+
+    def test_subset(self):
+        ds = _tiny()
+        sub = ds.subset(np.array([0, 5, 7]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, ds.labels[[0, 5, 7]])
+
+
+class TestGenerators:
+    def test_mnist_geometry(self):
+        train, test = make_mnist_like(n_train=64, n_test=16, seed=1)
+        assert train.sample_shape == (1, 28, 28)
+        assert train.num_classes == 10
+        assert len(train) == 64 and len(test) == 16
+
+    def test_cifar_geometry(self):
+        train, _ = make_cifar_like(n_train=32, n_test=8, seed=1)
+        assert train.sample_shape == (3, 32, 32)
+
+    def test_imagenet_like_scaled(self):
+        train, _ = make_imagenet_like(n_train=16, n_test=8, seed=1, num_classes=20, side=32)
+        assert train.sample_shape == (3, 32, 32)
+        assert train.num_classes == 20
+
+    def test_deterministic(self):
+        a, _ = make_mnist_like(n_train=16, n_test=4, seed=7)
+        b, _ = make_mnist_like(n_train=16, n_test=4, seed=7)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_seed_changes_data(self):
+        a, _ = make_mnist_like(n_train=16, n_test=4, seed=7)
+        b, _ = make_mnist_like(n_train=16, n_test=4, seed=8)
+        assert not np.allclose(a.images, b.images)
+
+    def test_train_test_noise_independent(self):
+        train, test = make_mnist_like(n_train=16, n_test=16, seed=9)
+        assert not np.allclose(train.images, test.images)
+
+    def test_zero_difficulty_separable(self):
+        """At difficulty 0 same-class samples differ only by shift/gain."""
+        ds = make_synthetic(
+            "z", 64, num_classes=3, channels=1, height=8, width=8, seed=3,
+            difficulty=0.0, max_shift=0,
+        )
+        for c in range(3):
+            cls = ds.images[ds.labels == c]
+            if len(cls) >= 2:
+                # same prototype up to gain: normalized images identical
+                a = cls[0] / np.linalg.norm(cls[0])
+                b = cls[1] / np.linalg.norm(cls[1])
+                np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_geometry_table_matches_paper(self):
+        assert DATASET_GEOMETRY["mnist"]["train"] == 60_000
+        assert DATASET_GEOMETRY["cifar"]["train"] == 50_000
+        assert DATASET_GEOMETRY["imagenet"]["classes"] == 1000
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_synthetic("x", 0, 2, 1, 4, 4, seed=0)
+        with pytest.raises(ValueError):
+            make_synthetic("x", 4, 2, 1, 4, 4, seed=0, difficulty=-1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_all_classes_represented_eventually(self, seed):
+        ds = make_synthetic("p", 256, num_classes=4, channels=1, height=4, width=4, seed=seed)
+        assert set(np.unique(ds.labels)) == {0, 1, 2, 3}
+
+
+class TestNormalize:
+    def test_standardize_in_place(self):
+        ds = _tiny(seed=4)
+        standardize(ds)
+        assert ds.images.mean() == pytest.approx(0.0, abs=1e-5)
+        assert ds.images.std() == pytest.approx(1.0, abs=1e-4)
+
+    def test_returns_original_stats(self):
+        ds = _tiny(seed=5)
+        orig_mean = float(ds.images.mean())
+        mean, std = standardize(ds)
+        assert mean == pytest.approx(orig_mean)
+
+    def test_standardize_like_uses_given_stats(self):
+        a, b = _tiny(seed=6), _tiny(seed=6)
+        mean, std = standardize(a)
+        standardize_like(b, mean, std)
+        np.testing.assert_allclose(a.images, b.images, atol=1e-6)
+
+    def test_zero_variance_guarded(self):
+        ds = Dataset("c", np.ones((4, 1, 2, 2), dtype=np.float32), np.zeros(4, dtype=int), 2)
+        standardize(ds)
+        assert np.all(np.isfinite(ds.images))
+
+
+class TestBatchSampler:
+    def test_batch_shapes(self):
+        ds = _tiny()
+        s = BatchSampler(ds, 8, seed=0)
+        x, y = s.next_batch()
+        assert x.shape == (8, 1, 6, 6) and y.shape == (8,)
+
+    def test_deterministic_stream(self):
+        ds = _tiny()
+        a = BatchSampler(ds, 4, seed=1, name="w0")
+        b = BatchSampler(ds, 4, seed=1, name="w0")
+        for _ in range(5):
+            xa, ya = a.next_batch()
+            xb, yb = b.next_batch()
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_named_streams_independent(self):
+        ds = _tiny()
+        a = BatchSampler(ds, 4, seed=1, name="w0")
+        b = BatchSampler(ds, 4, seed=1, name="w1")
+        same = all(
+            np.array_equal(a.next_batch()[1], b.next_batch()[1]) for _ in range(5)
+        )
+        assert not same
+
+    def test_counts_batches(self):
+        ds = _tiny()
+        s = BatchSampler(ds, 4, seed=0)
+        for _ in range(3):
+            s.next_batch()
+        assert s.batches_drawn == 3
+
+    def test_batch_too_large(self):
+        with pytest.raises(ValueError):
+            BatchSampler(_tiny(n=4), 8, seed=0)
+
+    def test_iterator_protocol(self):
+        ds = _tiny()
+        it = iter(BatchSampler(ds, 2, seed=0))
+        x, y = next(it)
+        assert x.shape[0] == 2
+
+
+class TestPartitionReplicate:
+    def test_partition_covers_everything_once(self):
+        ds = _tiny(n=30)
+        shards = partition_dataset(ds, 4, seed=0)
+        total = sum(len(s) for s in shards)
+        assert total == 30
+        all_labels = np.concatenate([s.labels for s in shards])
+        assert sorted(all_labels.tolist()) == sorted(ds.labels.tolist())
+
+    def test_partition_near_equal(self):
+        shards = partition_dataset(_tiny(n=30), 4, seed=0)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            partition_dataset(_tiny(n=4), 0)
+        with pytest.raises(ValueError):
+            partition_dataset(_tiny(n=4), 10)
+
+    def test_replicate_shares_memory(self):
+        ds = _tiny()
+        copies = replicate_dataset(ds, 3)
+        assert len(copies) == 3
+        assert all(c.images is ds.images for c in copies)
+
+    def test_replicate_validation(self):
+        with pytest.raises(ValueError):
+            replicate_dataset(_tiny(), 0)

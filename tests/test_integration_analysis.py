@@ -1,0 +1,69 @@
+"""Integration of the trajectory-analysis tools with real training runs."""
+
+import pytest
+
+from repro.algorithms import TrainerConfig
+from repro.cluster import CostModel
+from repro.data import make_mnist_like
+from repro.harness import (
+    ExperimentSpec,
+    accuracy_at_time,
+    crossover_time,
+    run_method,
+    speedup_at_accuracy,
+    time_to_accuracy_interp,
+    trajectory_auc,
+)
+from repro.nn.models import build_mlp
+from repro.nn.spec import LENET
+
+
+@pytest.fixture(scope="module")
+def runs():
+    train, test = make_mnist_like(n_train=1024, n_test=384, seed=51, difficulty=1.2)
+    spec = ExperimentSpec(
+        train_set=train,
+        test_set=test,
+        model_builder=lambda: build_mlp(seed=23),
+        num_gpus=4,
+        config=TrainerConfig(batch_size=16, lr=0.02, rho=2.0, eval_every=20, eval_samples=256),
+        cost_model=CostModel.from_spec(LENET),
+    ).normalize()
+    return {
+        "sync": run_method(spec, "sync-easgd3", iterations=120),
+        "orig": run_method(spec, "original-easgd", iterations=240),
+    }
+
+
+class TestAnalysisOnRealRuns:
+    def test_sync_dominates_auc(self, runs):
+        """Sync EASGD3's accuracy-time curve dominates Original EASGD's."""
+        t_cut = min(runs["sync"].sim_time, runs["orig"].sim_time)
+        assert trajectory_auc(runs["sync"], t_max=t_cut) > trajectory_auc(
+            runs["orig"], t_max=t_cut
+        )
+
+    def test_interpolated_time_finer_than_records(self, runs):
+        res = runs["sync"]
+        target = 0.7
+        coarse = res.time_to_accuracy(target)
+        fine = time_to_accuracy_interp(res, target)
+        if coarse is not None:
+            assert fine is not None
+            assert fine <= coarse + 1e-9
+
+    def test_speedup_consistent_with_table3_headline(self, runs):
+        s = speedup_at_accuracy(runs["sync"], runs["orig"], 0.7)
+        assert s is not None and s > 1.5
+
+    def test_crossover_is_early_or_immediate(self, runs):
+        t = crossover_time(runs["sync"], runs["orig"])
+        assert t is not None
+        t_cut = min(runs["sync"].sim_time, runs["orig"].sim_time)
+        assert t < 0.5 * t_cut  # sync takes the lead in the first half
+
+    def test_accuracy_at_time_monotone_envelope(self, runs):
+        res = runs["sync"]
+        ts = [0.0, res.sim_time / 2, res.sim_time]
+        vals = [accuracy_at_time(res, t) for t in ts]
+        assert vals[0] <= vals[1] <= vals[2]

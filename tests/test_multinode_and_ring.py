@@ -1,0 +1,165 @@
+"""Ring allreduce, the multi-node GPU cluster, and the cluster trainer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ClusterSyncEASGDTrainer, TrainerConfig
+from repro.cluster import CostModel, GpuClusterPlatform
+from repro.comm.alphabeta import CRAY_ARIES, MELLANOX_FDR_56G, LinkModel
+from repro.comm.collectives import (
+    allreduce_cost,
+    ring_allreduce,
+    ring_allreduce_cost,
+)
+from repro.nn.models import build_mlp
+from repro.nn.spec import LENET, VGG19
+
+
+class TestRingAllreduce:
+    def test_matches_sum_all_ranks(self):
+        rng = np.random.default_rng(0)
+        vecs = [rng.normal(size=40).astype(np.float64) for _ in range(5)]
+        outs = ring_allreduce(vecs)
+        expected = np.sum(vecs, axis=0)
+        assert len(outs) == 5
+        for o in outs:
+            np.testing.assert_allclose(o, expected, rtol=1e-9)
+
+    def test_single_rank(self):
+        v = np.arange(4.0)
+        outs = ring_allreduce([v])
+        np.testing.assert_array_equal(outs[0], v)
+        assert outs[0] is not v  # a copy, as a remote rank would hold
+
+    def test_inputs_not_mutated(self):
+        vecs = [np.ones(8) for _ in range(4)]
+        ring_allreduce(vecs)
+        for v in vecs:
+            np.testing.assert_array_equal(v, 1.0)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        vecs = [rng.normal(size=33).astype(np.float32) for _ in range(6)]
+        a = ring_allreduce(vecs)
+        b = ring_allreduce([v.copy() for v in vecs])
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([np.zeros(3), np.zeros(4)])
+
+    @settings(max_examples=20, deadline=None)
+    @given(p=st.integers(1, 16), n=st.integers(1, 64), seed=st.integers(0, 30))
+    def test_sum_property(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        vecs = [rng.normal(size=n) for _ in range(p)]
+        outs = ring_allreduce(vecs)
+        expected = np.sum(vecs, axis=0)
+        for o in outs:
+            np.testing.assert_allclose(o, expected, rtol=1e-9, atol=1e-12)
+
+
+class TestRingCost:
+    def test_large_messages_favour_ring(self):
+        """The classic crossover: bandwidth-optimal ring wins on big buffers."""
+        n = VGG19.nbytes  # 548 MB
+        ring = ring_allreduce_cost(CRAY_ARIES, n, 64)
+        tree = allreduce_cost(CRAY_ARIES, n, 64)
+        assert ring < tree
+
+    def test_small_messages_favour_tree(self):
+        ring = ring_allreduce_cost(CRAY_ARIES, 512, 64)
+        tree = allreduce_cost(CRAY_ARIES, 512, 64)
+        assert tree < ring
+
+    def test_single_rank_free(self):
+        assert ring_allreduce_cost(CRAY_ARIES, 10**6, 1) == 0.0
+
+    def test_bandwidth_term_bounded_in_p(self):
+        """Ring's byte traffic saturates at 2n regardless of P."""
+        link = LinkModel("t", alpha=0.0, beta=1e-9)
+        n = 10**8
+        c16 = ring_allreduce_cost(link, n, 16)
+        c256 = ring_allreduce_cost(link, n, 256)
+        assert c256 < 2.2 * n * 1e-9
+        assert c16 < c256  # still grows slightly via (P-1)/P
+
+
+class TestGpuClusterPlatform:
+    def test_worker_count(self):
+        plat = GpuClusterPlatform(num_nodes=4, gpus_per_node=2)
+        assert plat.num_workers == 8
+
+    def test_hierarchical_time_positive_and_ordered(self):
+        cost = CostModel.from_spec(LENET)
+        small = GpuClusterPlatform(num_nodes=2, gpus_per_node=2)
+        big = GpuClusterPlatform(num_nodes=16, gpus_per_node=2)
+        assert 0 < small.hierarchical_allreduce_time(cost) < big.hierarchical_allreduce_time(cost)
+
+    def test_ring_beats_tree_for_vgg(self):
+        cost = CostModel.from_spec(VGG19)
+        plat = GpuClusterPlatform(num_nodes=16, gpus_per_node=2)
+        ring = plat.inter_node_allreduce_time(cost, "ring")
+        tree = plat.inter_node_allreduce_time(cost, "tree")
+        assert ring < tree
+
+    def test_unknown_algorithm_rejected(self):
+        cost = CostModel.from_spec(LENET)
+        plat = GpuClusterPlatform(num_nodes=2, gpus_per_node=2)
+        with pytest.raises(ValueError):
+            plat.inter_node_allreduce_time(cost, "carrier-pigeon")
+
+    def test_default_network_is_the_papers_ib(self):
+        plat = GpuClusterPlatform(num_nodes=2, gpus_per_node=2)
+        assert plat.network is MELLANOX_FDR_56G
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuClusterPlatform(num_nodes=0, gpus_per_node=2)
+
+
+class TestClusterTrainer:
+    def _trainer(self, mnist_tiny, allreduce="tree", nodes=2, gpus=2):
+        train, test = mnist_tiny
+        cfg = TrainerConfig(batch_size=16, lr=0.02, rho=1.0, eval_every=10, eval_samples=128)
+        return ClusterSyncEASGDTrainer(
+            build_mlp(seed=5),
+            train,
+            test,
+            GpuClusterPlatform(num_nodes=nodes, gpus_per_node=gpus, seed=0),
+            cfg,
+            CostModel.from_spec(LENET),
+            allreduce=allreduce,
+        )
+
+    def test_learns(self, mnist_tiny):
+        res = self._trainer(mnist_tiny).train(60)
+        assert res.final_accuracy > 0.7
+
+    def test_tree_and_ring_same_numerics(self, mnist_tiny):
+        a = self._trainer(mnist_tiny, "tree").train(20)
+        b = self._trainer(mnist_tiny, "ring").train(20)
+        assert [r.test_accuracy for r in a.records] == [r.test_accuracy for r in b.records]
+
+    def test_iteration_time_positive(self, mnist_tiny):
+        assert self._trainer(mnist_tiny).iteration_time() > 0
+
+    def test_invalid_allreduce(self, mnist_tiny):
+        with pytest.raises(ValueError):
+            self._trainer(mnist_tiny, "bogus")
+
+    def test_unstable_hyper_rejected(self, mnist_tiny):
+        train, test = mnist_tiny
+        cfg = TrainerConfig(batch_size=16, lr=0.2, rho=2.0)  # 16 workers * 0.4 >= 2
+        with pytest.raises(ValueError, match="unstable"):
+            ClusterSyncEASGDTrainer(
+                build_mlp(seed=5),
+                train,
+                test,
+                GpuClusterPlatform(num_nodes=8, gpus_per_node=2, seed=0),
+                cfg,
+                CostModel.from_spec(LENET),
+            )

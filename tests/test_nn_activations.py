@@ -1,0 +1,79 @@
+"""Activation functions: values, gradients, stability."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import ReLU, Sigmoid, Tanh
+from repro.nn.layers import Flatten
+from repro.nn.network import Network
+
+from conftest import check_network_gradients
+
+
+def _data(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+
+
+class TestReLU:
+    def test_values(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        np.testing.assert_array_equal(layer.forward(x), [[0, 0, 2]])
+
+    def test_gradient_masks_negatives(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 3.0]], dtype=np.float32)
+        layer.forward(x, training=True)
+        dx = layer.backward(np.array([[5.0, 5.0]], dtype=np.float32))
+        np.testing.assert_array_equal(dx, [[0, 5]])
+
+    def test_gradcheck(self):
+        net = Network([Flatten(), ReLU()], input_shape=(1, 2, 3), seed=0)
+        x = _data((4, 1, 2, 3), seed=1) + 0.1  # keep away from the kink
+        t = _data((4, 6), seed=2)
+        check_network_gradients(net, x, t)
+
+    def test_inference_forward_then_backward_raises(self):
+        layer = ReLU()
+        layer.forward(_data((2, 3)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((2, 3), dtype=np.float32))
+
+
+class TestTanh:
+    def test_range(self):
+        y = Tanh().forward(_data((10, 10), seed=3) * 100)
+        assert np.all(np.abs(y) <= 1.0)
+
+    def test_derivative_at_zero(self):
+        layer = Tanh()
+        layer.forward(np.zeros((1, 1), dtype=np.float32), training=True)
+        dx = layer.backward(np.ones((1, 1), dtype=np.float32))
+        assert dx[0, 0] == pytest.approx(1.0)
+
+    def test_gradcheck(self):
+        net = Network([Flatten(), Tanh()], input_shape=(1, 2, 2), seed=0)
+        x = _data((3, 1, 2, 2), seed=4)
+        t = _data((3, 4), seed=5)
+        # float32 central differences bottom out around 1e-4 absolute.
+        check_network_gradients(net, x, t, atol=3e-4)
+
+
+class TestSigmoid:
+    def test_range_and_midpoint(self):
+        layer = Sigmoid()
+        y = layer.forward(np.array([[0.0]], dtype=np.float32))
+        assert y[0, 0] == pytest.approx(0.5)
+
+    def test_stable_for_large_inputs(self):
+        layer = Sigmoid()
+        y = layer.forward(np.array([[-1000.0, 1000.0]], dtype=np.float32))
+        assert np.all(np.isfinite(y))
+        assert y[0, 0] == pytest.approx(0.0, abs=1e-6)
+        assert y[0, 1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_gradcheck(self):
+        net = Network([Flatten(), Sigmoid()], input_shape=(1, 2, 2), seed=0)
+        x = _data((3, 1, 2, 2), seed=6)
+        t = _data((3, 4), seed=7)
+        check_network_gradients(net, x, t)

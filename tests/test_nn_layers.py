@@ -1,0 +1,158 @@
+"""Layer forward/backward: shapes, values, finite-difference gradchecks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten, MaxPool2D
+from repro.nn.network import Network
+
+from conftest import check_network_gradients
+
+
+def _data(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return (scale * rng.normal(size=shape)).astype(np.float32)
+
+
+class TestDense:
+    def test_output_shape(self):
+        net = Network([Flatten(), Dense(7)], input_shape=(2, 3, 3), seed=0)
+        y = net.forward(_data((4, 2, 3, 3)))
+        assert y.shape == (4, 7)
+
+    def test_linear_in_input(self):
+        net = Network([Flatten(), Dense(5)], input_shape=(1, 2, 2), seed=1)
+        x = _data((3, 1, 2, 2))
+        y1 = net.forward(x)
+        y2 = net.forward(2 * x)
+        b = net.layers[1].params["b"]
+        np.testing.assert_allclose(y2 - b, 2 * (y1 - b), rtol=1e-5)
+
+    def test_bias_is_added(self):
+        net = Network([Flatten(), Dense(5)], input_shape=(1, 2, 2), seed=2)
+        net.layers[1].params["b"][...] = 3.0
+        y = net.forward(np.zeros((1, 1, 2, 2), dtype=np.float32))
+        np.testing.assert_allclose(y, 3.0)
+
+    def test_gradcheck(self):
+        net = Network([Flatten(), Dense(4)], input_shape=(1, 3, 3), seed=3)
+        x = _data((5, 1, 3, 3), seed=4)
+        t = _data((5, 4), seed=5)
+        check_network_gradients(net, x, t)
+
+    def test_backward_requires_training_forward(self):
+        net = Network([Flatten(), Dense(4)], input_shape=(1, 2, 2), seed=0)
+        net.forward(_data((2, 1, 2, 2)), training=False)
+        with pytest.raises(RuntimeError):
+            net.layers[1].backward(np.ones((2, 4), dtype=np.float32))
+
+    def test_rejects_unflattened_input(self):
+        with pytest.raises(ValueError):
+            Network([Dense(4)], input_shape=(1, 2, 2), seed=0)
+
+    def test_rejects_nonpositive_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+
+class TestConv2D:
+    def test_output_shape(self):
+        net = Network([Conv2D(6, 3, stride=1, pad=1)], input_shape=(3, 8, 8), seed=0)
+        y = net.forward(_data((2, 3, 8, 8)))
+        assert y.shape == (2, 6, 8, 8)
+
+    def test_stride_and_pad_shape(self):
+        net = Network([Conv2D(4, 3, stride=2, pad=1)], input_shape=(1, 7, 7), seed=0)
+        assert net.output_shape == (4, 4, 4)
+
+    def test_known_values_identity_kernel(self):
+        net = Network([Conv2D(1, 1)], input_shape=(1, 3, 3), seed=0)
+        net.layers[0].params["W"][...] = 1.0
+        net.layers[0].params["b"][...] = 0.0
+        x = _data((1, 1, 3, 3), seed=7)
+        np.testing.assert_allclose(net.forward(x), x, rtol=1e-6)
+
+    def test_sum_kernel(self):
+        net = Network([Conv2D(1, 2)], input_shape=(1, 2, 2), seed=0)
+        net.layers[0].params["W"][...] = 1.0
+        net.layers[0].params["b"][...] = 0.5
+        x = np.arange(4, dtype=np.float32).reshape(1, 1, 2, 2)
+        assert net.forward(x)[0, 0, 0, 0] == pytest.approx(0 + 1 + 2 + 3 + 0.5)
+
+    def test_gradcheck(self):
+        net = Network([Conv2D(2, 3, stride=1, pad=1)], input_shape=(2, 4, 4), seed=8)
+        x = _data((2, 2, 4, 4), seed=9)
+        t = _data((2, 2, 4, 4), seed=10)
+        check_network_gradients(net, x, t)
+
+    def test_gradcheck_strided(self):
+        net = Network([Conv2D(3, 2, stride=2)], input_shape=(1, 4, 4), seed=11)
+        x = _data((3, 1, 4, 4), seed=12)
+        t = _data((3, 3, 2, 2), seed=13)
+        check_network_gradients(net, x, t)
+
+    def test_flops_positive(self):
+        net = Network([Conv2D(4, 3)], input_shape=(2, 6, 6), seed=0)
+        assert net.layers[0].flops_per_sample() == 2 * 4 * 4 * 4 * 2 * 3 * 3
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 3)
+        with pytest.raises(ValueError):
+            Conv2D(4, 3, stride=0)
+        with pytest.raises(ValueError):
+            Conv2D(4, 3, pad=-1)
+
+
+class TestMaxPool2D:
+    def test_values(self):
+        net = Network([MaxPool2D(2)], input_shape=(1, 4, 4), seed=0)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = net.forward(x)
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_gradient_routes_to_argmax(self):
+        net = Network([MaxPool2D(2)], input_shape=(1, 2, 2), seed=0)
+        x = np.array([[[[1.0, 9.0], [3.0, 2.0]]]], dtype=np.float32)
+        net.forward(x, training=True)
+        dx = net.backward(np.array([[[[5.0]]]], dtype=np.float32))
+        np.testing.assert_array_equal(dx[0, 0], [[0, 5], [0, 0]])
+
+    def test_gradcheck(self):
+        net = Network([Conv2D(2, 3, pad=1), MaxPool2D(2)], input_shape=(1, 4, 4), seed=14)
+        x = _data((2, 1, 4, 4), seed=15)
+        t = _data((2, 2, 2, 2), seed=16)
+        check_network_gradients(net, x, t)
+
+    def test_overlapping_stride(self):
+        net = Network([MaxPool2D(3, stride=1)], input_shape=(1, 5, 5), seed=0)
+        assert net.output_shape == (1, 3, 3)
+
+
+class TestAvgPool2D:
+    def test_values(self):
+        net = Network([AvgPool2D(2)], input_shape=(1, 2, 2), seed=0)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        assert net.forward(x)[0, 0, 0, 0] == pytest.approx(2.5)
+
+    def test_gradient_spreads_uniformly(self):
+        net = Network([AvgPool2D(2)], input_shape=(1, 2, 2), seed=0)
+        net.forward(_data((1, 1, 2, 2)), training=True)
+        dx = net.backward(np.array([[[[4.0]]]], dtype=np.float32))
+        np.testing.assert_allclose(dx[0, 0], np.ones((2, 2)))
+
+    def test_gradcheck(self):
+        net = Network([AvgPool2D(2)], input_shape=(2, 4, 4), seed=0)
+        x = _data((3, 2, 4, 4), seed=17)
+        t = _data((3, 2, 2, 2), seed=18)
+        check_network_gradients(net, x, t)
+
+
+class TestFlatten:
+    def test_shape_roundtrip(self):
+        net = Network([Flatten()], input_shape=(3, 4, 5), seed=0)
+        x = _data((2, 3, 4, 5))
+        y = net.forward(x, training=True)
+        assert y.shape == (2, 60)
+        dx = net.backward(y)
+        np.testing.assert_array_equal(dx, x)

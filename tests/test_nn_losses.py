@@ -1,0 +1,90 @@
+"""Loss functions: values, gradients, stability, error handling."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
+
+from conftest import numeric_gradient
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_loss_is_log_classes(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 10), dtype=np.float32)
+        labels = np.arange(4) % 10
+        assert loss.forward(logits, labels) == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_perfect_prediction_loss_near_zero(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.full((2, 3), -50.0, dtype=np.float32)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        assert loss.forward(logits, np.array([1, 2])) == pytest.approx(0.0, abs=1e-5)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 5)).astype(np.float64)
+        labels = np.array([0, 3, 4])
+        loss = SoftmaxCrossEntropy()
+
+        def f():
+            return SoftmaxCrossEntropy().forward(logits, labels)
+
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+        numeric = numeric_gradient(f, logits, eps=1e-5)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_gradient_rows_sum_to_zero(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.random.default_rng(1).normal(size=(6, 4)).astype(np.float32)
+        loss.forward(logits, np.zeros(6, dtype=np.int64))
+        np.testing.assert_allclose(loss.backward().sum(axis=1), 0.0, atol=1e-7)
+
+    def test_stable_for_huge_logits(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[1e4, -1e4]], dtype=np.float32)
+        value = loss.forward(logits, np.array([0]))
+        assert np.isfinite(value)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+    def test_shape_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3, 4), dtype=np.float32), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3), dtype=np.float32), np.zeros(3, dtype=int))
+
+    def test_predict_is_argmax(self):
+        logits = np.array([[1.0, 3.0, 2.0], [0.0, -1.0, 5.0]])
+        np.testing.assert_array_equal(SoftmaxCrossEntropy.predict(logits), [1, 2])
+
+
+class TestMeanSquaredError:
+    def test_zero_for_equal(self):
+        loss = MeanSquaredError()
+        x = np.ones((3, 3))
+        assert loss.forward(x, x.copy()) == 0.0
+
+    def test_known_value(self):
+        loss = MeanSquaredError()
+        assert loss.forward(np.array([[2.0]]), np.array([[0.0]])) == pytest.approx(4.0)
+
+    def test_gradient(self):
+        loss = MeanSquaredError()
+        out = np.array([[1.0, 2.0]])
+        tgt = np.array([[0.0, 0.0]])
+        loss.forward(out, tgt)
+        np.testing.assert_allclose(loss.backward(), [[1.0, 2.0]])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MeanSquaredError().forward(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            MeanSquaredError().backward()

@@ -1,0 +1,107 @@
+"""Model builders: shapes, inception block, trainability."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import (
+    InceptionBlock,
+    build_alexnet_mini,
+    build_googlenet_mini,
+    build_lenet,
+    build_mlp,
+    build_vgg_mini,
+)
+from repro.nn.activations import ReLU
+from repro.nn.layers import Conv2D
+from repro.nn.network import Network
+
+from conftest import check_network_gradients
+
+ALL_BUILDERS = [build_mlp, build_lenet, build_alexnet_mini, build_vgg_mini, build_googlenet_mini]
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS)
+class TestBuilders:
+    def test_forward_shape(self, builder):
+        net = builder(seed=0)
+        x = np.random.default_rng(0).normal(size=(2, *net.input_shape)).astype(np.float32)
+        y = net.forward(x)
+        assert y.shape == (2, 10)
+
+    def test_gradient_flows_to_every_parameter_group(self, builder):
+        net = builder(seed=1)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, *net.input_shape)).astype(np.float32)
+        y = rng.integers(0, 10, 4)
+        net.gradient(x, y)
+        # every weight segment (not biases, which can be zero-grad early)
+        for seg in net.segments:
+            if seg.param_name in ("W", "gamma") or seg.param_name.endswith(".W"):
+                g = net.grads[seg.start : seg.stop]
+                assert np.abs(g).sum() > 0, f"no gradient reached {seg.layer_name}.{seg.param_name}"
+
+    def test_deterministic_build(self, builder):
+        np.testing.assert_array_equal(builder(seed=5).params, builder(seed=5).params)
+
+    def test_seeds_differ(self, builder):
+        assert not np.allclose(builder(seed=1).params, builder(seed=2).params)
+
+
+class TestInceptionBlock:
+    def _block(self):
+        return InceptionBlock(
+            branches=[
+                [Conv2D(4, 1, name="b1"), ReLU()],
+                [Conv2D(2, 1, name="r3"), ReLU(), Conv2D(6, 3, pad=1, name="b3"), ReLU()],
+            ]
+        )
+
+    def test_output_channels_concatenate(self):
+        net = Network([self._block()], input_shape=(3, 8, 8), seed=0)
+        assert net.output_shape == (10, 8, 8)
+
+    def test_branch_outputs_in_order(self):
+        block = self._block()
+        net = Network([block], input_shape=(3, 4, 4), seed=1)
+        x = np.random.default_rng(0).normal(size=(1, 3, 4, 4)).astype(np.float32)
+        y = net.forward(x)
+        # first 4 channels = branch 0 output
+        h = x
+        for layer in block.branches[0]:
+            h = layer.forward(h)
+        np.testing.assert_allclose(y[:, :4], h, rtol=1e-6)
+
+    def test_gradcheck(self):
+        net = Network([self._block()], input_shape=(2, 4, 4), seed=2)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 2, 4, 4)).astype(np.float32)
+        t = rng.normal(size=(2, 10, 4, 4)).astype(np.float32)
+        check_network_gradients(net, x, t)
+
+    def test_mismatched_spatial_raises(self):
+        bad = InceptionBlock(branches=[[Conv2D(2, 1)], [Conv2D(2, 3)]])  # 3x3 shrinks
+        with pytest.raises(ValueError):
+            Network([bad], input_shape=(1, 5, 5), seed=0)
+
+    def test_empty_branch_rejected(self):
+        with pytest.raises(ValueError):
+            InceptionBlock(branches=[[]])
+
+    def test_params_pack_into_flat_buffer(self):
+        net = Network([self._block()], input_shape=(3, 6, 6), seed=3)
+        # mutate the flat buffer; inner conv weights must see it
+        net.params[...] = 0.25
+        inner = net.layers[0].branches[1][2].params["W"]
+        np.testing.assert_array_equal(inner, 0.25)
+
+
+class TestTrainability:
+    def test_lenet_learns_synthetic_mnist(self, mnist_tiny):
+        train, test = mnist_tiny
+        net = build_lenet(seed=9)
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            idx = rng.integers(0, len(train), 32)
+            net.gradient(train.images[idx], train.labels[idx])
+            net.params -= 0.05 * net.grads
+        assert net.evaluate(test.images, test.labels) > 0.9

@@ -1,0 +1,159 @@
+"""Network: packed buffer invariants, clone semantics, training API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.activations import ReLU
+from repro.nn.layers import Conv2D, Dense, Flatten
+from repro.nn.network import Network
+
+
+def _net(seed=0):
+    return Network(
+        [Conv2D(3, 3, pad=1, name="c1"), ReLU(), Flatten(), Dense(5, name="d1")],
+        input_shape=(1, 4, 4),
+        seed=seed,
+    )
+
+
+class TestPackedBuffer:
+    def test_params_are_views_into_flat_buffer(self):
+        net = _net()
+        net.params[...] = 0.0
+        for layer in net.layers:
+            for p in layer.params.values():
+                assert p.sum() == 0.0
+        net.params[...] = 1.0
+        for layer in net.layers:
+            for p in layer.params.values():
+                np.testing.assert_array_equal(p, 1.0)
+
+    def test_segments_cover_buffer_exactly(self):
+        net = _net()
+        covered = 0
+        prev_stop = 0
+        for seg in net.segments:
+            assert seg.start == prev_stop  # contiguous, ordered
+            covered += seg.size
+            prev_stop = seg.stop
+        assert covered == net.num_params
+
+    def test_segment_sizes_match_shapes(self):
+        net = _net()
+        for seg in net.segments:
+            assert seg.size == int(np.prod(seg.shape))
+
+    def test_nbytes_is_4x_params(self):
+        net = _net()
+        assert net.nbytes == 4 * net.num_params
+
+    def test_grads_are_views_too(self):
+        net = _net()
+        x = np.random.default_rng(0).normal(size=(2, 1, 4, 4)).astype(np.float32)
+        net.gradient(x, np.array([0, 1]))
+        total = sum(float(np.abs(g).sum()) for l in net.layers for g in l.grads.values())
+        assert total == pytest.approx(float(np.abs(net.grads).sum()), rel=1e-6)
+
+    def test_layer_nbytes_sums_to_total(self):
+        net = _net()
+        assert sum(n for _, n in net.layer_nbytes()) == net.nbytes
+
+
+class TestWeightTransport:
+    def test_get_params_is_a_copy(self):
+        net = _net()
+        snap = net.get_params()
+        snap[...] = 99.0
+        assert net.params[0] != 99.0
+
+    def test_set_params_roundtrip(self):
+        a, b = _net(seed=1), _net(seed=2)
+        assert not np.allclose(a.params, b.params)
+        b.set_params(a.get_params())
+        np.testing.assert_array_equal(a.params, b.params)
+
+    def test_set_params_validates_size(self):
+        net = _net()
+        with pytest.raises(ValueError):
+            net.set_params(np.zeros(3, dtype=np.float32))
+
+    def test_zero_grads(self):
+        net = _net()
+        net.grads[...] = 5.0
+        net.zero_grads()
+        assert np.all(net.grads == 0.0)
+
+
+class TestClone:
+    def test_clone_copies_weights(self):
+        net = _net(seed=3)
+        dup = net.clone()
+        np.testing.assert_array_equal(net.params, dup.params)
+
+    def test_clone_is_independent(self):
+        net = _net(seed=3)
+        dup = net.clone()
+        dup.params[...] = 0.0
+        assert not np.allclose(net.params, 0.0)
+
+    def test_clone_forward_matches(self):
+        net = _net(seed=4)
+        dup = net.clone()
+        x = np.random.default_rng(1).normal(size=(2, 1, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(net.forward(x), dup.forward(x), rtol=1e-6)
+
+
+class TestTraining:
+    def test_gradient_reduces_loss(self):
+        net = _net(seed=5)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(8, 1, 4, 4)).astype(np.float32)
+        y = rng.integers(0, 5, 8)
+        first = net.gradient(x, y)
+        for _ in range(30):
+            net.gradient(x, y)
+            net.params -= 0.1 * net.grads
+        assert net.gradient(x, y) < first
+
+    def test_determinism_same_seed(self):
+        a, b = _net(seed=6), _net(seed=6)
+        np.testing.assert_array_equal(a.params, b.params)
+        x = np.random.default_rng(3).normal(size=(2, 1, 4, 4)).astype(np.float32)
+        y = np.array([0, 1])
+        a.gradient(x, y)
+        b.gradient(x, y)
+        np.testing.assert_array_equal(a.grads, b.grads)
+
+    def test_evaluate_range(self):
+        net = _net(seed=7)
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(20, 1, 4, 4)).astype(np.float32)
+        y = rng.integers(0, 5, 20)
+        acc = net.evaluate(x, y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            Network([], input_shape=(1, 2, 2))
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_pack_unpack_identity(self, seed):
+        """set_params(get_params()) is the identity for any weights."""
+        net = _net(seed=seed % 10)
+        rng = np.random.default_rng(seed)
+        vec = rng.normal(size=net.num_params).astype(np.float32)
+        net.set_params(vec)
+        np.testing.assert_array_equal(net.get_params(), vec)
+
+    @settings(max_examples=10, deadline=None)
+    @given(scale=st.floats(0.1, 10.0))
+    def test_flops_independent_of_weights(self, scale):
+        net = _net()
+        before = net.flops_per_sample()
+        net.params *= np.float32(scale)
+        assert net.flops_per_sample() == before

@@ -1,0 +1,94 @@
+"""Weak-scaling models: Table 4 shapes and the Intel Caffe comparison."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.spec import GOOGLENET, VGG19
+from repro.scaling import CORES_PER_NODE, weak_scaling_sweep
+from repro.scaling.baselines import intel_caffe_like, our_implementation
+from repro.scaling.weak_scaling import WeakScalingModel, straggler_factor
+
+
+class TestStragglerFactor:
+    def test_single_node_is_one(self):
+        assert straggler_factor(1, 0.1) == 1.0
+
+    def test_zero_sigma_is_one(self):
+        assert straggler_factor(64, 0.0) == 1.0
+
+    def test_monotone_in_nodes(self):
+        f = [straggler_factor(p, 0.05) for p in (2, 4, 16, 64)]
+        assert all(a < b for a, b in zip(f, f[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            straggler_factor(0, 0.1)
+        with pytest.raises(ValueError):
+            straggler_factor(4, -0.1)
+
+
+class TestWeakScalingModel:
+    def test_efficiency_one_at_single_node(self):
+        m = our_implementation(GOOGLENET)
+        assert m.efficiency(1) == pytest.approx(1.0)
+
+    def test_single_node_time_matches_calibration(self):
+        m = our_implementation(GOOGLENET)
+        assert m.total_seconds(1) == pytest.approx(1533.0)
+        v = our_implementation(VGG19)
+        assert v.total_seconds(1) == pytest.approx(1318.0)
+
+    def test_sweep_covers_table4_columns(self):
+        points = weak_scaling_sweep(our_implementation(GOOGLENET))
+        assert [p.cores for p in points] == [68, 136, 272, 544, 1088, 2176, 4352]
+        assert points[0].cores == CORES_PER_NODE
+
+    def test_efficiency_monotone_decreasing(self):
+        points = weak_scaling_sweep(our_implementation(VGG19))
+        effs = [p.efficiency for p in points]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeakScalingModel("x", GOOGLENET, iterations=0, single_node_seconds=1,
+                             effective_beta=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(nodes=st.integers(1, 128))
+    def test_efficiency_bounded(self, nodes):
+        m = our_implementation(GOOGLENET)
+        assert 0.0 < m.efficiency(nodes) <= 1.0
+
+
+class TestPaperShape:
+    """The reproduction bands: who wins, by roughly what factor."""
+
+    def test_ours_beats_caffe_everywhere(self):
+        for spec in (GOOGLENET, VGG19):
+            ours, caffe = our_implementation(spec), intel_caffe_like(spec)
+            for nodes in (2, 4, 8, 16, 32, 64):
+                assert ours.efficiency(nodes) > caffe.efficiency(nodes)
+
+    def test_googlenet_scales_better_than_vgg(self):
+        """GoogleNet (27 MB) moves far fewer bytes per iteration-second of
+        compute than VGG (548 MB) — the paper's 92% vs 78.5%."""
+        g, v = our_implementation(GOOGLENET), our_implementation(VGG19)
+        assert g.efficiency(32) > v.efficiency(32)
+
+    def test_paper_2176_core_numbers(self):
+        """Modeled efficiencies land near the measured Table 4 values."""
+        assert our_implementation(GOOGLENET).efficiency(32) == pytest.approx(0.923, abs=0.05)
+        assert our_implementation(VGG19).efficiency(32) == pytest.approx(0.785, abs=0.05)
+        assert intel_caffe_like(GOOGLENET).efficiency(32) == pytest.approx(0.87, abs=0.05)
+        assert intel_caffe_like(VGG19).efficiency(32) == pytest.approx(0.62, abs=0.05)
+
+    def test_ours_above_90_percent_at_4352_cores(self):
+        """The abstract's headline: ~91.5% weak scaling on 4253+ KNL cores."""
+        assert our_implementation(GOOGLENET).efficiency(64) > 0.85
+
+    def test_unknown_spec_rejected(self):
+        from repro.nn.spec import LENET
+
+        with pytest.raises(KeyError):
+            our_implementation(LENET)
