@@ -14,6 +14,8 @@ Run with::
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.algorithms import TrainerConfig
@@ -71,6 +73,19 @@ def cifar_spec() -> ExperimentSpec:
         cost_model=CostModel.from_spec(ALEXNET),
     )
     return spec.normalize()
+
+
+@pytest.fixture(scope="session")
+def fault_artifact_path() -> Path:
+    """Where the fault-tolerance benchmark archives its JSON sweep.
+
+    ``benchmarks/artifacts/`` is created on demand; the file it returns is
+    the raw material for the robustness degradation curve in
+    ``docs/robustness.md``.
+    """
+    out = Path(__file__).parent / "artifacts"
+    out.mkdir(exist_ok=True)
+    return out / "fault_tolerance.json"
 
 
 def run_once(benchmark, fn):

@@ -20,6 +20,8 @@ Subpackages
     KNL chip model, Section 6.2 chip partitioning, Algorithm 4 trainer.
 ``repro.hogwild``
     Real threaded lock-free training on shared NumPy weights.
+``repro.faults``
+    Deterministic fault schedules (crash/straggler/drop) + recovery.
 ``repro.scaling``
     Table 4 weak-scaling models (ours vs Intel-Caffe-like).
 ``repro.harness``
@@ -42,6 +44,8 @@ __version__ = "1.0.0"
 
 from repro.algorithms import ALGORITHMS, TrainerConfig, make_trainer
 from repro.cluster import CostModel, GpuPlatform, KnlPlatform
+from repro.comm.runtime import DeadlockError
+from repro.faults import AllWorkersCrashedError, FaultError, FaultLog, FaultPlan
 from repro.harness import ExperimentSpec, run_method, run_methods
 
 __all__ = [
@@ -55,4 +59,9 @@ __all__ = [
     "ExperimentSpec",
     "run_method",
     "run_methods",
+    "FaultPlan",
+    "FaultLog",
+    "FaultError",
+    "AllWorkersCrashedError",
+    "DeadlockError",
 ]

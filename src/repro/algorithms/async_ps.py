@@ -41,6 +41,7 @@ from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
 from repro.cluster.simclock import EventQueue
 from repro.data.dataset import Dataset
+from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
 from repro.nn.network import Network
 from repro.optim.easgd import (
     EASGDHyper,
@@ -77,22 +78,53 @@ class _AsyncPSBase(BaseTrainer):
         config: TrainerConfig,
         cost_model: Optional[CostModel] = None,
         failures: Optional[Dict[int, float]] = None,
+        faults: Optional[FaultPlan] = None,
+        heartbeat_timeout: Optional[float] = None,
+        max_send_retries: int = 20,
     ) -> None:
-        """``failures`` maps a worker index to the simulated instant it
-        dies (fail-stop): events the dead worker would deliver after that
-        time are dropped and it is never rescheduled. This is the fault
-        model behind the paper's "high fault-tolerance requirement on
-        cloud systems" motivation — asynchronous masters keep making
-        progress with the surviving workers."""
-        super().__init__(network, train_set, test_set, config, cost_model)
+        """``faults`` is the full fault schedule (crash/rejoin, straggler,
+        stall, message drop/delay — see :class:`repro.faults.FaultPlan`).
+        This is the fault model behind the paper's "high fault-tolerance
+        requirement on cloud systems" motivation — asynchronous masters
+        keep making progress with the surviving workers, evict silent ones
+        after ``heartbeat_timeout`` simulated seconds (default: auto-scaled
+        to ~25 worker cycles), and let crashed workers rejoin by re-pulling
+        the elastic center.
+
+        ``failures`` is the legacy fail-stop shorthand: a map from worker
+        index to the simulated instant it dies. It is converted to a
+        crash-only :class:`FaultPlan`; passing both is an error."""
+        self.failures: Dict[int, float] = dict(failures or {})
+        if self.failures:
+            if faults is not None:
+                raise ValueError("pass either failures= (legacy) or faults=, not both")
+            plan = FaultPlan(seed=config.seed)
+            for worker, when in self.failures.items():
+                if not isinstance(worker, int) or isinstance(worker, bool) or not (
+                    0 <= worker < platform.num_gpus
+                ):
+                    raise ValueError(
+                        f"failures[{worker!r}]: worker index must be in "
+                        f"[0, {platform.num_gpus})"
+                    )
+                if when <= 0:
+                    raise ValueError(
+                        f"failures[{worker}] = {when!r}: failure time must be a "
+                        "positive simulated instant"
+                    )
+                plan.crash(worker, when)
+            faults = plan
+        if faults is not None:
+            faults.validate(platform.num_gpus)
+        super().__init__(network, train_set, test_set, config, cost_model, faults=faults)
         self.platform = platform
         self.hyper = EASGDHyper(lr=config.lr, rho=config.rho, mu=config.mu)
-        self.failures: Dict[int, float] = dict(failures or {})
-        for worker, when in self.failures.items():
-            if not 0 <= worker < platform.num_gpus:
-                raise ValueError(f"failure worker {worker} out of range")
-            if when < 0:
-                raise ValueError("failure time must be non-negative")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        self.heartbeat_timeout = heartbeat_timeout
+        if max_send_retries < 0:
+            raise ValueError("max_send_retries must be non-negative")
+        self.max_send_retries = max_send_retries
 
     # -- numerics hooks ------------------------------------------------------
     def _init_states(self, g: int, init: np.ndarray) -> None:
@@ -129,11 +161,25 @@ class _AsyncPSBase(BaseTrainer):
         service_t = self.platform.cpu_update_time(self.cost)
         local_upd_t = self.platform.gpu_update_time(self.cost) if self.elastic else 0.0
 
+        plan = self.faults
+        log = self.fault_log = FaultLog()
         queue = EventQueue()
+        send_seq = [0] * g  # per-worker message sequence numbers
+        retry_backoff = 2.0 * max(oneway_t, 1e-9)
+        # Heartbeat-timeout eviction policy: a worker the master has not
+        # heard from for ~25 healthy cycles is declared dead. The policy
+        # only *detects* — dead workers already contribute nothing — but it
+        # is what turns a silent loss into a logged, observable eviction.
+        fwdbwd_base = self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=0, jittered=False)
+        heartbeat = self.heartbeat_timeout
+        if heartbeat is None:
+            heartbeat = 25.0 * (stage_t + fwdbwd_base + 2.0 * oneway_t + service_t)
 
         def launch_cycle(j: int, start: float) -> None:
             """Schedule worker j's next master-arrival event."""
             fwdbwd = self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
+            if plan is not None:
+                fwdbwd *= plan.slowdown(j, start)  # straggler/stall inflation
             compute_done = start + stage_t + fwdbwd
             if self.elastic:
                 # EASGD: the send does not wait for the pass (overlap).
@@ -141,15 +187,34 @@ class _AsyncPSBase(BaseTrainer):
             else:
                 # SGD: the gradient is what gets sent; pass first.
                 arrival = compute_done + oneway_t
-            queue.push(arrival, (j, compute_done, fwdbwd))
+            seq = send_seq[j]
+            send_seq[j] += 1
+            if plan is not None:
+                lag = plan.delay_seconds(j, "master", 0, seq)
+                if lag > 0.0:
+                    log.record(arrival, "delay", f"worker {j} -> master", f"+{lag:.4g}s seq={seq}")
+                    arrival += lag
+            queue.push(arrival, ("arrival", j, compute_done, fwdbwd, seq, 0))
 
         for j in range(g):
             launch_cycle(j, 0.0)
+        # Crashed workers with a scheduled rejoin re-enter via rejoin events.
+        if plan is not None:
+            for j in range(g):
+                rejoin_at = plan.rejoin_time(j)
+                if rejoin_at is not None:
+                    queue.push(rejoin_at, ("rejoin", j))
 
         master_free = 0.0
         sim_time = 0.0
         waiting_total = 0.0
         dropped = 0
+        msg_dropped = 0
+        degraded_iters = 0
+        rejoined = 0
+        last_seen = [0.0] * g
+        crash_logged: set = set()
+        evicted: set = set()
         # Staleness instrumentation: how many master updates landed between
         # a worker's last sync and the application of its contribution —
         # the quantity asynchronous convergence analyses bound.
@@ -160,11 +225,64 @@ class _AsyncPSBase(BaseTrainer):
         t = 0
         while t < iterations and queue:
             event = queue.pop()
-            j, compute_done, fwdbwd = event.payload
-            arrival = event.time
-            if j in self.failures and arrival > self.failures[j]:
+            now = event.time
+            if plan is not None:
+                # Master-side failure detection: log crashes as they take
+                # effect and evict workers silent for longer than the
+                # heartbeat timeout.
+                for k in range(g):
+                    if k in crash_logged or not plan.is_dead(k, now):
+                        continue
+                    crash_logged.add(k)
+                    log.record(plan.crash_time(k), "crash", f"worker {k}", "fail-stop")
+                for k in range(g):
+                    if k in evicted or not plan.is_dead(k, now):
+                        continue
+                    if now - last_seen[k] > heartbeat:
+                        evicted.add(k)
+                        log.record(
+                            now, "evict", f"worker {k}",
+                            f"no heartbeat for > {heartbeat:.4g}s",
+                        )
+            if event.payload[0] == "rejoin":
+                j = event.payload[1]
+                # Recovery: the worker restores by re-pulling the elastic
+                # center (checkpoint = the master's Wbar), resetting its
+                # velocity and staleness bookkeeping, then resumes cycling.
+                self.worker_w[j][...] = self.master
+                self.worker_v[j][...] = 0.0
+                worker_version[j] = master_version
+                evicted.discard(j)
+                last_seen[j] = now
+                rejoined += 1
+                log.record(now, "rejoin", f"worker {j}", "re-pulled elastic center")
+                launch_cycle(j, now)
+                continue
+            _, j, compute_done, fwdbwd, seq, attempt = event.payload
+            arrival = now
+            if plan is not None and plan.is_dead(j, arrival):
                 dropped += 1  # fail-stop: the message never arrives
                 continue
+            if plan is not None and plan.should_drop(j, "master", 0, seq, attempt):
+                # Transient message loss: the worker retransmits with
+                # exponential backoff; after max_send_retries it goes
+                # silent (and will be evicted by the heartbeat policy).
+                msg_dropped += 1
+                log.record(arrival, "drop", f"worker {j} -> master", f"seq={seq} attempt={attempt}")
+                if attempt + 1 > self.max_send_retries:
+                    log.record(
+                        arrival, "give-up", f"worker {j}",
+                        f"seq={seq}: still dropped after {attempt + 1} attempts",
+                    )
+                    continue
+                backoff = retry_backoff * (2 ** min(attempt, 6))
+                breakdown.add("cpu-gpu para", oneway_t)  # the retransmission
+                queue.push(arrival + backoff, ("arrival", j, compute_done, fwdbwd, seq, attempt + 1))
+                continue
+            last_seen[j] = arrival
+            if plan is not None and any(plan.is_dead(k, arrival) for k in range(g)):
+                degraded_iters += 1
+                breakdown.mark_degraded()
 
             if self.lock_free:
                 service_start = arrival
@@ -209,6 +327,36 @@ class _AsyncPSBase(BaseTrainer):
                 if self.should_stop(acc):
                     break
 
+        if t == 0:
+            # The queue drained before a single update was applied — every
+            # worker crashed at (effectively) time zero. An empty run is a
+            # setup error, not a data point.
+            raise AllWorkersCrashedError(
+                f"all {g} workers crashed before any master update was applied "
+                f"(fault log: {log.summary()})"
+            )
+        if not records or records[-1].iteration != t:
+            # Fault-truncated run (queue drained mid-stride): snapshot the
+            # final state so the degraded trajectory is still analyzable.
+            acc = self.evaluate_params(self._eval_vector())
+            records.append(TrainRecord(t, sim_time, last_loss, acc))
+
+        extras = {
+            "master_wait_seconds": waiting_total,
+            "failed_worker_events_dropped": float(dropped),
+            "mean_staleness": staleness_sum / t if t else 0.0,
+            "max_staleness": float(staleness_max),
+        }
+        if plan is not None:
+            extras.update(
+                {
+                    "messages_dropped": float(msg_dropped),
+                    "workers_evicted": float(len(evicted)),
+                    "workers_rejoined": float(rejoined),
+                    "degraded_iterations": float(degraded_iters),
+                }
+            )
+
         final_acc = records[-1].test_accuracy if records else 0.0
         return RunResult(
             method=self.name,
@@ -217,12 +365,8 @@ class _AsyncPSBase(BaseTrainer):
             iterations=records[-1].iteration if records else 0,
             sim_time=sim_time,
             final_accuracy=final_acc,
-            extras={
-                "master_wait_seconds": waiting_total,
-                "failed_worker_events_dropped": float(dropped),
-                "mean_staleness": staleness_sum / t if t else 0.0,
-                "max_staleness": float(staleness_max),
-            },
+            extras=extras,
+            fault_log=log if plan is not None else None,
         )
 
 

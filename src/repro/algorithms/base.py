@@ -17,6 +17,7 @@ import numpy as np
 from repro.cluster.cost import CostModel
 from repro.data.dataset import Dataset
 from repro.data.loader import BatchSampler
+from repro.faults import FaultLog, FaultPlan
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.network import Network
 
@@ -91,10 +92,22 @@ class TrainRecord:
 
 
 class TimeBreakdown:
-    """Accumulator for Table 3's per-part simulated seconds."""
+    """Accumulator for Table 3's per-part simulated seconds.
+
+    ``degraded_rounds`` counts iterations executed in degraded mode (some
+    worker dead, evicted, or retransmitting) — it is bookkeeping next to,
+    not inside, the per-part seconds so Table 3 renderings are unchanged.
+    """
 
     def __init__(self) -> None:
         self.parts: Dict[str, float] = {p: 0.0 for p in BREAKDOWN_PARTS}
+        self.degraded_rounds: int = 0
+
+    def mark_degraded(self, rounds: int = 1) -> None:
+        """Count ``rounds`` iterations that ran with a degraded worker pool."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        self.degraded_rounds += rounds
 
     def add(self, part: str, seconds: float) -> None:
         if part not in self.parts:
@@ -136,6 +149,9 @@ class RunResult:
     final_accuracy: float
     reached_target: Optional[bool] = None
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Structured record of every injected/detected fault event, present
+    #: when the run executed under a :class:`repro.faults.FaultPlan`.
+    fault_log: Optional[FaultLog] = None
 
     def time_to_accuracy(self, target: float) -> Optional[float]:
         """Simulated seconds until test accuracy first reached ``target``."""
@@ -168,6 +184,7 @@ class BaseTrainer:
         test_set: Dataset,
         config: TrainerConfig,
         cost_model: Optional[CostModel] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.net = network
         self.train_set = train_set
@@ -175,6 +192,11 @@ class BaseTrainer:
         self.config = config
         self.cost = cost_model or CostModel.from_network(network)
         self.loss = SoftmaxCrossEntropy()
+        #: The fault schedule this trainer runs under (None = healthy run).
+        self.faults = faults
+        #: Refreshed at the start of every ``train()`` call so per-run logs
+        #: from identical plans compare equal.
+        self.fault_log = FaultLog()
 
         n_eval = min(config.eval_samples, len(test_set))
         self._eval_images = test_set.images[:n_eval]

@@ -29,6 +29,7 @@ from repro.algorithms.base import (
 from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
 from repro.data.dataset import Dataset
+from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
 from repro.nn.network import Network
 from repro.optim.easgd import (
     EASGDHyper,
@@ -52,8 +53,11 @@ class OriginalEASGDTrainer(BaseTrainer):
         cost_model: Optional[CostModel] = None,
         overlapped: bool = True,
         packed: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
-        super().__init__(network, train_set, test_set, config, cost_model)
+        if faults is not None:
+            faults.validate(platform.num_gpus)
+        super().__init__(network, train_set, test_set, config, cost_model, faults=faults)
         self.platform = platform
         self.overlapped = overlapped
         self.packed = packed  # the original implementation sends per-blob
@@ -83,8 +87,36 @@ class OriginalEASGDTrainer(BaseTrainer):
         gpu_upd_t = self.platform.gpu_update_time(self.cost)
         cpu_upd_t = self.platform.cpu_update_time(self.cost)
 
+        plan = self.faults
+        log = self.fault_log = FaultLog()
+        currently_dead: set = set()
+        degraded_rounds = 0
+        rejoined = 0
+
         for t in range(1, iterations + 1):
             j = (t - 1) % g  # Algorithm 1 line 7 (0-based)
+            if plan is not None:
+                for k in range(g):
+                    if plan.is_dead(k, sim_time) and k not in currently_dead:
+                        currently_dead.add(k)
+                        log.record(plan.crash_time(k), "crash", f"worker {k}", "fail-stop")
+                    elif not plan.is_dead(k, sim_time) and k in currently_dead:
+                        currently_dead.discard(k)
+                        workers[k][...] = center  # recovery: restore from center
+                        rejoined += 1
+                        log.record(sim_time, "rejoin", f"worker {k}", "re-pulled elastic center")
+                if len(currently_dead) == g:
+                    raise AllWorkersCrashedError(
+                        f"all {g} workers crashed by t={sim_time:.4g}s "
+                        f"(iteration {t}; fault log: {log.summary()})"
+                    )
+                # Round-robin over survivors: the master skips dead ranks
+                # instead of blocking on a reply that will never come.
+                while j in currently_dead:
+                    j = (j + 1) % g
+                if currently_dead:
+                    degraded_rounds += 1
+                    breakdown.mark_degraded()
 
             # --- numerics -------------------------------------------------
             images, labels = samplers[j].next_batch()
@@ -98,6 +130,8 @@ class OriginalEASGDTrainer(BaseTrainer):
 
             # --- simulated time --------------------------------------------
             fwdbwd = self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
+            if plan is not None:
+                fwdbwd *= plan.slowdown(j, sim_time)  # straggler/stall inflation
             param_comm = 2.0 * param_oneway  # send Wbar down, fetch W_j up
             if self.overlapped:
                 # The pass pipelines fully under the (longer) weight
@@ -124,6 +158,12 @@ class OriginalEASGDTrainer(BaseTrainer):
                 if self.should_stop(acc):
                     break
 
+        extras = {}
+        if plan is not None:
+            extras = {
+                "degraded_rounds": float(degraded_rounds),
+                "workers_rejoined": float(rejoined),
+            }
         final_acc = records[-1].test_accuracy if records else 0.0
         return RunResult(
             method=self.name,
@@ -132,4 +172,6 @@ class OriginalEASGDTrainer(BaseTrainer):
             iterations=records[-1].iteration if records else 0,
             sim_time=sim_time,
             final_accuracy=final_acc,
+            extras=extras,
+            fault_log=log if plan is not None else None,
         )

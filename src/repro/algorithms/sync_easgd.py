@@ -37,6 +37,7 @@ from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
 from repro.comm.collectives import tree_reduce
 from repro.data.dataset import Dataset
+from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
 from repro.nn.network import Network
 from repro.optim.easgd import EASGDHyper, elastic_worker_update
 
@@ -56,8 +57,11 @@ class SyncEASGDTrainer(BaseTrainer):
         cost_model: Optional[CostModel] = None,
         variant: int = 3,
         packed: bool = True,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
-        super().__init__(network, train_set, test_set, config, cost_model)
+        if faults is not None:
+            faults.validate(platform.num_gpus)
+        super().__init__(network, train_set, test_set, config, cost_model, faults=faults)
         if variant not in (1, 2, 3):
             raise ValueError("variant must be 1, 2, or 3")
         self.platform = platform
@@ -93,26 +97,71 @@ class SyncEASGDTrainer(BaseTrainer):
         bcast_t = self.platform.tree_bcast_time(self.cost, param_traffic, self.packed)
         reduce_t = self.platform.tree_reduce_time(self.cost, param_traffic, self.packed)
 
+        # Fault machinery: a crash removes a rank from the reduction tree
+        # (the tree is rebuilt over survivors instead of deadlocking); a
+        # rejoining rank re-pulls the elastic center before re-entering.
+        plan = self.faults
+        log = self.fault_log = FaultLog()
+        currently_dead: set = set()
+        tree_size = g
+        degraded_rounds = 0
+        rebuilds = 0
+
         for t in range(1, iterations + 1):
+            live = list(range(g))
+            if plan is not None:
+                live = [j for j in range(g) if not plan.is_dead(j, sim_time)]
+                for j in range(g):
+                    if j not in live and j not in currently_dead:
+                        currently_dead.add(j)
+                        log.record(plan.crash_time(j), "crash", f"worker {j}", "fail-stop")
+                    elif j in live and j in currently_dead:
+                        currently_dead.discard(j)
+                        workers[j][...] = center  # recovery: restore from center
+                        log.record(sim_time, "rejoin", f"worker {j}", "re-pulled elastic center")
+                if not live:
+                    raise AllWorkersCrashedError(
+                        f"all {g} workers crashed by t={sim_time:.4g}s "
+                        f"(iteration {t}; fault log: {log.summary()})"
+                    )
+                if len(live) != tree_size:
+                    tree_size = len(live)
+                    rebuilds += 1
+                    log.record(
+                        sim_time, "tree-rebuild", self.name,
+                        f"binomial tree over {tree_size} of {g} ranks",
+                    )
+                    bcast_t = self.platform.tree_bcast_time(
+                        self.cost, param_traffic, self.packed, ranks=tree_size
+                    )
+                    reduce_t = self.platform.tree_reduce_time(
+                        self.cost, param_traffic, self.packed, ranks=tree_size
+                    )
+                if len(live) < g:
+                    degraded_rounds += 1
+                    breakdown.mark_degraded()
+            g_live = len(live)
+
             # --- numerics (identical across variants) -----------------------
             grads: List[np.ndarray] = []
-            for j in range(g):
+            for j in live:
                 images, labels = samplers[j].next_batch()
                 self.net.set_params(workers[j])
                 last_loss = self.net.gradient(images, labels, self.loss)
                 grads.append(self.net.grads.copy())
 
-            sum_w = tree_reduce(workers)  # step 3: deterministic tree sum
+            sum_w = tree_reduce([workers[j] for j in live])  # step 3: tree sum
             center_t = center  # Eq 1/Eq 2 both read the pre-update center
-            for j in range(g):  # step 4: Eq 1 on every GPU
-                elastic_worker_update(workers[j], grads[j], center_t, self.hyper)
+            for i, j in enumerate(live):  # step 4: Eq 1 on every live GPU
+                elastic_worker_update(workers[j], grads[i], center_t, self.hyper)
             # step 5: Eq 2 — in place, reading the pre-update value once.
-            center += self.hyper.alpha * (sum_w - g * center)
+            center += self.hyper.alpha * (sum_w - g_live * center)
 
             # --- simulated time ---------------------------------------------
             fwdbwd_max = max(
                 self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
-                for j in range(g)
+                * (plan.slowdown(j, sim_time) if plan is not None else 1.0)
+                for j in live
             )
             if self.variant == 1:
                 # Serial: stage, bcast, compute, reduce, GPU update, CPU update.
@@ -149,6 +198,12 @@ class SyncEASGDTrainer(BaseTrainer):
                 if self.should_stop(acc):
                     break
 
+        extras = {}
+        if plan is not None:
+            extras = {
+                "degraded_rounds": float(degraded_rounds),
+                "tree_rebuilds": float(rebuilds),
+            }
         final_acc = records[-1].test_accuracy if records else 0.0
         return RunResult(
             method=self.name,
@@ -157,4 +212,6 @@ class SyncEASGDTrainer(BaseTrainer):
             iterations=records[-1].iteration if records else 0,
             sim_time=sim_time,
             final_accuracy=final_acc,
+            extras=extras,
+            fault_log=log if plan is not None else None,
         )

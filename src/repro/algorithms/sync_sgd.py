@@ -30,8 +30,9 @@ from repro.algorithms.base import (
 )
 from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
-from repro.comm.collectives import tree_reduce
+from repro.comm.collectives import tree_reduce, tree_rounds
 from repro.data.dataset import Dataset
+from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
 from repro.nn.network import Network
 from repro.optim.quantize import quantize_gradient
 from repro.util.rng import spawn_rng
@@ -53,8 +54,11 @@ class SyncSGDTrainer(BaseTrainer):
         packed: bool = True,
         param_traffic: str = "gpu-gpu para",
         quantize_bits: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
-        super().__init__(network, train_set, test_set, config, cost_model)
+        if faults is not None:
+            faults.validate(platform.num_gpus)
+        super().__init__(network, train_set, test_set, config, cost_model, faults=faults)
         if quantize_bits is not None and not 1 <= quantize_bits <= 16:
             raise ValueError("quantize_bits must be in [1, 16]")
         self.platform = platform
@@ -92,19 +96,55 @@ class SyncSGDTrainer(BaseTrainer):
             plan = self.platform.param_plan(self.cost, self.packed)
             link = self.platform.topology.link_for(self.param_traffic)
             full_bytes_time = link.beta * plan.total_bytes
-            from repro.comm.collectives import tree_rounds
-
             hops = tree_rounds(g)
             saved = hops * full_bytes_time * (1.0 - shrink)
             bcast_t = max(bcast_t - saved, hops * link.alpha * plan.num_messages)
             reduce_t = max(reduce_t - saved, hops * link.alpha * plan.num_messages)
         comm_part = "gpu-gpu para" if self.param_traffic == "gpu-gpu para" else "cpu-gpu para"
 
+        plan = self.faults
+        log = self.fault_log = FaultLog()
+        currently_dead: set = set()
+        tree_size = g
+        degraded_rounds = 0
+        full_bcast_t, full_reduce_t = bcast_t, reduce_t
+
         self.net.set_params(weights)
         for t in range(1, iterations + 1):
+            live = list(range(g))
+            if plan is not None:
+                live = [j for j in range(g) if not plan.is_dead(j, sim_time)]
+                for j in range(g):
+                    if j not in live and j not in currently_dead:
+                        currently_dead.add(j)
+                        log.record(plan.crash_time(j), "crash", f"worker {j}", "fail-stop")
+                    elif j in live and j in currently_dead:
+                        currently_dead.discard(j)
+                        log.record(sim_time, "rejoin", f"worker {j}", "re-entered allreduce group")
+                if not live:
+                    raise AllWorkersCrashedError(
+                        f"all {g} workers crashed by t={sim_time:.4g}s "
+                        f"(iteration {t}; fault log: {log.summary()})"
+                    )
+                if len(live) != tree_size:
+                    tree_size = len(live)
+                    log.record(
+                        sim_time, "tree-rebuild", self.name,
+                        f"allreduce tree over {tree_size} of {g} ranks",
+                    )
+                    # Tree depth shrinks with the group; per-hop cost (incl.
+                    # any quantized-width adjustment) is unchanged.
+                    depth_ratio = tree_rounds(tree_size) / max(tree_rounds(g), 1)
+                    bcast_t = full_bcast_t * depth_ratio
+                    reduce_t = full_reduce_t * depth_ratio
+                if len(live) < g:
+                    degraded_rounds += 1
+                    breakdown.mark_degraded()
+            g_live = len(live)
+
             grads: List[np.ndarray] = []
             losses = []
-            for j in range(g):
+            for j in live:
                 images, labels = samplers[j].next_batch()
                 losses.append(self.net.gradient(images, labels, self.loss))
                 grads.append(self.net.grads.copy())
@@ -114,13 +154,14 @@ class SyncSGDTrainer(BaseTrainer):
                     quantize_gradient(grad, self.quantize_bits, self._quant_rng)[0]
                     for grad in grads
                 ]
-            mean_grad = tree_reduce(grads) / g
+            mean_grad = tree_reduce(grads) / g_live
             weights -= cfg.lr * mean_grad
             self.net.set_params(weights)
 
             fwdbwd_max = max(
                 self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
-                for j in range(g)
+                * (plan.slowdown(j, sim_time) if plan is not None else 1.0)
+                for j in live
             )
             iter_time = stage_t + fwdbwd_max + reduce_t + bcast_t + gpu_upd_t
             breakdown.add("cpu-gpu data", stage_t)
@@ -135,6 +176,9 @@ class SyncSGDTrainer(BaseTrainer):
                 if self.should_stop(acc):
                     break
 
+        extras = {}
+        if plan is not None:
+            extras = {"degraded_rounds": float(degraded_rounds)}
         final_acc = records[-1].test_accuracy if records else 0.0
         return RunResult(
             method=self.name,
@@ -143,4 +187,6 @@ class SyncSGDTrainer(BaseTrainer):
             iterations=records[-1].iteration if records else 0,
             sim_time=sim_time,
             final_accuracy=final_acc,
+            extras=extras,
+            fault_log=log if plan is not None else None,
         )

@@ -10,7 +10,7 @@ trainers decide what overlaps with what (that is exactly where Sync EASGD1,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.cluster.cost import CostModel
 from repro.cluster.devices import (
@@ -92,17 +92,25 @@ class GpuPlatform:
         link = self.topology.link_for("gpu-gpu para")
         return self.param_plan(cost, packed).cost(link)
 
-    def tree_bcast_time(self, cost: CostModel, link_traffic: str, packed: bool = True) -> float:
-        """Binomial-tree broadcast of the model to all GPUs."""
+    def tree_bcast_time(
+        self, cost: CostModel, link_traffic: str, packed: bool = True,
+        ranks: Optional[int] = None,
+    ) -> float:
+        """Binomial-tree broadcast of the model to ``ranks`` GPUs (default:
+        all of them; fewer after a fault-driven tree rebuild)."""
         link = self.topology.link_for(link_traffic)
         per_hop = self.param_plan(cost, packed).cost(link)
-        return tree_bcast_cost(_unit_link(per_hop), 0, self.num_gpus)
+        return tree_bcast_cost(_unit_link(per_hop), 0, ranks or self.num_gpus)
 
-    def tree_reduce_time(self, cost: CostModel, link_traffic: str, packed: bool = True) -> float:
-        """Binomial-tree reduction of all GPUs' models to the root."""
+    def tree_reduce_time(
+        self, cost: CostModel, link_traffic: str, packed: bool = True,
+        ranks: Optional[int] = None,
+    ) -> float:
+        """Binomial-tree reduction of ``ranks`` GPUs' models to the root
+        (default: all of them; fewer after a fault-driven tree rebuild)."""
         link = self.topology.link_for(link_traffic)
         per_hop = self.param_plan(cost, packed).cost(link)
-        return tree_reduce_cost(_unit_link(per_hop), 0, self.num_gpus)
+        return tree_reduce_cost(_unit_link(per_hop), 0, ranks or self.num_gpus)
 
     def flat_exchange_time(self, cost: CostModel, link_traffic: str, packed: bool = True) -> float:
         """P sequential model exchanges at the root (round-robin pattern)."""

@@ -21,7 +21,7 @@ from repro.comm.collectives import (
     allreduce_cost,
 )
 from repro.comm.topology import GpuNodeTopology, KnlClusterTopology
-from repro.comm.runtime import InProcessCommunicator, RankContext
+from repro.comm.runtime import DeadlockError, InProcessCommunicator, RankContext
 from repro.comm.collectives import ring_allreduce, ring_allreduce_cost
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "allreduce_cost",
     "GpuNodeTopology",
     "KnlClusterTopology",
+    "DeadlockError",
     "InProcessCommunicator",
     "RankContext",
     "ring_allreduce",

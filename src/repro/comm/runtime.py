@@ -13,20 +13,54 @@ simulated trainers.
 
 This is real concurrency: NumPy kernels release the GIL, messages really
 cross thread boundaries, and a bug in the schedule deadlocks exactly as it
-would under MPI.
+would under MPI — surfacing as a :class:`DeadlockError` that names the
+waiting rank, the expected source, and the tag.
+
+Fault injection: pass ``faults=FaultPlan(...).drop_rate(p)`` and every
+send becomes an unreliable-link transmission — each delivery attempt is
+dropped with probability ``p`` (a pure function of the plan seed and the
+message identity, so runs are reproducible), the sender retransmits with
+exponential backoff up to ``max_retries`` times, and the receiver's
+``recv`` polls in exponentially growing slices. A schedule bug or a
+message the plan marks lost-forever therefore fails *deterministically and
+fast* (a :class:`DeadlockError` at the configured timeout) instead of
+hanging for a hardcoded minute. Every drop/retransmission/delay is logged
+to the communicator's :class:`repro.faults.FaultLog`.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["RankContext", "InProcessCommunicator"]
+from repro.faults import FaultLog, FaultPlan
+
+__all__ = ["RankContext", "InProcessCommunicator", "DeadlockError"]
 
 _DEFAULT_TIMEOUT = 60.0  # seconds before a recv declares a deadlock
+
+
+class DeadlockError(TimeoutError):
+    """A ``recv`` that can never complete: schedule deadlock or lost message.
+
+    Carries the waiting ``rank``, the expected ``source``, the ``tag``, and
+    the ``timeout`` that expired, so the failing edge of the communication
+    schedule is identifiable from the exception alone.
+    """
+
+    def __init__(self, rank: int, source: int, tag: int, timeout: float) -> None:
+        self.rank = rank
+        self.source = source
+        self.tag = tag
+        self.timeout = timeout
+        super().__init__(
+            f"rank {rank}: recv(source={source}, tag={tag}) timed out after "
+            f"{timeout}s — likely a schedule deadlock or a lost message"
+        )
 
 
 class _Mailbox:
@@ -47,14 +81,36 @@ class _Mailbox:
     def put(self, source: int, tag: int, payload: Any) -> None:
         self._queue_for(source, tag).put(payload)
 
-    def get(self, source: int, tag: int, timeout: float) -> Any:
-        try:
-            return self._queue_for(source, tag).get(timeout=timeout)
-        except queue.Empty:
-            raise TimeoutError(
-                f"recv(source={source}, tag={tag}) timed out after {timeout}s — "
-                "likely a schedule deadlock"
-            ) from None
+    def get(
+        self,
+        source: int,
+        tag: int,
+        timeout: float,
+        on_retry: Optional[Callable[[int], None]] = None,
+    ) -> Any:
+        """Blocking selective receive with exponential-backoff polling.
+
+        Waits in growing slices (so a transiently dropped-and-retransmitted
+        message is picked up shortly after redelivery); raises
+        :class:`queue.Empty` once the total ``timeout`` budget is spent.
+        ``on_retry`` is invoked with the attempt number after each empty
+        slice — the hook the communicator uses for fault logging.
+        """
+        q = self._queue_for(source, tag)
+        deadline = time.monotonic() + timeout
+        wait = min(0.05, timeout)
+        attempt = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise queue.Empty
+            try:
+                return q.get(timeout=min(wait, remaining))
+            except queue.Empty:
+                attempt += 1
+                if on_retry is not None:
+                    on_retry(attempt)
+                wait = min(wait * 2.0, 2.0)
 
 
 class RankContext:
@@ -64,19 +120,76 @@ class RankContext:
         self.comm = comm
         self.rank = rank
         self.size = comm.size
+        self._send_seq: Dict[Tuple[int, int], int] = {}
 
     # -- point to point --------------------------------------------------------
+    def _next_seq(self, dest: int, tag: int) -> int:
+        key = (dest, tag)
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+        return seq
+
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
-        """Deliver ``payload`` to ``dest`` (asynchronous, buffered)."""
+        """Deliver ``payload`` to ``dest`` (asynchronous, buffered).
+
+        Under a fault plan the link is unreliable: each delivery attempt may
+        be dropped, in which case the sender backs off exponentially and
+        retransmits (up to ``comm.max_retries`` retries). A channel the plan
+        marks lost-forever silently never delivers — the receiving rank's
+        ``recv`` then raises :class:`DeadlockError`.
+        """
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range for size {self.size}")
-        self.comm._mailboxes[dest].put(self.rank, tag, payload)
+        comm = self.comm
+        plan = comm.faults
+        if plan is None:
+            comm._mailboxes[dest].put(self.rank, tag, payload)
+            return
+
+        seq = self._next_seq(dest, tag)
+        edge = f"rank {self.rank} -> {dest} tag {tag}"
+        if plan.is_lost(self.rank, dest, tag):
+            comm.fault_log.record(comm._elapsed(), "lost", edge, f"seq={seq}: never delivered")
+            return
+        lag = plan.delay_seconds(self.rank, dest, tag, seq)
+        if lag > 0.0:
+            comm.fault_log.record(comm._elapsed(), "delay", edge, f"+{lag:.4g}s seq={seq}")
+            time.sleep(lag)
+        for attempt in range(comm.max_retries + 1):
+            if plan.should_drop(self.rank, dest, tag, seq, attempt):
+                comm.fault_log.record(comm._elapsed(), "drop", edge, f"seq={seq} attempt={attempt}")
+                time.sleep(comm.retry_backoff * (2 ** min(attempt, 6)))
+                continue
+            if attempt > 0:
+                comm.fault_log.record(
+                    comm._elapsed(), "retransmit", edge, f"seq={seq} delivered on attempt {attempt}"
+                )
+            comm._mailboxes[dest].put(self.rank, tag, payload)
+            return
+        comm.fault_log.record(
+            comm._elapsed(), "lost", edge,
+            f"seq={seq}: dropped on all {comm.max_retries + 1} attempts",
+        )
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        """Block until a message from ``source`` with ``tag`` arrives."""
+        """Block until a message from ``source`` with ``tag`` arrives.
+
+        Raises :class:`DeadlockError` (a :class:`TimeoutError`) carrying
+        rank/source/tag once the communicator's timeout budget is spent.
+        """
         if not 0 <= source < self.size:
             raise ValueError(f"source {source} out of range for size {self.size}")
-        return self.comm._mailboxes[self.rank].get(source, tag, self.comm.timeout)
+        comm = self.comm
+        on_retry = None
+        if comm.faults is not None:
+
+            def on_retry(attempt: int, _edge=f"rank {self.rank} <- {source} tag {tag}") -> None:
+                comm.fault_log.record(comm._elapsed(), "recv-retry", _edge, f"poll {attempt}")
+
+        try:
+            return comm._mailboxes[self.rank].get(source, tag, comm.timeout, on_retry)
+        except queue.Empty:
+            raise DeadlockError(self.rank, source, tag, comm.timeout) from None
 
     # -- collectives (binomial-tree schedules) ------------------------------------
     def bcast(self, payload: Any, root: int = 0, tag: int = 101) -> Any:
@@ -129,16 +242,43 @@ class RankContext:
 
 
 class InProcessCommunicator:
-    """Spawn ``size`` rank threads and run a function on each."""
+    """Spawn ``size`` rank threads and run a function on each.
 
-    def __init__(self, size: int, timeout: float = _DEFAULT_TIMEOUT) -> None:
+    ``timeout`` is the per-``recv`` deadlock budget (configurable per
+    communicator instead of the old hardcoded module constant). ``faults``
+    makes the fabric unreliable per the plan; ``max_retries`` and
+    ``retry_backoff`` govern the sender's retransmission policy.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        timeout: float = _DEFAULT_TIMEOUT,
+        faults: Optional[FaultPlan] = None,
+        max_retries: int = 8,
+        retry_backoff: float = 0.001,
+    ) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
         if timeout <= 0:
             raise ValueError("timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
         self.size = size
         self.timeout = timeout
+        self.faults = faults
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        #: Drops, retransmissions, delays, and lost messages land here.
+        self.fault_log = FaultLog()
         self._mailboxes = [_Mailbox() for _ in range(size)]
+        self._start = time.monotonic()
+
+    def _elapsed(self) -> float:
+        """Wall seconds since the communicator was created (log timestamps)."""
+        return time.monotonic() - self._start
 
     def run(self, fn: Callable[..., Any], *args: Any) -> List[Any]:
         """Execute ``fn(ctx, *args)`` on every rank; return per-rank results.

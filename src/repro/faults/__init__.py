@@ -1,0 +1,26 @@
+"""Fault injection and recovery (the robustness subsystem).
+
+The paper motivates asynchronous EASGD with the "high fault tolerance
+requirement" of cloud systems; this package makes that claim testable.
+A :class:`FaultPlan` deterministically schedules crashes, stragglers,
+transient stalls, and message drops/delays; trainers and the in-process
+runtime consume the plan, recover where the algorithm allows (heartbeat
+eviction, rejoin-from-center, reduction-tree rebuild, retransmission),
+and record everything that happened in a :class:`FaultLog` attached to
+the :class:`repro.algorithms.base.RunResult`.
+
+See ``docs/robustness.md`` for the fault model and recovery policies.
+"""
+
+from repro.faults.errors import AllWorkersCrashedError, FaultError
+from repro.faults.log import FaultLog, FaultRecord
+from repro.faults.plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "FaultPlan",
+    "FaultEvent",
+    "FaultLog",
+    "FaultRecord",
+    "FaultError",
+    "AllWorkersCrashedError",
+]

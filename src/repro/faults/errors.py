@@ -1,0 +1,18 @@
+"""Exceptions raised by the fault-tolerance machinery."""
+
+from __future__ import annotations
+
+__all__ = ["FaultError", "AllWorkersCrashedError"]
+
+
+class FaultError(RuntimeError):
+    """Base class for unrecoverable fault-injection outcomes."""
+
+
+class AllWorkersCrashedError(FaultError):
+    """Every worker fail-stopped before the run could make progress.
+
+    Raised instead of returning an empty :class:`RunResult` (or silently
+    hanging) when a fault plan kills the whole worker pool: an empty run
+    is an experimental-setup error, not a data point.
+    """

@@ -1,0 +1,84 @@
+"""Structured fault logging: what actually went wrong, and when.
+
+Every injected or detected fault event — crash, rejoin, eviction, message
+drop, retransmission, tree rebuild — is appended to a :class:`FaultLog`
+as a typed :class:`FaultRecord`. The log rides on
+:class:`repro.algorithms.base.RunResult`, serializes with the run, and is
+the object the determinism tests compare: two runs of the same plan must
+produce *equal* logs, record for record.
+
+Appends are lock-protected because the in-process runtime logs from many
+rank threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FaultRecord", "FaultLog"]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault event: when it happened, what kind, to whom."""
+
+    time: float  # simulated seconds (trainers) or wall seconds (runtime)
+    kind: str  # crash | rejoin | evict | drop | retransmit | delay | ...
+    subject: str  # e.g. "worker 3" or "rank 0 -> 2 tag 103"
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "kind": self.kind, "subject": self.subject, "detail": self.detail}
+
+
+class FaultLog:
+    """Append-only, thread-safe sequence of :class:`FaultRecord`."""
+
+    def __init__(self) -> None:
+        self._records: List[FaultRecord] = []
+        self._lock = threading.Lock()
+
+    def record(self, time: float, kind: str, subject: str, detail: str = "") -> FaultRecord:
+        rec = FaultRecord(float(time), kind, subject, detail)
+        with self._lock:
+            self._records.append(rec)
+        return rec
+
+    @property
+    def records(self) -> Tuple[FaultRecord, ...]:
+        with self._lock:
+            return tuple(self._records)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        recs = self.records
+        if kind is None:
+            return len(recs)
+        return sum(1 for r in recs if r.kind == kind)
+
+    def kinds(self) -> "Counter[str]":
+        return Counter(r.kind for r in self.records)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [r.to_dict() for r in self.records]
+
+    def summary(self) -> str:
+        """One line per kind, e.g. ``crash=1 drop=7 retransmit=7``."""
+        counts = self.kinds()
+        return " ".join(f"{k}={counts[k]}" for k in sorted(counts)) or "(no fault events)"
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[FaultRecord]:
+        return iter(self.records)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultLog):
+            return NotImplemented
+        return self.records == other.records
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultLog({self.summary()})"

@@ -8,7 +8,7 @@ reproduction bands care about.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,8 @@ __all__ = [
     "speedup_at_accuracy",
     "crossover_time",
     "trajectory_auc",
+    "fault_rate_curve",
+    "fault_degradation",
 ]
 
 
@@ -99,3 +101,26 @@ def trajectory_auc(result: RunResult, t_max: Optional[float] = None, samples: in
     values = np.array([accuracy_at_time(result, t) for t in grid])
     trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 2.x rename
     return float(trapezoid(values, grid) / end)
+
+
+def fault_rate_curve(
+    results_by_rate: Mapping[float, RunResult],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Accuracy-vs-fault-rate curve from a sweep keyed by fault rate.
+
+    Returns sorted ``(rates, final_accuracies)`` arrays — the robustness
+    figure-of-merit the fault-tolerance benchmark plots: how gracefully a
+    method's converged accuracy degrades as the message-drop (or crash)
+    rate grows.
+    """
+    if not results_by_rate:
+        raise ValueError("results_by_rate must not be empty")
+    rates = np.array(sorted(results_by_rate), dtype=float)
+    accs = np.array([results_by_rate[r].final_accuracy for r in rates])
+    return rates, accs
+
+
+def fault_degradation(faulty: RunResult, baseline: RunResult) -> float:
+    """How many accuracy points the faulty run lost vs the healthy baseline
+    (positive = degradation; the acceptance band is <= 0.05)."""
+    return baseline.final_accuracy - faulty.final_accuracy

@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.algorithms import ALGORITHMS, TrainerConfig
 from repro.cluster import CostModel
 from repro.data import make_cifar_like, make_mnist_like
+from repro.faults import FaultError, FaultPlan
 from repro.harness.breakdown import breakdown_row, render_table3
 from repro.harness.experiment import ExperimentSpec, run_method
 from repro.harness.results import results_to_json
@@ -70,6 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--difficulty", type=float, default=1.5)
     run.add_argument("--paper-scale-cost", action="store_true",
                      help="charge the clock for the full-scale model (LeNet/AlexNet spec)")
+    run.add_argument("--faults", metavar="SPEC", default=None,
+                     help="fault plan, e.g. 'crash:1@0.5>2.0;straggler:2x3.0;drop:0.05' "
+                          "(clauses: crash:W@T[>R] straggler:WxF[@T] stall:W@T+D "
+                          "drop:P delay:P@S seed:N)")
     run.add_argument("--json", metavar="PATH", default=None,
                      help="write the trajectory to a JSON file")
 
@@ -110,11 +115,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cost_model=cost,
     ).normalize()
 
-    if args.target is not None:
-        result = run_method(spec, args.method, target_accuracy=args.target,
-                            max_iterations=args.iterations)
-    else:
-        result = run_method(spec, args.method, iterations=args.iterations)
+    trainer_kwargs = {}
+    if args.faults:
+        try:
+            trainer_kwargs["faults"] = FaultPlan.from_spec(args.faults, seed=args.seed)
+        except ValueError as exc:
+            print(f"invalid --faults spec: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        if args.target is not None:
+            result = run_method(spec, args.method, target_accuracy=args.target,
+                                max_iterations=args.iterations, **trainer_kwargs)
+        else:
+            result = run_method(spec, args.method, iterations=args.iterations,
+                                **trainer_kwargs)
+    except TypeError as exc:
+        if args.faults and "faults" in str(exc):
+            print(f"method {args.method!r} does not support fault injection",
+                  file=sys.stderr)
+            return 2
+        raise
+    except ValueError as exc:
+        if args.faults:  # e.g. the plan targets a worker the platform lacks
+            print(f"invalid --faults spec: {exc}", file=sys.stderr)
+            return 2
+        raise
+    except FaultError as exc:
+        print(f"run failed under the fault plan: {exc}", file=sys.stderr)
+        return 3
 
     print(f"method          : {result.method}")
     print(f"iterations      : {result.iterations}")
@@ -123,6 +152,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.reached_target is not None:
         print(f"reached target  : {result.reached_target}")
     print(f"comm ratio      : {result.breakdown.comm_ratio * 100:.0f}%")
+    if result.fault_log is not None:
+        print(f"fault events    : {result.fault_log.summary()}")
+        print(f"degraded rounds : {result.breakdown.degraded_rounds}")
     print()
     print(render_table3([breakdown_row(result)]))
     if args.json:

@@ -19,8 +19,13 @@ SCHEMA_VERSION = 1
 
 
 def result_to_dict(result: RunResult) -> Dict[str, Any]:
-    """Flatten one run to a JSON-safe dict."""
-    return {
+    """Flatten one run to a JSON-safe dict.
+
+    The ``fault_log`` key is present only for runs that executed under a
+    fault plan, so archives of healthy runs are byte-identical to the
+    pre-faults schema (still version 1 — the addition is optional).
+    """
+    out: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "method": result.method,
         "iterations": result.iterations,
@@ -40,6 +45,10 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
             for r in result.records
         ],
     }
+    if result.fault_log is not None:
+        out["fault_log"] = result.fault_log.to_dicts()
+        out["degraded_rounds"] = result.breakdown.degraded_rounds
+    return out
 
 
 def results_to_json(

@@ -205,13 +205,17 @@ class TestFaultInjection:
         res = self._trainer(mnist_tiny, {}).train(60)
         assert res.extras["failed_worker_events_dropped"] == 0
 
-    def test_all_workers_dead_halts_cleanly(self, mnist_tiny):
-        res = self._trainer(mnist_tiny, {j: 0.0 for j in range(4)}).train(100)
-        # The queue drains without reaching the iteration budget.
-        assert res.iterations < 100
+    def test_all_workers_dead_raises_gracefully(self, mnist_tiny):
+        from repro.faults import AllWorkersCrashedError
+
+        with pytest.raises(AllWorkersCrashedError, match="crashed before any"):
+            self._trainer(mnist_tiny, {j: 1e-9 for j in range(4)}).train(100)
 
     def test_validation(self, mnist_tiny):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"failures\[9\]"):
             self._trainer(mnist_tiny, {9: 1.0})
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"failures\[0\]"):
             self._trainer(mnist_tiny, {0: -1.0})
+        # A failure time of exactly 0.0 used to be accepted silently.
+        with pytest.raises(ValueError, match=r"failures\[1\]"):
+            self._trainer(mnist_tiny, {1: 0.0})
