@@ -1,0 +1,66 @@
+"""Tracing cost: zero when off, bounded when on, artifacts when asked.
+
+Not a paper figure — this pins the engineering contract of ``repro.trace``:
+a run with ``trace=False`` allocates no events and matches the untraced
+trajectory bit-for-bit, a run with ``trace=True`` produces the same
+numerics plus a verifiable event stream, and the Chrome export of a
+4-rank run is archived for eyeballing in Perfetto.
+"""
+
+import dataclasses
+from pathlib import Path
+
+from conftest import requires_trace_export, run_once
+from repro.harness import run_method
+
+
+def _traced(spec):
+    return dataclasses.replace(
+        spec, config=dataclasses.replace(spec.config, trace=True)
+    )
+
+
+def bench_trace_off_is_free(benchmark, mnist_spec):
+    """trace=False: no trace object, identical trajectory to the seed path."""
+
+    def experiment():
+        return {
+            "off": run_method(mnist_spec, "sync-easgd3", iterations=60),
+            "on": run_method(_traced(mnist_spec), "sync-easgd3", iterations=60),
+        }
+
+    runs = run_once(benchmark, experiment)
+    off, on = runs["off"], runs["on"]
+    assert off.trace is None
+    assert on.trace is not None and len(on.trace) > 0
+    assert [r.test_accuracy for r in off.records] == [r.test_accuracy for r in on.records]
+    print(f"\n=== Trace overhead ===\n  traced events: {len(on.trace)}; "
+          f"trajectories identical: True")
+
+
+@requires_trace_export
+def bench_trace_chrome_artifact(benchmark, mnist_spec):
+    """Archive a Perfetto-loadable trace of every method family at P=4."""
+    from repro.trace import check_all, summarize, to_chrome
+
+    out_dir = Path(__file__).parent / "artifacts"
+    out_dir.mkdir(exist_ok=True)
+
+    def experiment():
+        spec = _traced(mnist_spec)
+        return {
+            name: run_method(spec, name, iterations=40)
+            for name in ("original-easgd", "sync-easgd1", "sync-easgd3",
+                         "sync-sgd", "async-easgd")
+        }
+
+    runs = run_once(benchmark, experiment)
+    print("\n=== Chrome trace artifacts ===")
+    for name, res in runs.items():
+        path = out_dir / f"trace_{name}.json"
+        to_chrome(res.trace, path)
+        digest = summarize(res.trace)
+        ran = check_all(res.trace)
+        print(f"  {name:15s} -> {path.name}: {int(digest['events'])} events, "
+              f"overlap {digest['overlap_fraction']:.2f}, checks: {', '.join(ran)}")
+        assert ran  # every family has at least conservation verified

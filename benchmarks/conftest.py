@@ -18,6 +18,19 @@ from pathlib import Path
 
 import pytest
 
+#: Benchmarks that archive Chrome traces need the exporters; if the trace
+#: package is unavailable (e.g. a trimmed vendored copy), those benchmarks
+#: skip instead of erroring at import time.
+try:
+    from repro.trace import export as _trace_export  # noqa: F401
+    HAVE_TRACE_EXPORT = True
+except ImportError:  # pragma: no cover - only in trimmed installs
+    HAVE_TRACE_EXPORT = False
+
+requires_trace_export = pytest.mark.skipif(
+    not HAVE_TRACE_EXPORT, reason="repro.trace exporters unavailable"
+)
+
 from repro.algorithms import TrainerConfig
 from repro.cluster import CostModel
 from repro.data import make_cifar_like, make_mnist_like

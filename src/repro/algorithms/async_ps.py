@@ -49,6 +49,7 @@ from repro.optim.easgd import (
     elastic_momentum_worker_update,
     elastic_worker_update,
 )
+from repro.trace.events import MASTER
 
 __all__ = [
     "AsyncSGDTrainer",
@@ -161,6 +162,21 @@ class _AsyncPSBase(BaseTrainer):
         service_t = self.platform.cpu_update_time(self.cost)
         local_upd_t = self.platform.gpu_update_time(self.cost) if self.elastic else 0.0
 
+        plan_msgs = self.platform.param_plan(self.cost, packed=self.packed)
+        nb = plan_msgs.total_bytes
+        trace = self.make_trace(
+            g,
+            pattern="ps",
+            lock_free=self.lock_free,
+            elastic=self.elastic,
+            packed=self.packed,
+            messages_per_exchange=1,
+        )
+        #: Request channels sent but not yet consumed/accounted; whatever
+        #: is still here when the run ends becomes a "lost" fault event so
+        #: conservation holds for truncated runs.
+        inflight: set = set()
+
         plan = self.faults
         log = self.fault_log = FaultLog()
         queue = EventQueue()
@@ -189,11 +205,22 @@ class _AsyncPSBase(BaseTrainer):
                 arrival = compute_done + oneway_t
             seq = send_seq[j]
             send_seq[j] += 1
+            delayed = False
             if plan is not None:
                 lag = plan.delay_seconds(j, "master", 0, seq)
                 if lag > 0.0:
                     log.record(arrival, "delay", f"worker {j} -> master", f"+{lag:.4g}s seq={seq}")
                     arrival += lag
+                    delayed = True
+            if trace is not None:
+                trace.span("staging", j, start, start + stage_t, op="cpu-gpu-data")
+                trace.span("compute", j, start + stage_t, compute_done, op="fwd-bwd")
+                send_t0 = start if self.elastic else compute_done
+                trace.send(j, MASTER, send_t0, arrival, tag=0, nbytes=nb, seq=seq,
+                           op="ps-request")
+                inflight.add((j, seq))
+                if delayed:
+                    trace.fault(j, arrival, "delay", peer=MASTER, seq=seq)
             queue.push(arrival, ("arrival", j, compute_done, fwdbwd, seq, 0))
 
         for j in range(g):
@@ -235,6 +262,8 @@ class _AsyncPSBase(BaseTrainer):
                         continue
                     crash_logged.add(k)
                     log.record(plan.crash_time(k), "crash", f"worker {k}", "fail-stop")
+                    if trace is not None:
+                        trace.fault(k, plan.crash_time(k), "crash")
                 for k in range(g):
                     if k in evicted or not plan.is_dead(k, now):
                         continue
@@ -244,6 +273,8 @@ class _AsyncPSBase(BaseTrainer):
                             now, "evict", f"worker {k}",
                             f"no heartbeat for > {heartbeat:.4g}s",
                         )
+                        if trace is not None:
+                            trace.fault(k, now, "evict")
             if event.payload[0] == "rejoin":
                 j = event.payload[1]
                 # Recovery: the worker restores by re-pulling the elastic
@@ -256,12 +287,17 @@ class _AsyncPSBase(BaseTrainer):
                 last_seen[j] = now
                 rejoined += 1
                 log.record(now, "rejoin", f"worker {j}", "re-pulled elastic center")
+                if trace is not None:
+                    trace.fault(j, now, "rejoin")
                 launch_cycle(j, now)
                 continue
             _, j, compute_done, fwdbwd, seq, attempt = event.payload
             arrival = now
             if plan is not None and plan.is_dead(j, arrival):
                 dropped += 1  # fail-stop: the message never arrives
+                if trace is not None:
+                    trace.fault(j, arrival, "dead", peer=MASTER, seq=seq)
+                    inflight.discard((j, seq))
                 continue
             if plan is not None and plan.should_drop(j, "master", 0, seq, attempt):
                 # Transient message loss: the worker retransmits with
@@ -269,11 +305,16 @@ class _AsyncPSBase(BaseTrainer):
                 # silent (and will be evicted by the heartbeat policy).
                 msg_dropped += 1
                 log.record(arrival, "drop", f"worker {j} -> master", f"seq={seq} attempt={attempt}")
+                if trace is not None:
+                    trace.fault(j, arrival, "drop", peer=MASTER, seq=seq)
                 if attempt + 1 > self.max_send_retries:
                     log.record(
                         arrival, "give-up", f"worker {j}",
                         f"seq={seq}: still dropped after {attempt + 1} attempts",
                     )
+                    if trace is not None:
+                        trace.fault(j, arrival, "give-up", peer=MASTER, seq=seq)
+                        inflight.discard((j, seq))
                     continue
                 backoff = retry_backoff * (2 ** min(attempt, 6))
                 breakdown.add("cpu-gpu para", oneway_t)  # the retransmission
@@ -312,6 +353,23 @@ class _AsyncPSBase(BaseTrainer):
             else:
                 resume = reply_at
             sim_time = max(sim_time, service_done)
+
+            if trace is not None:
+                inflight.discard((j, seq))
+                trace.recv(MASTER, j, arrival, service_start, tag=0, nbytes=nb,
+                           seq=seq, op="ps-request", iteration=t)
+                trace.span("service", MASTER, service_start, service_done,
+                           op="ps-serve", iteration=t, value=arrival)
+                trace.send(MASTER, j, service_done, reply_at, tag=1, nbytes=nb,
+                           seq=seq, op="ps-reply", iteration=t)
+                trace.recv(j, MASTER, reply_at, reply_at, tag=1, nbytes=nb,
+                           seq=seq, op="ps-reply", iteration=t)
+                if self.elastic:
+                    u0 = max(reply_at, compute_done)
+                    trace.span("update", j, u0, u0 + local_upd_t,
+                               op="elastic-update", iteration=t,
+                               value=float(staleness))
+
             launch_cycle(j, resume)
 
             breakdown.add("cpu-gpu data", stage_t)
@@ -341,6 +399,12 @@ class _AsyncPSBase(BaseTrainer):
             acc = self.evaluate_params(self._eval_vector())
             records.append(TrainRecord(t, sim_time, last_loss, acc))
 
+        if trace is not None:
+            # Requests still in flight when the run ended never reached the
+            # master; account for them so conservation checks stay true.
+            for src, seq_lost in sorted(inflight):
+                trace.fault(src, sim_time, "lost", peer=MASTER, seq=seq_lost)
+
         extras = {
             "master_wait_seconds": waiting_total,
             "failed_worker_events_dropped": float(dropped),
@@ -367,6 +431,7 @@ class _AsyncPSBase(BaseTrainer):
             final_accuracy=final_acc,
             extras=extras,
             fault_log=log if plan is not None else None,
+            trace=trace,
         )
 
 

@@ -20,6 +20,7 @@ from repro.data.loader import BatchSampler
 from repro.faults import FaultLog, FaultPlan
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.network import Network
+from repro.trace.events import Trace
 
 __all__ = [
     "TrainerConfig",
@@ -64,6 +65,9 @@ class TrainerConfig:
     eval_every: int = 50
     eval_samples: int = 512
     overlap_efficiency: float = 0.7  # fraction of overlappable comm actually hidden
+    #: Record a structured communication trace (repro.trace) for the run.
+    #: Off by default: the hot path then allocates no TraceEvent at all.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -152,6 +156,9 @@ class RunResult:
     #: Structured record of every injected/detected fault event, present
     #: when the run executed under a :class:`repro.faults.FaultPlan`.
     fault_log: Optional[FaultLog] = None
+    #: Per-message communication trace, present when the run was configured
+    #: with ``TrainerConfig(trace=True)``.
+    trace: Optional[Trace] = None
 
     def time_to_accuracy(self, target: float) -> Optional[float]:
         """Simulated seconds until test accuracy first reached ``target``."""
@@ -197,6 +204,8 @@ class BaseTrainer:
         #: Refreshed at the start of every ``train()`` call so per-run logs
         #: from identical plans compare equal.
         self.fault_log = FaultLog()
+        #: Refreshed per ``train()`` call when ``config.trace`` is on.
+        self.trace: Optional[Trace] = None
 
         n_eval = min(config.eval_samples, len(test_set))
         self._eval_images = test_set.images[:n_eval]
@@ -206,6 +215,21 @@ class BaseTrainer:
         self._stop_accuracy: Optional[float] = None
 
     # -- helpers for subclasses ------------------------------------------------
+    def make_trace(self, ranks: int, **meta) -> Optional[Trace]:
+        """A fresh per-run trace, or None when tracing is off.
+
+        Subclasses call this at the top of ``train()`` and stamp the
+        metadata the invariant checks dispatch on (``pattern``, ``packed``,
+        ``variant``, ...). The None return is the zero-overhead contract:
+        every emission site guards on it.
+        """
+        if not self.config.trace:
+            self.trace = None
+            return None
+        trace = Trace(meta={"method": self.name, "ranks": ranks, "clock": "simulated", **meta})
+        self.trace = trace
+        return trace
+
     def make_sampler(self, consumer: object) -> BatchSampler:
         """Independent seeded sampler for one worker/master."""
         return BatchSampler(

@@ -28,6 +28,7 @@ from repro.data.loader import BatchSampler
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.network import Network
 from repro.optim.easgd import EASGDHyper, elastic_worker_update
+from repro.trace.events import Trace
 
 __all__ = ["MpiEasgdResult", "run_mpi_sync_easgd"]
 
@@ -59,7 +60,8 @@ def _rank_main(
     loss = SoftmaxCrossEntropy()
     history: List[np.ndarray] = []
 
-    for _ in range(iterations):
+    for t in range(1, iterations + 1):
+        ctx.trace_iteration = t  # stamp runtime-emitted events with the loop index
         images, labels = sampler.next_batch()
         net.set_params(local)
         net.gradient(images, labels, loss)
@@ -94,14 +96,26 @@ def run_mpi_sync_easgd(
     seed: int = 0,
     record_history: bool = False,
     timeout: float = 120.0,
+    trace: Optional[Trace] = None,
 ) -> MpiEasgdResult:
-    """Run Sync EASGD across ``ranks`` real threads with message passing."""
+    """Run Sync EASGD across ``ranks`` real threads with message passing.
+
+    Pass a :class:`repro.trace.Trace` to record every point-to-point
+    message the runtime actually moves (wall-clock spans, per-round
+    stamps) — the trace the structural invariants in
+    :mod:`repro.trace.check` verify against the simulator's claims.
+    """
     if iterations <= 0:
         raise ValueError("iterations must be positive")
     hyper = EASGDHyper(lr=lr, rho=rho)
     hyper.validate_sync(ranks)
 
-    comm = InProcessCommunicator(ranks, timeout=timeout)
+    if trace is not None:
+        trace.meta.setdefault("method", "MPI Sync EASGD")
+        trace.meta.setdefault("pattern", "tree")
+        trace.meta.setdefault("packed", True)
+        trace.meta.setdefault("messages_per_exchange", 1)
+    comm = InProcessCommunicator(ranks, timeout=timeout, trace=trace)
     results = comm.run(
         _rank_main, network, train_set, iterations, batch_size, hyper, seed, record_history
     )

@@ -36,6 +36,8 @@ from repro.optim.easgd import (
     elastic_center_update_single,
     elastic_worker_update,
 )
+from repro.trace.events import MASTER
+from repro.trace.schedule import emit_p2p
 
 __all__ = ["OriginalEASGDTrainer"]
 
@@ -87,6 +89,15 @@ class OriginalEASGDTrainer(BaseTrainer):
         gpu_upd_t = self.platform.gpu_update_time(self.cost)
         cpu_upd_t = self.platform.cpu_update_time(self.cost)
 
+        plan_msgs = self.platform.param_plan(self.cost, packed=self.packed)
+        trace = self.make_trace(
+            g,
+            pattern="round-robin",
+            packed=self.packed,
+            overlapped=self.overlapped,
+            messages_per_exchange=plan_msgs.num_messages,
+        )
+
         plan = self.faults
         log = self.fault_log = FaultLog()
         currently_dead: set = set()
@@ -100,11 +111,15 @@ class OriginalEASGDTrainer(BaseTrainer):
                     if plan.is_dead(k, sim_time) and k not in currently_dead:
                         currently_dead.add(k)
                         log.record(plan.crash_time(k), "crash", f"worker {k}", "fail-stop")
+                        if trace is not None:
+                            trace.fault(k, sim_time, "crash", iteration=t)
                     elif not plan.is_dead(k, sim_time) and k in currently_dead:
                         currently_dead.discard(k)
                         workers[k][...] = center  # recovery: restore from center
                         rejoined += 1
                         log.record(sim_time, "rejoin", f"worker {k}", "re-pulled elastic center")
+                        if trace is not None:
+                            trace.fault(k, sim_time, "rejoin", iteration=t)
                 if len(currently_dead) == g:
                     raise AllWorkersCrashedError(
                         f"all {g} workers crashed by t={sim_time:.4g}s "
@@ -150,6 +165,31 @@ class OriginalEASGDTrainer(BaseTrainer):
             breakdown.add("for/backward", visible_fwd)
             breakdown.add("gpu update", visible_gpu_upd)
             breakdown.add("cpu update", cpu_upd_t)
+
+            if trace is not None:
+                # Reconstruct the iteration's timeline: staging, then the two
+                # CPU<->GPU transfers (compute hides under them when
+                # overlapped), then the visible update residues.
+                t_stage = sim_time + stage_t
+                t_down = t_stage + param_oneway
+                t_up = t_down + param_oneway
+                trace.span("staging", j, sim_time, t_stage, op="cpu-gpu-data",
+                           iteration=t)
+                emit_p2p(trace, MASTER, j, t_stage, t_down, op="round-robin",
+                         nbytes=plan_msgs.total_bytes,
+                         messages=plan_msgs.num_messages, tag=1, seq=t, iteration=t)
+                emit_p2p(trace, j, MASTER, t_down, t_up, op="round-robin",
+                         nbytes=plan_msgs.total_bytes,
+                         messages=plan_msgs.num_messages, tag=2, seq=t, iteration=t)
+                c0 = t_stage if self.overlapped else t_up
+                trace.span("compute", j, c0, c0 + fwdbwd, op="fwd-bwd", iteration=t)
+                u0 = t_up + visible_fwd
+                trace.span("update", j, u0, u0 + visible_gpu_upd, op="gpu-update",
+                           iteration=t)
+                trace.span("update", MASTER, u0 + visible_gpu_upd,
+                           u0 + visible_gpu_upd + cpu_upd_t, op="cpu-update",
+                           iteration=t)
+
             sim_time += stage_t + param_comm + visible_fwd + visible_gpu_upd + cpu_upd_t
 
             if t % cfg.eval_every == 0 or t == iterations:
@@ -174,4 +214,5 @@ class OriginalEASGDTrainer(BaseTrainer):
             final_accuracy=final_acc,
             extras=extras,
             fault_log=log if plan is not None else None,
+            trace=trace,
         )

@@ -40,6 +40,8 @@ from repro.data.dataset import Dataset
 from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
 from repro.nn.network import Network
 from repro.optim.easgd import EASGDHyper, elastic_worker_update
+from repro.trace.events import MASTER
+from repro.trace.schedule import emit_tree_phase
 
 __all__ = ["SyncEASGDTrainer"]
 
@@ -71,6 +73,63 @@ class SyncEASGDTrainer(BaseTrainer):
         self.hyper = EASGDHyper(lr=config.lr, rho=config.rho, mu=config.mu)
         self.hyper.validate_sync(platform.num_gpus if hasattr(platform, 'num_gpus') else platform.num_nodes)
 
+    def _emit_iteration(
+        self, trace, t: int, T: float, live: List[int], fwdbwd_each: List[float],
+        stage_t: float, bcast_t: float, reduce_t: float,
+        gpu_upd_t: float, cpu_upd_t: float, iter_time: float, plan_msgs,
+    ) -> None:
+        """Expand one iteration into its traced timeline.
+
+        Variants 1/2 are strictly serial: staging, broadcast, compute,
+        reduce, updates. Variant 3 runs both tree phases concurrently
+        with the staging+compute path (the overlap the paper's speedup
+        comes from), with updates at the iteration tail. The tree is
+        drawn over the live ranks (root = ``live[0]`` after a rebuild);
+        variant 1's extra CPU residency is a link-cost matter already
+        folded into ``bcast_t``/``reduce_t``.
+        """
+        nbytes = plan_msgs.total_bytes
+        mult = plan_msgs.num_messages
+        fwd_max = max(fwdbwd_each)
+        if self.variant == 3:
+            for j, fwd in zip(live, fwdbwd_each):
+                trace.span("staging", j, T, T + stage_t, op="cpu-gpu-data", iteration=t)
+                trace.span("compute", j, T + stage_t, T + stage_t + fwd,
+                           op="fwd-bwd", iteration=t)
+            emit_tree_phase(trace, "tree-reduce", live, T, T + reduce_t,
+                            nbytes=nbytes, messages_per_edge=mult, tag=102,
+                            iteration=t, reduce=True)
+            emit_tree_phase(trace, "tree-bcast", live, T + reduce_t,
+                            T + reduce_t + bcast_t, nbytes=nbytes,
+                            messages_per_edge=mult, tag=101, iteration=t)
+            u0 = T + iter_time - 2.0 * gpu_upd_t
+            for j in live:
+                trace.span("update", j, u0, u0 + gpu_upd_t, op="gpu-update", iteration=t)
+            trace.span("update", live[0], u0 + gpu_upd_t, u0 + 2.0 * gpu_upd_t,
+                       op="gpu-update", iteration=t)
+            return
+        # Serial variants: each phase waits for the previous one.
+        t_stage = T + stage_t
+        t_bcast = t_stage + bcast_t
+        t_comp = t_bcast + fwd_max
+        t_red = t_comp + reduce_t
+        for j, fwd in zip(live, fwdbwd_each):
+            trace.span("staging", j, T, t_stage, op="cpu-gpu-data", iteration=t)
+            trace.span("compute", j, t_bcast, t_bcast + fwd, op="fwd-bwd", iteration=t)
+        emit_tree_phase(trace, "tree-bcast", live, t_stage, t_bcast,
+                        nbytes=nbytes, messages_per_edge=mult, tag=101, iteration=t)
+        emit_tree_phase(trace, "tree-reduce", live, t_comp, t_red,
+                        nbytes=nbytes, messages_per_edge=mult, tag=102,
+                        iteration=t, reduce=True)
+        for j in live:
+            trace.span("update", j, t_red, t_red + gpu_upd_t, op="gpu-update", iteration=t)
+        if self.variant == 1:
+            trace.span("update", MASTER, t_red + gpu_upd_t,
+                       t_red + gpu_upd_t + cpu_upd_t, op="cpu-update", iteration=t)
+        else:
+            trace.span("update", live[0], t_red + gpu_upd_t,
+                       t_red + 2.0 * gpu_upd_t, op="gpu-update", iteration=t)
+
     def train(self, iterations: int) -> RunResult:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -97,6 +156,16 @@ class SyncEASGDTrainer(BaseTrainer):
         bcast_t = self.platform.tree_bcast_time(self.cost, param_traffic, self.packed)
         reduce_t = self.platform.tree_reduce_time(self.cost, param_traffic, self.packed)
 
+        plan_msgs = self.platform.param_plan(self.cost, packed=self.packed)
+        trace = self.make_trace(
+            g,
+            pattern="tree",
+            variant=self.variant,
+            packed=self.packed,
+            overlapped=self.variant == 3,
+            messages_per_exchange=plan_msgs.num_messages,
+        )
+
         # Fault machinery: a crash removes a rank from the reduction tree
         # (the tree is rebuilt over survivors instead of deadlocking); a
         # rejoining rank re-pulls the elastic center before re-entering.
@@ -115,10 +184,14 @@ class SyncEASGDTrainer(BaseTrainer):
                     if j not in live and j not in currently_dead:
                         currently_dead.add(j)
                         log.record(plan.crash_time(j), "crash", f"worker {j}", "fail-stop")
+                        if trace is not None:
+                            trace.fault(j, sim_time, "crash", iteration=t)
                     elif j in live and j in currently_dead:
                         currently_dead.discard(j)
                         workers[j][...] = center  # recovery: restore from center
                         log.record(sim_time, "rejoin", f"worker {j}", "re-pulled elastic center")
+                        if trace is not None:
+                            trace.fault(j, sim_time, "rejoin", iteration=t)
                 if not live:
                     raise AllWorkersCrashedError(
                         f"all {g} workers crashed by t={sim_time:.4g}s "
@@ -131,6 +204,8 @@ class SyncEASGDTrainer(BaseTrainer):
                         sim_time, "tree-rebuild", self.name,
                         f"binomial tree over {tree_size} of {g} ranks",
                     )
+                    if trace is not None:
+                        trace.fault(MASTER, sim_time, "tree-rebuild", iteration=t)
                     bcast_t = self.platform.tree_bcast_time(
                         self.cost, param_traffic, self.packed, ranks=tree_size
                     )
@@ -158,11 +233,12 @@ class SyncEASGDTrainer(BaseTrainer):
             center += self.hyper.alpha * (sum_w - g_live * center)
 
             # --- simulated time ---------------------------------------------
-            fwdbwd_max = max(
+            fwdbwd_each = [
                 self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
                 * (plan.slowdown(j, sim_time) if plan is not None else 1.0)
                 for j in live
-            )
+            ]
+            fwdbwd_max = max(fwdbwd_each)
             if self.variant == 1:
                 # Serial: stage, bcast, compute, reduce, GPU update, CPU update.
                 iter_time = stage_t + bcast_t + fwdbwd_max + reduce_t + gpu_upd_t + cpu_upd_t
@@ -190,6 +266,14 @@ class SyncEASGDTrainer(BaseTrainer):
                 breakdown.add("gpu-gpu para", visible_comm)
                 breakdown.add("for/backward", fwdbwd_max)
                 breakdown.add("gpu update", upd)
+
+            if trace is not None:
+                self._emit_iteration(
+                    trace, t, sim_time, live, fwdbwd_each,
+                    stage_t, bcast_t, reduce_t, gpu_upd_t, cpu_upd_t,
+                    iter_time, plan_msgs,
+                )
+
             sim_time += iter_time
 
             if t % cfg.eval_every == 0 or t == iterations:
@@ -214,4 +298,5 @@ class SyncEASGDTrainer(BaseTrainer):
             final_accuracy=final_acc,
             extras=extras,
             fault_log=log if plan is not None else None,
+            trace=trace,
         )

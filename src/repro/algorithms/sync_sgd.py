@@ -35,6 +35,8 @@ from repro.data.dataset import Dataset
 from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
 from repro.nn.network import Network
 from repro.optim.quantize import quantize_gradient
+from repro.trace.events import MASTER
+from repro.trace.schedule import emit_tree_phase
 from repro.util.rng import spawn_rng
 
 __all__ = ["SyncSGDTrainer"]
@@ -102,6 +104,18 @@ class SyncSGDTrainer(BaseTrainer):
             reduce_t = max(reduce_t - saved, hops * link.alpha * plan.num_messages)
         comm_part = "gpu-gpu para" if self.param_traffic == "gpu-gpu para" else "cpu-gpu para"
 
+        plan_msgs = self.platform.param_plan(self.cost, self.packed)
+        wire_bytes = plan_msgs.total_bytes
+        if self.quantize_bits is not None:
+            wire_bytes = int(wire_bytes * self.quantize_bits / 32.0)
+        trace = self.make_trace(
+            g,
+            pattern="tree",
+            packed=self.packed,
+            messages_per_exchange=plan_msgs.num_messages,
+            quantize_bits=self.quantize_bits or 0,
+        )
+
         plan = self.faults
         log = self.fault_log = FaultLog()
         currently_dead: set = set()
@@ -118,9 +132,13 @@ class SyncSGDTrainer(BaseTrainer):
                     if j not in live and j not in currently_dead:
                         currently_dead.add(j)
                         log.record(plan.crash_time(j), "crash", f"worker {j}", "fail-stop")
+                        if trace is not None:
+                            trace.fault(j, sim_time, "crash", iteration=t)
                     elif j in live and j in currently_dead:
                         currently_dead.discard(j)
                         log.record(sim_time, "rejoin", f"worker {j}", "re-entered allreduce group")
+                        if trace is not None:
+                            trace.fault(j, sim_time, "rejoin", iteration=t)
                 if not live:
                     raise AllWorkersCrashedError(
                         f"all {g} workers crashed by t={sim_time:.4g}s "
@@ -132,6 +150,8 @@ class SyncSGDTrainer(BaseTrainer):
                         sim_time, "tree-rebuild", self.name,
                         f"allreduce tree over {tree_size} of {g} ranks",
                     )
+                    if trace is not None:
+                        trace.fault(MASTER, sim_time, "tree-rebuild", iteration=t)
                     # Tree depth shrinks with the group; per-hop cost (incl.
                     # any quantized-width adjustment) is unchanged.
                     depth_ratio = tree_rounds(tree_size) / max(tree_rounds(g), 1)
@@ -158,16 +178,40 @@ class SyncSGDTrainer(BaseTrainer):
             weights -= cfg.lr * mean_grad
             self.net.set_params(weights)
 
-            fwdbwd_max = max(
+            fwdbwd_each = [
                 self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
                 * (plan.slowdown(j, sim_time) if plan is not None else 1.0)
                 for j in live
-            )
+            ]
+            fwdbwd_max = max(fwdbwd_each)
             iter_time = stage_t + fwdbwd_max + reduce_t + bcast_t + gpu_upd_t
             breakdown.add("cpu-gpu data", stage_t)
             breakdown.add(comm_part, reduce_t + bcast_t)
             breakdown.add("for/backward", fwdbwd_max)
             breakdown.add("gpu update", gpu_upd_t)
+
+            if trace is not None:
+                # Serial timeline: stage, compute, gradient tree-reduce,
+                # weight tree-bcast, local update.
+                t_stage = sim_time + stage_t
+                t_comp = t_stage + fwdbwd_max
+                t_red = t_comp + reduce_t
+                t_bc = t_red + bcast_t
+                for j, fwd in zip(live, fwdbwd_each):
+                    trace.span("staging", j, sim_time, t_stage, op="cpu-gpu-data",
+                               iteration=t)
+                    trace.span("compute", j, t_stage, t_stage + fwd, op="fwd-bwd",
+                               iteration=t)
+                emit_tree_phase(trace, "tree-reduce", live, t_comp, t_red,
+                                nbytes=wire_bytes, messages_per_edge=plan_msgs.num_messages,
+                                tag=102, iteration=t, reduce=True)
+                emit_tree_phase(trace, "tree-bcast", live, t_red, t_bc,
+                                nbytes=wire_bytes, messages_per_edge=plan_msgs.num_messages,
+                                tag=101, iteration=t)
+                for j in live:
+                    trace.span("update", j, t_bc, t_bc + gpu_upd_t, op="gpu-update",
+                               iteration=t)
+
             sim_time += iter_time
 
             if t % cfg.eval_every == 0 or t == iterations:
@@ -189,4 +233,5 @@ class SyncSGDTrainer(BaseTrainer):
             final_accuracy=final_acc,
             extras=extras,
             fault_log=log if plan is not None else None,
+            trace=trace,
         )

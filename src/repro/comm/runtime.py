@@ -38,8 +38,19 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.faults import FaultLog, FaultPlan
+from repro.trace.events import Trace
 
 __all__ = ["RankContext", "InProcessCommunicator", "DeadlockError"]
+
+
+def _payload_nbytes(payload: Any) -> int:
+    """Best-effort wire size of a payload for trace accounting."""
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    return 0
 
 _DEFAULT_TIMEOUT = 60.0  # seconds before a recv declares a deadlock
 
@@ -83,6 +94,7 @@ class _Mailbox:
 
     def get(
         self,
+        rank: int,
         source: int,
         tag: int,
         timeout: float,
@@ -92,7 +104,13 @@ class _Mailbox:
 
         Waits in growing slices (so a transiently dropped-and-retransmitted
         message is picked up shortly after redelivery); raises
-        :class:`queue.Empty` once the total ``timeout`` budget is spent.
+        :class:`DeadlockError` naming ``(rank, source, tag)`` once the
+        total ``timeout`` budget is spent — never a bare
+        :class:`queue.Empty`, which used to leak the internal queue
+        abstraction to callers racing collectives under fault plans.
+        A message that lands exactly as the budget expires is still
+        drained by a final non-blocking poll before the error is raised,
+        so a delivery racing the deadline wins instead of deadlocking.
         ``on_retry`` is invoked with the attempt number after each empty
         slice — the hook the communicator uses for fault logging.
         """
@@ -103,7 +121,10 @@ class _Mailbox:
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                raise queue.Empty
+                try:
+                    return q.get_nowait()  # the race: delivered at the wire
+                except queue.Empty:
+                    raise DeadlockError(rank, source, tag, timeout) from None
             try:
                 return q.get(timeout=min(wait, remaining))
             except queue.Empty:
@@ -121,6 +142,10 @@ class RankContext:
         self.rank = rank
         self.size = comm.size
         self._send_seq: Dict[Tuple[int, int], int] = {}
+        #: Rank programs may set this so trace events carry iteration ids.
+        self.trace_iteration = -1
+        self._trace_op = ""  # label for p2p events inside a collective
+        self._trace_round = -1
 
     # -- point to point --------------------------------------------------------
     def _next_seq(self, dest: int, tag: int) -> int:
@@ -142,34 +167,64 @@ class RankContext:
             raise ValueError(f"dest {dest} out of range for size {self.size}")
         comm = self.comm
         plan = comm.faults
-        if plan is None:
+        trace = comm.trace
+        if plan is None and trace is None:
             comm._mailboxes[dest].put(self.rank, tag, payload)
             return
 
         seq = self._next_seq(dest, tag)
+        if trace is not None:
+            payload = (seq, payload)  # carry the identity to the recv side
+        if plan is None:
+            t0 = comm._elapsed()
+            comm._mailboxes[dest].put(self.rank, tag, payload)
+            self._trace_send(seq, dest, tag, payload[1], t0)
+            return
         edge = f"rank {self.rank} -> {dest} tag {tag}"
         if plan.is_lost(self.rank, dest, tag):
             comm.fault_log.record(comm._elapsed(), "lost", edge, f"seq={seq}: never delivered")
+            self._trace_fault("lost", dest, tag, seq)
             return
         lag = plan.delay_seconds(self.rank, dest, tag, seq)
         if lag > 0.0:
             comm.fault_log.record(comm._elapsed(), "delay", edge, f"+{lag:.4g}s seq={seq}")
+            self._trace_fault("delay", dest, tag, seq)
             time.sleep(lag)
         for attempt in range(comm.max_retries + 1):
             if plan.should_drop(self.rank, dest, tag, seq, attempt):
                 comm.fault_log.record(comm._elapsed(), "drop", edge, f"seq={seq} attempt={attempt}")
+                self._trace_fault("drop", dest, tag, seq)
                 time.sleep(comm.retry_backoff * (2 ** min(attempt, 6)))
                 continue
             if attempt > 0:
                 comm.fault_log.record(
                     comm._elapsed(), "retransmit", edge, f"seq={seq} delivered on attempt {attempt}"
                 )
+            t0 = comm._elapsed()
             comm._mailboxes[dest].put(self.rank, tag, payload)
+            self._trace_send(seq, dest, tag, payload[1] if trace is not None else payload, t0)
             return
         comm.fault_log.record(
             comm._elapsed(), "lost", edge,
             f"seq={seq}: dropped on all {comm.max_retries + 1} attempts",
         )
+        self._trace_fault("lost", dest, tag, seq)
+
+    # -- trace plumbing (no-ops unless the communicator carries a Trace) ----------
+    def _trace_send(self, seq: int, dest: int, tag: int, payload: Any, t0: float) -> None:
+        trace = self.comm.trace
+        if trace is None:
+            return
+        trace.send(self.rank, dest, t0, self.comm._elapsed(), tag=tag,
+                   nbytes=_payload_nbytes(payload), seq=seq, op=self._trace_op,
+                   round=self._trace_round, iteration=self.trace_iteration)
+
+    def _trace_fault(self, op: str, dest: int, tag: int, seq: int) -> None:
+        trace = self.comm.trace
+        if trace is None:
+            return
+        trace.fault(self.rank, self.comm._elapsed(), op, peer=dest, tag=tag,
+                    seq=seq, iteration=self.trace_iteration)
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Block until a message from ``source`` with ``tag`` arrives.
@@ -186,14 +241,29 @@ class RankContext:
             def on_retry(attempt: int, _edge=f"rank {self.rank} <- {source} tag {tag}") -> None:
                 comm.fault_log.record(comm._elapsed(), "recv-retry", _edge, f"poll {attempt}")
 
-        try:
-            return comm._mailboxes[self.rank].get(source, tag, comm.timeout, on_retry)
-        except queue.Empty:
-            raise DeadlockError(self.rank, source, tag, comm.timeout) from None
+        trace = comm.trace
+        t0 = comm._elapsed() if trace is not None else 0.0
+        payload = comm._mailboxes[self.rank].get(self.rank, source, tag, comm.timeout, on_retry)
+        if trace is None:
+            return payload
+        seq, payload = payload
+        trace.recv(self.rank, source, t0, comm._elapsed(), tag=tag,
+                   nbytes=_payload_nbytes(payload), seq=seq, op=self._trace_op,
+                   round=self._trace_round, iteration=self.trace_iteration)
+        return payload
 
     # -- collectives (binomial-tree schedules) ------------------------------------
+    def _collective_span(self, op: str, t0: float) -> None:
+        trace = self.comm.trace
+        if trace is not None:
+            trace.span("collective", self.rank, t0, self.comm._elapsed(), op=op,
+                       iteration=self.trace_iteration)
+
     def bcast(self, payload: Any, root: int = 0, tag: int = 101) -> Any:
         """Broadcast from ``root``; every rank returns the payload."""
+        t0 = self.comm._elapsed()
+        prev_op = self._trace_op
+        self._trace_op = "tree-bcast"
         rel = (self.rank - root) % self.size
         # receive from parent (the rank that turned our bit on)
         if rel != 0:
@@ -201,6 +271,7 @@ class RankContext:
             while have * 2 <= rel:
                 have *= 2
             parent_rel = rel - have
+            self._trace_round = have.bit_length() - 1
             payload = self.recv((parent_rel + root) % self.size, tag)
         # forward to children
         have = 1
@@ -209,27 +280,39 @@ class RankContext:
         while have < self.size:
             child_rel = rel + have
             if child_rel < self.size:
+                self._trace_round = have.bit_length() - 1
                 self.send(payload, (child_rel + root) % self.size, tag)
             have *= 2
+        self._trace_op, self._trace_round = prev_op, -1
+        self._collective_span("tree-bcast", t0)
         return payload
 
     def reduce(self, array: np.ndarray, root: int = 0, tag: int = 102) -> Optional[np.ndarray]:
         """Tree-sum arrays to ``root`` with the same association order as
         :func:`repro.comm.collectives.tree_reduce`. Returns the sum at the
         root, ``None`` elsewhere."""
+        t0 = self.comm._elapsed()
+        prev_op = self._trace_op
+        self._trace_op = "tree-reduce"
         rel = (self.rank - root) % self.size
         acc = np.array(array, copy=True)
+        result: Optional[np.ndarray] = None
         stride = 1
         while stride < self.size:
+            self._trace_round = stride.bit_length() - 1
             if rel % (2 * stride) == 0:
                 partner = rel + stride
                 if partner < self.size:
                     acc = acc + self.recv((partner + root) % self.size, tag)
             elif rel % (2 * stride) == stride:
                 self.send(acc, (rel - stride + root) % self.size, tag)
-                return None  # sent upstream; this rank is done
+                break  # sent upstream; this rank is done
             stride *= 2
-        return acc if rel == 0 else None
+        else:
+            result = acc if rel == 0 else None
+        self._trace_op, self._trace_round = prev_op, -1
+        self._collective_span("tree-reduce", t0)
+        return result
 
     def allreduce(self, array: np.ndarray, tag: int = 103) -> np.ndarray:
         """Tree reduce to rank 0 followed by tree broadcast."""
@@ -257,6 +340,7 @@ class InProcessCommunicator:
         faults: Optional[FaultPlan] = None,
         max_retries: int = 8,
         retry_backoff: float = 0.001,
+        trace: Optional[Trace] = None,
     ) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
@@ -271,6 +355,12 @@ class InProcessCommunicator:
         self.faults = faults
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        #: When set, every send/recv/collective records a TraceEvent here
+        #: (wall-clock spans). None = tracing off, zero overhead.
+        self.trace = trace
+        if trace is not None:
+            trace.meta.setdefault("ranks", size)
+            trace.meta.setdefault("clock", "wall")
         #: Drops, retransmissions, delays, and lost messages land here.
         self.fault_log = FaultLog()
         self._mailboxes = [_Mailbox() for _ in range(size)]

@@ -22,6 +22,8 @@ __all__ = [
     "trajectory_auc",
     "fault_rate_curve",
     "fault_degradation",
+    "trace_digest",
+    "comm_ratio_from_trace",
 ]
 
 
@@ -124,3 +126,35 @@ def fault_degradation(faulty: RunResult, baseline: RunResult) -> float:
     """How many accuracy points the faulty run lost vs the healthy baseline
     (positive = degradation; the acceptance band is <= 0.05)."""
     return baseline.final_accuracy - faulty.final_accuracy
+
+
+def trace_digest(result: RunResult) -> Mapping[str, float]:
+    """The trace's numeric summary (message counts, overlap, critical path).
+
+    Requires the run to have been made with ``TrainerConfig(trace=True)``.
+    """
+    if result.trace is None:
+        raise ValueError(
+            f"run {result.method!r} carries no trace; rerun with TrainerConfig(trace=True)"
+        )
+    from repro.trace.metrics import summarize
+
+    return summarize(result.trace)
+
+
+def comm_ratio_from_trace(result: RunResult) -> float:
+    """The 87% -> 14% figure measured from the trace's span unions.
+
+    An independent cross-check of ``result.breakdown.comm_ratio``: the
+    accumulator sums *visible* per-part seconds, while this measures the
+    union of actual communication spans against all activity — the two
+    agree in shape (Original EASGD high, Sync EASGD low) but not identically,
+    since overlapped communication counts here and is invisible there.
+    """
+    if result.trace is None:
+        raise ValueError(
+            f"run {result.method!r} carries no trace; rerun with TrainerConfig(trace=True)"
+        )
+    from repro.trace.metrics import comm_compute_ratio
+
+    return comm_compute_ratio(result.trace)

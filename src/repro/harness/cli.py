@@ -77,6 +77,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           "drop:P delay:P@S seed:N)")
     run.add_argument("--json", metavar="PATH", default=None,
                      help="write the trajectory to a JSON file")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="record a communication trace and write it here "
+                          "(.jsonl -> archive format; anything else -> "
+                          "Chrome/Perfetto JSON), then verify its structural "
+                          "invariants")
 
     table = sub.add_parser("table", help="print a paper-table reproduction")
     table.add_argument("id", choices=["1", "2", "4"])
@@ -110,7 +115,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         model_builder=spec_builder,
         num_gpus=args.gpus,
         config=TrainerConfig(
-            batch_size=args.batch_size, lr=args.lr, rho=args.rho, seed=args.seed
+            batch_size=args.batch_size, lr=args.lr, rho=args.rho, seed=args.seed,
+            trace=args.trace is not None,
         ),
         cost_model=cost,
     ).normalize()
@@ -160,6 +166,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         results_to_json([result], args.json)
         print(f"\ntrajectory written to {args.json}")
+    if args.trace:
+        if result.trace is None:
+            print(f"method {args.method!r} does not record traces", file=sys.stderr)
+            return 2
+        from repro.trace import InvariantViolation, check_all, summarize, to_chrome, to_jsonl
+
+        if args.trace.endswith(".jsonl"):
+            to_jsonl(result.trace, args.trace)
+        else:
+            to_chrome(result.trace, args.trace)
+        digest = summarize(result.trace)
+        print(f"\ntrace written to {args.trace} "
+              f"({int(digest['events'])} events, {int(digest['messages'])} messages, "
+              f"overlap {digest['overlap_fraction'] * 100:.0f}%)")
+        try:
+            ran = check_all(result.trace)
+        except InvariantViolation as exc:
+            print(f"trace invariant VIOLATED: {exc}", file=sys.stderr)
+            return 4
+        print(f"trace invariants OK: {', '.join(ran)}")
     return 0
 
 

@@ -12,6 +12,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Union
 
 from repro.algorithms.base import RunResult
+from repro.trace.metrics import summarize as summarize_trace
 
 __all__ = ["SCHEMA_VERSION", "result_to_dict", "results_to_json", "results_from_json"]
 
@@ -22,8 +23,13 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
     """Flatten one run to a JSON-safe dict.
 
     The ``fault_log`` key is present only for runs that executed under a
-    fault plan, so archives of healthy runs are byte-identical to the
-    pre-faults schema (still version 1 — the addition is optional).
+    fault plan, and ``trace_summary`` only for runs that recorded a
+    communication trace, so archives of plain runs are byte-identical to
+    the earlier schema (still version 1 — both additions are optional).
+    The full event stream is *not* archived here — traces have their own
+    JSONL format (:func:`repro.trace.to_jsonl`); the summary keeps the
+    headline numbers (message/byte counts, comm ratio, overlap fraction,
+    critical path) next to the run they describe.
     """
     out: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
@@ -48,6 +54,8 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
     if result.fault_log is not None:
         out["fault_log"] = result.fault_log.to_dicts()
         out["degraded_rounds"] = result.breakdown.degraded_rounds
+    if result.trace is not None:
+        out["trace_summary"] = summarize_trace(result.trace)
     return out
 
 

@@ -27,7 +27,11 @@ def quantize_gradient(
     if not 1 <= bits <= 16:
         raise ValueError("bits must be in [1, 16]")
     levels = (1 << bits) - 1
+    if grad.size == 0:
+        return grad.copy(), 1.0
     max_abs = float(np.abs(grad).max())
+    if not np.isfinite(max_abs):
+        raise ValueError("cannot quantize a gradient containing NaN or Inf")
     if max_abs == 0.0:
         return grad.copy(), 1.0
     scale = max_abs / levels

@@ -1,0 +1,29 @@
+"""repro.trace — structured, zero-overhead-when-off communication tracing.
+
+- :mod:`repro.trace.events` — the :class:`TraceEvent` / :class:`Trace` model;
+- :mod:`repro.trace.metrics` — derived quantities (message counts, bytes,
+  comm/compute ratio, overlap fraction, critical path, staleness);
+- :mod:`repro.trace.export` — JSONL archives and Chrome/Perfetto JSON;
+- :mod:`repro.trace.schedule` — expand simulated collectives into their
+  per-message binomial-tree structure;
+- :mod:`repro.trace.check` — executable structural invariants shared by
+  the harness and the test suite.
+"""
+
+from repro.trace.check import InvariantViolation, check_all
+from repro.trace.events import EVENT_KINDS, MASTER, Trace, TraceEvent
+from repro.trace.export import from_jsonl, to_chrome, to_jsonl
+from repro.trace.metrics import summarize
+
+__all__ = [
+    "EVENT_KINDS",
+    "MASTER",
+    "Trace",
+    "TraceEvent",
+    "InvariantViolation",
+    "check_all",
+    "from_jsonl",
+    "to_chrome",
+    "to_jsonl",
+    "summarize",
+]

@@ -1,0 +1,253 @@
+"""Reusable structural invariants over communication traces.
+
+Every claim the paper makes about communication *shape* becomes an
+executable check here: the binomial tree moves at most P*ceil(log2 P)
+point-to-point messages in at most ceil(log2 P) rounds per collective,
+packed mode sends exactly one buffer per edge, Sync EASGD3's
+communication overlaps its staging/compute spans, the FCFS parameter
+server serves strictly in arrival order, and no message vanishes
+without a fault event owning the loss. The harness and the test suite
+call the same functions, so a perf PR that silently changes the
+protocol fails loudly instead of drifting.
+
+Checks raise :class:`InvariantViolation` (an ``AssertionError``
+subclass, so plain pytest reporting applies) with the offending
+iteration/edge named.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.trace import metrics
+from repro.trace.events import Trace
+
+__all__ = [
+    "InvariantViolation",
+    "check_message_conservation",
+    "check_tree_message_bound",
+    "check_tree_round_bound",
+    "check_flat_exchange_shape",
+    "check_packed_single_message",
+    "check_overlap",
+    "check_no_overlap",
+    "check_fcfs_service",
+    "check_all",
+]
+
+#: Fault ops that legitimately account for an unmatched send.
+_LOSS_OPS = ("drop", "lost", "give-up", "dead")
+
+#: Ops that mark messages belonging to a tree collective.
+TREE_OPS = ("tree-reduce", "tree-bcast")
+
+
+class InvariantViolation(AssertionError):
+    """A structural claim about the communication schedule is false."""
+
+
+def _log2_ceil(p: int) -> int:
+    return int(math.ceil(math.log2(p))) if p > 1 else 0
+
+
+def _ranks(trace: Trace) -> int:
+    p = trace.meta.get("ranks")
+    if not p:
+        raise InvariantViolation("trace meta lacks a 'ranks' count")
+    return int(p)
+
+
+def check_message_conservation(trace: Trace) -> None:
+    """Every sent channel is either received or accounted for by a fault.
+
+    A *channel* is a (source, dest, tag, seq) identity; retransmissions
+    share one channel, so a message that was dropped twice and then
+    delivered still conserves. Receives with no matching send are always
+    violations (a message cannot appear from nowhere).
+    """
+    sent: Set[Tuple[int, int, int, int]] = {e.channel() for e in trace.sends()}
+    received: Set[Tuple[int, int, int, int]] = {e.channel() for e in trace.recvs()}
+    lossy: Set[Tuple[Optional[int], Optional[int], int, int]] = {
+        (e.rank, e.peer, e.tag, e.seq)
+        for e in trace.by_kind("fault")
+        if e.op in _LOSS_OPS
+    }
+    ghost = received - sent
+    if ghost:
+        raise InvariantViolation(
+            f"{len(ghost)} received channel(s) were never sent, e.g. {sorted(ghost)[0]}"
+        )
+    for src, dst, tag, seq in sorted(sent - received):
+        if (src, dst, tag, seq) in lossy:
+            continue
+        raise InvariantViolation(
+            f"send ({src} -> {dst}, tag={tag}, seq={seq}) has no matching recv "
+            "and no fault event accounting for the loss"
+        )
+
+
+def _sends_by_iteration(trace: Trace, ops: Tuple[str, ...]) -> Dict[Tuple[int, str], List]:
+    groups: Dict[Tuple[int, str], List] = {}
+    for e in trace.sends():
+        if e.op in ops:
+            groups.setdefault((e.iteration, e.op), []).append(e)
+    return groups
+
+
+def check_tree_message_bound(trace: Trace, p: Optional[int] = None) -> None:
+    """Each tree collective moves at most P*ceil(log2 P) p2p messages.
+
+    (The schedule actually needs only P-1 edges; the paper's bound is the
+    per-round-times-rounds ceiling, which also holds for per-layer mode
+    once message multiplicity is divided out.)
+    """
+    p = p or _ranks(trace)
+    bound = max(p * _log2_ceil(p), 1)
+    mult = max(int(trace.meta.get("messages_per_exchange", 1)), 1)
+    for (iteration, op), sends in sorted(_sends_by_iteration(trace, TREE_OPS).items()):
+        edges = {(e.rank, e.peer) for e in sends}
+        if len(edges) > bound:
+            raise InvariantViolation(
+                f"iteration {iteration}: {op} used {len(edges)} edges > "
+                f"bound P*ceil(log2 P) = {bound} for P={p}"
+            )
+        if len(sends) > bound * mult:
+            raise InvariantViolation(
+                f"iteration {iteration}: {op} sent {len(sends)} messages > "
+                f"{bound} * {mult} for P={p}"
+            )
+
+
+def check_tree_round_bound(trace: Trace, p: Optional[int] = None) -> None:
+    """Each tree collective finishes in at most ceil(log2 P) rounds —
+    the Theta(log P) latency claim Sync EASGD rests on."""
+    p = p or _ranks(trace)
+    bound = _log2_ceil(p)
+    for (iteration, op), sends in sorted(_sends_by_iteration(trace, TREE_OPS).items()):
+        rounds = {e.round for e in sends}
+        if len(rounds) > max(bound, 1) or any(r < 0 for r in rounds):
+            raise InvariantViolation(
+                f"iteration {iteration}: {op} used {len(rounds)} rounds > "
+                f"ceil(log2 {p}) = {bound}"
+            )
+
+
+def check_flat_exchange_shape(trace: Trace) -> None:
+    """Round-robin EASGD: one worker per iteration, 2 transfers with it.
+
+    Over any window of P iterations this is Theta(P) sequential
+    exchanges — the master-bound pattern Sync EASGD's tree eliminates.
+    """
+    mult = max(int(trace.meta.get("messages_per_exchange", 1)), 1)
+    groups = _sends_by_iteration(trace, ("round-robin",))
+    if not groups:
+        raise InvariantViolation("no round-robin sends in trace")
+    for (iteration, _), sends in sorted(groups.items()):
+        workers = {e.rank for e in sends} | {e.peer for e in sends}
+        workers.discard(None)
+        if len(workers) != 2:
+            raise InvariantViolation(
+                f"iteration {iteration}: round-robin touched ranks {sorted(workers)}; "
+                "expected exactly master + one worker"
+            )
+        if len(sends) != 2 * mult:
+            raise InvariantViolation(
+                f"iteration {iteration}: {len(sends)} round-robin messages; "
+                f"expected 2 transfers x {mult} buffer(s)"
+            )
+
+
+def check_packed_single_message(trace: Trace) -> None:
+    """Packed mode: every (edge, round) of every exchange is ONE buffer.
+
+    This is Section 5.2's single-message claim; per-layer mode trips it
+    because each blob becomes its own message on the same edge.
+    """
+    counts: Dict[Tuple[int, str, int, Optional[int], int], int] = {}
+    for e in trace.sends():
+        if e.op in TREE_OPS + ("round-robin", "ps-request", "ps-reply"):
+            key = (e.iteration, e.op, e.rank, e.peer, e.round)
+            counts[key] = counts.get(key, 0) + 1
+    for key, n in sorted(counts.items()):
+        if n != 1:
+            iteration, op, src, dst, rnd = key
+            raise InvariantViolation(
+                f"iteration {iteration}: {op} edge {src}->{dst} round {rnd} "
+                f"carried {n} messages; packed mode sends exactly one buffer"
+            )
+
+
+def check_overlap(trace: Trace, min_fraction: float = 0.0) -> None:
+    """Communication spans overlap staging/compute spans (EASGD3)."""
+    frac = metrics.overlap_fraction(trace)
+    if frac <= min_fraction:
+        raise InvariantViolation(
+            f"overlap fraction {frac:.4f} <= {min_fraction} — communication "
+            "is not hidden under staging/compute"
+        )
+
+
+def check_no_overlap(trace: Trace, tolerance: float = 1e-9) -> None:
+    """Serial variants: communication strictly outside compute/staging."""
+    frac = metrics.overlap_fraction(trace)
+    if frac > tolerance:
+        raise InvariantViolation(
+            f"overlap fraction {frac:.4f} > {tolerance} in a serial schedule"
+        )
+
+
+def check_fcfs_service(trace: Trace) -> None:
+    """A locked master serves requests in arrival order (FCFS).
+
+    Service events carry their request's arrival instant in ``value``;
+    sorting by service start must leave arrivals non-decreasing.
+    """
+    served = sorted(trace.by_kind("service"), key=lambda e: (e.t0, e.t1))
+    for prev, cur in zip(served, served[1:]):
+        if cur.value < prev.value - 1e-12:
+            raise InvariantViolation(
+                f"service at t={cur.t0:.6g} (arrival {cur.value:.6g}) overtook "
+                f"service at t={prev.t0:.6g} (arrival {prev.value:.6g}) — not FCFS"
+            )
+        if cur.t0 < prev.t1 - 1e-12:
+            raise InvariantViolation(
+                f"service spans overlap under a locked master: "
+                f"[{prev.t0:.6g},{prev.t1:.6g}] vs [{cur.t0:.6g},{cur.t1:.6g}]"
+            )
+
+
+def check_all(trace: Trace) -> List[str]:
+    """Run every invariant the trace's metadata declares applicable.
+
+    Returns the names of the checks that ran (and passed); raises
+    :class:`InvariantViolation` on the first failure. The dispatch keys
+    off ``meta['pattern']`` — "tree", "round-robin", or "ps" — which the
+    trainers stamp when they create the trace.
+    """
+    ran: List[str] = []
+
+    def run(name: str, fn, *args, **kwargs) -> None:
+        fn(*args, **kwargs)
+        ran.append(name)
+
+    run("message-conservation", check_message_conservation, trace)
+    pattern = trace.meta.get("pattern")
+    if pattern == "tree":
+        run("tree-message-bound", check_tree_message_bound, trace)
+        run("tree-round-bound", check_tree_round_bound, trace)
+        if trace.meta.get("packed"):
+            run("packed-single-message", check_packed_single_message, trace)
+        variant = trace.meta.get("variant")
+        if variant == 3 or trace.meta.get("overlapped"):
+            run("comm-compute-overlap", check_overlap, trace)
+        elif variant in (1, 2):
+            run("serial-no-overlap", check_no_overlap, trace)
+    elif pattern == "round-robin":
+        run("flat-exchange-shape", check_flat_exchange_shape, trace)
+        if trace.meta.get("packed"):
+            run("packed-single-message", check_packed_single_message, trace)
+    elif pattern == "ps":
+        if not trace.meta.get("lock_free"):
+            run("fcfs-service", check_fcfs_service, trace)
+    return ran

@@ -1,0 +1,166 @@
+"""Structured communication tracing: the event model.
+
+The paper's headline claims are statements about *communication
+structure* — how many messages move, in how many rounds, overlapping
+what. A :class:`Trace` is the per-run record that makes those claims
+checkable: every send/recv, every collective, every compute/staging
+phase, and every injected fault becomes one typed :class:`TraceEvent`
+with a simulated-time (or wall-time, for the in-process runtime) span.
+
+Zero overhead when off: trainers and the runtime hold ``trace = None``
+on healthy hot paths and guard every emission with a single ``is not
+None`` test — no event objects, no list appends, no string formatting
+are executed unless tracing was requested.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["MASTER", "EVENT_KINDS", "TraceEvent", "Trace"]
+
+#: Rank id of the master / host CPU in traces (workers are 0..P-1).
+MASTER = -1
+
+#: The closed set of event kinds a trace may contain.
+EVENT_KINDS = (
+    "send",  # point-to-point message leaves `rank` for `peer`
+    "recv",  # point-to-point message from `peer` consumed by `rank`
+    "collective",  # one whole collective phase (op: tree-reduce, tree-bcast, ...)
+    "compute",  # forward/backward pass on `rank`
+    "staging",  # host -> device batch copy (cpu-gpu data)
+    "update",  # weight update (op: gpu-update, cpu-update, elastic-update)
+    "service",  # master serving one request (async parameter server)
+    "fault",  # injected/detected fault (op: drop, delay, lost, crash, ...)
+    "mark",  # free-form instant annotation
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced happening: a span ``[t0, t1]`` on one rank.
+
+    ``peer``/``tag``/``seq`` identify point-to-point messages (a send and
+    its matching recv share ``(source, dest, tag, seq)``); ``round`` is the
+    collective round index a message belongs to; ``value`` carries one
+    scalar payload (staleness for elastic updates, arrival time for
+    service events).
+    """
+
+    kind: str
+    rank: int
+    t0: float
+    t1: float
+    op: str = ""
+    peer: Optional[int] = None
+    tag: int = 0
+    nbytes: int = 0
+    seq: int = -1
+    round: int = -1
+    iteration: int = -1
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}; expected one of {EVENT_KINDS}")
+        if self.t1 < self.t0:
+            raise ValueError(f"event span ends before it starts: [{self.t0}, {self.t1}]")
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def channel(self) -> Tuple[int, int, int, int]:
+        """The (source, dest, tag, seq) identity of a p2p message."""
+        if self.kind == "send":
+            return (self.rank, self.peer if self.peer is not None else MASTER, self.tag, self.seq)
+        if self.kind == "recv":
+            return (self.peer if self.peer is not None else MASTER, self.rank, self.tag, self.seq)
+        raise ValueError(f"{self.kind!r} events have no p2p channel")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceEvent":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+class Trace:
+    """An append-only, thread-safe event log plus run metadata.
+
+    ``meta`` records what produced the trace (method name, rank count,
+    packed flag, ...) so invariant checks can pick the right assertions
+    without side-channel arguments. Emission helpers exist for every
+    kind so call sites stay one line; all of them funnel through
+    :meth:`add`, whose lock makes the real-thread runtime safe.
+    """
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.events: List[TraceEvent] = []
+        self._lock = threading.Lock()
+
+    # -- emission ----------------------------------------------------------
+    def add(self, event: TraceEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def send(
+        self, rank: int, peer: int, t0: float, t1: float, *,
+        tag: int = 0, nbytes: int = 0, seq: int = -1, op: str = "",
+        round: int = -1, iteration: int = -1,
+    ) -> None:
+        self.add(TraceEvent("send", rank, t0, t1, op=op, peer=peer, tag=tag,
+                            nbytes=nbytes, seq=seq, round=round, iteration=iteration))
+
+    def recv(
+        self, rank: int, peer: int, t0: float, t1: float, *,
+        tag: int = 0, nbytes: int = 0, seq: int = -1, op: str = "",
+        round: int = -1, iteration: int = -1,
+    ) -> None:
+        self.add(TraceEvent("recv", rank, t0, t1, op=op, peer=peer, tag=tag,
+                            nbytes=nbytes, seq=seq, round=round, iteration=iteration))
+
+    def span(
+        self, kind: str, rank: int, t0: float, t1: float, *,
+        op: str = "", nbytes: int = 0, iteration: int = -1, value: float = 0.0,
+    ) -> None:
+        self.add(TraceEvent(kind, rank, t0, t1, op=op, nbytes=nbytes,
+                            iteration=iteration, value=value))
+
+    def fault(
+        self, rank: int, at: float, op: str, *,
+        peer: Optional[int] = None, tag: int = 0, seq: int = -1, iteration: int = -1,
+    ) -> None:
+        self.add(TraceEvent("fault", rank, at, at, op=op, peer=peer, tag=tag,
+                            seq=seq, iteration=iteration))
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(list(self.events))
+
+    def by_kind(self, *kinds: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind in kinds]
+
+    def sends(self, op: Optional[str] = None) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "send" and (op is None or e.op == op)]
+
+    def recvs(self, op: Optional[str] = None) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "recv" and (op is None or e.op == op)]
+
+    def iterations(self) -> List[int]:
+        """Sorted distinct iteration indices that emitted any event."""
+        return sorted({e.iteration for e in self.events if e.iteration >= 0})
+
+    def ranks(self) -> List[int]:
+        return sorted({e.rank for e in self.events})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace(method={self.meta.get('method')!r}, events={len(self.events)})"

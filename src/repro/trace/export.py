@@ -1,0 +1,117 @@
+"""Trace exporters: JSONL archives and Chrome ``trace_event`` JSON.
+
+JSONL is the canonical on-disk form (one meta line, then one event per
+line, keys sorted) — byte-stable for a deterministic run, which is what
+the golden-trace regression tests diff. The Chrome format loads into
+``chrome://tracing`` or `Perfetto <https://ui.perfetto.dev>`_: one
+track per rank, complete (``"ph": "X"``) slices for spans, and flow
+arrows from each send to its matching recv.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.trace.events import MASTER, Trace, TraceEvent
+
+__all__ = ["to_jsonl", "from_jsonl", "to_chrome", "chrome_events"]
+
+#: Simulated seconds are microseconds in Chrome's ``ts``/``dur`` fields.
+_US = 1e6
+
+
+def to_jsonl(trace: Trace, path: Union[str, Path, None] = None) -> str:
+    """Serialize ``trace`` to JSONL; optionally write it to ``path``."""
+    lines = [json.dumps({"type": "meta", **trace.meta}, sort_keys=True)]
+    for event in trace.events:
+        lines.append(json.dumps({"type": "event", **event.to_dict()}, sort_keys=True))
+    payload = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(payload)
+    return payload
+
+
+def from_jsonl(source: Union[str, Path]) -> Trace:
+    """Rebuild a :class:`Trace` from a JSONL document or file path."""
+    text = source.read_text() if isinstance(source, Path) else source
+    trace: Optional[Trace] = None
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.pop("type", None)
+        if kind == "meta":
+            if trace is not None:
+                raise ValueError(f"line {lineno}: duplicate meta record")
+            trace = Trace(meta=record)
+        elif kind == "event":
+            if trace is None:
+                trace = Trace()
+            trace.add(TraceEvent.from_dict(record))
+        else:
+            raise ValueError(f"line {lineno}: unknown record type {kind!r}")
+    if trace is None:
+        raise ValueError("empty trace document")
+    return trace
+
+
+def _tid(rank: int) -> int:
+    """Chrome thread ids must be non-negative: master gets 0, rank j gets j+1."""
+    return 0 if rank == MASTER else rank + 1
+
+
+def chrome_events(trace: Trace) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` array for one trace."""
+    out: List[Dict[str, Any]] = []
+    pid = 0
+    for rank in trace.ranks():
+        out.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": _tid(rank),
+            "args": {"name": "master (CPU)" if rank == MASTER else f"rank {rank}"},
+        })
+    recv_index = {}
+    for i, e in enumerate(trace.events):
+        if e.kind == "recv":
+            recv_index.setdefault(e.channel(), i)
+    for i, e in enumerate(trace.events):
+        name = e.op or e.kind
+        args: Dict[str, Any] = {"kind": e.kind}
+        if e.peer is not None:
+            args["peer"] = e.peer
+        if e.kind in ("send", "recv"):
+            args.update(tag=e.tag, seq=e.seq, bytes=e.nbytes)
+        if e.round >= 0:
+            args["round"] = e.round
+        if e.iteration >= 0:
+            args["iteration"] = e.iteration
+        if e.kind in ("update", "service") and e.value:
+            args["value"] = e.value
+        base = {"name": name, "cat": e.kind, "pid": pid, "tid": _tid(e.rank), "args": args}
+        if e.kind in ("fault", "mark"):
+            out.append({**base, "ph": "i", "ts": e.t0 * _US, "s": "t"})
+            continue
+        out.append({**base, "ph": "X", "ts": e.t0 * _US, "dur": max(e.duration * _US, 0.001)})
+        # Flow arrow from a send slice to its matching recv slice.
+        if e.kind == "send" and e.channel() in recv_index:
+            r = trace.events[recv_index[e.channel()]]
+            flow_id = f"{e.rank}-{e.peer}-{e.tag}-{e.seq}-{i}"
+            out.append({"name": name, "cat": "msg", "ph": "s", "id": flow_id,
+                        "pid": pid, "tid": _tid(e.rank), "ts": e.t0 * _US})
+            out.append({"name": name, "cat": "msg", "ph": "f", "bp": "e", "id": flow_id,
+                        "pid": pid, "tid": _tid(r.rank), "ts": r.t1 * _US})
+    return out
+
+
+def to_chrome(trace: Trace, path: Union[str, Path, None] = None) -> str:
+    """Serialize ``trace`` to Chrome/Perfetto JSON; optionally write it."""
+    doc = {
+        "traceEvents": chrome_events(trace),
+        "displayTimeUnit": "ms",
+        "otherData": dict(trace.meta),
+    }
+    payload = json.dumps(doc, indent=1)
+    if path is not None:
+        Path(path).write_text(payload)
+    return payload

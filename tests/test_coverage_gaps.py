@@ -136,3 +136,114 @@ class TestPartitionWithCacheMode:
             return trainer._iter_time()
 
         assert iter_time(McdramMode.CACHE) < iter_time(McdramMode.FLAT)
+
+
+class TestQuantizeEdgeCases:
+    """Contract tests for the uniform stochastic quantizer's boundaries."""
+
+    def test_empty_gradient_round_trips(self):
+        from repro.optim.quantize import quantize_gradient
+
+        empty = np.array([], dtype=np.float32)
+        q, scale = quantize_gradient(empty, 8)
+        assert q.size == 0
+        assert q.dtype == np.float32
+        assert scale == 1.0
+
+    def test_all_zero_gradient_is_identity(self):
+        from repro.optim.quantize import quantize_gradient
+
+        zeros = np.zeros(16, dtype=np.float64)
+        q, scale = quantize_gradient(zeros, 4)
+        np.testing.assert_array_equal(q, zeros)
+        assert scale == 1.0
+        assert q is not zeros  # a copy, never an alias
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_gradient_rejected(self, bad):
+        from repro.optim.quantize import quantize_gradient
+
+        grad = np.array([0.5, bad, -0.25], dtype=np.float32)
+        with pytest.raises(ValueError, match="NaN or Inf"):
+            quantize_gradient(grad, 8)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_dtype_preserved(self, dtype):
+        from repro.optim.quantize import quantize_gradient
+
+        rng = np.random.default_rng(3)
+        grad = rng.normal(size=64).astype(dtype)
+        det, _ = quantize_gradient(grad, 6)
+        sto, _ = quantize_gradient(grad, 6, rng)
+        assert det.dtype == dtype
+        assert sto.dtype == dtype
+
+    def test_level_count_bounded(self):
+        from repro.optim.quantize import quantize_gradient
+
+        rng = np.random.default_rng(4)
+        grad = rng.normal(size=4096).astype(np.float32)
+        bits = 3
+        q, _ = quantize_gradient(grad, bits)
+        # signed uniform grid: at most 2*(2^bits - 1) + 1 distinct values
+        assert len(np.unique(q)) <= 2 * ((1 << bits) - 1) + 1
+
+    @pytest.mark.parametrize("bits", [0, 17, -1])
+    def test_bits_out_of_range(self, bits):
+        from repro.optim.quantize import quantize_gradient
+
+        with pytest.raises(ValueError, match="bits"):
+            quantize_gradient(np.ones(4), bits)
+
+    def test_stochastic_rounding_is_unbiased(self):
+        from repro.optim.quantize import quantize_gradient
+
+        rng = np.random.default_rng(5)
+        grad = np.full(20_000, 0.3, dtype=np.float64)
+        q, _ = quantize_gradient(grad, 2, rng)
+        assert abs(float(q.mean()) - 0.3) < 0.01
+
+
+class TestCheckpointRoundTrips:
+    """Round-trip coverage for repro.nn.serialize beyond the happy path."""
+
+    def test_values_and_dtype_survive(self, tmp_path):
+        from repro.nn.serialize import load_checkpoint, save_checkpoint
+
+        net = build_mlp(seed=8)
+        rng = np.random.default_rng(8)
+        net.set_params(rng.normal(size=net.params.size).astype(net.params.dtype))
+        before = net.get_params().copy()
+        save_checkpoint(net, tmp_path / "ck.npz", iteration=7)
+
+        other = build_mlp(seed=99)  # different init, same architecture
+        assert load_checkpoint(other, tmp_path / "ck.npz") == 7
+        restored = other.get_params()
+        np.testing.assert_array_equal(restored, before)
+        assert restored.dtype == before.dtype
+
+    def test_fingerprint_depends_on_structure_not_values(self):
+        from repro.nn.serialize import structure_fingerprint
+
+        a, b = build_mlp(seed=1), build_mlp(seed=2)
+        assert structure_fingerprint(a) == structure_fingerprint(b)
+        b.set_params(np.zeros_like(b.params))
+        assert structure_fingerprint(a) == structure_fingerprint(b)
+
+    def test_default_iteration_is_zero(self, tmp_path):
+        from repro.nn.serialize import load_checkpoint, save_checkpoint
+
+        net = build_mlp(seed=8)
+        save_checkpoint(net, tmp_path / "ck.npz")
+        assert load_checkpoint(build_mlp(seed=8), tmp_path / "ck.npz") == 0
+
+    def test_mismatched_architecture_refused_without_mutation(self, tmp_path):
+        from repro.nn.models import build_lenet
+        from repro.nn.serialize import load_checkpoint, save_checkpoint
+
+        save_checkpoint(build_lenet(seed=1), tmp_path / "ck.npz")
+        target = build_mlp(seed=3)
+        before = target.get_params().copy()
+        with pytest.raises(ValueError, match="structure mismatch"):
+            load_checkpoint(target, tmp_path / "ck.npz")
+        np.testing.assert_array_equal(target.get_params(), before)

@@ -1,0 +1,181 @@
+"""Property-based trace tests: the paper's complexity claims, mechanically.
+
+Hypothesis draws the worker count P from {2, 3, 4, 8} plus seeds and fault
+plans, and asserts on the *traced* communication structure:
+
+* Original EASGD's round-robin exchange is Theta(P): the master serially
+  touches every worker every iteration.
+* Sync EASGD's binomial-tree collectives are Theta(log P): at most
+  ceil(log2 P) rounds and P - 1 edges per phase, regardless of seed.
+* Send/recv conservation on the in-process runtime: every send is either
+  received or accounted for by a loss fault event, including under
+  drop/delay fault plans.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import TrainerConfig
+from repro.algorithms.original_easgd import OriginalEASGDTrainer
+from repro.algorithms.sync_easgd import SyncEASGDTrainer
+from repro.cluster import CostModel, GpuPlatform
+from repro.comm.runtime import DeadlockError, InProcessCommunicator
+from repro.faults import FaultPlan
+from repro.nn.models import build_mlp
+from repro.nn.spec import LENET
+from repro.trace import MASTER, Trace
+from repro.trace.check import (
+    check_message_conservation,
+    check_tree_message_bound,
+    check_tree_round_bound,
+)
+from repro.trace.metrics import round_count
+
+pytestmark = pytest.mark.trace
+
+WORKER_COUNTS = st.sampled_from([2, 3, 4, 8])
+
+ITERATIONS = 3
+
+trainer_settings = settings(
+    deadline=None,
+    max_examples=6,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _run(trainer_cls, mnist_tiny, p, seed, iterations=ITERATIONS, **kw):
+    train, test = mnist_tiny
+    cfg = TrainerConfig(batch_size=16, seed=seed, eval_every=100,
+                        eval_samples=64, trace=True)
+    trainer = trainer_cls(
+        build_mlp(seed=seed), train, test, GpuPlatform(num_gpus=p, seed=seed),
+        cfg, CostModel.from_spec(LENET), **kw,
+    )
+    result = trainer.train(iterations)
+    assert result.trace is not None
+    return result.trace
+
+
+class TestComplexityClaims:
+    @trainer_settings
+    @given(p=WORKER_COUNTS, seed=st.integers(0, 2**16))
+    def test_original_easgd_is_theta_p(self, mnist_tiny, p, seed):
+        """Round-robin: one worker per iteration, so a full sweep costs P.
+
+        Theta(P) here is *staleness*: each iteration carries exactly one
+        down + up exchange with the master, and only after P iterations has
+        every worker been refreshed once.
+        """
+        trace = _run(OriginalEASGDTrainer, mnist_tiny, p, seed, iterations=p)
+        mpe = trace.meta["messages_per_exchange"]
+        served = []
+        for t in trace.iterations():
+            sends = [e for e in trace.sends() if e.iteration == t]
+            assert len(sends) == 2 * mpe  # one exchange per iteration, serial
+            assert all(MASTER in (e.rank, e.peer) for e in sends)
+            served.extend(e.peer for e in sends if e.rank == MASTER)
+        # a window of P iterations touches each of the P workers exactly once
+        assert sorted(set(served)) == list(range(p))
+        assert len(served) == p * mpe
+        check_message_conservation(trace)
+
+    @trainer_settings
+    @given(p=WORKER_COUNTS, seed=st.integers(0, 2**16),
+           variant=st.sampled_from([1, 2, 3]))
+    def test_sync_easgd_is_theta_log_p(self, mnist_tiny, p, seed, variant):
+        """Binomial tree: <= ceil(log2 P) rounds, P - 1 edges per phase."""
+        trace = _run(SyncEASGDTrainer, mnist_tiny, p, seed, variant=variant)
+        depth = math.ceil(math.log2(p))
+        for op in ("tree-bcast", "tree-reduce"):
+            assert round_count(trace, op, iteration=1) <= depth
+            edges = {(e.rank, e.peer)
+                     for e in trace.sends(op) if e.iteration == 1}
+            assert len(edges) == p - 1
+        check_tree_round_bound(trace)
+        check_tree_message_bound(trace)
+        check_message_conservation(trace)
+
+    @trainer_settings
+    @given(p=st.sampled_from([4, 8]), seed=st.integers(0, 2**16))
+    def test_tree_beats_round_robin_in_refresh_latency(self, mnist_tiny, p, seed):
+        """The paper's Section 4 claim: a tree refreshes all P workers every
+        iteration in <= ceil(log2 P) rounds; round-robin needs P iterations."""
+        orig = _run(OriginalEASGDTrainer, mnist_tiny, p, seed, iterations=p)
+        sync = _run(SyncEASGDTrainer, mnist_tiny, p, seed, variant=1)
+        # round-robin: iterations until every worker has talked to the master
+        touched, sweep = set(), 0
+        for t in orig.iterations():
+            sweep = t
+            touched.update(e.peer for e in orig.sends()
+                           if e.iteration == t and e.rank == MASTER)
+            if len(touched) == p:
+                break
+        assert sweep == p  # linear refresh latency
+        # tree: all P workers synchronized within one iteration, log depth
+        edges = {(e.rank, e.peer) for e in sync.sends("tree-bcast")
+                 if e.iteration == 1}
+        assert {d for _, d in edges} | {sync.meta.get("root", 0)} >= set(range(p)) - {0}
+        tree_depth = max(round_count(sync, "tree-bcast", iteration=1),
+                         round_count(sync, "tree-reduce", iteration=1))
+        assert tree_depth <= math.ceil(math.log2(p)) < p == sweep
+
+
+def _ring_program(ctx, rounds):
+    """Each rank sends `rounds` messages right and receives from the left."""
+    right = (ctx.rank + 1) % ctx.size
+    left = (ctx.rank - 1) % ctx.size
+    got = 0
+    for t in range(rounds):
+        ctx.trace_iteration = t
+        ctx.send(("m", ctx.rank, t), right, tag=9)
+    for _ in range(rounds):
+        try:
+            ctx.recv(left, tag=9)
+            got += 1
+        except DeadlockError:
+            break  # a lost channel: the trace must account for it
+    return got
+
+
+class TestRuntimeConservation:
+    @settings(deadline=None, max_examples=10)
+    @given(p=WORKER_COUNTS, rounds=st.integers(1, 4))
+    def test_reliable_fabric_conserves_exactly(self, p, rounds):
+        trace = Trace()
+        comm = InProcessCommunicator(p, trace=trace)
+        comm.run(_ring_program, rounds)
+        sends, recvs = trace.sends(), trace.recvs()
+        assert len(sends) == len(recvs) == p * rounds
+        assert {e.channel() for e in sends} == {e.channel() for e in recvs}
+        check_message_conservation(trace)
+
+    @settings(deadline=None, max_examples=8,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(p=st.sampled_from([2, 3, 4]),
+           seed=st.integers(0, 2**16),
+           drop=st.floats(0.0, 0.5),
+           delay_p=st.floats(0.0, 0.5))
+    def test_conservation_survives_drop_and_delay_faults(self, p, seed, drop, delay_p):
+        """Dropped and delayed messages show up as fault events, never vanish."""
+        plan = FaultPlan(seed=seed).drop_rate(drop).delay(delay_p, 0.002)
+        trace = Trace()
+        comm = InProcessCommunicator(p, timeout=0.5, faults=plan, trace=trace)
+        comm.run(_ring_program, 3)
+        check_message_conservation(trace)
+
+    @settings(deadline=None, max_examples=5)
+    @given(p=st.sampled_from([2, 4]), seed=st.integers(0, 2**16))
+    def test_lost_channel_leaves_a_fault_event(self, p, seed):
+        """A lost-forever link never produces a send, only a 'lost' fault."""
+        plan = FaultPlan(seed=seed).lose_message(0, 1, 9)
+        trace = Trace()
+        comm = InProcessCommunicator(p, timeout=0.4, faults=plan, trace=trace)
+        comm.run(_ring_program, 2)
+        lost = [e for e in trace.by_kind("fault") if e.op == "lost"]
+        assert len(lost) == 2 and all(e.rank == 0 and e.peer == 1 for e in lost)
+        assert not [e for e in trace.sends() if e.rank == 0 and e.peer == 1]
+        check_message_conservation(trace)
