@@ -68,6 +68,11 @@ class TrainerConfig:
     #: Record a structured communication trace (repro.trace) for the run.
     #: Off by default: the hot path then allocates no TraceEvent at all.
     trace: bool = False
+    #: Execution substrate for runners that move real messages ("threads"
+    #: or "processes"). Simulated trainers ignore it; the message-passing
+    #: ports, the KNL chip-partition trainer, and the Hogwild runner
+    #: dispatch on it. Numerics are backend-invariant by construction.
+    backend: str = "threads"
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -78,6 +83,11 @@ class TrainerConfig:
             raise ValueError("eval_samples must be positive")
         if not 0.0 <= self.overlap_efficiency <= 1.0:
             raise ValueError("overlap_efficiency must be in [0, 1]")
+        # Late import: repro.comm.backend imports nothing from algorithms,
+        # but keeping the dependency one-way at module load is cheap.
+        from repro.comm.backend import validate_backend
+
+        validate_backend(self.backend)
 
 
 @dataclass(frozen=True)
@@ -159,6 +169,9 @@ class RunResult:
     #: Per-message communication trace, present when the run was configured
     #: with ``TrainerConfig(trace=True)``.
     trace: Optional[Trace] = None
+    #: Execution substrate that produced the run, set by runners that move
+    #: real messages ("threads" / "processes"); None for simulated runs.
+    backend: Optional[str] = None
 
     def time_to_accuracy(self, target: float) -> Optional[float]:
         """Simulated seconds until test accuracy first reached ``target``."""

@@ -22,7 +22,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.comm.runtime import InProcessCommunicator, RankContext
+from repro.comm.backend import make_communicator
+from repro.comm.runtime import RankContextBase
 from repro.data.dataset import Dataset
 from repro.data.loader import BatchSampler
 from repro.nn.losses import SoftmaxCrossEntropy
@@ -43,7 +44,7 @@ class MpiEasgdResult:
 
 
 def _rank_main(
-    ctx: RankContext,
+    ctx: RankContextBase,
     template: Network,
     train_set: Dataset,
     iterations: int,
@@ -97,8 +98,21 @@ def run_mpi_sync_easgd(
     record_history: bool = False,
     timeout: float = 120.0,
     trace: Optional[Trace] = None,
+    backend: str = "threads",
+    variant: int = 3,
 ) -> MpiEasgdResult:
-    """Run Sync EASGD across ``ranks`` real threads with message passing.
+    """Run Sync EASGD across ``ranks`` real threads or processes.
+
+    ``backend`` selects the execution substrate (``"threads"`` or
+    ``"processes"``); both run the identical rank program over identical
+    binomial trees, so the returned weights are bit-equal across backends.
+
+    ``variant`` labels which Sync EASGD flavour (1, 2, or 3) this run
+    stands in for. The paper's variants differ in *system* behaviour
+    (per-layer vs packed messages, overlap) but share one set of update
+    equations — the simulated trainers' weight trajectories are already
+    variant-independent, so one message-passing schedule serves all
+    three; the stamp rides on the trace metadata.
 
     Pass a :class:`repro.trace.Trace` to record every point-to-point
     message the runtime actually moves (wall-clock spans, per-round
@@ -107,18 +121,27 @@ def run_mpi_sync_easgd(
     """
     if iterations <= 0:
         raise ValueError("iterations must be positive")
+    if variant not in (1, 2, 3):
+        raise ValueError(f"variant must be 1, 2, or 3, got {variant}")
     hyper = EASGDHyper(lr=lr, rho=rho)
     hyper.validate_sync(ranks)
 
     if trace is not None:
-        trace.meta.setdefault("method", "MPI Sync EASGD")
+        trace.meta.setdefault("method", f"MPI Sync EASGD{variant}")
+        # NOT meta["variant"]: that key dispatches the simulator's
+        # overlap invariants, which need compute spans the runtime
+        # doesn't emit. The variant label is informational here.
+        trace.meta.setdefault("easgd_variant", variant)
         trace.meta.setdefault("pattern", "tree")
         trace.meta.setdefault("packed", True)
         trace.meta.setdefault("messages_per_exchange", 1)
-    comm = InProcessCommunicator(ranks, timeout=timeout, trace=trace)
-    results = comm.run(
-        _rank_main, network, train_set, iterations, batch_size, hyper, seed, record_history
-    )
+    comm = make_communicator(ranks, backend=backend, timeout=timeout, trace=trace)
+    try:
+        results = comm.run(
+            _rank_main, network, train_set, iterations, batch_size, hyper, seed, record_history
+        )
+    finally:
+        comm.close()
     worker_weights = [r[0] for r in results]
     center = results[0][1]
     history = results[0][2]

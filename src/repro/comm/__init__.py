@@ -21,7 +21,22 @@ from repro.comm.collectives import (
     allreduce_cost,
 )
 from repro.comm.topology import GpuNodeTopology, KnlClusterTopology
-from repro.comm.runtime import DeadlockError, InProcessCommunicator, RankContext
+from repro.comm.runtime import (
+    COLLECTIVE_TAG_STRIDE,
+    DeadlockError,
+    InProcessCommunicator,
+    MultiRankError,
+    RankContext,
+    collective_wire_tags,
+)
+from repro.comm.mp_runtime import (
+    MpRankContext,
+    MultiprocessCommunicator,
+    RemoteRankError,
+    SharedFlatArray,
+    fork_available,
+)
+from repro.comm.backend import BACKENDS, make_communicator, validate_backend
 from repro.comm.collectives import ring_allreduce, ring_allreduce_cost
 
 __all__ = [
@@ -44,9 +59,20 @@ __all__ = [
     "allreduce_cost",
     "GpuNodeTopology",
     "KnlClusterTopology",
+    "COLLECTIVE_TAG_STRIDE",
+    "collective_wire_tags",
     "DeadlockError",
+    "MultiRankError",
     "InProcessCommunicator",
     "RankContext",
+    "MpRankContext",
+    "MultiprocessCommunicator",
+    "RemoteRankError",
+    "SharedFlatArray",
+    "fork_available",
+    "BACKENDS",
+    "make_communicator",
+    "validate_backend",
     "ring_allreduce",
     "ring_allreduce_cost",
 ]

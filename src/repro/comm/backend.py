@@ -1,0 +1,48 @@
+"""Backend selection for the rank runtimes.
+
+One knob — ``backend="threads" | "processes"`` — chooses the execution
+substrate for every rank-program consumer (the message-passing trainers,
+the KNL chip-partition trainer, the Hogwild runner, the CLI). Both
+communicators expose the same surface and, because their rank contexts
+share :class:`repro.comm.runtime.RankContextBase`, the same collective
+association order: switching backends changes wall-clock behaviour, never
+numerics.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.comm.mp_runtime import MultiprocessCommunicator, fork_available
+from repro.comm.runtime import InProcessCommunicator
+
+__all__ = ["BACKENDS", "validate_backend", "make_communicator"]
+
+#: The recognised execution backends, in default-preference order.
+BACKENDS = ("threads", "processes")
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` or raise a ValueError naming the valid choices."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    return backend
+
+
+def make_communicator(size: int, backend: str = "threads", **kwargs: Any):
+    """Build the communicator for ``backend`` with uniform kwargs.
+
+    ``kwargs`` are the common knobs (``timeout``, ``faults``,
+    ``max_retries``, ``retry_backoff``, ``trace``) — both constructors
+    accept exactly the same set.
+    """
+    validate_backend(backend)
+    if backend == "processes":
+        if not fork_available():  # pragma: no cover - POSIX always has fork
+            raise RuntimeError(
+                "backend='processes' requires the fork start method; "
+                "this platform only offers "
+                f"{__import__('multiprocessing').get_all_start_methods()}"
+            )
+        return MultiprocessCommunicator(size, **kwargs)
+    return InProcessCommunicator(size, **kwargs)

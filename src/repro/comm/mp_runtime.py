@@ -1,0 +1,425 @@
+"""Multiprocess rank backend: OS processes + POSIX shared memory.
+
+The threaded :class:`repro.comm.runtime.InProcessCommunicator` is the
+right tool for semantics (deadlocks, schedules, bit-exact collectives) but
+the wrong tool for *scaling measurements*: NumPy releases the GIL for big
+kernels, yet the Python glue between kernels serializes, so thread-backed
+"P workers" mostly measure scheduler behaviour. This module provides the
+same rank API over real processes, which is what the paper's KNL
+chip-partitioning experiments (Section 6.2, Figure 12) actually exercise:
+independent cores with weight replicas in shared physical memory.
+
+Design:
+
+- :class:`MpRankContext` subclasses :class:`repro.comm.runtime.RankContextBase`,
+  so fault-plan sends, selective receives, trace emission, and — critically —
+  the binomial-tree collectives are *the same code* as the thread backend.
+  Identical tree association means identical floating-point results:
+  ``threads`` and ``processes`` runs of the sync algorithms are bit-equal.
+- The fabric is one ``multiprocessing.Queue`` inbox per rank. Each child
+  drains only its own inbox and keeps a per-``(source, tag)`` stash for
+  selective receive; per-sender FIFO is preserved by the queue's feeder
+  thread, matching the thread backend's mailbox semantics.
+- Ranks are **forked**, never spawned: rank programs stay ordinary
+  closures (no pickling of the target function), children inherit the
+  communicator's monotonic epoch (``CLOCK_MONOTONIC`` is system-wide on
+  Linux, so child timestamps are coherent with the parent's), and
+  inherited :class:`SharedFlatArray` mappings need no reattachment.
+- Results, trace events, and fault records travel back on a result queue:
+  :class:`repro.trace.events.TraceEvent` and
+  :class:`repro.faults.log.FaultRecord` are frozen picklable dataclasses,
+  so the parent can merge per-rank logs into its own ``trace`` /
+  ``fault_log`` and every existing :mod:`repro.trace.check` invariant
+  applies unchanged.
+- A child exception is shipped back pickled when possible, else as a
+  :class:`RemoteRankError` carrying its repr; a child that dies without
+  reporting (crash, ``os._exit``) is detected by exit code. Multiple
+  failures aggregate through :meth:`MultiRankError.aggregate`, exactly as
+  in the thread backend.
+
+Shared memory: :class:`SharedFlatArray` wraps a named
+``multiprocessing.shared_memory`` segment as a flat float32 NumPy array —
+the unit of weight/gradient storage for the process-backed Hogwild store
+(:class:`repro.hogwild.SharedWeights`) and the KNL chip-partition trainer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as _queue
+import time
+from collections import deque
+from multiprocessing import shared_memory
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.runtime import (
+    _DEFAULT_TIMEOUT,
+    DeadlockError,
+    MultiRankError,
+    RankContextBase,
+)
+from repro.faults import FaultLog, FaultPlan
+from repro.trace.events import Trace, TraceEvent
+
+__all__ = [
+    "fork_available",
+    "SharedFlatArray",
+    "RemoteRankError",
+    "MpRankContext",
+    "MultiprocessCommunicator",
+]
+
+#: Extra parent-side patience beyond the rank timeout before declaring a
+#: child hung: children normally report their own DeadlockError first.
+_COLLECT_GRACE = 30.0
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists (POSIX yes, Windows no)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class SharedFlatArray:
+    """A named shared-memory segment viewed as a flat float32 NumPy array.
+
+    The storage unit of the process backend: weight and gradient vectors
+    live in one POSIX shared-memory segment each, and every process maps
+    the same physical pages — a worker's in-place update is immediately
+    visible to all others, which is precisely the Hogwild/chip-partition
+    memory model. ``array`` is a zero-copy ``np.frombuffer`` view.
+
+    Lifecycle: the creating process owns the segment and should call
+    :meth:`unlink` when done (``close`` releases only this mapping).
+    Forked children inherit the mapping and need no attach; unrelated
+    processes can :meth:`attach` by name.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, size: int, owner: bool) -> None:
+        self._shm = shm
+        self.size = int(size)
+        self.owner = owner
+        self.array: np.ndarray = np.frombuffer(shm.buf, dtype=np.float32, count=self.size)
+
+    @property
+    def name(self) -> str:
+        """The segment's system-wide name (attachable from any process)."""
+        return self._shm.name
+
+    @classmethod
+    def create(cls, size: int, name: Optional[str] = None) -> "SharedFlatArray":
+        """Allocate a zero-filled segment of ``size`` float32 elements."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        shm = shared_memory.SharedMemory(create=True, size=4 * size, name=name)
+        arr = cls(shm, size, owner=True)
+        arr.array[:] = 0.0
+        return arr
+
+    @classmethod
+    def from_array(cls, values: np.ndarray, name: Optional[str] = None) -> "SharedFlatArray":
+        """Allocate a segment initialized with ``values`` (flattened, cast)."""
+        values = np.asarray(values)
+        arr = cls.create(int(values.size), name=name)
+        arr.array[:] = values.reshape(-1).astype(np.float32, copy=False)
+        return arr
+
+    @classmethod
+    def attach(cls, name: str, size: int) -> "SharedFlatArray":
+        """Map an existing segment by name (non-owning)."""
+        return cls(shared_memory.SharedMemory(name=name), size, owner=False)
+
+    def close(self) -> None:
+        """Release this process's mapping (the NumPy view dies with it)."""
+        arr = self.__dict__.pop("array", None)
+        del arr  # drop the exported buffer before closing the mapping
+        try:
+            self._shm.close()
+        except BufferError:  # another live view pins the buffer; leave the mapping
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment system-wide (owner's responsibility)."""
+        self.close()
+        if self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # already unlinked elsewhere
+                pass
+
+    def __enter__(self) -> "SharedFlatArray":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedFlatArray(name={self.name!r}, size={self.size}, owner={self.owner})"
+
+
+class RemoteRankError(RuntimeError):
+    """A rank process failed in a way its exception could not describe
+    across the process boundary: the original error was unpicklable, or
+    the process died without reporting (killed, segfault, ``os._exit``).
+    Carries the ``rank`` and the best available description."""
+
+    def __init__(self, rank: int, message: str) -> None:
+        self.rank = rank
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (RemoteRankError, (self.rank, self.args[0]))
+
+
+def _shippable_exception(rank: int, exc: BaseException) -> BaseException:
+    """``exc`` if it survives a pickle round-trip, else a RemoteRankError."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RemoteRankError(rank, f"rank {rank} failed with unpicklable {exc!r}")
+
+
+class MpRankContext(RankContextBase):
+    """One rank's view of the multiprocess communicator.
+
+    Lives entirely inside the forked child. Unlike the thread backend's
+    shared communicator state, the fault log and trace are child-local —
+    the parent merges them after the run — so no cross-process locking
+    exists anywhere on the message path.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        inboxes: List[Any],
+        timeout: float,
+        faults: Optional[FaultPlan],
+        max_retries: int,
+        retry_backoff: float,
+        start_time: float,
+        tracing: bool,
+    ) -> None:
+        self.size = size
+        self.timeout = timeout
+        self.faults = faults
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.fault_log = FaultLog()
+        self.trace: Optional[Trace] = Trace() if tracing else None
+        self._inboxes = inboxes
+        self._start = start_time
+        # Selective receive: messages for channels nobody asked about yet.
+        self._stash: Dict[Tuple[int, int], Deque[Any]] = {}
+        self._init_rank_state(rank)
+
+    # -- fabric hooks -----------------------------------------------------------
+    def _deliver(self, dest: int, tag: int, payload: Any) -> None:
+        self._inboxes[dest].put((self.rank, tag, payload))
+
+    def _elapsed(self) -> float:
+        # CLOCK_MONOTONIC is system-wide on Linux, so child timestamps are
+        # directly comparable with the parent's (and each other's).
+        return time.monotonic() - self._start
+
+    def _poll(
+        self, source: int, tag: int, on_retry: Optional[Callable[[int], None]]
+    ) -> Any:
+        wanted = (source, tag)
+        stashed = self._stash.get(wanted)
+        if stashed:
+            return stashed.popleft()
+        inbox = self._inboxes[self.rank]
+        deadline = time.monotonic() + self.timeout
+        wait = min(0.05, self.timeout)
+        attempt = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining <= 0:
+                    # Final drain: anything already at the wire still wins.
+                    src, t, payload = inbox.get_nowait()
+                else:
+                    src, t, payload = inbox.get(timeout=min(wait, remaining))
+            except _queue.Empty:
+                if remaining <= 0:
+                    raise DeadlockError(self.rank, source, tag, self.timeout) from None
+                attempt += 1
+                if on_retry is not None:
+                    on_retry(attempt)
+                wait = min(wait * 2.0, 2.0)
+                continue
+            if (src, t) == wanted:
+                return payload
+            self._stash.setdefault((src, t), deque()).append(payload)
+
+
+class MultiprocessCommunicator:
+    """Spawn ``size`` rank *processes* (forked) and run a function on each.
+
+    Drop-in for :class:`repro.comm.runtime.InProcessCommunicator`: same
+    constructor knobs, same ``run``/``close`` surface, same error
+    semantics (single failure re-raised; several aggregated into a
+    :class:`MultiRankError` naming every failing rank), same trace and
+    fault-log population — events from all ranks are merged time-sorted
+    into this object's ``trace`` and ``fault_log`` after each run.
+    """
+
+    backend = "processes"
+
+    def __init__(
+        self,
+        size: int,
+        timeout: float = _DEFAULT_TIMEOUT,
+        faults: Optional[FaultPlan] = None,
+        max_retries: int = 8,
+        retry_backoff: float = 0.001,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
+        if not fork_available():
+            raise RuntimeError(
+                "the processes backend requires the 'fork' start method; "
+                "use backend='threads' on this platform"
+            )
+        self.size = size
+        self.timeout = timeout
+        self.faults = faults
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.trace = trace
+        if trace is not None:
+            trace.meta.setdefault("ranks", size)
+            trace.meta.setdefault("clock", "wall")
+            trace.meta.setdefault("backend", "processes")
+        self.fault_log = FaultLog()
+        self._mp = multiprocessing.get_context("fork")
+        self._start = time.monotonic()
+
+    def _elapsed(self) -> float:
+        """Wall seconds since the communicator was created."""
+        return time.monotonic() - self._start
+
+    def close(self) -> None:
+        """Release fabric resources (queues are per-run; nothing persists)."""
+
+    def run(self, fn: Callable[..., Any], *args: Any) -> List[Any]:
+        """Execute ``fn(ctx, *args)`` on every rank; return per-rank results.
+
+        ``fn`` and ``args`` are inherited by fork — closures over local
+        state work; nothing is pickled on the way *in*. Return values
+        travel back pickled; a rank whose result cannot be pickled fails
+        with a :class:`RemoteRankError`.
+        """
+        inboxes = [self._mp.Queue() for _ in range(self.size)]
+        results_q = self._mp.Queue()
+        tracing = self.trace is not None
+
+        def child_main(rank: int) -> None:
+            ctx = MpRankContext(
+                rank, self.size, inboxes, self.timeout, self.faults,
+                self.max_retries, self.retry_backoff, self._start, tracing,
+            )
+            status: str = "ok"
+            payload: Any = None
+            try:
+                payload = fn(ctx, *args)
+                try:
+                    pickle.dumps(payload)
+                except Exception as exc:
+                    # A silently-dying queue feeder thread would otherwise
+                    # turn an unpicklable result into a phantom crash.
+                    status, payload = "err", RemoteRankError(
+                        rank, f"rank {rank} returned an unpicklable result: {exc}"
+                    )
+            except BaseException as exc:
+                status, payload = "err", _shippable_exception(rank, exc)
+            events = list(ctx.trace.events) if ctx.trace is not None else []
+            records = list(ctx.fault_log.records)
+            results_q.put((rank, status, payload, events, records))
+
+        procs = [
+            self._mp.Process(target=child_main, args=(r,), name=f"rank-{r}")
+            for r in range(self.size)
+        ]
+        for p in procs:
+            p.start()
+
+        results: List[Any] = [None] * self.size
+        failures: List[Tuple[int, BaseException]] = []
+        events: List[TraceEvent] = []
+        records = []
+        pending = set(range(self.size))
+        deadline = time.monotonic() + self.timeout + _COLLECT_GRACE
+        try:
+            while pending:
+                try:
+                    rank, status, payload, ev, recs = results_q.get(timeout=0.1)
+                except _queue.Empty:
+                    dead = [
+                        r for r in pending
+                        if not procs[r].is_alive() and procs[r].exitcode is not None
+                    ]
+                    for r in dead:
+                        # Drain once more: the result may have been queued
+                        # between the timeout and the liveness check.
+                        try:
+                            rank, status, payload, ev, recs = results_q.get(timeout=0.5)
+                        except _queue.Empty:
+                            pending.discard(r)
+                            failures.append((r, RemoteRankError(
+                                r,
+                                f"rank {r} process died without reporting "
+                                f"(exitcode {procs[r].exitcode})",
+                            )))
+                        else:
+                            pending.discard(rank)
+                            events.extend(ev)
+                            records.extend(recs)
+                            if status == "ok":
+                                results[rank] = payload
+                            else:
+                                failures.append((rank, payload))
+                    if time.monotonic() > deadline:
+                        for r in sorted(pending):
+                            failures.append((r, RemoteRankError(
+                                r, f"rank {r} hung past the collection deadline"
+                            )))
+                        pending.clear()
+                    continue
+                pending.discard(rank)
+                events.extend(ev)
+                records.extend(recs)
+                if status == "ok":
+                    results[rank] = payload
+                else:
+                    failures.append((rank, payload))
+        finally:
+            for p in procs:
+                p.join(timeout=5.0)
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - hung-child cleanup
+                    p.terminate()
+                    p.join(timeout=5.0)
+            for q in [*inboxes, results_q]:
+                q.cancel_join_thread()
+                q.close()
+
+        if self.trace is not None:
+            for ev in sorted(events, key=lambda e: (e.t0, e.t1, e.rank)):
+                self.trace.add(ev)
+        for rec in sorted(records, key=lambda r: r.time):
+            self.fault_log.record(rec.time, rec.kind, rec.subject, rec.detail)
+        if failures:
+            raise MultiRankError.aggregate(sorted(failures, key=lambda f: f[0]))
+        return results

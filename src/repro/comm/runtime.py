@@ -16,6 +16,24 @@ cross thread boundaries, and a bug in the schedule deadlocks exactly as it
 would under MPI — surfacing as a :class:`DeadlockError` that names the
 waiting rank, the expected source, and the tag.
 
+The rank-side behaviour (fault-aware sends, selective receives, the tree
+collectives, trace emission) lives in :class:`RankContextBase`, which is
+fabric-independent: this module's :class:`RankContext` runs it over
+per-thread mailboxes, and :class:`repro.comm.mp_runtime.MpRankContext`
+runs the *same* code over real OS processes — the two backends therefore
+share one association order and one tag discipline by construction.
+
+Collective tag space
+--------------------
+Every collective's internal phases derive their wire tags from the user
+tag by adding multiples of :data:`COLLECTIVE_TAG_STRIDE`, so no two
+collectives (or a collective phase and a user point-to-point tag) can
+ever share a mailbox channel. Historically ``allreduce(tag=103)`` ran its
+broadcast phase on ``tag + 1 = 104`` — exactly ``barrier``'s default
+reduce tag — so interleaved ``allreduce()`` + ``barrier()`` calls on one
+communicator could cross-match messages. The partition makes that
+impossible; :func:`collective_wire_tags` exposes the mapping for tests.
+
 Fault injection: pass ``faults=FaultPlan(...).drop_rate(p)`` and every
 send becomes an unreliable-link transmission — each delivery attempt is
 dropped with probability ``p`` (a pure function of the plan seed and the
@@ -40,7 +58,15 @@ import numpy as np
 from repro.faults import FaultLog, FaultPlan
 from repro.trace.events import Trace
 
-__all__ = ["RankContext", "InProcessCommunicator", "DeadlockError"]
+__all__ = [
+    "COLLECTIVE_TAG_STRIDE",
+    "collective_wire_tags",
+    "RankContextBase",
+    "RankContext",
+    "InProcessCommunicator",
+    "DeadlockError",
+    "MultiRankError",
+]
 
 
 def _payload_nbytes(payload: Any) -> int:
@@ -53,6 +79,37 @@ def _payload_nbytes(payload: Any) -> int:
     return 0
 
 _DEFAULT_TIMEOUT = 60.0  # seconds before a recv declares a deadlock
+
+#: Width of the user tag block. Collective phases add multiples of this
+#: stride to the user tag, so as long as user tags stay below the stride
+#: each phase occupies its own disjoint tag range:
+#:
+#:   block 0: user p2p tags and direct ``bcast``/``reduce`` phases
+#:   block 1: ``allreduce`` reduce phase
+#:   block 2: ``allreduce`` bcast phase
+#:   blocks 4-5: ``barrier`` (its internal allreduce, shifted by block 3)
+COLLECTIVE_TAG_STRIDE = 1 << 16
+
+#: Default user tags of the four collectives (kept from the original API).
+_DEFAULT_TAGS = {"bcast": 101, "reduce": 102, "allreduce": 103, "barrier": 104}
+
+
+def collective_wire_tags(op: str, tag: Optional[int] = None) -> Tuple[int, ...]:
+    """The point-to-point wire tags a collective with user tag ``tag`` uses.
+
+    The regression surface for the tag-space partition: for any user tags
+    within one stride block, the wire-tag sets of ``bcast``, ``reduce``,
+    ``allreduce``, and ``barrier`` are pairwise disjoint.
+    """
+    if op not in _DEFAULT_TAGS:
+        raise ValueError(f"unknown collective {op!r}; expected one of {sorted(_DEFAULT_TAGS)}")
+    tag = _DEFAULT_TAGS[op] if tag is None else tag
+    if op in ("bcast", "reduce"):
+        return (tag,)
+    if op == "allreduce":
+        return (tag + COLLECTIVE_TAG_STRIDE, tag + 2 * COLLECTIVE_TAG_STRIDE)
+    # barrier = allreduce shifted into its own block
+    return collective_wire_tags("allreduce", tag + 3 * COLLECTIVE_TAG_STRIDE)
 
 
 class DeadlockError(TimeoutError):
@@ -72,6 +129,80 @@ class DeadlockError(TimeoutError):
             f"rank {rank}: recv(source={source}, tag={tag}) timed out after "
             f"{timeout}s — likely a schedule deadlock or a lost message"
         )
+
+    def __reduce__(self):
+        # Default BaseException pickling would replay __init__ with the
+        # formatted message as the only argument; the multiprocess backend
+        # ships these across process boundaries, so pickle the fields.
+        return (DeadlockError, (self.rank, self.source, self.tag, self.timeout))
+
+
+class MultiRankError(RuntimeError):
+    """Several ranks failed in one ``run``; every failure is preserved.
+
+    ``failures`` maps rank -> the exception that killed it. The message
+    names each failing rank so a 3-of-64 wreck is diagnosable without
+    digging — the old behaviour of re-raising only the first collected
+    exception silently discarded the other ranks' errors entirely.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures: Dict[int, BaseException] = dict(failures)
+        parts = "; ".join(
+            f"rank {rank}: {type(exc).__name__}: {exc}"
+            for rank, exc in sorted(self.failures.items())
+        )
+        super().__init__(f"{len(self.failures)} ranks failed — {parts}")
+
+    def __reduce__(self):
+        return (_rebuild_multi_rank_error, (list(self.failures.items()),))
+
+    @staticmethod
+    def aggregate(failures) -> BaseException:
+        """The exception a failed run should raise.
+
+        A lone failure is returned as-is (so ``except RuntimeError`` /
+        ``except TimeoutError`` around single-fault runs keep working).
+        Several failures become one aggregate that *also* inherits the
+        most specific exception type common to all of them — an
+        all-ranks deadlock is still catchable as :class:`TimeoutError`,
+        an all-ranks ``ValueError`` as :class:`ValueError`.
+        """
+        failures = list(failures)
+        if len(failures) == 1:
+            return failures[0][1]
+        excs = [exc for _, exc in failures]
+        common = next(
+            base for base in type(excs[0]).__mro__
+            if all(isinstance(exc, base) for exc in excs)
+        )  # BaseException at worst, so `next` always yields
+        if issubclass(MultiRankError, common):
+            return MultiRankError(failures)
+        cls = _MULTI_RANK_MIXINS.get(common)
+        if cls is None:
+            try:
+                cls = type(f"MultiRank{common.__name__}", (MultiRankError, common), {})
+            except TypeError:  # unresolvable MRO for an exotic base
+                cls = MultiRankError
+            _MULTI_RANK_MIXINS[common] = cls
+        err = cls(failures)
+        # Adopt the lowest-rank failure's context attributes (a
+        # DeadlockError's rank/source/tag/timeout, say) so handlers that
+        # introspect the common type keep working on the aggregate.
+        representative = min(failures)[1]
+        for key, value in vars(representative).items():
+            err.__dict__.setdefault(key, value)
+        return err
+
+
+#: aggregate()'s cache of MultiRankError-with-common-base subclasses.
+_MULTI_RANK_MIXINS: Dict[type, type] = {}
+
+
+def _rebuild_multi_rank_error(failures: List[Tuple[int, BaseException]]) -> "MultiRankError":
+    """Pickle hook: rebuild via aggregate() so the dynamic mixin class
+    (not importable by name) never needs to be pickled itself."""
+    return MultiRankError.aggregate(failures)
 
 
 class _Mailbox:
@@ -134,18 +265,42 @@ class _Mailbox:
                 wait = min(wait * 2.0, 2.0)
 
 
-class RankContext:
-    """One rank's view of the communicator (the object rank functions get)."""
+class RankContextBase:
+    """One rank's view of a communicator, independent of the fabric.
 
-    def __init__(self, comm: "InProcessCommunicator", rank: int) -> None:
-        self.comm = comm
+    Subclasses bind the fabric by implementing three hooks —
+    ``_deliver(dest, tag, payload)`` (enqueue at the destination),
+    ``_poll(source, tag, on_retry)`` (blocking selective receive that
+    raises :class:`DeadlockError` on budget exhaustion), and
+    ``_elapsed()`` (seconds on the communicator's clock) — and by
+    exposing the knobs ``size``, ``timeout``, ``faults``, ``fault_log``,
+    ``max_retries``, ``retry_backoff``, and ``trace`` as attributes or
+    properties. Everything above those hooks (fault-plan sends, trace
+    emission, and the binomial-tree collectives with their association
+    order) is shared, which is what keeps the ``threads`` and
+    ``processes`` backends bit-identical.
+    """
+
+    rank: int
+    size: int
+
+    def _init_rank_state(self, rank: int) -> None:
         self.rank = rank
-        self.size = comm.size
         self._send_seq: Dict[Tuple[int, int], int] = {}
         #: Rank programs may set this so trace events carry iteration ids.
         self.trace_iteration = -1
         self._trace_op = ""  # label for p2p events inside a collective
         self._trace_round = -1
+
+    # -- fabric hooks (subclass responsibility) --------------------------------
+    def _deliver(self, dest: int, tag: int, payload: Any) -> None:
+        raise NotImplementedError
+
+    def _poll(self, source: int, tag: int, on_retry: Optional[Callable[[int], None]]) -> Any:
+        raise NotImplementedError
+
+    def _elapsed(self) -> float:
+        raise NotImplementedError
 
     # -- point to point --------------------------------------------------------
     def _next_seq(self, dest: int, tag: int) -> int:
@@ -159,71 +314,70 @@ class RankContext:
 
         Under a fault plan the link is unreliable: each delivery attempt may
         be dropped, in which case the sender backs off exponentially and
-        retransmits (up to ``comm.max_retries`` retries). A channel the plan
+        retransmits (up to ``max_retries`` retries). A channel the plan
         marks lost-forever silently never delivers — the receiving rank's
         ``recv`` then raises :class:`DeadlockError`.
         """
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range for size {self.size}")
-        comm = self.comm
-        plan = comm.faults
-        trace = comm.trace
+        plan = self.faults
+        trace = self.trace
         if plan is None and trace is None:
-            comm._mailboxes[dest].put(self.rank, tag, payload)
+            self._deliver(dest, tag, payload)
             return
 
         seq = self._next_seq(dest, tag)
         if trace is not None:
             payload = (seq, payload)  # carry the identity to the recv side
         if plan is None:
-            t0 = comm._elapsed()
-            comm._mailboxes[dest].put(self.rank, tag, payload)
+            t0 = self._elapsed()
+            self._deliver(dest, tag, payload)
             self._trace_send(seq, dest, tag, payload[1], t0)
             return
         edge = f"rank {self.rank} -> {dest} tag {tag}"
         if plan.is_lost(self.rank, dest, tag):
-            comm.fault_log.record(comm._elapsed(), "lost", edge, f"seq={seq}: never delivered")
+            self.fault_log.record(self._elapsed(), "lost", edge, f"seq={seq}: never delivered")
             self._trace_fault("lost", dest, tag, seq)
             return
         lag = plan.delay_seconds(self.rank, dest, tag, seq)
         if lag > 0.0:
-            comm.fault_log.record(comm._elapsed(), "delay", edge, f"+{lag:.4g}s seq={seq}")
+            self.fault_log.record(self._elapsed(), "delay", edge, f"+{lag:.4g}s seq={seq}")
             self._trace_fault("delay", dest, tag, seq)
             time.sleep(lag)
-        for attempt in range(comm.max_retries + 1):
+        for attempt in range(self.max_retries + 1):
             if plan.should_drop(self.rank, dest, tag, seq, attempt):
-                comm.fault_log.record(comm._elapsed(), "drop", edge, f"seq={seq} attempt={attempt}")
+                self.fault_log.record(self._elapsed(), "drop", edge, f"seq={seq} attempt={attempt}")
                 self._trace_fault("drop", dest, tag, seq)
-                time.sleep(comm.retry_backoff * (2 ** min(attempt, 6)))
+                time.sleep(self.retry_backoff * (2 ** min(attempt, 6)))
                 continue
             if attempt > 0:
-                comm.fault_log.record(
-                    comm._elapsed(), "retransmit", edge, f"seq={seq} delivered on attempt {attempt}"
+                self.fault_log.record(
+                    self._elapsed(), "retransmit", edge, f"seq={seq} delivered on attempt {attempt}"
                 )
-            t0 = comm._elapsed()
-            comm._mailboxes[dest].put(self.rank, tag, payload)
+            t0 = self._elapsed()
+            self._deliver(dest, tag, payload)
             self._trace_send(seq, dest, tag, payload[1] if trace is not None else payload, t0)
             return
-        comm.fault_log.record(
-            comm._elapsed(), "lost", edge,
-            f"seq={seq}: dropped on all {comm.max_retries + 1} attempts",
+        self.fault_log.record(
+            self._elapsed(), "lost", edge,
+            f"seq={seq}: dropped on all {self.max_retries + 1} attempts",
         )
         self._trace_fault("lost", dest, tag, seq)
 
     # -- trace plumbing (no-ops unless the communicator carries a Trace) ----------
     def _trace_send(self, seq: int, dest: int, tag: int, payload: Any, t0: float) -> None:
-        trace = self.comm.trace
+        trace = self.trace
         if trace is None:
             return
-        trace.send(self.rank, dest, t0, self.comm._elapsed(), tag=tag,
+        trace.send(self.rank, dest, t0, self._elapsed(), tag=tag,
                    nbytes=_payload_nbytes(payload), seq=seq, op=self._trace_op,
                    round=self._trace_round, iteration=self.trace_iteration)
 
     def _trace_fault(self, op: str, dest: int, tag: int, seq: int) -> None:
-        trace = self.comm.trace
+        trace = self.trace
         if trace is None:
             return
-        trace.fault(self.rank, self.comm._elapsed(), op, peer=dest, tag=tag,
+        trace.fault(self.rank, self._elapsed(), op, peer=dest, tag=tag,
                     seq=seq, iteration=self.trace_iteration)
 
     def recv(self, source: int, tag: int = 0) -> Any:
@@ -234,34 +388,35 @@ class RankContext:
         """
         if not 0 <= source < self.size:
             raise ValueError(f"source {source} out of range for size {self.size}")
-        comm = self.comm
         on_retry = None
-        if comm.faults is not None:
+        if self.faults is not None:
+            fault_log = self.fault_log
+            elapsed = self._elapsed
 
             def on_retry(attempt: int, _edge=f"rank {self.rank} <- {source} tag {tag}") -> None:
-                comm.fault_log.record(comm._elapsed(), "recv-retry", _edge, f"poll {attempt}")
+                fault_log.record(elapsed(), "recv-retry", _edge, f"poll {attempt}")
 
-        trace = comm.trace
-        t0 = comm._elapsed() if trace is not None else 0.0
-        payload = comm._mailboxes[self.rank].get(self.rank, source, tag, comm.timeout, on_retry)
+        trace = self.trace
+        t0 = self._elapsed() if trace is not None else 0.0
+        payload = self._poll(source, tag, on_retry)
         if trace is None:
             return payload
         seq, payload = payload
-        trace.recv(self.rank, source, t0, comm._elapsed(), tag=tag,
+        trace.recv(self.rank, source, t0, self._elapsed(), tag=tag,
                    nbytes=_payload_nbytes(payload), seq=seq, op=self._trace_op,
                    round=self._trace_round, iteration=self.trace_iteration)
         return payload
 
     # -- collectives (binomial-tree schedules) ------------------------------------
     def _collective_span(self, op: str, t0: float) -> None:
-        trace = self.comm.trace
+        trace = self.trace
         if trace is not None:
-            trace.span("collective", self.rank, t0, self.comm._elapsed(), op=op,
+            trace.span("collective", self.rank, t0, self._elapsed(), op=op,
                        iteration=self.trace_iteration)
 
     def bcast(self, payload: Any, root: int = 0, tag: int = 101) -> Any:
         """Broadcast from ``root``; every rank returns the payload."""
-        t0 = self.comm._elapsed()
+        t0 = self._elapsed()
         prev_op = self._trace_op
         self._trace_op = "tree-bcast"
         rel = (self.rank - root) % self.size
@@ -291,7 +446,7 @@ class RankContext:
         """Tree-sum arrays to ``root`` with the same association order as
         :func:`repro.comm.collectives.tree_reduce`. Returns the sum at the
         root, ``None`` elsewhere."""
-        t0 = self.comm._elapsed()
+        t0 = self._elapsed()
         prev_op = self._trace_op
         self._trace_op = "tree-reduce"
         rel = (self.rank - root) % self.size
@@ -315,13 +470,66 @@ class RankContext:
         return result
 
     def allreduce(self, array: np.ndarray, tag: int = 103) -> np.ndarray:
-        """Tree reduce to rank 0 followed by tree broadcast."""
-        total = self.reduce(array, root=0, tag=tag)
-        return self.bcast(total, root=0, tag=tag + 1)
+        """Tree reduce to rank 0 followed by tree broadcast.
+
+        The two phases run on tags derived from ``tag`` in reserved
+        blocks (see :func:`collective_wire_tags`) so they can never
+        collide with ``barrier`` or with user point-to-point traffic —
+        the pre-partition scheme put the bcast phase on ``tag + 1``,
+        which for the default tags was exactly ``barrier``'s reduce tag.
+        """
+        total = self.reduce(array, root=0, tag=tag + COLLECTIVE_TAG_STRIDE)
+        return self.bcast(total, root=0, tag=tag + 2 * COLLECTIVE_TAG_STRIDE)
 
     def barrier(self, tag: int = 104) -> None:
-        """Synchronize all ranks (zero-byte allreduce)."""
-        self.allreduce(np.zeros(1, dtype=np.float32), tag=tag)
+        """Synchronize all ranks (zero-byte allreduce on a reserved tag block)."""
+        self.allreduce(np.zeros(1, dtype=np.float32), tag=tag + 3 * COLLECTIVE_TAG_STRIDE)
+
+
+class RankContext(RankContextBase):
+    """One rank's view of the in-process (threaded) communicator."""
+
+    def __init__(self, comm: "InProcessCommunicator", rank: int) -> None:
+        self.comm = comm
+        self.size = comm.size
+        self._init_rank_state(rank)
+
+    # -- knobs delegated to the shared communicator ------------------------------
+    @property
+    def faults(self) -> Optional[FaultPlan]:
+        return self.comm.faults
+
+    @property
+    def fault_log(self) -> FaultLog:
+        return self.comm.fault_log
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        return self.comm.trace
+
+    @property
+    def timeout(self) -> float:
+        return self.comm.timeout
+
+    @property
+    def max_retries(self) -> int:
+        return self.comm.max_retries
+
+    @property
+    def retry_backoff(self) -> float:
+        return self.comm.retry_backoff
+
+    # -- fabric hooks -----------------------------------------------------------
+    def _deliver(self, dest: int, tag: int, payload: Any) -> None:
+        self.comm._mailboxes[dest].put(self.rank, tag, payload)
+
+    def _poll(self, source: int, tag: int, on_retry: Optional[Callable[[int], None]]) -> Any:
+        return self.comm._mailboxes[self.rank].get(
+            self.rank, source, tag, self.comm.timeout, on_retry
+        )
+
+    def _elapsed(self) -> float:
+        return self.comm._elapsed()
 
 
 class InProcessCommunicator:
@@ -332,6 +540,8 @@ class InProcessCommunicator:
     makes the fabric unreliable per the plan; ``max_retries`` and
     ``retry_backoff`` govern the sender's retransmission policy.
     """
+
+    backend = "threads"
 
     def __init__(
         self,
@@ -370,20 +580,26 @@ class InProcessCommunicator:
         """Wall seconds since the communicator was created (log timestamps)."""
         return time.monotonic() - self._start
 
+    def close(self) -> None:
+        """Release fabric resources (no-op for the thread backend; present
+        so callers can treat both backends uniformly)."""
+
     def run(self, fn: Callable[..., Any], *args: Any) -> List[Any]:
         """Execute ``fn(ctx, *args)`` on every rank; return per-rank results.
 
-        Any rank's exception is re-raised in the caller after all threads
-        have been joined (no silent partial failures).
+        Rank failures are re-raised in the caller after all threads have
+        been joined: a single failure propagates as-is; multiple failures
+        are aggregated into a :class:`MultiRankError` that names every
+        failing rank (no silent partial failures, no discarded errors).
         """
         results: List[Any] = [None] * self.size
-        errors: List[BaseException] = []
+        errors: List[Tuple[int, BaseException]] = []
 
         def runner(rank: int) -> None:
             try:
                 results[rank] = fn(RankContext(self, rank), *args)
             except BaseException as exc:
-                errors.append(exc)
+                errors.append((rank, exc))
 
         threads = [
             threading.Thread(target=runner, args=(r,), name=f"rank-{r}")
@@ -394,5 +610,5 @@ class InProcessCommunicator:
         for t in threads:
             t.join()
         if errors:
-            raise errors[0]
+            raise MultiRankError.aggregate(errors)
         return results

@@ -9,6 +9,9 @@ Commands
     (optionally archive the trajectory as JSON).
 ``table``
     Print a reproduction of paper Table 1, 2, or 4.
+``knl``
+    Run the KNL chip-partition experiment (Section 6.2 / Figure 12) on the
+    serial simulator or on real forked processes over shared memory.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from typing import List, Optional
 
 from repro.algorithms import ALGORITHMS, TrainerConfig
 from repro.cluster import CostModel
+from repro.comm.backend import BACKENDS
 from repro.data import make_cifar_like, make_mnist_like
 from repro.faults import FaultError, FaultPlan
 from repro.harness.breakdown import breakdown_row, render_table3
@@ -67,6 +71,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--lr", type=float, default=0.03)
     run.add_argument("--rho", type=float, default=2.0)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--backend", default="threads", choices=BACKENDS,
+                     help="execution substrate for runners that move real "
+                          "messages (simulated trainers ignore it)")
     run.add_argument("--train-samples", type=int, default=4096)
     run.add_argument("--difficulty", type=float, default=1.5)
     run.add_argument("--paper-scale-cost", action="store_true",
@@ -85,6 +92,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     table = sub.add_parser("table", help="print a paper-table reproduction")
     table.add_argument("id", choices=["1", "2", "4"])
+
+    knl = sub.add_parser("knl", help="run the KNL chip-partition experiment")
+    knl.add_argument("--parts", type=int, default=4,
+                     help="number of chip groups P (batch must divide evenly)")
+    knl.add_argument("--iterations", type=int, default=100)
+    knl.add_argument("--batch-size", type=int, default=64)
+    knl.add_argument("--lr", type=float, default=0.03)
+    knl.add_argument("--seed", type=int, default=0)
+    knl.add_argument("--train-samples", type=int, default=2048)
+    knl.add_argument("--difficulty", type=float, default=1.2)
+    knl.add_argument("--backend", default="threads", choices=BACKENDS,
+                     help="'threads' runs the serial simulator; 'processes' "
+                          "forks one worker per group over shared memory "
+                          "(same weights either way)")
+    knl.add_argument("--json", metavar="PATH", default=None,
+                     help="write the trajectory to a JSON file")
     return parser
 
 
@@ -116,7 +139,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_gpus=args.gpus,
         config=TrainerConfig(
             batch_size=args.batch_size, lr=args.lr, rho=args.rho, seed=args.seed,
-            trace=args.trace is not None,
+            trace=args.trace is not None, backend=args.backend,
         ),
         cost_model=cost,
     ).normalize()
@@ -189,6 +212,48 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_knl(args: argparse.Namespace) -> int:
+    from repro.knl.partition import ChipPartitionTrainer
+
+    train, test = make_mnist_like(
+        n_train=args.train_samples,
+        n_test=max(args.train_samples // 4, 256),
+        seed=args.seed,
+        difficulty=args.difficulty,
+    )
+    if args.batch_size % args.parts != 0:
+        print(f"--batch-size {args.batch_size} must divide evenly into "
+              f"--parts {args.parts} groups", file=sys.stderr)
+        return 2
+    net = build_lenet(seed=args.seed)
+    net.forward(train.images[:1])  # materialize params before forking replicas
+    trainer = ChipPartitionTrainer(
+        network=net,
+        train_set=train,
+        test_set=test,
+        config=TrainerConfig(
+            batch_size=args.batch_size, lr=args.lr, seed=args.seed,
+            backend=args.backend,
+        ),
+        parts=args.parts,
+    )
+    result = trainer.train(args.iterations)
+
+    print(f"method          : {result.method}")
+    print(f"backend         : {result.backend or 'serial (simulated)'}")
+    print(f"parts           : {trainer.parts} "
+          f"({trainer.plan.cores_per_group:.1f} cores/group)")
+    print(f"working set     : {trainer.plan.total_bytes / 1e6:.0f} MB in "
+          f"{trainer.plan.memory_name}")
+    print(f"iterations      : {result.iterations}")
+    print(f"simulated time  : {result.sim_time:.3f} s")
+    print(f"final accuracy  : {result.final_accuracy:.3f}")
+    if args.json:
+        results_to_json([result], args.json)
+        print(f"\ntrajectory written to {args.json}")
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     if args.id == "1":
         print(render_table1())
@@ -214,6 +279,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "table":
             return _cmd_table(args)
+        if args.command == "knl":
+            return _cmd_knl(args)
     except BrokenPipeError:  # e.g. `repro list | head` — not an error
         return 0
     raise AssertionError("unreachable")

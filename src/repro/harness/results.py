@@ -56,6 +56,8 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
         out["degraded_rounds"] = result.breakdown.degraded_rounds
     if result.trace is not None:
         out["trace_summary"] = summarize_trace(result.trace)
+    if result.backend is not None:
+        out["backend"] = result.backend
     return out
 
 

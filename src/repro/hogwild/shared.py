@@ -4,10 +4,27 @@
 update at a time — Async SGD/EASGD semantics); ``use_lock=False`` is
 Hogwild: concurrent in-place ``+=`` on the same buffer, racy at element
 granularity and intentionally so.
+
+``storage`` selects where the buffer lives:
+
+- ``"local"`` (default): a process-private NumPy array guarded by a
+  ``threading.Lock`` — the store for thread workers.
+- ``"shared"``: a named POSIX shared-memory segment
+  (:class:`repro.comm.mp_runtime.SharedFlatArray`) guarded by a
+  ``multiprocessing.Lock``, with the update counter in a shared
+  ``multiprocessing.Value`` — the store for forked process workers,
+  which all map the same physical pages. This is the paper's actual
+  memory model: Hogwild's lock-free ``+=`` races on real shared DRAM,
+  not on a GIL-serialized heap object.
+
+The surface is identical in both modes (``snapshot``/``sgd_update``/
+``elastic_interaction``/``update_count``); shared mode additionally wants
+a :meth:`close` when the store is done (owner side unlinks the segment).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 from contextlib import nullcontext
 
@@ -19,20 +36,53 @@ __all__ = ["SharedWeights"]
 
 
 class SharedWeights:
-    """A flat float32 weight vector shared by worker threads."""
+    """A flat float32 weight vector shared by worker threads or processes."""
 
-    def __init__(self, init: np.ndarray, use_lock: bool) -> None:
-        self._weights = np.array(init, dtype=np.float32, copy=True)
+    def __init__(self, init: np.ndarray, use_lock: bool, storage: str = "local") -> None:
+        if storage not in ("local", "shared"):
+            raise ValueError(f"storage must be 'local' or 'shared', got {storage!r}")
+        self.storage = storage
         self.use_lock = use_lock
-        self._lock = threading.Lock()
-        self.update_count = 0  # approximate under races; exact with the lock
+        init = np.asarray(init)
+        if storage == "shared":
+            from repro.comm.mp_runtime import SharedFlatArray
+
+            self._segment = SharedFlatArray.from_array(init)
+            self._weights = self._segment.array
+            self._lock = multiprocessing.Lock()
+            # Raw (lockless) shared counter: exact under the lock, best-effort
+            # without — the same contract the thread-local counter has.
+            self._count = multiprocessing.Value("q", 0, lock=False)
+        else:
+            self._segment = None
+            self._weights = np.array(init, dtype=np.float32, copy=True)
+            self._lock = threading.Lock()
+            self._count = 0
 
     def _guard(self):
         return self._lock if self.use_lock else nullcontext()
 
     @property
+    def update_count(self) -> int:
+        """Number of master updates applied (approximate under races)."""
+        if self.storage == "shared":
+            return int(self._count.value)
+        return self._count
+
+    def _bump(self) -> None:
+        if self.storage == "shared":
+            self._count.value += 1
+        else:
+            self._count += 1
+
+    @property
     def size(self) -> int:
         return int(self._weights.size)
+
+    @property
+    def segment_name(self):
+        """The shared-memory segment's system-wide name (None for local)."""
+        return self._segment.name if self._segment is not None else None
 
     def snapshot(self) -> np.ndarray:
         """A copy of the current weights (may be mid-update when lock-free)."""
@@ -43,7 +93,7 @@ class SharedWeights:
         """Hogwild/Async SGD master step: ``W -= grad_step`` in place."""
         with self._guard():
             self._weights -= grad
-            self.update_count += 1
+            self._bump()
 
     def elastic_interaction(self, worker_weights: np.ndarray, hyper: EASGDHyper) -> np.ndarray:
         """One EASGD master exchange: fold the worker in (Eq 2, single term)
@@ -55,5 +105,16 @@ class SharedWeights:
         with self._guard():
             returned = self._weights.copy()
             self._weights += hyper.alpha * (worker_weights - self._weights)
-            self.update_count += 1
+            self._bump()
         return returned
+
+    def close(self) -> None:
+        """Release shared-memory resources (no-op for local storage).
+
+        The creating process unlinks the segment; forked children that
+        inherited the mapping merely drop their reference.
+        """
+        if self._segment is not None:
+            self._weights = self._weights.copy()  # keep snapshots working
+            self._segment.unlink()
+            self._segment = None

@@ -1,8 +1,8 @@
-"""Threaded Hogwild training on a shared weight vector.
+"""Hogwild training on a shared weight vector (threads or processes).
 
-Each worker thread owns a private network replica and batch sampler; the
-master weights live in a :class:`repro.hogwild.shared.SharedWeights`. Two
-update rules:
+Each worker owns a private network replica and batch sampler; the master
+weights live in a :class:`repro.hogwild.shared.SharedWeights`. Two update
+rules:
 
 - ``"sgd"``: workers push gradient steps straight into the shared weights
   (Hogwild SGD, Recht et al.).
@@ -10,8 +10,11 @@ update rules:
   shared center (Hogwild EASGD, the paper's method).
 
 This is wall-clock-real concurrency, not simulation: with ``use_lock=False``
-the threads race on the shared buffer exactly as the paper's lock-free
-master does.
+the workers race on the shared buffer exactly as the paper's lock-free
+master does. ``backend="threads"`` races Python threads on a heap array;
+``backend="processes"`` forks real OS processes racing on a named
+shared-memory segment — the same physical-memory picture as the paper's
+multi-core masters, with no GIL serializing the ``+=``.
 """
 
 from __future__ import annotations
@@ -19,10 +22,12 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.comm.backend import validate_backend
+from repro.comm.runtime import MultiRankError
 from repro.data.dataset import Dataset
 from repro.data.loader import BatchSampler
 from repro.hogwild.shared import SharedWeights
@@ -35,12 +40,13 @@ __all__ = ["HogwildResult", "HogwildRunner"]
 
 @dataclass
 class HogwildResult:
-    """Outcome of one threaded run."""
+    """Outcome of one concurrent run."""
 
     final_weights: np.ndarray
     wall_seconds: float
     steps_per_worker: List[int]
     final_losses: List[float] = field(default_factory=list)
+    backend: str = "threads"
 
     @property
     def total_steps(self) -> int:
@@ -48,7 +54,7 @@ class HogwildResult:
 
 
 class HogwildRunner:
-    """Run ``num_workers`` threads for ``steps_per_worker`` updates each."""
+    """Run ``num_workers`` workers for ``steps_per_worker`` updates each."""
 
     def __init__(
         self,
@@ -62,11 +68,13 @@ class HogwildRunner:
         lr: float = 0.05,
         rho: float = 2.0,
         seed: int = 0,
+        backend: str = "threads",
     ) -> None:
         if num_workers <= 0 or steps_per_worker <= 0:
             raise ValueError("workers and steps must be positive")
         if rule not in ("sgd", "easgd"):
             raise ValueError("rule must be 'sgd' or 'easgd'")
+        validate_backend(backend)
         self.template = network
         self.train_set = train_set
         self.num_workers = num_workers
@@ -76,48 +84,50 @@ class HogwildRunner:
         self.batch_size = batch_size
         self.hyper = EASGDHyper(lr=lr, rho=rho)
         self.seed = seed
+        self.backend = backend
 
-    def _worker(
-        self,
-        idx: int,
-        shared: SharedWeights,
-        steps_done: List[int],
-        last_loss: List[float],
-        errors: List[BaseException],
-    ) -> None:
-        try:
-            net = self.template.clone(name=f"hogwild-w{idx}")
-            local = shared.snapshot()
-            sampler = BatchSampler(
-                self.train_set, self.batch_size, self.seed, name=("hogwild", idx)
-            )
-            loss = SoftmaxCrossEntropy()
-            for _ in range(self.steps_per_worker):
-                images, labels = sampler.next_batch()
-                net.set_params(local)
-                last_loss[idx] = net.gradient(images, labels, loss)
-                if self.rule == "sgd":
-                    shared.sgd_update(self.hyper.lr * net.grads)
-                    local = shared.snapshot()
-                else:
-                    center = shared.elastic_interaction(local, self.hyper)
-                    elastic_worker_update(local, net.grads, center, self.hyper)
-                steps_done[idx] += 1
-        except BaseException as exc:  # surface thread failures to the caller
-            errors.append(exc)
+    def _worker_body(self, idx: int, shared: SharedWeights) -> Tuple[int, float]:
+        """One worker's full run; returns (steps completed, last batch loss)."""
+        net = self.template.clone(name=f"hogwild-w{idx}")
+        local = shared.snapshot()
+        sampler = BatchSampler(
+            self.train_set, self.batch_size, self.seed, name=("hogwild", idx)
+        )
+        loss = SoftmaxCrossEntropy()
+        steps = 0
+        last_loss = float("nan")
+        for _ in range(self.steps_per_worker):
+            images, labels = sampler.next_batch()
+            net.set_params(local)
+            last_loss = net.gradient(images, labels, loss)
+            if self.rule == "sgd":
+                shared.sgd_update(self.hyper.lr * net.grads)
+                local = shared.snapshot()
+            else:
+                center = shared.elastic_interaction(local, self.hyper)
+                elastic_worker_update(local, net.grads, center, self.hyper)
+            steps += 1
+        return steps, last_loss
 
     def run(self) -> HogwildResult:
+        if self.backend == "processes":
+            return self._run_processes()
+        return self._run_threads()
+
+    def _run_threads(self) -> HogwildResult:
         shared = SharedWeights(self.template.get_params(), use_lock=self.use_lock)
         steps_done = [0] * self.num_workers
         last_loss = [float("nan")] * self.num_workers
-        errors: List[BaseException] = []
+        errors: List[Tuple[int, BaseException]] = []
+
+        def worker(idx: int) -> None:
+            try:
+                steps_done[idx], last_loss[idx] = self._worker_body(idx, shared)
+            except Exception as exc:  # surface thread failures to the caller
+                errors.append((idx, exc))
 
         threads = [
-            threading.Thread(
-                target=self._worker,
-                args=(i, shared, steps_done, last_loss, errors),
-                name=f"hogwild-{i}",
-            )
+            threading.Thread(target=worker, args=(i,), name=f"hogwild-{i}")
             for i in range(self.num_workers)
         ]
         start = time.perf_counter()
@@ -127,11 +137,107 @@ class HogwildRunner:
             t.join()
         wall = time.perf_counter() - start
         if errors:
-            raise errors[0]
+            raise MultiRankError.aggregate(sorted(errors))
 
         return HogwildResult(
             final_weights=shared.snapshot(),
             wall_seconds=wall,
             steps_per_worker=steps_done,
             final_losses=last_loss,
+            backend="threads",
+        )
+
+    def _run_processes(self) -> HogwildResult:
+        """Fork ``num_workers`` processes racing on one shm segment.
+
+        The forked children inherit the :class:`SharedWeights` object whose
+        buffer is a named shared-memory mapping, so their lock-free ``+=``
+        really interleave in physical memory. Step counts and losses travel
+        back on a result queue; failures are aggregated across workers like
+        the rank runtimes do.
+        """
+        import multiprocessing
+        import queue as _queue
+
+        from repro.comm.mp_runtime import (
+            RemoteRankError,
+            _shippable_exception,
+            fork_available,
+        )
+
+        if not fork_available():
+            raise RuntimeError(
+                "backend='processes' requires the fork start method; "
+                "use backend='threads' on this platform"
+            )
+        mp_ctx = multiprocessing.get_context("fork")
+        shared = SharedWeights(
+            self.template.get_params(), use_lock=self.use_lock, storage="shared"
+        )
+        results_q = mp_ctx.Queue()
+
+        def child_main(idx: int) -> None:
+            try:
+                steps, loss_val = self._worker_body(idx, shared)
+            except Exception as exc:
+                results_q.put((idx, "err", _shippable_exception(idx, exc)))
+            else:
+                results_q.put((idx, "ok", (steps, float(loss_val))))
+
+        procs = [
+            mp_ctx.Process(target=child_main, args=(i,), name=f"hogwild-{i}")
+            for i in range(self.num_workers)
+        ]
+        start = time.perf_counter()
+        try:
+            for p in procs:
+                p.start()
+            for p in procs:
+                p.join()
+            wall = time.perf_counter() - start
+
+            steps_done = [0] * self.num_workers
+            last_loss = [float("nan")] * self.num_workers
+            seen = [False] * self.num_workers
+            failures: List[Tuple[int, BaseException]] = []
+            while True:
+                try:
+                    idx, status, payload = results_q.get_nowait()
+                except _queue.Empty:
+                    break
+                seen[idx] = True
+                if status == "ok":
+                    steps_done[idx], last_loss[idx] = payload
+                else:
+                    failures.append((idx, payload))
+            for idx, done in enumerate(seen):
+                if not done:  # crashed before reporting (signal, hard exit)
+                    failures.append(
+                        (
+                            idx,
+                            RemoteRankError(
+                                idx,
+                                f"worker process exited with code {procs[idx].exitcode} "
+                                "before reporting a result",
+                            ),
+                        )
+                    )
+            final = shared.snapshot()
+        finally:
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - hung-worker cleanup
+                    p.terminate()
+                    p.join(timeout=5.0)
+            results_q.cancel_join_thread()
+            results_q.close()
+            shared.close()
+        if failures:
+            raise MultiRankError.aggregate(sorted(failures))
+
+        return HogwildResult(
+            final_weights=final,
+            wall_seconds=wall,
+            steps_per_worker=steps_done,
+            final_losses=last_loss,
+            backend="processes",
         )

@@ -150,6 +150,11 @@ class ChipPartitionTrainer(BaseTrainer):
     def train(self, iterations: int) -> RunResult:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
+        if self.config.backend == "processes":
+            return self._train_processes(iterations)
+        return self._train_serial(iterations)
+
+    def _train_serial(self, iterations: int) -> RunResult:
         cfg = self.config
         p = self.parts
 
@@ -200,4 +205,132 @@ class ChipPartitionTrainer(BaseTrainer):
                 "bandwidth": self.plan.bandwidth,
                 "iter_time": iter_time,
             },
+        )
+
+    def _train_processes(self, iterations: int) -> RunResult:
+        """The Figure 12 experiment on real cores.
+
+        P persistent forked group workers each hold a weight replica
+        (their forked copy of the network) and one named shared-memory
+        gradient segment; the parent holds the weights in a named
+        shared-memory segment all groups map. Per round the parent ships
+        each group its ``b/P`` batch slice, the groups write gradients
+        straight into shared memory, and the parent tree-reduces the P
+        segment views **in the same group order and association as the
+        serial path**, so for deterministic (dropout-free) models the
+        weight trajectory is bit-identical to ``backend="threads"`` /
+        the serial simulation. (Models with stochastic layers diverge:
+        the serial path threads ONE RNG through all groups, replicas
+        cannot.)
+
+        The simulated clock is charged exactly as in the serial path —
+        backends change wall-time, never the modeled time.
+        """
+        import multiprocessing
+        import queue as _queue
+
+        from repro.comm.mp_runtime import SharedFlatArray, fork_available
+
+        if not fork_available():
+            raise RuntimeError(
+                "backend='processes' requires the fork start method; "
+                "use backend='threads' on this platform"
+            )
+        mp_ctx = multiprocessing.get_context("fork")
+        cfg = self.config
+        p = self.parts
+
+        weights = self.net.get_params()
+        sampler = self.make_sampler("global-batch")
+        iter_time = self._iter_time()
+
+        w_shm = SharedFlatArray.from_array(weights)
+        g_shms = [SharedFlatArray.create(self.net.num_params) for _ in range(p)]
+        task_qs = [mp_ctx.Queue() for _ in range(p)]
+        done_q = mp_ctx.Queue()
+        net, loss_fn = self.net, self.loss
+
+        def group_main(j: int) -> None:
+            # `net` is this child's forked copy — the group's MCDRAM-style
+            # weight replica; `w_shm`/`g_shms` map the parent's segments.
+            grad_view = g_shms[j].array
+            while True:
+                task = task_qs[j].get()
+                if task is None:
+                    return
+                images, labels = task
+                net.set_params(w_shm.array)
+                loss = net.gradient(images, labels, loss_fn)
+                grad_view[:] = net.grads
+                done_q.put((j, loss))
+
+        procs = [
+            mp_ctx.Process(target=group_main, args=(j,), name=f"knl-group-{j}")
+            for j in range(p)
+        ]
+        for proc in procs:
+            proc.start()
+
+        breakdown = TimeBreakdown()
+        records: List[TrainRecord] = []
+        sim_time = 0.0
+        last_loss = float("nan")
+        try:
+            for t in range(1, iterations + 1):
+                images, labels = sampler.next_batch()
+                for j in range(p):
+                    lo, hi = j * self.group_batch, (j + 1) * self.group_batch
+                    task_qs[j].put((images[lo:hi], labels[lo:hi]))
+                losses: List[float] = [0.0] * p
+                for _ in range(p):
+                    try:
+                        j, loss = done_q.get(timeout=120.0)
+                    except _queue.Empty:
+                        dead = [j for j in range(p) if not procs[j].is_alive()]
+                        raise RuntimeError(
+                            f"KNL group worker(s) {dead} died mid-iteration {t}"
+                        ) from None
+                    losses[j] = loss
+                last_loss = float(np.mean(losses))
+                weights -= cfg.lr * (tree_reduce([g.array for g in g_shms]) / p)
+                w_shm.array[:] = weights  # publish for the next round
+
+                sim_time += iter_time
+                breakdown.add("for/backward", iter_time)
+
+                if t % cfg.eval_every == 0 or t == iterations:
+                    acc = self.evaluate_params(weights)
+                    records.append(TrainRecord(t, sim_time, last_loss, acc))
+                    if self.should_stop(acc):
+                        break
+        finally:
+            for q in task_qs:
+                q.put(None)
+            for proc in procs:
+                proc.join(timeout=10.0)
+                if proc.is_alive():  # pragma: no cover - hung-worker cleanup
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            for q in [*task_qs, done_q]:
+                q.cancel_join_thread()
+                q.close()
+            for seg in [w_shm, *g_shms]:
+                seg.unlink()
+
+        self.net.set_params(weights)  # leave the net at the final weights, as serial does
+        final_acc = records[-1].test_accuracy if records else 0.0
+        return RunResult(
+            method=self.name,
+            records=records,
+            breakdown=breakdown,
+            iterations=records[-1].iteration if records else 0,
+            sim_time=sim_time,
+            final_accuracy=final_acc,
+            extras={
+                "parts": float(p),
+                "in_mcdram": float(self.plan.in_mcdram),
+                "bandwidth": self.plan.bandwidth,
+                "iter_time": iter_time,
+            },
+            backend="processes",
         )

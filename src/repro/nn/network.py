@@ -127,12 +127,19 @@ class Network:
         return self.params.copy()
 
     def set_params(self, flat: np.ndarray) -> None:
-        """Overwrite the packed parameter vector (in place; views stay valid)."""
-        if flat.shape != self.params.shape:
+        """Overwrite the packed parameter vector (in place; views stay valid).
+
+        Accepts any buffer holding exactly ``num_params`` elements — a flat
+        vector, an ``(N, 1)`` column, a raw shared-memory view — and casts
+        to the packed buffer's float32. Element *count* is what matters,
+        and it is what the error reports on mismatch.
+        """
+        flat = np.asarray(flat)
+        if flat.size != self.params.size:
             raise ValueError(
                 f"parameter vector has size {flat.size}, expected {self.params.size}"
             )
-        self.params[...] = flat
+        self.params[...] = flat.reshape(self.params.shape).astype(np.float32, copy=False)
 
     def zero_grads(self) -> None:
         """Clear the packed gradient buffer in place."""
@@ -145,12 +152,17 @@ class Network:
         (Algorithm 1 line 4). Parameters are *copied* from this network so
         all replicas start from the same initialization, as the paper does
         ("copy W to W_j").
+
+        Layers are deep-copied: a shallow copy would share every mutable
+        per-layer attribute that isn't rebound by ``build``/``bind`` —
+        dropout RNG state, cached forward activations, masks — so running
+        the original would perturb the clone (and vice versa).
         """
         import copy as _copy
 
         fresh_layers = []
         for layer in self.layers:
-            dup = _copy.copy(layer)
+            dup = _copy.deepcopy(layer)
             dup.built = False
             dup.params = {}
             dup.grads = {}

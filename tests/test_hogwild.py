@@ -83,3 +83,83 @@ class TestHogwildRunner:
             HogwildRunner(build_mlp(), train, num_workers=0, steps_per_worker=1)
         with pytest.raises(ValueError):
             HogwildRunner(build_mlp(), train, num_workers=1, steps_per_worker=1, rule="nope")
+
+
+class TestSharedWeightsShm:
+    """storage='shared': same semantics, buffer in named shared memory."""
+
+    def test_shared_storage_semantics_match_local(self):
+        s = SharedWeights(np.ones(4, dtype=np.float32), use_lock=True, storage="shared")
+        try:
+            assert s.segment_name is not None
+            s.sgd_update(np.full(4, 0.25, dtype=np.float32))
+            np.testing.assert_allclose(s.snapshot(), 0.75)
+            assert s.update_count == 1
+            snap = s.snapshot()
+            snap[...] = 9.0
+            np.testing.assert_allclose(s.snapshot(), 0.75)
+        finally:
+            s.close()
+
+    def test_elastic_interaction_in_shared_storage(self):
+        s = SharedWeights(np.zeros(2, dtype=np.float32), use_lock=False, storage="shared")
+        try:
+            h = EASGDHyper(lr=0.05, rho=2.0)
+            returned = s.elastic_interaction(np.ones(2, dtype=np.float32), h)
+            np.testing.assert_array_equal(returned, 0.0)
+            np.testing.assert_allclose(s.snapshot(), h.alpha)
+            assert s.update_count == 1
+        finally:
+            s.close()
+
+    def test_close_releases_segment_and_keeps_snapshot(self):
+        s = SharedWeights(np.full(3, 2.0, dtype=np.float32), use_lock=True, storage="shared")
+        s.close()
+        np.testing.assert_array_equal(s.snapshot(), 2.0)  # local copy survives
+        assert s.segment_name is None
+        s.close()  # idempotent
+
+    def test_invalid_storage_rejected(self):
+        with pytest.raises(ValueError, match="storage"):
+            SharedWeights(np.zeros(2, dtype=np.float32), use_lock=True, storage="mmap")
+
+    def test_local_storage_has_no_segment(self):
+        s = SharedWeights(np.zeros(2, dtype=np.float32), use_lock=True)
+        assert s.storage == "local"
+        assert s.segment_name is None
+
+
+@pytest.mark.mp
+class TestHogwildProcesses:
+    """backend='processes': forked workers racing on one shm segment."""
+
+    def test_all_workers_complete_and_weights_move(self, mnist_tiny):
+        train, _ = mnist_tiny
+        runner = HogwildRunner(
+            build_mlp(seed=7), train, num_workers=3, steps_per_worker=5,
+            rule="easgd", use_lock=True, batch_size=16, backend="processes",
+        )
+        start = runner.template.get_params().copy()
+        res = runner.run()
+        assert res.backend == "processes"
+        assert res.steps_per_worker == [5] * 3
+        assert res.total_steps == 15
+        assert all(np.isfinite(l) for l in res.final_losses)
+        assert not np.array_equal(res.final_weights, start)
+
+    @pytest.mark.slow
+    def test_lockfree_easgd_converges_across_processes(self, mnist_tiny):
+        train, test = mnist_tiny
+        res = HogwildRunner(
+            build_mlp(seed=7), train, num_workers=4, steps_per_worker=40,
+            rule="easgd", use_lock=False, batch_size=16, backend="processes",
+        ).run()
+        net = build_mlp(seed=7)
+        net.set_params(res.final_weights)
+        assert net.evaluate(test.images, test.labels) > 0.6
+
+    def test_invalid_backend_rejected(self, mnist_tiny):
+        train, _ = mnist_tiny
+        with pytest.raises(ValueError, match="backend"):
+            HogwildRunner(build_mlp(), train, num_workers=1, steps_per_worker=1,
+                          backend="greenlets")

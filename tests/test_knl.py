@@ -212,3 +212,52 @@ class TestClusterModeModel:
     def test_mode_does_not_change_capacity(self):
         a2a = KnlChip(cluster_mode=ClusterMode.ALL_TO_ALL)
         assert a2a.mcdram_bytes == KNL_7250_CHIP.mcdram_bytes
+
+
+@pytest.mark.mp
+@pytest.mark.slow
+class TestChipPartitionProcesses:
+    """backend='processes': forked group workers over shared memory must be
+    an exact substitute for the serial divide-and-conquer loop."""
+
+    def _trainer(self, cifar_tiny, backend, parts=4, batch=16):
+        from repro.comm.mp_runtime import fork_available
+
+        if backend == "processes" and not fork_available():
+            pytest.skip("needs the fork start method")
+        train, test = cifar_tiny
+        cfg = TrainerConfig(
+            batch_size=batch, lr=0.05, eval_every=5, eval_samples=128,
+            backend=backend,
+        )
+        return ChipPartitionTrainer(
+            build_mlp(input_shape=(3, 32, 32), seed=4),
+            train,
+            test,
+            cfg,
+            parts=parts,
+            cost_model=CostModel.from_spec(ALEXNET),
+            data_bytes=CIFAR_COPY_BYTES,
+        )
+
+    def test_bit_identical_to_serial(self, cifar_tiny):
+        serial = self._trainer(cifar_tiny, "threads").train(10)
+        procs = self._trainer(cifar_tiny, "processes").train(10)
+
+        assert serial.backend is None  # simulated path: substrate-free
+        assert procs.backend == "processes"
+        # Same trajectory, record for record, and the same simulated clock.
+        assert len(serial.records) == len(procs.records)
+        for rs, rp in zip(serial.records, procs.records):
+            assert rs.iteration == rp.iteration
+            assert rs.train_loss == rp.train_loss
+            assert rs.test_accuracy == rp.test_accuracy
+        assert serial.sim_time == procs.sim_time
+        assert serial.final_accuracy == procs.final_accuracy
+
+    def test_final_weights_bitwise_equal(self, cifar_tiny):
+        a = self._trainer(cifar_tiny, "threads")
+        b = self._trainer(cifar_tiny, "processes")
+        a.train(8)
+        b.train(8)
+        np.testing.assert_array_equal(a.net.get_params(), b.net.get_params())

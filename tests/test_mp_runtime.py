@@ -1,0 +1,276 @@
+"""The multiprocess rank backend: forked ranks, shm segments, error ferry.
+
+Everything here forks real OS processes, so the whole module rides in the
+slow tier (the fast gate runs ``-m "not slow"``); the bit-identity and
+algorithm-level cross-checks live in ``test_backend_equivalence.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import tree_reduce
+from repro.comm.mp_runtime import (
+    MultiprocessCommunicator,
+    RemoteRankError,
+    SharedFlatArray,
+    fork_available,
+)
+from repro.comm.runtime import DeadlockError, InProcessCommunicator, MultiRankError
+
+pytestmark = [
+    pytest.mark.mp,
+    pytest.mark.slow,
+    pytest.mark.skipif(not fork_available(), reason="needs the fork start method"),
+]
+
+
+def _sum_ranks(ctx):
+    vec = np.full(8, float(ctx.rank + 1), dtype=np.float32)
+    return ctx.allreduce(vec)
+
+
+class TestMpPointToPoint:
+    def test_send_recv_across_processes(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send({"payload": np.arange(3)}, dest=1, tag=7)
+                return None
+            got = ctx.recv(source=0, tag=7)
+            return got["payload"].tolist()
+
+        comm = MultiprocessCommunicator(2, timeout=20.0)
+        try:
+            assert comm.run(prog) == [None, [0, 1, 2]]
+        finally:
+            comm.close()
+
+    def test_tag_selectivity_across_processes(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send("b", dest=1, tag=2)
+                ctx.send("a", dest=1, tag=1)
+                return None
+            # Request the later-sent tag first: matching is by tag, not
+            # arrival order, even through a single OS pipe.
+            return ctx.recv(source=0, tag=1) + ctx.recv(source=0, tag=2)
+
+        comm = MultiprocessCommunicator(2, timeout=20.0)
+        try:
+            assert comm.run(prog)[1] == "ab"
+        finally:
+            comm.close()
+
+    def test_deadlock_detected_across_processes(self):
+        def prog(ctx):
+            ctx.recv(source=(ctx.rank + 1) % ctx.size, tag=0)
+
+        comm = MultiprocessCommunicator(2, timeout=0.5)
+        try:
+            with pytest.raises(TimeoutError, match="deadlock"):
+                comm.run(prog)
+        finally:
+            comm.close()
+
+    def test_deadlock_error_fields_survive_pickling(self):
+        def prog(ctx):
+            if ctx.rank == 1:
+                ctx.recv(source=0, tag=9)
+            return ctx.rank
+
+        comm = MultiprocessCommunicator(2, timeout=0.4)
+        try:
+            with pytest.raises(DeadlockError) as ei:
+                comm.run(prog)
+        finally:
+            comm.close()
+        assert (ei.value.rank, ei.value.source, ei.value.tag) == (1, 0, 9)
+
+
+class TestMpCollectives:
+    @pytest.mark.parametrize("size", [2, 3, 4])
+    def test_reduce_matches_tree_reduce_bitwise(self, size):
+        rng = np.random.default_rng(0)
+        vectors = [rng.normal(size=64).astype(np.float32) for _ in range(size)]
+
+        def prog(ctx):
+            return ctx.reduce(vectors[ctx.rank], root=0)
+
+        comm = MultiprocessCommunicator(size, timeout=30.0)
+        try:
+            results = comm.run(prog)
+        finally:
+            comm.close()
+        np.testing.assert_array_equal(results[0], tree_reduce(vectors))
+        assert all(r is None for r in results[1:])
+
+    def test_allreduce_bitwise_equal_to_thread_backend(self):
+        thread_comm = InProcessCommunicator(4, timeout=30.0)
+        proc_comm = MultiprocessCommunicator(4, timeout=30.0)
+        try:
+            from_threads = thread_comm.run(_sum_ranks)
+            from_procs = proc_comm.run(_sum_ranks)
+        finally:
+            proc_comm.close()
+        for a, b in zip(from_threads, from_procs):
+            np.testing.assert_array_equal(a, b)
+
+    def test_bcast_and_barrier_across_processes(self):
+        def prog(ctx):
+            word = "ready" if ctx.rank == 2 else None
+            word = ctx.bcast(word, root=2)
+            ctx.barrier()
+            return word
+
+        comm = MultiprocessCommunicator(3, timeout=30.0)
+        try:
+            assert comm.run(prog) == ["ready"] * 3
+        finally:
+            comm.close()
+
+
+class TestMpFailures:
+    def test_two_distinct_failures_both_named(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                raise RuntimeError("zero broke")
+            if ctx.rank == 1:
+                raise ValueError("one broke")
+            return ctx.rank
+
+        comm = MultiprocessCommunicator(3, timeout=20.0)
+        try:
+            with pytest.raises(MultiRankError) as ei:
+                comm.run(prog)
+        finally:
+            comm.close()
+        msg = str(ei.value)
+        assert set(ei.value.failures) == {0, 1}
+        assert "rank 0" in msg and "zero broke" in msg
+        assert "rank 1" in msg and "one broke" in msg
+
+    def test_unpicklable_failure_becomes_remote_rank_error(self):
+        def prog(ctx):
+            if ctx.rank == 1:
+                # Exception whose constructor args can't round-trip pickle.
+                err = RuntimeError("has a lambda")
+                err.ctx = lambda: None
+                raise err
+            return ctx.rank
+
+        comm = MultiprocessCommunicator(2, timeout=20.0)
+        try:
+            with pytest.raises(RemoteRankError, match="rank 1"):
+                comm.run(prog)
+        finally:
+            comm.close()
+
+
+class TestMpTraceAndFaults:
+    def test_trace_merged_and_conserved(self):
+        from repro.trace import Trace
+        from repro.trace.check import check_message_conservation
+
+        trace = Trace()
+        comm = MultiprocessCommunicator(4, timeout=30.0, trace=trace)
+        try:
+            comm.run(_sum_ranks)
+        finally:
+            comm.close()
+        assert trace.meta["backend"] == "processes"
+        sends, recvs = trace.sends(), trace.recvs()
+        assert len(sends) == len(recvs) > 0
+        assert {e.rank for e in sends} <= {0, 1, 2, 3}
+        times = [(e.t0, e.t1) for e in trace.events]
+        assert times == sorted(times)  # parent merged rank streams in order
+        check_message_conservation(trace)
+
+    def test_fault_plan_records_merge_from_children(self):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=0).lose_message(0, 1, 5)
+        comm = MultiprocessCommunicator(2, timeout=0.5, faults=plan)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send("gone", dest=1, tag=5)
+                return "sent"
+            with pytest.raises(DeadlockError):
+                ctx.recv(source=0, tag=5)
+            return "timed-out"
+
+        try:
+            assert comm.run(prog) == ["sent", "timed-out"]
+        finally:
+            comm.close()
+        assert comm.fault_log.count("lost") == 1
+
+
+class TestSharedFlatArray:
+    def test_visible_across_processes(self):
+        seg = SharedFlatArray.create(8)
+        name = seg.name
+        try:
+            def prog(ctx):
+                view = SharedFlatArray.attach(name, 8)
+                try:
+                    view.array[ctx.rank] = float(ctx.rank + 1)
+                    ctx.barrier()
+                    return float(view.array[:2].sum())
+                finally:
+                    view.close()
+
+            comm = MultiprocessCommunicator(2, timeout=30.0)
+            try:
+                totals = comm.run(prog)
+            finally:
+                comm.close()
+            assert totals == [3.0, 3.0]  # both ranks saw both writes
+            assert seg.array[0] == 1.0 and seg.array[1] == 2.0
+        finally:
+            seg.unlink()
+
+    def test_from_array_copies_values(self):
+        src = np.arange(5, dtype=np.float32)
+        seg = SharedFlatArray.from_array(src)
+        try:
+            np.testing.assert_array_equal(seg.array, src)
+            src[0] = 99.0
+            assert seg.array[0] == 0.0  # segment owns its storage
+        finally:
+            seg.unlink()
+
+    def test_context_manager_closes(self):
+        with SharedFlatArray.create(4) as seg:
+            seg.array[:] = 1.0
+            name = seg.name
+        with pytest.raises(FileNotFoundError):
+            SharedFlatArray.attach(name, 4)
+
+
+class TestBackendSelection:
+    def test_make_communicator_dispatch(self):
+        from repro.comm.backend import make_communicator
+
+        threads = make_communicator(2, backend="threads")
+        procs = make_communicator(2, backend="processes")
+        try:
+            assert threads.backend == "threads"
+            assert procs.backend == "processes"
+            assert isinstance(procs, MultiprocessCommunicator)
+        finally:
+            procs.close()
+
+    def test_unknown_backend_rejected(self):
+        from repro.comm.backend import make_communicator, validate_backend
+
+        with pytest.raises(ValueError, match="backend"):
+            validate_backend("mpi")
+        with pytest.raises(ValueError, match="backend"):
+            make_communicator(2, backend="mpi")
+
+    def test_trainer_config_validates_backend(self):
+        from repro.algorithms import TrainerConfig
+
+        assert TrainerConfig(backend="processes").backend == "processes"
+        with pytest.raises(ValueError, match="backend"):
+            TrainerConfig(backend="greenlets")

@@ -239,6 +239,7 @@ class TestDeadlockIdentity:
         bare queue.Empty from the mailbox; now the receiver gets a
         DeadlockError naming the wedged (rank, source, tag) edge."""
         import queue
+        import time as _time
 
         from repro.comm.runtime import DeadlockError
         from repro.faults import FaultPlan
@@ -258,6 +259,11 @@ class TestDeadlockIdentity:
                     caught["error"] = exc
                 except DeadlockError as exc:
                     caught["error"] = exc
+            else:
+                # Overlap rank 1's full recv-timeout with "work" so the
+                # closing barrier tests error delivery, not a race between
+                # rank 1's deadline and the other ranks' barrier patience.
+                _time.sleep(0.4)
             ctx.barrier()
 
         comm.run(program)
@@ -306,3 +312,106 @@ class TestDeadlockIdentity:
         assert (faults[0].rank, faults[0].peer, faults[0].tag) == (0, 1, 5)
         assert not trace.sends()
         check_message_conservation(trace)
+
+
+class TestCollectiveTagSpace:
+    """Regression tests for the collective tag-space partition.
+
+    The pre-partition scheme ran allreduce's bcast phase on ``tag + 1``,
+    which for the default tags meant 103 + 1 = 104 — the barrier's own
+    default tag — so an allreduce racing a barrier could cross-match
+    messages between the two collectives.
+    """
+
+    def test_wire_tag_sets_pairwise_disjoint(self):
+        from repro.comm.runtime import collective_wire_tags
+
+        ops = ("bcast", "reduce", "allreduce", "barrier")
+        wire = {op: set(collective_wire_tags(op)) for op in ops}
+        for i, a in enumerate(ops):
+            for b in ops[i + 1:]:
+                assert not (wire[a] & wire[b]), f"{a} and {b} share wire tags"
+
+    def test_wire_tags_disjoint_for_any_tags_in_block(self):
+        from repro.comm.runtime import COLLECTIVE_TAG_STRIDE, collective_wire_tags
+
+        # Any user tags within one stride block keep the four ops separated.
+        for ta in (0, 7, COLLECTIVE_TAG_STRIDE - 1):
+            for tb in (0, 7, COLLECTIVE_TAG_STRIDE - 1):
+                ar = set(collective_wire_tags("allreduce", ta))
+                br = set(collective_wire_tags("barrier", tb))
+                pt = {ta, tb}  # raw point-to-point traffic on the same tags
+                assert not (ar & br)
+                assert not (ar & pt) and not (br & pt)
+
+    def test_allreduce_interleaved_with_barrier(self):
+        """Default-tag allreduce hard against a default-tag barrier at P=4.
+
+        Under the pre-partition tag scheme the allreduce's bcast messages
+        (tag 104) were indistinguishable from the barrier's reduce
+        messages (also 104): a fast rank entering the barrier could
+        consume another rank's allreduce result, corrupting values or
+        deadlocking. Five back-to-back rounds make the race window wide.
+        """
+        rounds = 5
+
+        def prog(ctx):
+            out = []
+            for r in range(rounds):
+                vec = np.full(8, float(ctx.rank + 1) * (r + 1), dtype=np.float32)
+                total = ctx.allreduce(vec)  # default tag 103
+                ctx.barrier()  # default tag 104
+                out.append(total.copy())
+            return out
+
+        results = InProcessCommunicator(4, timeout=10.0).run(prog)
+        for r in range(rounds):
+            expected = np.full(8, 10.0 * (r + 1), dtype=np.float32)  # 1+2+3+4
+            for rank_out in results:
+                np.testing.assert_array_equal(rank_out[r], expected)
+
+
+class TestMultiRankFailures:
+    """`run` must surface every failed rank, not just the first one."""
+
+    def test_two_distinct_failures_both_named(self):
+        from repro.comm.runtime import MultiRankError
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                raise RuntimeError("zero broke")
+            if ctx.rank == 2:
+                raise ValueError("two broke")
+            return ctx.rank
+
+        with pytest.raises(MultiRankError) as ei:
+            InProcessCommunicator(3, timeout=2.0).run(prog)
+        err = ei.value
+        assert set(err.failures) == {0, 2}
+        assert isinstance(err.failures[0], RuntimeError)
+        assert isinstance(err.failures[2], ValueError)
+        msg = str(err)
+        assert "2 ranks failed" in msg
+        assert "rank 0" in msg and "RuntimeError" in msg and "zero broke" in msg
+        assert "rank 2" in msg and "ValueError" in msg and "two broke" in msg
+
+    def test_homogeneous_failures_keep_common_type(self):
+        """All ranks raising ValueError -> the aggregate is catchable as one."""
+        def prog(ctx):
+            raise ValueError(f"rank {ctx.rank} bad input")
+
+        with pytest.raises(ValueError) as ei:
+            InProcessCommunicator(2, timeout=2.0).run(prog)
+        assert set(ei.value.failures) == {0, 1}
+
+    def test_single_failure_raised_unwrapped(self):
+        sentinel = KeyError("only rank 1")
+
+        def prog(ctx):
+            if ctx.rank == 1:
+                raise sentinel
+            return ctx.rank
+
+        with pytest.raises(KeyError) as ei:
+            InProcessCommunicator(2, timeout=2.0).run(prog)
+        assert ei.value is sentinel

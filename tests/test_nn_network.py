@@ -157,3 +157,79 @@ class TestProperties:
         before = net.flops_per_sample()
         net.params *= np.float32(scale)
         assert net.flops_per_sample() == before
+
+
+class TestCloneIsolation:
+    """Clone must deep-copy layer state: running one net can't perturb the
+    other (the shallow-copy bug shared dropout RNGs and forward caches)."""
+
+    def test_original_forward_backward_does_not_affect_clone(self):
+        rng = np.random.default_rng(0)
+        x1 = rng.normal(size=(4, 1, 4, 4)).astype(np.float32)
+        x2 = rng.normal(size=(4, 1, 4, 4)).astype(np.float32)
+        dy = np.ones((4, 5), dtype=np.float32)
+
+        original = _net(seed=3)
+        clone = original.clone()
+        control = original.clone()
+
+        # Interleave: the clone caches activations for x1, then the
+        # original runs a full step on x2 before the clone's backward.
+        clone.forward(x1, training=True)
+        original.forward(x2, training=True)
+        original.backward(dy)
+        clone.backward(dy)
+
+        control.forward(x1, training=True)
+        control.backward(dy)
+        np.testing.assert_array_equal(clone.grads, control.grads)
+
+    def test_dropout_rng_not_shared_with_clone(self):
+        from repro.nn.regularization import Dropout
+
+        net = Network(
+            [Flatten(), Dense(6, name="d1"), Dropout(0.5, seed=5), Dense(5, name="d2")],
+            input_shape=(1, 4, 4),
+            seed=1,
+        )
+        x = np.random.default_rng(2).normal(size=(8, 1, 4, 4)).astype(np.float32)
+        net.forward(x)  # build
+        clone = net.clone()
+
+        # Advancing the original's dropout RNG must leave the clone's
+        # stream untouched: both clones of the same net draw identical
+        # masks regardless of what the original does in between.
+        control = net.clone()
+        for _ in range(3):
+            net.forward(x, training=True)
+        out_clone = clone.forward(x, training=True)
+        out_control = control.forward(x, training=True)
+        np.testing.assert_array_equal(out_clone, out_control)
+
+
+class TestSetParamsBuffers:
+    """set_params accepts any same-size buffer (column vectors included)
+    and rejects mismatched sizes with the actual sizes in the message."""
+
+    def test_accepts_column_vector(self):
+        net = _net()
+        flat = np.arange(net.num_params, dtype=np.float32)
+        net.set_params(flat.reshape(-1, 1))  # (N, 1), same size
+        np.testing.assert_array_equal(net.get_params(), flat)
+
+    def test_accepts_float64_with_cast(self):
+        net = _net()
+        flat = np.linspace(0.0, 1.0, net.num_params, dtype=np.float64)
+        net.set_params(flat)
+        assert net.get_params().dtype == np.float32
+        np.testing.assert_array_equal(net.get_params(), flat.astype(np.float32))
+
+    def test_rejects_wrong_size_with_sizes_in_message(self):
+        net = _net()
+        with pytest.raises(ValueError, match=f"size 3, expected {net.num_params}"):
+            net.set_params(np.zeros(3, dtype=np.float32))
+
+    def test_rejects_wrong_size_even_if_shaped(self):
+        net = _net()
+        with pytest.raises(ValueError, match="expected"):
+            net.set_params(np.zeros((2, net.num_params), dtype=np.float32))
