@@ -2,18 +2,23 @@
 
 Not a paper figure: the paper runs MPI ranks as OS processes; this
 artifact's rank runtime can run them as Python threads (GIL-serialized
-compute, cheap queues) or as forked processes (true parallel compute,
-pickled queues). This benchmark times the same Sync SGD rank program on
-both substrates at P = 2, 4, 8 and archives the throughput matrix as
+compute, by-reference queues) or as forked processes (true parallel
+compute), and the process backend can move payloads two ways —
+``transport="queue"`` pickles them through pipes, ``transport="shm"``
+memcpys them through shared-memory slot rings. This benchmark times the
+same Sync SGD rank program on every (backend, transport) cell at
+P = 2, 4, 8 and archives the throughput matrix as
 ``benchmarks/artifacts/backend_scaling.json`` — the raw material for the
 backend-selection guidance in ``docs/performance.md``.
 
-Two shape assertions, no winner assertion: which backend is faster is a
+Two shape assertions, no winner assertion: which cell is fastest is a
 property of the host (process ranks need real cores to amortize their
-fork + pickle overhead; on a single-core container threads usually win),
-so the benchmark asserts *bit-identical final weights* across backends —
-numerics must be substrate-invariant — and that every cell of the matrix
-completed, never who won.
+fork overhead; shm needs payloads large enough to out-memcpy the pickle
+— at MLP scale the messages are small, which is why the dedicated
+``bench_transport`` exists for the AlexNet-scale claim), so the
+benchmark asserts *bit-identical final weights* across all cells —
+numerics must be substrate- and transport-invariant — and that every
+cell of the matrix completed, never who won.
 """
 
 import json
@@ -32,7 +37,13 @@ from repro.nn.models import build_mlp
 pytestmark = pytest.mark.slow
 
 RANK_COUNTS = (2, 4, 8)
-BACKENDS = ("threads", "processes")
+#: (backend, transport) cells; threads pass payloads by reference, so a
+#: transport axis only exists for the process backend.
+CELLS = (
+    ("threads", None),
+    ("processes", "queue"),
+    ("processes", "shm"),
+)
 ITERATIONS = 30
 BATCH_SIZE = 16
 
@@ -57,43 +68,48 @@ def bench_backend_scaling(benchmark, scaling_artifact_path):
         cells = []
         weights = {}
         for ranks in RANK_COUNTS:
-            for backend in BACKENDS:
+            for backend, transport in CELLS:
                 t0 = time.perf_counter()
                 result = run_mpi_sync_sgd(
                     net, train, ranks=ranks, iterations=ITERATIONS,
                     batch_size=BATCH_SIZE, lr=0.05, seed=0, backend=backend,
+                    transport=transport,
                 )
                 wall = time.perf_counter() - t0
                 samples = ranks * ITERATIONS * BATCH_SIZE
                 cells.append({
                     "backend": backend,
+                    "transport": transport,
                     "ranks": ranks,
                     "iterations": ITERATIONS,
                     "batch_size": BATCH_SIZE,
                     "wall_seconds": wall,
                     "samples_per_second": samples / wall,
                 })
-                weights[(backend, ranks)] = result.weights
+                weights[(backend, transport, ranks)] = result.weights
         return cells, weights
 
     cells, weights = run_once(benchmark, experiment)
 
+    labels = [f"{b}/{t or '-'}" for b, t in CELLS]
     print(f"\n=== Backend scaling: Sync SGD, {ITERATIONS} iterations x "
           f"batch {BATCH_SIZE}/rank ===")
-    print(f"  {'P':>3} " + "".join(f"{b:>14}" for b in BACKENDS) + "  (samples/s)")
+    print(f"  {'P':>3} " + "".join(f"{lb:>18}" for lb in labels) + "  (samples/s)")
     for ranks in RANK_COUNTS:
-        row = {c["backend"]: c for c in cells if c["ranks"] == ranks}
+        row = {(c["backend"], c["transport"]): c
+               for c in cells if c["ranks"] == ranks}
         print(f"  {ranks:>3} "
-              + "".join(f"{row[b]['samples_per_second']:>14.0f}" for b in BACKENDS))
+              + "".join(f"{row[cell]['samples_per_second']:>18.0f}"
+                        for cell in CELLS))
 
     # The matrix is complete ...
-    assert len(cells) == len(RANK_COUNTS) * len(BACKENDS)
-    # ... and the substrate never touched the numerics: at every P the two
-    # backends end on bit-identical weights.
+    assert len(cells) == len(RANK_COUNTS) * len(CELLS)
+    # ... and neither the substrate nor the transport touched the
+    # numerics: at every P all cells end on bit-identical weights.
     for ranks in RANK_COUNTS:
-        np.testing.assert_array_equal(
-            weights[("threads", ranks)], weights[("processes", ranks)]
-        )
+        reference = weights[(*CELLS[0], ranks)]
+        for cell in CELLS[1:]:
+            np.testing.assert_array_equal(reference, weights[(*cell, ranks)])
 
     scaling_artifact_path.write_text(json.dumps(
         {"benchmark": "backend_scaling", "method": "mpi-sync-sgd", "cells": cells},

@@ -1,0 +1,207 @@
+"""Transport shoot-out — pickled queues vs zero-copy shm slot rings.
+
+The process backend can move a packed AlexNet-scale buffer (Section 6.1's
+61 M parameters, ~233 MB of float32) across rank boundaries two ways:
+``transport="queue"`` pickles the whole buffer through an OS pipe for
+every tree edge, ``transport="shm"`` memcpys it into a shared-memory slot
+ring and pickles only a ~200-byte descriptor. This benchmark times the
+same packed-allreduce rank program — the communication inner loop of
+Sync SGD / Sync EASGD with Section 5.2's single packed buffer — on both
+transports at P = 4 and archives the matrix twice: as
+``BENCH_transport.json`` at the repo root (the machine-readable scorecard)
+and under ``benchmarks/artifacts/`` (the CI-uploaded copy).
+
+Assertions: final weights bit-identical across every cell (transports may
+never touch numerics — verified via sha256 of the weight bytes, so the
+forked ranks ship back 64-byte digests instead of 233 MB arrays), and shm
+at least 2x the steps/s of the pickled queue at P = 4 — the zero-copy
+claim this PR makes. The program is transport-dominated by construction
+(the synthetic gradient costs one fused pass to produce), which is
+exactly the regime where the paper's communication codesign pays.
+
+Noisy-host methodology: shared single-core containers suffer CPU-steal
+spikes that can stretch one iteration 5x, drowning the transport signal
+in scheduler noise. Each rank therefore times every iteration
+individually; a step's wall is the *max across ranks* (the slowest rank
+defines the step, as in any synchronous method) and the throughput
+estimate is ``1 / min(step walls)`` — the same min-based estimator
+``timeit`` documents, because the minimum is the only statistic noise
+cannot inflate. The mean and the full per-step series are archived
+alongside for transparency.
+
+Run standalone with ``python benchmarks/bench_transport.py`` or under
+pytest with ``pytest benchmarks/bench_transport.py --benchmark-only -s``.
+"""
+
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.comm.arena import BufferArena
+from repro.comm.backend import make_communicator
+from repro.nn.spec import ALEXNET
+
+try:
+    import pytest
+
+    pytestmark = pytest.mark.slow
+except ImportError:  # pragma: no cover - standalone invocation
+    pytest = None
+
+RANKS = 4
+ITERATIONS = 8
+LR = 0.05
+#: The packed message Sync SGD moves: every gradient plus the piggybacked
+#: scalar loss, at the full AlexNet parameter count the paper quotes.
+PACKED_ELEMS = ALEXNET.num_params + 1
+
+ROOT_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_transport.json"
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+
+
+def _packed_allreduce_program(ctx, elems: int, iterations: int, lr: float):
+    """The communication inner loop of the packed synchronous trainers.
+
+    Deterministic synthetic 'gradients' (one in-place broadcast add, no
+    RNG over 61 M elements) keep the program transport-dominated; the
+    allreduce + update numerics are the real ones, so final weights are a
+    meaningful bit-identity witness. Iteration 0 is an untimed warmup —
+    it pays the one-time costs (slot-ring segment creation, first-touch
+    page faults, queue feeder spin-up) so the timed iterations measure
+    the steady-state hot loop both transports settle into. Each rank
+    times every iteration individually; the caller folds them into
+    per-step walls (max across ranks) and takes the noise-robust min.
+    Returns a digest, not the 233 MB array.
+    """
+    weights = np.zeros(elems - 1, dtype=np.float32)
+    arena = BufferArena()
+    scratch = np.empty(elems - 1, dtype=np.float32)
+    walls = []
+    for t in range(iterations + 1):  # t == 0 is the untimed warmup
+        t0 = time.perf_counter()
+        buf = arena.get("packed", elems, np.float32)
+        # Pseudo-gradient = weights + rank/step constant: one fused pass,
+        # couples consecutive steps so association order is observable.
+        np.add(
+            weights,
+            np.float32((ctx.rank + 1) * 1e-6 * ((t % 7) + 1)),
+            out=buf[:-1],
+        )
+        buf[-1] = np.float32(ctx.rank + t)  # stand-in for the batch loss
+        total = ctx.allreduce(buf)
+        np.multiply(total[:-1], np.float32(lr / ctx.size), out=scratch)
+        np.subtract(weights, scratch, out=weights)
+        if t > 0:
+            walls.append(time.perf_counter() - t0)
+    return (
+        hashlib.sha256(weights.tobytes()).hexdigest(),
+        [float(v) for v in weights[:4]],
+        walls,
+    )
+
+
+def _run_cell(backend: str, transport: str, ranks: int) -> dict:
+    comm = make_communicator(
+        ranks, backend=backend, timeout=600.0, transport=transport
+    )
+    try:
+        results = comm.run(_packed_allreduce_program, PACKED_ELEMS, ITERATIONS, LR)
+    finally:
+        comm.close()
+    digests = {digest for digest, _, _ in results}
+    assert len(digests) == 1, f"ranks diverged within one run: {digests}"
+    # A synchronous step completes when its slowest rank does; the min
+    # over steps is the steady-state estimate CPU-steal cannot inflate.
+    step_walls = [
+        max(walls[t] for _, _, walls in results) for t in range(ITERATIONS)
+    ]
+    best = min(step_walls)
+    stats = getattr(comm, "transport_stats", {}) or {}
+    bytes_copied = int(stats.get("bytes_copied_in", 0)) + int(
+        stats.get("bytes_copied_out", 0)
+    )
+    return {
+        "method": "packed-allreduce",
+        "P": ranks,
+        "backend": backend,
+        "transport": transport,
+        "iterations": ITERATIONS,
+        "warmup_iterations": 1,
+        "buffer_bytes": PACKED_ELEMS * 4,
+        "step_seconds": step_walls,
+        "mean_step_seconds": sum(step_walls) / len(step_walls),
+        "min_step_seconds": best,
+        "steps_per_second": 1.0 / best,
+        "bytes_copied": bytes_copied,  # includes the warmup iteration
+        "bytes_on_wire": int(stats.get("bytes_on_wire", 0)),
+        "digest": next(iter(digests)),
+        "head": results[0][1],
+    }
+
+
+def run_experiment() -> list:
+    cells = [
+        _run_cell("processes", "queue", RANKS),
+        _run_cell("processes", "shm", RANKS),
+        _run_cell("threads", "queue", RANKS),  # by-reference baseline
+    ]
+    return cells
+
+
+def check_and_archive(cells: list) -> float:
+    by_key = {(c["backend"], c["transport"]): c for c in cells}
+
+    print(f"\n=== Transport shoot-out: packed allreduce, "
+          f"{PACKED_ELEMS * 4 / 1e6:.0f} MB buffer, P={RANKS}, "
+          f"{ITERATIONS} steps ===")
+    for c in cells:
+        print(f"  {c['backend']:>10}/{c['transport']:<6} "
+              f"{c['steps_per_second']:>8.3f} steps/s   "
+              f"{c['bytes_copied'] / 1e9:>6.2f} GB copied   "
+              f"step min {c['min_step_seconds']:.2f}s "
+              f"mean {c['mean_step_seconds']:.2f}s")
+
+    # Bit-identity across every cell: the transport may change the clock,
+    # never the bits.
+    digests = {c["digest"] for c in cells}
+    assert len(digests) == 1, f"transports diverged: {digests}"
+
+    shm = by_key[("processes", "shm")]
+    queue = by_key[("processes", "queue")]
+    speedup = shm["steps_per_second"] / queue["steps_per_second"]
+    print(f"  shm vs queue speedup: {speedup:.2f}x")
+    assert speedup >= 2.0, (
+        f"shm transport only {speedup:.2f}x over pickled queue "
+        f"(needs >= 2x for the zero-copy claim)"
+    )
+    # shm moved the tensor bytes by memcpy, and its descriptors are tiny.
+    assert shm["bytes_copied"] > 0 and queue["bytes_copied"] == 0
+    assert shm["bytes_on_wire"] < shm["bytes_copied"] // 1000
+
+    payload = json.dumps(
+        {"benchmark": "transport", "ranks": RANKS, "cells": cells}, indent=2
+    )
+    ROOT_ARTIFACT.write_text(payload)
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    (ARTIFACT_DIR / "transport.json").write_text(payload)
+    print(f"  matrix archived to {ROOT_ARTIFACT} and {ARTIFACT_DIR / 'transport.json'}")
+    return speedup
+
+
+def bench_transport(benchmark):
+    """Pickle-queue vs shm slot rings on the packed AlexNet-scale buffer."""
+    from conftest import run_once
+    from repro.comm.mp_runtime import fork_available
+
+    if not fork_available():
+        pytest.skip("process backend requires the fork start method")
+    cells = run_once(benchmark, run_experiment)
+    check_and_archive(cells)
+
+
+if __name__ == "__main__":
+    sys.exit(0 if check_and_archive(run_experiment()) >= 2.0 else 1)

@@ -19,6 +19,9 @@ from repro.algorithms.async_ps import (
     HogwildEASGDTrainer,
 )
 from repro.algorithms.multinode import ClusterSyncEASGDTrainer
+from repro.algorithms.mpi_sgd import MpiSgdResult, run_mpi_sync_sgd
+from repro.algorithms.mpi_easgd import MpiEasgdResult, run_mpi_sync_easgd
+from repro.algorithms.mpi_async_easgd import MpiAsyncEasgdResult, run_mpi_async_easgd
 from repro.algorithms.registry import ALGORITHMS, make_trainer
 
 __all__ = [
@@ -36,6 +39,13 @@ __all__ = [
     "AsyncMEASGDTrainer",
     "HogwildEASGDTrainer",
     "ClusterSyncEASGDTrainer",
+    "MpiSgdResult",
+    "run_mpi_sync_sgd",
+    "MpiEasgdResult",
+    "run_mpi_sync_easgd",
+    "MpiAsyncEasgdResult",
+    "run_mpi_async_easgd",
     "ALGORITHMS",
+
     "make_trainer",
 ]

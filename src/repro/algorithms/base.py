@@ -73,6 +73,11 @@ class TrainerConfig:
     #: ports, the KNL chip-partition trainer, and the Hogwild runner
     #: dispatch on it. Numerics are backend-invariant by construction.
     backend: str = "threads"
+    #: Message transport for the process backend: "shm" (zero-copy slot
+    #: rings) or "queue" (pickle through pipes). None keeps each backend's
+    #: own default; the thread backend passes by reference regardless.
+    #: Like ``backend``, this changes wall-clock behaviour, never bits.
+    transport: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -85,9 +90,11 @@ class TrainerConfig:
             raise ValueError("overlap_efficiency must be in [0, 1]")
         # Late import: repro.comm.backend imports nothing from algorithms,
         # but keeping the dependency one-way at module load is cheap.
-        from repro.comm.backend import validate_backend
+        from repro.comm.backend import validate_backend, validate_transport
 
         validate_backend(self.backend)
+        if self.transport is not None:
+            validate_transport(self.transport)
 
 
 @dataclass(frozen=True)

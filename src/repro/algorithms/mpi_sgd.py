@@ -21,6 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.comm.arena import BufferArena
 from repro.comm.backend import make_communicator
 from repro.comm.runtime import RankContextBase
 from repro.data.dataset import Dataset
@@ -54,21 +55,25 @@ def _rank_main(
     sampler = BatchSampler(train_set, batch_size, seed, name=("worker", ctx.rank))
     loss = SoftmaxCrossEntropy()
     mean_losses: List[float] = []
+    arena = BufferArena()  # the packed send buffer, reused every step
 
     for t in range(1, iterations + 1):
         ctx.trace_iteration = t
         images, labels = sampler.next_batch()
         net.set_params(weights)
         batch_loss = net.gradient(images, labels, loss)
-        grad = net.grads.copy()
 
         # allreduce == tree_reduce association + bcast of the root's sum,
         # so every rank applies the bit-identical averaged gradient. The
         # scalar batch loss piggybacks as one extra element: elementwise
         # summation leaves the gradient entries untouched, and the
         # iteration stays a single packed buffer per tree edge (the
-        # invariant check_packed_single_message enforces).
-        buf = np.append(grad, np.float32(batch_loss))
+        # invariant check_packed_single_message enforces). Packing writes
+        # into one arena buffer (same values as np.append, no per-step
+        # allocation); the collective copies it on entry, so reuse is safe.
+        buf = arena.get("packed", net.grads.size + 1, net.grads.dtype)
+        buf[:-1] = net.grads
+        buf[-1] = np.float32(batch_loss)
         total = ctx.allreduce(buf)
         mean_grad = total[:-1] / ctx.size
         weights -= lr * mean_grad
@@ -90,8 +95,14 @@ def run_mpi_sync_sgd(
     timeout: float = 120.0,
     trace: Optional[Trace] = None,
     backend: str = "threads",
+    transport: Optional[str] = None,
 ) -> MpiSgdResult:
-    """Run synchronous data-parallel SGD across ``ranks`` real workers."""
+    """Run synchronous data-parallel SGD across ``ranks`` real workers.
+
+    ``transport`` picks the process backend's byte path (``"shm"`` or
+    ``"queue"``; ``None`` = backend default) — wall-clock only, the
+    weights are bit-identical either way.
+    """
     if iterations <= 0:
         raise ValueError("iterations must be positive")
     if ranks <= 0:
@@ -104,7 +115,9 @@ def run_mpi_sync_sgd(
         trace.meta.setdefault("pattern", "tree")
         trace.meta.setdefault("packed", True)
         trace.meta.setdefault("messages_per_exchange", 1)
-    comm = make_communicator(ranks, backend=backend, timeout=timeout, trace=trace)
+    comm = make_communicator(
+        ranks, backend=backend, timeout=timeout, trace=trace, transport=transport
+    )
     try:
         results = comm.run(
             _rank_main, network, train_set, iterations, batch_size, lr, seed

@@ -36,6 +36,15 @@ from repro.comm.mp_runtime import (
     SharedFlatArray,
     fork_available,
 )
+from repro.comm.arena import BufferArena
+from repro.comm.shm_transport import (
+    TRANSPORTS,
+    RingBackpressureError,
+    ShmSlotRef,
+    ShmTransport,
+    SlotRing,
+    validate_transport,
+)
 from repro.comm.backend import BACKENDS, make_communicator, validate_backend
 from repro.comm.collectives import ring_allreduce, ring_allreduce_cost
 
@@ -71,8 +80,15 @@ __all__ = [
     "SharedFlatArray",
     "fork_available",
     "BACKENDS",
+    "TRANSPORTS",
+    "BufferArena",
+    "RingBackpressureError",
+    "ShmSlotRef",
+    "ShmTransport",
+    "SlotRing",
     "make_communicator",
     "validate_backend",
+    "validate_transport",
     "ring_allreduce",
     "ring_allreduce_cost",
 ]

@@ -15,8 +15,15 @@ from typing import Any
 
 from repro.comm.mp_runtime import MultiprocessCommunicator, fork_available
 from repro.comm.runtime import InProcessCommunicator
+from repro.comm.shm_transport import TRANSPORTS, validate_transport
 
-__all__ = ["BACKENDS", "validate_backend", "make_communicator"]
+__all__ = [
+    "BACKENDS",
+    "TRANSPORTS",
+    "validate_backend",
+    "validate_transport",
+    "make_communicator",
+]
 
 #: The recognised execution backends, in default-preference order.
 BACKENDS = ("threads", "processes")
@@ -33,10 +40,18 @@ def make_communicator(size: int, backend: str = "threads", **kwargs: Any):
     """Build the communicator for ``backend`` with uniform kwargs.
 
     ``kwargs`` are the common knobs (``timeout``, ``faults``,
-    ``max_retries``, ``retry_backoff``, ``trace``) — both constructors
-    accept exactly the same set.
+    ``max_retries``, ``retry_backoff``, ``trace``, ``transport``) plus the
+    process-backend shm tuning knobs (``shm_slots``, ``shm_min_bytes``).
+    ``transport`` selects how the process backend moves message bytes —
+    ``"shm"`` (zero-copy slot rings, the default) or ``"queue"`` (pickle
+    through pipes); the thread backend accepts the knob for interface
+    parity but always passes payloads by reference. The shm tuning knobs
+    are meaningless for threads and are dropped rather than rejected, so
+    one call site can serve both backends.
     """
     validate_backend(backend)
+    if kwargs.get("transport", "") is None:
+        kwargs.pop("transport")  # None = the backend's own default
     if backend == "processes":
         if not fork_available():  # pragma: no cover - POSIX always has fork
             raise RuntimeError(
@@ -45,4 +60,6 @@ def make_communicator(size: int, backend: str = "threads", **kwargs: Any):
                 f"{__import__('multiprocessing').get_all_start_methods()}"
             )
         return MultiprocessCommunicator(size, **kwargs)
+    kwargs.pop("shm_slots", None)
+    kwargs.pop("shm_min_bytes", None)
     return InProcessCommunicator(size, **kwargs)

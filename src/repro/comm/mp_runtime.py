@@ -61,6 +61,13 @@ from repro.comm.runtime import (
     MultiRankError,
     RankContextBase,
 )
+from repro.comm.shm_transport import (
+    DEFAULT_MIN_BYTES,
+    DEFAULT_SLOTS,
+    ShmSlotRef,
+    ShmTransport,
+    validate_transport,
+)
 from repro.faults import FaultLog, FaultPlan
 from repro.trace.events import Trace, TraceEvent
 
@@ -83,7 +90,7 @@ def fork_available() -> bool:
 
 
 class SharedFlatArray:
-    """A named shared-memory segment viewed as a flat float32 NumPy array.
+    """A named shared-memory segment viewed as a flat NumPy array.
 
     The storage unit of the process backend: weight and gradient vectors
     live in one POSIX shared-memory segment each, and every process maps
@@ -91,17 +98,28 @@ class SharedFlatArray:
     visible to all others, which is precisely the Hogwild/chip-partition
     memory model. ``array`` is a zero-copy ``np.frombuffer`` view.
 
+    ``dtype`` defaults to float32 (the packed-parameter convention every
+    existing call site relies on); the KNL batch-staging path also stores
+    int64 label vectors, so any fixed-width dtype is accepted.
+
     Lifecycle: the creating process owns the segment and should call
     :meth:`unlink` when done (``close`` releases only this mapping).
     Forked children inherit the mapping and need no attach; unrelated
     processes can :meth:`attach` by name.
     """
 
-    def __init__(self, shm: shared_memory.SharedMemory, size: int, owner: bool) -> None:
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        size: int,
+        owner: bool,
+        dtype: Any = np.float32,
+    ) -> None:
         self._shm = shm
         self.size = int(size)
         self.owner = owner
-        self.array: np.ndarray = np.frombuffer(shm.buf, dtype=np.float32, count=self.size)
+        self.dtype = np.dtype(dtype)
+        self.array: np.ndarray = np.frombuffer(shm.buf, dtype=self.dtype, count=self.size)
 
     @property
     def name(self) -> str:
@@ -109,27 +127,35 @@ class SharedFlatArray:
         return self._shm.name
 
     @classmethod
-    def create(cls, size: int, name: Optional[str] = None) -> "SharedFlatArray":
-        """Allocate a zero-filled segment of ``size`` float32 elements."""
+    def create(
+        cls, size: int, name: Optional[str] = None, dtype: Any = np.float32
+    ) -> "SharedFlatArray":
+        """Allocate a zero-filled segment of ``size`` ``dtype`` elements."""
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
-        shm = shared_memory.SharedMemory(create=True, size=4 * size, name=name)
-        arr = cls(shm, size, owner=True)
-        arr.array[:] = 0.0
+        dtype = np.dtype(dtype)
+        shm = shared_memory.SharedMemory(create=True, size=dtype.itemsize * size, name=name)
+        arr = cls(shm, size, owner=True, dtype=dtype)
+        arr.array[:] = 0
         return arr
 
     @classmethod
-    def from_array(cls, values: np.ndarray, name: Optional[str] = None) -> "SharedFlatArray":
+    def from_array(
+        cls,
+        values: np.ndarray,
+        name: Optional[str] = None,
+        dtype: Any = np.float32,
+    ) -> "SharedFlatArray":
         """Allocate a segment initialized with ``values`` (flattened, cast)."""
         values = np.asarray(values)
-        arr = cls.create(int(values.size), name=name)
-        arr.array[:] = values.reshape(-1).astype(np.float32, copy=False)
+        arr = cls.create(int(values.size), name=name, dtype=dtype)
+        arr.array[:] = values.reshape(-1).astype(arr.dtype, copy=False)
         return arr
 
     @classmethod
-    def attach(cls, name: str, size: int) -> "SharedFlatArray":
+    def attach(cls, name: str, size: int, dtype: Any = np.float32) -> "SharedFlatArray":
         """Map an existing segment by name (non-owning)."""
-        return cls(shared_memory.SharedMemory(name=name), size, owner=False)
+        return cls(shared_memory.SharedMemory(name=name), size, owner=False, dtype=dtype)
 
     def close(self) -> None:
         """Release this process's mapping (the NumPy view dies with it)."""
@@ -189,6 +215,14 @@ class MpRankContext(RankContextBase):
     shared communicator state, the fault log and trace are child-local —
     the parent merges them after the run — so no cross-process locking
     exists anywhere on the message path.
+
+    ``transport`` (a :class:`repro.comm.shm_transport.ShmTransport`, or
+    None for the plain pickle path) intercepts the fabric at exactly two
+    points: ``_deliver`` stages large array payloads into a shared-memory
+    slot ring and enqueues only the descriptor; ``_poll`` decodes
+    descriptors the moment they come off the inbox — including ones
+    stashed for other channels, so an unconsumed stash entry can never
+    hold a ring slot hostage and backpressure a foreign channel.
     """
 
     def __init__(
@@ -202,6 +236,7 @@ class MpRankContext(RankContextBase):
         retry_backoff: float,
         start_time: float,
         tracing: bool,
+        transport: Optional[Any] = None,
     ) -> None:
         self.size = size
         self.timeout = timeout
@@ -212,13 +247,25 @@ class MpRankContext(RankContextBase):
         self.trace: Optional[Trace] = Trace() if tracing else None
         self._inboxes = inboxes
         self._start = start_time
+        self._transport = transport
         # Selective receive: messages for channels nobody asked about yet.
         self._stash: Dict[Tuple[int, int], Deque[Any]] = {}
         self._init_rank_state(rank)
 
     # -- fabric hooks -----------------------------------------------------------
     def _deliver(self, dest: int, tag: int, payload: Any) -> None:
+        transport = self._transport
+        if transport is not None:
+            ref = transport.encode(dest, tag, payload)
+            if ref is not None:
+                payload = ref
         self._inboxes[dest].put((self.rank, tag, payload))
+
+    def _decode(self, payload: Any) -> Any:
+        """Materialize a slot-ring descriptor back into its payload."""
+        if self._transport is not None and isinstance(payload, ShmSlotRef):
+            return self._transport.decode(payload)
+        return payload
 
     def _elapsed(self) -> float:
         # CLOCK_MONOTONIC is system-wide on Linux, so child timestamps are
@@ -253,8 +300,10 @@ class MpRankContext(RankContextBase):
                 wait = min(wait * 2.0, 2.0)
                 continue
             if (src, t) == wanted:
-                return payload
-            self._stash.setdefault((src, t), deque()).append(payload)
+                return self._decode(payload)
+            # Decode *before* stashing: a descriptor parked here would pin
+            # its ring slot and could backpressure-deadlock the sender.
+            self._stash.setdefault((src, t), deque()).append(self._decode(payload))
 
 
 class MultiprocessCommunicator:
@@ -278,6 +327,9 @@ class MultiprocessCommunicator:
         max_retries: int = 8,
         retry_backoff: float = 0.001,
         trace: Optional[Trace] = None,
+        transport: str = "shm",
+        shm_slots: int = DEFAULT_SLOTS,
+        shm_min_bytes: int = DEFAULT_MIN_BYTES,
     ) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
@@ -287,6 +339,9 @@ class MultiprocessCommunicator:
             raise ValueError("max_retries must be non-negative")
         if retry_backoff <= 0:
             raise ValueError("retry_backoff must be positive")
+        validate_transport(transport)
+        if shm_slots <= 0:
+            raise ValueError("shm_slots must be positive")
         if not fork_available():
             raise RuntimeError(
                 "the processes backend requires the 'fork' start method; "
@@ -297,11 +352,24 @@ class MultiprocessCommunicator:
         self.faults = faults
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        #: Message transport: "shm" (default) stages large array payloads
+        #: through zero-copy slot rings; "queue" pickles every payload
+        #: through the inbox pipes (the pre-transport behaviour). Numerics
+        #: are transport-invariant by construction — only bytes move
+        #: differently.
+        self.transport = transport
+        self.shm_slots = shm_slots
+        self.shm_min_bytes = shm_min_bytes
+        #: Per-run transport counters summed over ranks (shm_messages,
+        #: queue_messages, bytes_copied_in/out, bytes_on_wire, ring_allocs);
+        #: empty until a run completes under transport="shm".
+        self.transport_stats: Dict[str, int] = {}
         self.trace = trace
         if trace is not None:
             trace.meta.setdefault("ranks", size)
             trace.meta.setdefault("clock", "wall")
             trace.meta.setdefault("backend", "processes")
+            trace.meta.setdefault("transport", transport)
         self.fault_log = FaultLog()
         self._mp = multiprocessing.get_context("fork")
         self._start = time.monotonic()
@@ -321,14 +389,31 @@ class MultiprocessCommunicator:
         travel back pickled; a rank whose result cannot be pickled fails
         with a :class:`RemoteRankError`.
         """
+        if self.transport == "shm":
+            # Spawn the resource tracker *before* forking: children then
+            # inherit one shared tracker, so their ring registrations are
+            # cleared by this parent's unlink instead of each child's
+            # private tracker warning about "leaked" segments at exit.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
         inboxes = [self._mp.Queue() for _ in range(self.size)]
         results_q = self._mp.Queue()
         tracing = self.trace is not None
 
         def child_main(rank: int) -> None:
+            transport = (
+                ShmTransport(
+                    rank, self.size, slots=self.shm_slots,
+                    min_bytes=self.shm_min_bytes, timeout=self.timeout,
+                )
+                if self.transport == "shm"
+                else None
+            )
             ctx = MpRankContext(
                 rank, self.size, inboxes, self.timeout, self.faults,
                 self.max_retries, self.retry_backoff, self._start, tracing,
+                transport=transport,
             )
             status: str = "ok"
             payload: Any = None
@@ -344,9 +429,26 @@ class MultiprocessCommunicator:
                     )
             except BaseException as exc:
                 status, payload = "err", _shippable_exception(rank, exc)
+            ring_names: List[str] = []
+            tstats: Dict[str, int] = {}
+            if transport is not None:
+                ring_names = transport.ring_names()
+                tstats = dict(transport.stats)
+                if ctx.trace is not None:
+                    # One instant mark per counter: bytes-on-wire vs
+                    # bytes-copied become first-class trace facts.
+                    now = ctx._elapsed()
+                    for key, val in tstats.items():
+                        ctx.trace.span(
+                            "mark", rank, now, now,
+                            op=f"transport/{key}", value=float(val),
+                        )
+                # Close mappings only — the parent unlinks by name after
+                # the run, so in-flight descriptors stay attachable.
+                transport.close()
             events = list(ctx.trace.events) if ctx.trace is not None else []
             records = list(ctx.fault_log.records)
-            results_q.put((rank, status, payload, events, records))
+            results_q.put((rank, status, payload, events, records, ring_names, tstats))
 
         procs = [
             self._mp.Process(target=child_main, args=(r,), name=f"rank-{r}")
@@ -359,12 +461,27 @@ class MultiprocessCommunicator:
         failures: List[Tuple[int, BaseException]] = []
         events: List[TraceEvent] = []
         records = []
+        segment_names: List[str] = []
+        stats_total: Dict[str, int] = {}
+
+        def collect(rank, status, payload, ev, recs, names, tstats) -> None:
+            pending.discard(rank)
+            events.extend(ev)
+            records.extend(recs)
+            segment_names.extend(names)
+            for key, val in tstats.items():
+                stats_total[key] = stats_total.get(key, 0) + int(val)
+            if status == "ok":
+                results[rank] = payload
+            else:
+                failures.append((rank, payload))
+
         pending = set(range(self.size))
         deadline = time.monotonic() + self.timeout + _COLLECT_GRACE
         try:
             while pending:
                 try:
-                    rank, status, payload, ev, recs = results_q.get(timeout=0.1)
+                    report = results_q.get(timeout=0.1)
                 except _queue.Empty:
                     dead = [
                         r for r in pending
@@ -374,7 +491,7 @@ class MultiprocessCommunicator:
                         # Drain once more: the result may have been queued
                         # between the timeout and the liveness check.
                         try:
-                            rank, status, payload, ev, recs = results_q.get(timeout=0.5)
+                            report = results_q.get(timeout=0.5)
                         except _queue.Empty:
                             pending.discard(r)
                             failures.append((r, RemoteRankError(
@@ -383,13 +500,7 @@ class MultiprocessCommunicator:
                                 f"(exitcode {procs[r].exitcode})",
                             )))
                         else:
-                            pending.discard(rank)
-                            events.extend(ev)
-                            records.extend(recs)
-                            if status == "ok":
-                                results[rank] = payload
-                            else:
-                                failures.append((rank, payload))
+                            collect(*report)
                     if time.monotonic() > deadline:
                         for r in sorted(pending):
                             failures.append((r, RemoteRankError(
@@ -397,13 +508,7 @@ class MultiprocessCommunicator:
                             )))
                         pending.clear()
                     continue
-                pending.discard(rank)
-                events.extend(ev)
-                records.extend(recs)
-                if status == "ok":
-                    results[rank] = payload
-                else:
-                    failures.append((rank, payload))
+                collect(*report)
         finally:
             for p in procs:
                 p.join(timeout=5.0)
@@ -414,6 +519,17 @@ class MultiprocessCommunicator:
             for q in [*inboxes, results_q]:
                 q.cancel_join_thread()
                 q.close()
+            # The parent, not the sending child, unlinks ring segments: a
+            # rank may finish (and exit) while its last descriptor is still
+            # in some inbox, so names must outlive every child.
+            for name in segment_names:
+                try:
+                    seg = shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    continue
+                seg.unlink()
+                seg.close()
+        self.transport_stats = stats_total
 
         if self.trace is not None:
             for ev in sorted(events, key=lambda e: (e.t0, e.t1, e.rank)):

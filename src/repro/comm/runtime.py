@@ -70,12 +70,20 @@ __all__ = [
 
 
 def _payload_nbytes(payload: Any) -> int:
-    """Best-effort wire size of a payload for trace accounting."""
+    """Best-effort wire size of a payload for trace accounting.
+
+    Recurses into tuples and lists so piggyback payloads like
+    ``(loss, weights)`` account for their array bytes — these used to
+    report 0, silently zeroing the byte columns of every trace metric
+    for any trainer that ships composite messages.
+    """
     nbytes = getattr(payload, "nbytes", None)
     if nbytes is not None:
         return int(nbytes)
-    if isinstance(payload, (bytes, bytearray)):
+    if isinstance(payload, (bytes, bytearray, memoryview)):
         return len(payload)
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_nbytes(item) for item in payload)
     return 0
 
 _DEFAULT_TIMEOUT = 60.0  # seconds before a recv declares a deadlock
@@ -551,6 +559,7 @@ class InProcessCommunicator:
         max_retries: int = 8,
         retry_backoff: float = 0.001,
         trace: Optional[Trace] = None,
+        transport: Optional[str] = None,
     ) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
@@ -560,6 +569,15 @@ class InProcessCommunicator:
             raise ValueError("max_retries must be non-negative")
         if retry_backoff <= 0:
             raise ValueError("retry_backoff must be positive")
+        if transport is not None:
+            # Late import: shm_transport depends on this module.
+            from repro.comm.shm_transport import validate_transport
+
+            validate_transport(transport)
+        # Thread mailboxes pass payloads by reference — already zero-copy —
+        # so "shm" is accepted for interface parity but coerced: there is
+        # exactly one (optimal) transport on this backend.
+        self.transport = "queue"
         self.size = size
         self.timeout = timeout
         self.faults = faults
@@ -571,6 +589,7 @@ class InProcessCommunicator:
         if trace is not None:
             trace.meta.setdefault("ranks", size)
             trace.meta.setdefault("clock", "wall")
+            trace.meta.setdefault("transport", self.transport)
         #: Drops, retransmissions, delays, and lost messages land here.
         self.fault_log = FaultLog()
         self._mailboxes = [_Mailbox() for _ in range(size)]

@@ -1,0 +1,379 @@
+"""Zero-copy shared-memory transport for the multiprocess rank runtime.
+
+The process backend's queues (`multiprocessing.Queue` = pickle + pipe)
+charge Θ(|W|) serialization for every packed weight/gradient buffer the
+Θ(log P) tree moves — exactly the parameter-movement tax the paper's
+codesign removes (Section 5.2's packed single-buffer messages). This module
+supplies the shared-memory substrate: bulk tensor bytes cross process
+boundaries through fixed-capacity **slot rings** in named POSIX shared
+memory, and the queue carries only a tiny :class:`ShmSlotRef` descriptor.
+
+Design
+------
+- One :class:`SlotRing` per ``(src, dst, tag)`` channel, created lazily by
+  the *sender* on first large payload and sized to it (a later, larger
+  payload retires the ring and allocates a new generation; in-flight
+  descriptors keep naming the old segment, which stays mapped until the
+  run ends). Default capacity 2 — double buffering, the paper's overlap
+  primitive.
+- Segment layout: a 64-byte header whose first int64 is the **consumed
+  count (tail)**, written only by the receiver, followed by
+  ``capacity × slot_nbytes`` payload bytes. The sender keeps its produced
+  count (head) locally, so each channel is single-producer/single-consumer
+  and plain aligned int64 loads/stores are the whole protocol — no locks
+  anywhere on the message path.
+- **Backpressure**: a send with ``head - tail >= capacity`` blocks until
+  the receiver consumes a slot; if the ring stays full past the timeout it
+  raises :class:`RingBackpressureError` — a :class:`DeadlockError`, so the
+  failure surface matches a wedged ``recv`` on the other side.
+- Serialization is pickle protocol 5 with out-of-band buffers: the
+  *structure* of the payload (tuples, scalars, dtypes, shapes — including
+  the ``(seq, payload)`` wrapping the tracing path adds) travels in a
+  small in-band pickle, while every contiguous array body is memcpy'd
+  into the slot. ``decode`` copies slot bytes into private storage before
+  reconstructing, so received arrays are ordinary writable NumPy arrays
+  with no aliasing of ring memory — one memcpy per side versus the
+  pickle-everything path's serialize + pipe-write + pipe-read + unpickle.
+- Small or array-free payloads (below ``min_bytes`` of out-of-band data)
+  return ``None`` from :meth:`ShmTransport.encode` and keep the existing
+  pickle path; non-contiguous arrays pickle in-band and likewise fall
+  through. Correctness never depends on which path a payload takes.
+
+Lifecycle: each rank process owns the rings it sends on and closes its
+mappings on exit; the *parent* communicator unlinks the segments by name
+after the run (children report their ring names in the result tuple), so
+a descriptor that is still in flight when its sender finishes remains
+attachable.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.runtime import _DEFAULT_TIMEOUT, DeadlockError
+
+__all__ = [
+    "TRANSPORTS",
+    "validate_transport",
+    "RingBackpressureError",
+    "ShmSlotRef",
+    "SlotRing",
+    "ShmTransport",
+    "DEFAULT_SLOTS",
+    "DEFAULT_MIN_BYTES",
+]
+
+#: The recognised message transports for the process backend.
+#: ``queue``: every payload pickles through the inbox queue (PR 3 behaviour).
+#: ``shm``: large array payloads stage through shared-memory slot rings.
+TRANSPORTS = ("queue", "shm")
+
+#: Ring capacity: 2 slots = double buffering (sender may run one full
+#: message ahead of the receiver — the overlap window Sync EASGD3 needs).
+DEFAULT_SLOTS = 2
+
+#: Payloads whose out-of-band array bytes total less than this stay on the
+#: pickle path: below ~16 KiB the descriptor + segment machinery costs more
+#: than pickling, and control traffic (barrier's 4-byte buffers, scalars)
+#: should not allocate rings at all.
+DEFAULT_MIN_BYTES = 1 << 14
+
+#: Segment header: one cache line. Word 0 is the receiver-written consumed
+#: count; the rest is reserved padding so slot 0 starts cache-aligned.
+_HEADER_BYTES = 64
+
+
+def validate_transport(transport: str) -> str:
+    """Return ``transport`` or raise a ValueError naming the valid choices."""
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
+    return transport
+
+
+class RingBackpressureError(DeadlockError):
+    """A send blocked on a full slot ring until the timeout expired.
+
+    The sender-side mirror of a receive deadlock: every slot of the
+    ``(rank → dest, tag)`` channel stayed occupied for the whole budget,
+    meaning the receiver stopped consuming (died, wedged, or the schedule
+    never receives this message). ``source`` carries the *destination*
+    rank — the peer whose consumption was awaited.
+    """
+
+    def __init__(self, rank: int, dest: int, tag: int, timeout: float, capacity: int) -> None:
+        super().__init__(rank, dest, tag, timeout)
+        self.capacity = capacity
+        self.args = (
+            f"rank {rank}: send(dest={dest}, tag={tag}) blocked for {timeout}s "
+            f"with all {capacity} ring slots full — receiver not consuming",
+        )
+
+    def __reduce__(self):
+        return (
+            RingBackpressureError,
+            (self.rank, self.source, self.tag, self.timeout, self.capacity),
+        )
+
+
+@dataclass(frozen=True)
+class ShmSlotRef:
+    """The small descriptor that replaces a staged payload on the queue.
+
+    ``buffers`` lists ``(offset_in_slot, nbytes)`` for each out-of-band
+    array body, in pickle-5 buffer order; ``meta`` is the in-band pickle
+    stream carrying the payload's structure. Everything here is cheap to
+    pickle — the whole point.
+    """
+
+    segment: str  # shared-memory name, attachable from any process
+    segment_bytes: int  # total segment size (attach needs it for the view)
+    slot_offset: int  # absolute byte offset of this message's slot
+    buffers: Tuple[Tuple[int, int], ...]
+    meta: bytes
+    nbytes: int  # total out-of-band bytes (== bytes memcpy'd per side)
+
+
+class SlotRing:
+    """Sender-owned SPSC ring of fixed-size slots in one shm segment."""
+
+    def __init__(
+        self,
+        rank: int,
+        dest: int,
+        tag: int,
+        slot_nbytes: int,
+        capacity: int = DEFAULT_SLOTS,
+    ) -> None:
+        if slot_nbytes <= 0:
+            raise ValueError("slot_nbytes must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        from multiprocessing import shared_memory
+
+        self.rank = rank
+        self.dest = dest
+        self.tag = tag
+        # Round each slot up to a cache line so slots never share one.
+        self.slot_nbytes = -(-slot_nbytes // 64) * 64
+        self.capacity = capacity
+        self.total_bytes = _HEADER_BYTES + self.capacity * self.slot_nbytes
+        self._shm = shared_memory.SharedMemory(create=True, size=self.total_bytes)
+        self._tail = np.frombuffer(self._shm.buf, dtype=np.int64, count=1)
+        self._tail[0] = 0
+        self._data = np.frombuffer(self._shm.buf, dtype=np.uint8)
+        self.head = 0  # produced count; sender-local, no sharing needed
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def in_flight(self) -> int:
+        """Messages produced but not yet consumed (0..capacity)."""
+        return self.head - int(self._tail[0])
+
+    def acquire(self, timeout: float = _DEFAULT_TIMEOUT) -> int:
+        """Claim the next slot; returns its absolute byte offset.
+
+        Blocks while the ring is full (receiver owes consumption of the
+        oldest slot), polling the shared tail with the same exponential
+        backoff the receive path uses; raises
+        :class:`RingBackpressureError` once ``timeout`` is spent. On
+        return the slot is the caller's to fill, and ``head`` has been
+        advanced — the message **must** then be delivered.
+        """
+        if self.head - int(self._tail[0]) >= self.capacity:
+            deadline = time.monotonic() + timeout
+            wait = min(0.0005, timeout)
+            while self.head - int(self._tail[0]) >= self.capacity:
+                if time.monotonic() >= deadline:
+                    raise RingBackpressureError(
+                        self.rank, self.dest, self.tag, timeout, self.capacity
+                    )
+                time.sleep(wait)
+                wait = min(wait * 2.0, 0.05)
+        slot = self.head % self.capacity
+        self.head += 1
+        return _HEADER_BYTES + slot * self.slot_nbytes
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        """memcpy ``data`` (flat uint8) into the slot starting at ``offset``."""
+        self._data[offset : offset + data.size] = data
+
+    def close(self, unlink: bool = False) -> None:
+        """Drop this process's views and mapping; ``unlink`` destroys the
+        segment system-wide (owner-side convenience for unit tests — the
+        communicator instead unlinks by name from the parent)."""
+        # The NumPy views pin the exported buffer; drop them before close.
+        self._tail = None
+        self._data = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a stray view still pinned
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlotRing({self.rank}->{self.dest} tag={self.tag}, "
+            f"slots={self.capacity}x{self.slot_nbytes}B, head={self.head})"
+        )
+
+
+def _contains_array(payload: Any) -> bool:
+    """Whether staging could help: any ndarray anywhere in the payload."""
+    if isinstance(payload, np.ndarray):
+        return True
+    if isinstance(payload, (tuple, list)):
+        return any(_contains_array(p) for p in payload)
+    return False
+
+
+class ShmTransport:
+    """Per-rank encode/decode endpoint over shared-memory slot rings.
+
+    One instance lives in each rank process. ``encode`` stages a payload
+    and returns the descriptor to enqueue (or ``None`` — caller keeps the
+    pickle path); ``decode`` reconstructs a payload from a descriptor
+    popped off the inbox. ``stats`` counts both paths so traces can report
+    bytes-on-wire (descriptor pickles) versus bytes-copied (slot memcpys).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        slots: int = DEFAULT_SLOTS,
+        min_bytes: int = DEFAULT_MIN_BYTES,
+        timeout: float = _DEFAULT_TIMEOUT,
+    ) -> None:
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        if min_bytes < 0:
+            raise ValueError("min_bytes must be non-negative")
+        self.rank = rank
+        self.size = size
+        self.slots = slots
+        self.min_bytes = min_bytes
+        self.timeout = timeout
+        self._rings: Dict[Tuple[int, int], SlotRing] = {}
+        self._retired: List[SlotRing] = []  # outgrown generations, kept mapped
+        self._attached: Dict[str, Tuple[Any, np.ndarray, np.ndarray]] = {}
+        self.stats: Dict[str, int] = {
+            "shm_messages": 0,
+            "queue_messages": 0,
+            "bytes_copied_in": 0,  # sender-side memcpys into slots
+            "bytes_copied_out": 0,  # receiver-side memcpys out of slots
+            "bytes_on_wire": 0,  # descriptor meta actually crossing the pipe
+            "ring_allocs": 0,
+        }
+
+    # -- sender side -----------------------------------------------------------
+    def encode(self, dest: int, tag: int, payload: Any) -> Optional[ShmSlotRef]:
+        """Stage ``payload`` for ``(dest, tag)``; None = use the pickle path."""
+        if not _contains_array(payload):
+            self.stats["queue_messages"] += 1
+            return None
+        buffers: List[pickle.PickleBuffer] = []
+        try:
+            meta = pickle.dumps(payload, protocol=5, buffer_callback=buffers.append)
+        except Exception:  # exotic payload; the queue path handles it
+            self.stats["queue_messages"] += 1
+            return None
+        views = [buf.raw() for buf in buffers]
+        total = sum(v.nbytes for v in views)
+        if total < self.min_bytes:
+            # Small arrays (barrier tokens, scalars) — and non-contiguous
+            # ones, which pickle in-band — are cheaper on the queue.
+            for buf in buffers:
+                buf.release()
+            self.stats["queue_messages"] += 1
+            return None
+
+        ring = self._rings.get((dest, tag))
+        if ring is None or ring.slot_nbytes < total:
+            if ring is not None:
+                self._retired.append(ring)  # in-flight refs may still name it
+            ring = SlotRing(self.rank, dest, tag, total, capacity=self.slots)
+            self._rings[(dest, tag)] = ring
+            self.stats["ring_allocs"] += 1
+
+        offset = ring.acquire(self.timeout)
+        descs: List[Tuple[int, int]] = []
+        cursor = 0
+        for view in views:
+            flat = np.frombuffer(view, dtype=np.uint8)
+            ring.write(offset + cursor, flat)
+            descs.append((cursor, flat.size))
+            cursor += flat.size
+        for buf in buffers:
+            buf.release()
+        self.stats["shm_messages"] += 1
+        self.stats["bytes_copied_in"] += total
+        self.stats["bytes_on_wire"] += len(meta)
+        return ShmSlotRef(
+            segment=ring.name,
+            segment_bytes=ring.total_bytes,
+            slot_offset=offset,
+            buffers=tuple(descs),
+            meta=meta,
+            nbytes=total,
+        )
+
+    # -- receiver side ---------------------------------------------------------
+    def decode(self, ref: ShmSlotRef) -> Any:
+        """Reconstruct the payload and release its slot back to the sender.
+
+        The slot bytes are copied into private storage *before* the tail
+        advances, so the returned arrays are ordinary writable NumPy arrays
+        that never alias ring memory — a sender overwriting the slot later
+        cannot corrupt them.
+        """
+        entry = self._attached.get(ref.segment)
+        if entry is None:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(name=ref.segment)
+            tail = np.frombuffer(shm.buf, dtype=np.int64, count=1)
+            data = np.frombuffer(shm.buf, dtype=np.uint8)
+            entry = self._attached[ref.segment] = (shm, tail, data)
+        _, tail, data = entry
+        privates: List[np.ndarray] = []
+        for off, nbytes in ref.buffers:
+            start = ref.slot_offset + off
+            private = np.empty(nbytes, dtype=np.uint8)
+            np.copyto(private, data[start : start + nbytes])
+            privates.append(private)
+        tail[0] += 1  # slot is free for the sender again
+        self.stats["bytes_copied_out"] += ref.nbytes
+        return pickle.loads(ref.meta, buffers=privates)
+
+    # -- lifecycle -------------------------------------------------------------
+    def ring_names(self) -> List[str]:
+        """Names of every segment this rank created (for parent cleanup)."""
+        return [r.name for r in [*self._rings.values(), *self._retired]]
+
+    def close(self, unlink: bool = False) -> None:
+        """Release all mappings; ``unlink`` also destroys owned segments."""
+        for ring in [*self._rings.values(), *self._retired]:
+            ring.close(unlink=unlink)
+        self._rings.clear()
+        self._retired.clear()
+        for name in list(self._attached):
+            shm, tail, data = self._attached.pop(name)
+            tail = data = None  # noqa: F841 - drop the views pinning the buffer
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - a stray payload view
+                pass

@@ -47,6 +47,23 @@ class BatchSampler:
         self.batches_drawn += 1
         return self.dataset.images[idx], self.dataset.labels[idx]
 
+    def next_batch_into(
+        self, images_out: np.ndarray, labels_out: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw the next batch directly into caller-owned buffers.
+
+        Consumes the same RNG draw as :meth:`next_batch` and gathers with
+        ``np.take(..., out=...)``, so the values (and the stream position)
+        are bit-identical to the allocating form — this is the hot-loop
+        variant used with a :class:`repro.comm.arena.BufferArena` so
+        steady-state training steps allocate nothing for batch staging.
+        """
+        idx = self._rng.integers(0, len(self.dataset), size=self.batch_size)
+        self.batches_drawn += 1
+        np.take(self.dataset.images, idx, axis=0, out=images_out)
+        np.take(self.dataset.labels, idx, axis=0, out=labels_out)
+        return images_out, labels_out
+
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         while True:
             yield self.next_batch()

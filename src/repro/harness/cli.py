@@ -22,7 +22,7 @@ from typing import List, Optional
 
 from repro.algorithms import ALGORITHMS, TrainerConfig
 from repro.cluster import CostModel
-from repro.comm.backend import BACKENDS
+from repro.comm.backend import BACKENDS, TRANSPORTS
 from repro.data import make_cifar_like, make_mnist_like
 from repro.faults import FaultError, FaultPlan
 from repro.harness.breakdown import breakdown_row, render_table3
@@ -74,6 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--backend", default="threads", choices=BACKENDS,
                      help="execution substrate for runners that move real "
                           "messages (simulated trainers ignore it)")
+    run.add_argument("--transport", default=None, choices=TRANSPORTS,
+                     help="process-backend message transport: 'shm' "
+                          "(zero-copy slot rings, the default) or 'queue' "
+                          "(pickle through pipes); bits are identical, only "
+                          "wall-clock changes")
     run.add_argument("--train-samples", type=int, default=4096)
     run.add_argument("--difficulty", type=float, default=1.5)
     run.add_argument("--paper-scale-cost", action="store_true",
@@ -106,6 +111,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="'threads' runs the serial simulator; 'processes' "
                           "forks one worker per group over shared memory "
                           "(same weights either way)")
+    knl.add_argument("--transport", default=None, choices=TRANSPORTS,
+                     help="message transport recorded in the run config "
+                          "(the KNL trainer always stages batches through "
+                          "shared memory under --backend processes)")
     knl.add_argument("--json", metavar="PATH", default=None,
                      help="write the trajectory to a JSON file")
     return parser
@@ -140,6 +149,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config=TrainerConfig(
             batch_size=args.batch_size, lr=args.lr, rho=args.rho, seed=args.seed,
             trace=args.trace is not None, backend=args.backend,
+            transport=args.transport,
         ),
         cost_model=cost,
     ).normalize()
@@ -233,7 +243,7 @@ def _cmd_knl(args: argparse.Namespace) -> int:
         test_set=test,
         config=TrainerConfig(
             batch_size=args.batch_size, lr=args.lr, seed=args.seed,
-            backend=args.backend,
+            backend=args.backend, transport=args.transport,
         ),
         parts=args.parts,
     )

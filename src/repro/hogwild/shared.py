@@ -89,21 +89,44 @@ class SharedWeights:
         with self._guard():
             return self._weights.copy()
 
+    def snapshot_into(self, out: np.ndarray) -> np.ndarray:
+        """:meth:`snapshot` into a caller-owned buffer (hot-loop form).
+
+        Same read semantics, zero allocation — workers pair this with a
+        :class:`repro.comm.arena.BufferArena` so per-step pulls stop
+        churning the allocator.
+        """
+        with self._guard():
+            np.copyto(out, self._weights)
+        return out
+
     def sgd_update(self, grad: np.ndarray) -> None:
         """Hogwild/Async SGD master step: ``W -= grad_step`` in place."""
         with self._guard():
             self._weights -= grad
             self._bump()
 
-    def elastic_interaction(self, worker_weights: np.ndarray, hyper: EASGDHyper) -> np.ndarray:
+    def elastic_interaction(
+        self,
+        worker_weights: np.ndarray,
+        hyper: EASGDHyper,
+        out: np.ndarray = None,
+    ) -> np.ndarray:
         """One EASGD master exchange: fold the worker in (Eq 2, single term)
         and return the center the worker should elastic-pull toward.
 
         Lock-free mode reads and writes without exclusion — the Hogwild
         EASGD setting whose safety the paper proves for the convex case.
+
+        ``out``, if given, receives the returned center (reusable across
+        steps: the caller consumes it before the next exchange).
         """
         with self._guard():
-            returned = self._weights.copy()
+            if out is None:
+                returned = self._weights.copy()
+            else:
+                np.copyto(out, self._weights)
+                returned = out
             self._weights += hyper.alpha * (worker_weights - self._weights)
             self._bump()
         return returned

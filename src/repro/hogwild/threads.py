@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.comm.arena import BufferArena
 from repro.comm.backend import validate_backend
 from repro.comm.runtime import MultiRankError
 from repro.data.dataset import Dataset
@@ -94,6 +95,9 @@ class HogwildRunner:
             self.train_set, self.batch_size, self.seed, name=("hogwild", idx)
         )
         loss = SoftmaxCrossEntropy()
+        # Per-worker scratch (scaled gradient, pulled center) reused every
+        # step — the hot loop allocates nothing for the master exchange.
+        arena = BufferArena()
         steps = 0
         last_loss = float("nan")
         for _ in range(self.steps_per_worker):
@@ -101,10 +105,15 @@ class HogwildRunner:
             net.set_params(local)
             last_loss = net.gradient(images, labels, loss)
             if self.rule == "sgd":
-                shared.sgd_update(self.hyper.lr * net.grads)
-                local = shared.snapshot()
+                scaled = arena.get("scaled-grad", net.grads.shape, net.grads.dtype)
+                np.multiply(net.grads, self.hyper.lr, out=scaled)
+                shared.sgd_update(scaled)
+                shared.snapshot_into(local)
             else:
-                center = shared.elastic_interaction(local, self.hyper)
+                center = shared.elastic_interaction(
+                    local, self.hyper,
+                    out=arena.get("center", local.shape, local.dtype),
+                )
                 elastic_worker_update(local, net.grads, center, self.hyper)
             steps += 1
         return steps, last_loss

@@ -213,9 +213,13 @@ class ChipPartitionTrainer(BaseTrainer):
         P persistent forked group workers each hold a weight replica
         (their forked copy of the network) and one named shared-memory
         gradient segment; the parent holds the weights in a named
-        shared-memory segment all groups map. Per round the parent ships
-        each group its ``b/P`` batch slice, the groups write gradients
-        straight into shared memory, and the parent tree-reduces the P
+        shared-memory segment all groups map. Per round the parent stages
+        each group's ``b/P`` batch slice directly into per-group
+        shared-memory segments (float32 images, integer labels) and puts
+        only a round token on the task queue — no batch bytes are ever
+        pickled; the ``done_q`` round barrier guarantees a single staging
+        buffer per group suffices. The groups write gradients straight
+        into shared memory, and the parent tree-reduces the P
         segment views **in the same group order and association as the
         serial path**, so for deterministic (dropout-free) models the
         weight trajectory is bit-identical to ``backend="threads"`` /
@@ -246,19 +250,38 @@ class ChipPartitionTrainer(BaseTrainer):
 
         w_shm = SharedFlatArray.from_array(weights)
         g_shms = [SharedFlatArray.create(self.net.num_params) for _ in range(p)]
+        # Per-group batch staging segments: the parent writes each round's
+        # slice in place, children read the same physical pages (MCDRAM-
+        # style data placement) — the task queue carries a bare round token.
+        img_shape = (self.group_batch,) + self.train_set.images.shape[1:]
+        lbl_shape = (self.group_batch,) + self.train_set.labels.shape[1:]
+        img_shms = [
+            SharedFlatArray.create(
+                int(np.prod(img_shape)), dtype=self.train_set.images.dtype
+            )
+            for _ in range(p)
+        ]
+        lbl_shms = [
+            SharedFlatArray.create(
+                int(np.prod(lbl_shape)), dtype=self.train_set.labels.dtype
+            )
+            for _ in range(p)
+        ]
         task_qs = [mp_ctx.Queue() for _ in range(p)]
         done_q = mp_ctx.Queue()
         net, loss_fn = self.net, self.loss
 
         def group_main(j: int) -> None:
             # `net` is this child's forked copy — the group's MCDRAM-style
-            # weight replica; `w_shm`/`g_shms` map the parent's segments.
+            # weight replica; `w_shm`/`g_shms`/`img_shms`/`lbl_shms` map the
+            # parent's segments.
             grad_view = g_shms[j].array
+            images = img_shms[j].array.reshape(img_shape)
+            labels = lbl_shms[j].array.reshape(lbl_shape)
             while True:
                 task = task_qs[j].get()
                 if task is None:
                     return
-                images, labels = task
                 net.set_params(w_shm.array)
                 loss = net.gradient(images, labels, loss_fn)
                 grad_view[:] = net.grads
@@ -276,11 +299,18 @@ class ChipPartitionTrainer(BaseTrainer):
         sim_time = 0.0
         last_loss = float("nan")
         try:
+            img_views = [s.array.reshape(img_shape) for s in img_shms]
+            lbl_views = [s.array.reshape(lbl_shape) for s in lbl_shms]
             for t in range(1, iterations + 1):
                 images, labels = sampler.next_batch()
+                # Stage slices in shared memory, then wake each group with a
+                # round token. Safe with one buffer per group: the done_q
+                # barrier below means no group is still reading round t-1.
                 for j in range(p):
                     lo, hi = j * self.group_batch, (j + 1) * self.group_batch
-                    task_qs[j].put((images[lo:hi], labels[lo:hi]))
+                    img_views[j][:] = images[lo:hi]
+                    lbl_views[j][:] = labels[lo:hi]
+                    task_qs[j].put(t)
                 losses: List[float] = [0.0] * p
                 for _ in range(p):
                     try:
@@ -314,7 +344,7 @@ class ChipPartitionTrainer(BaseTrainer):
             for q in [*task_qs, done_q]:
                 q.cancel_join_thread()
                 q.close()
-            for seg in [w_shm, *g_shms]:
+            for seg in [w_shm, *g_shms, *img_shms, *lbl_shms]:
                 seg.unlink()
 
         self.net.set_params(weights)  # leave the net at the final weights, as serial does

@@ -169,6 +169,22 @@ class Conv2D(Layer):
         self.groups = groups
         self._cols: Optional[List[np.ndarray]] = None
         self._x_shape: Optional[Tuple[int, ...]] = None
+        # Training-path scratch reused across steps while shapes are static
+        # (the common case: fixed batch size). Keyed by role so a batch-size
+        # change just replaces the buffer. Private per replica — Network.clone
+        # deep-copies layers — so thread-backend ranks never share scratch.
+        self._ws: dict = {}
+
+    def _workspace(self, key: object, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """The reusable buffer for ``key``, reallocated only on shape change.
+
+        Contents are unspecified (previous step's data); every consumer
+        overwrites it fully.
+        """
+        buf = self._ws.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = self._ws[key] = np.empty(shape, dtype=dtype)
+        return buf
 
     def build(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         if len(input_shape) != 3:
@@ -207,7 +223,16 @@ class Conv2D(Layer):
         outputs = []
         for g in range(self.groups):
             xg = x[:, g * cg : (g + 1) * cg]
-            cols = im2col(xg, k, k, self.stride, self.pad)  # (N*oh*ow, cg*k*k)
+            # Training forwards unfold into a per-group workspace reused
+            # across steps (static shapes allocate only once); inference
+            # batches vary in size, so they take the allocating path and
+            # leave the training workspace untouched.
+            ws = (
+                self._workspace(("cols", g), (n * out_h * out_w, cg * k * k), x.dtype)
+                if training
+                else None
+            )
+            cols = im2col(xg, k, k, self.stride, self.pad, out=ws)  # (N*oh*ow, cg*k*k)
             w_mat = self.params["W"][g * og : (g + 1) * og].reshape(og, -1)
             bg = self.params["b"][g * og : (g + 1) * og]
             outputs.append(cols @ w_mat.T + bg)  # (N*oh*ow, og)
@@ -231,8 +256,10 @@ class Conv2D(Layer):
         cg, og = c // self.groups, out_c // self.groups
         dy_mat = dy.transpose(0, 2, 3, 1).reshape(-1, out_c)  # (N*oh*ow, out_c)
 
-        dx = np.empty(self._x_shape, dtype=dy.dtype)
+        dx = self._workspace(("dx",), self._x_shape, dy.dtype)
         group_x_shape = (n, cg) + self._x_shape[2:]
+        h, w = self._x_shape[2], self._x_shape[3]
+        padded_shape = (n, cg, h + 2 * self.pad, w + 2 * self.pad)
         for g in range(self.groups):
             dyg = dy_mat[:, g * og : (g + 1) * og]
             w_view = self.params["W"][g * og : (g + 1) * og]
@@ -242,8 +269,11 @@ class Conv2D(Layer):
             ).reshape(w_view.shape)
             self.grads["b"][g * og : (g + 1) * og] += dyg.sum(axis=0)
             dcols = dyg @ w_mat  # (N*oh*ow, cg*k*k)
+            # col2im zeroes and scatter-adds into the reused padded scratch;
+            # its return aliases that scratch, so copy into dx immediately.
             dx[:, g * cg : (g + 1) * cg] = col2im(
-                dcols, group_x_shape, k, k, self.stride, self.pad
+                dcols, group_x_shape, k, k, self.stride, self.pad,
+                out=self._workspace(("col2im", g), padded_shape, dy.dtype),
             )
         return dx
 

@@ -25,16 +25,28 @@ def conv_output_size(size: int, field: int, stride: int, pad: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, field_h: int, field_w: int, stride: int, pad: int
+    x: np.ndarray,
+    field_h: int,
+    field_w: int,
+    stride: int,
+    pad: int,
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Unfold ``(N, C, H, W)`` into ``(N * out_h * out_w, C * field_h * field_w)``.
 
     Built with ``stride_tricks.sliding_window_view`` so the unfolding itself
     is a zero-copy view; only the final reshape materializes memory.
+
+    ``out``, if given, receives the columns in place (must be C-contiguous
+    with the exact result shape and ``x``'s dtype) and is returned — the
+    hot-loop form: :class:`repro.nn.layers.Conv2D` hands the same workspace
+    back every training step, so steady-state forwards allocate nothing
+    here. Bit-for-bit identical to the allocating form.
     """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, field_h, stride, pad)
     out_w = conv_output_size(w, field_w, stride, pad)
+    shape = (n * out_h * out_w, c * field_h * field_w)
 
     if pad > 0:
         x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
@@ -45,11 +57,19 @@ def im2col(
     windows = windows[:, :, ::stride, ::stride, :, :]
     assert windows.shape[2] == out_h and windows.shape[3] == out_w
 
-    # reorder to (N, out_h, out_w, C, field_h, field_w) then flatten.
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
-        n * out_h * out_w, c * field_h * field_w
+    if out is None:
+        out = np.empty(shape, dtype=x.dtype)
+    elif out.shape != shape or out.dtype != x.dtype or not out.flags.c_contiguous:
+        raise ValueError(
+            f"out must be C-contiguous {shape} of {x.dtype}, got "
+            f"{out.shape} of {out.dtype}"
+        )
+    # One strided copy: reorder to (N, out_h, out_w, C, field_h, field_w)
+    # directly into the (possibly reused) destination.
+    out.reshape(n, out_h, out_w, c, field_h, field_w)[...] = windows.transpose(
+        0, 2, 3, 1, 4, 5
     )
-    return np.ascontiguousarray(cols)
+    return out
 
 
 def col2im(
@@ -59,12 +79,19 @@ def col2im(
     field_w: int,
     stride: int,
     pad: int,
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add columns back into an image.
 
     ``cols`` has shape ``(N * out_h * out_w, C * field_h * field_w)``;
     returns an array of ``x_shape``. Overlapping windows accumulate, which is
     exactly the gradient of the unfolding.
+
+    ``out``, if given, is the **padded** accumulator workspace of shape
+    ``(N, C, H + 2*pad, W + 2*pad)`` (``cols``'s dtype, C-contiguous). It is
+    zeroed here, so reuse across steps is safe — but the returned array
+    *aliases* it (it is a view when ``pad > 0``), so the caller must copy
+    the result out before the next call with the same workspace.
     """
     n, c, h, w = x_shape
     out_h = conv_output_size(h, field_h, stride, pad)
@@ -74,7 +101,17 @@ def col2im(
         0, 3, 1, 2, 4, 5
     )  # (N, C, out_h, out_w, fh, fw)
 
-    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    padded_shape = (n, c, h + 2 * pad, w + 2 * pad)
+    if out is None:
+        padded = np.zeros(padded_shape, dtype=cols.dtype)
+    elif out.shape != padded_shape or out.dtype != cols.dtype or not out.flags.c_contiguous:
+        raise ValueError(
+            f"out must be C-contiguous {padded_shape} of {cols.dtype}, got "
+            f"{out.shape} of {out.dtype}"
+        )
+    else:
+        padded = out
+        padded.fill(0)
     # Scatter-add each in-window offset as one vectorized strided assignment:
     # field_h * field_w iterations instead of N * out_h * out_w.
     for i in range(field_h):

@@ -13,7 +13,7 @@
 from repro.trace.check import InvariantViolation, check_all
 from repro.trace.events import EVENT_KINDS, MASTER, Trace, TraceEvent
 from repro.trace.export import from_jsonl, to_chrome, to_jsonl
-from repro.trace.metrics import summarize
+from repro.trace.metrics import summarize, transport_stats
 
 __all__ = [
     "EVENT_KINDS",
@@ -26,4 +26,5 @@ __all__ = [
     "to_chrome",
     "to_jsonl",
     "summarize",
+    "transport_stats",
 ]

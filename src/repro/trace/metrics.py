@@ -25,6 +25,7 @@ __all__ = [
     "overlap_fraction",
     "critical_path_seconds",
     "staleness_stats",
+    "transport_stats",
     "summarize",
 ]
 
@@ -164,10 +165,30 @@ def staleness_stats(trace: Trace) -> Dict[str, float]:
     return {"mean": sum(vals) / len(vals), "max": max(vals), "count": float(len(vals))}
 
 
+def transport_stats(trace: Trace) -> Dict[str, float]:
+    """Aggregate the transport counters the process backend marks.
+
+    The shm transport emits one ``mark`` event per rank per counter with
+    ``op="transport/<counter>"`` (messages routed through slot rings vs
+    the pickle queue, bytes memcpy'd in/out, descriptor bytes on the
+    wire, ring allocations). This sums them across ranks and stamps which
+    transport the run used (``meta["transport"]``; 0 = queue, 1 = shm).
+    Untraced or thread-backend runs yield all-zero counters.
+    """
+    totals: Dict[str, float] = {}
+    prefix = "transport/"
+    for e in trace.by_kind("mark"):
+        if e.op.startswith(prefix):
+            key = e.op[len(prefix):]
+            totals[key] = totals.get(key, 0.0) + e.value
+    totals["shm"] = 1.0 if trace.meta.get("transport") == "shm" else 0.0
+    return totals
+
+
 def summarize(trace: Trace) -> Dict[str, float]:
     """The flat numeric digest the results schema archives."""
     sends = trace.sends()
-    return {
+    digest = {
         "events": float(len(trace)),
         "messages": float(len(sends)),
         "bytes": float(sum(e.nbytes for e in sends)),
@@ -178,3 +199,6 @@ def summarize(trace: Trace) -> Dict[str, float]:
         "critical_path_seconds": critical_path_seconds(trace),
         "faults": float(len(trace.by_kind("fault"))),
     }
+    for key, val in transport_stats(trace).items():
+        digest[f"transport_{key}"] = val
+    return digest

@@ -42,12 +42,13 @@ def _template(mnist_tiny):
 
 class TestEasgdEquivalence:
     @pytest.mark.parametrize("variant", [1, 3])
-    def test_bit_identical_final_weights(self, mnist_tiny, variant):
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_bit_identical_final_weights(self, mnist_tiny, variant, transport):
         net, train = _template(mnist_tiny)
         runs = {
             backend: run_mpi_sync_easgd(
                 net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
-                seed=0, backend=backend, variant=variant,
+                seed=0, backend=backend, variant=variant, transport=transport,
             )
             for backend in ("threads", "processes")
         }
@@ -73,12 +74,13 @@ class TestEasgdEquivalence:
 
 
 class TestSyncSgdEquivalence:
-    def test_bit_identical_weights_and_losses(self, mnist_tiny):
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_bit_identical_weights_and_losses(self, mnist_tiny, transport):
         net, train = _template(mnist_tiny)
         runs = {
             backend: run_mpi_sync_sgd(
                 net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
-                lr=0.05, seed=0, backend=backend,
+                lr=0.05, seed=0, backend=backend, transport=transport,
             )
             for backend in ("threads", "processes")
         }

@@ -1,0 +1,440 @@
+"""The zero-copy shm transport and the hot-loop arena machinery.
+
+Three layers of coverage:
+
+1. Fast units (tier-1): slot-ring protocol (wraparound, backpressure),
+   transport encode/decode with its queue-path fallbacks, the buffer
+   arena, the ``out=`` forms of im2col/col2im and ``next_batch_into``,
+   and the ``_payload_nbytes`` fix for tuple/list payloads.
+2. Process-backed integration (mp): backpressure through a real
+   communicator — a sender blocked on a full ring recovers when the
+   receiver drains, and raises a :class:`DeadlockError` subclass when it
+   never does.
+3. Equivalence (mp + slow): sync-sgd, sync-easgd1/3, and async EASGD
+   produce bit-identical weights with ``transport="queue"`` and
+   ``transport="shm"`` at P = 4.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    BufferArena,
+    DeadlockError,
+    MultiprocessCommunicator,
+    RingBackpressureError,
+    ShmSlotRef,
+    ShmTransport,
+    SlotRing,
+    validate_transport,
+)
+from repro.comm.mp_runtime import fork_available
+from repro.comm.runtime import _payload_nbytes
+from repro.data.loader import BatchSampler
+from repro.data.synthetic import make_mnist_like
+from repro.nn.tensor_ops import col2im, im2col
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+
+
+class TestValidateTransport:
+    def test_accepts_known(self):
+        assert validate_transport("queue") == "queue"
+        assert validate_transport("shm") == "shm"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            validate_transport("rdma")
+
+
+class TestBufferArena:
+    def test_hit_returns_same_buffer(self):
+        arena = BufferArena()
+        a = arena.get("g", (8, 4))
+        b = arena.get("g", (8, 4))
+        assert a is b
+        assert arena.hits == 1 and arena.misses == 1
+
+    def test_shape_or_dtype_change_reallocates(self):
+        arena = BufferArena()
+        a = arena.get("g", (8,))
+        b = arena.get("g", (9,))
+        c = arena.get("g", (9,), np.float64)
+        assert a is not b and b is not c
+        assert arena.misses == 3
+
+    def test_fill_copies_values(self):
+        arena = BufferArena()
+        src = np.arange(6, dtype=np.float32)
+        out = arena.fill("grad", src)
+        assert out is not src
+        np.testing.assert_array_equal(out, src)
+        src[0] = 99.0
+        assert out[0] == 0.0  # private copy, not a view
+        assert arena.fill("grad", src) is out  # steady state reuses
+
+    def test_nbytes_and_len(self):
+        arena = BufferArena()
+        arena.get("a", (16,), np.float32)
+        arena.get("b", (4,), np.int64)
+        assert len(arena) == 2
+        assert arena.nbytes == 16 * 4 + 4 * 8
+
+
+class TestPayloadNbytes:
+    def test_array(self):
+        assert _payload_nbytes(np.zeros(10, dtype=np.float32)) == 40
+
+    def test_tuple_and_list_recurse(self):
+        arr = np.zeros(10, dtype=np.float32)
+        # The (loss, weights) piggyback shape that used to report 0 bytes.
+        assert _payload_nbytes((np.float32(0.5), arr)) == 4 + 40
+        assert _payload_nbytes([arr, arr]) == 80
+        assert _payload_nbytes((1, (arr,))) == 40
+
+    def test_bytes_like(self):
+        assert _payload_nbytes(b"abcd") == 4
+        assert _payload_nbytes(memoryview(b"abcdef")) == 6
+
+    def test_opaque_is_zero(self):
+        assert _payload_nbytes(object()) == 0
+
+
+class TestSlotRing:
+    def test_wraparound(self):
+        ring = SlotRing(rank=0, dest=1, tag=0, slot_nbytes=100, capacity=2)
+        try:
+            assert ring.slot_nbytes == 128  # rounded to a cache line
+            payload = np.arange(100, dtype=np.uint8)
+            offsets = []
+            for i in range(9):
+                off = ring.acquire(timeout=1.0)
+                ring.write(off, payload)
+                offsets.append(off)
+                ring._tail[0] += 1  # consume immediately (receiver stand-in)
+            assert ring.head == 9
+            assert ring.in_flight == 0
+            # Two slots alternate: offsets cycle with period == capacity.
+            assert offsets[0] == offsets[2] and offsets[1] == offsets[3]
+            assert offsets[0] != offsets[1]
+        finally:
+            ring.close(unlink=True)
+
+    def test_backpressure_raises_deadlock_subclass(self):
+        ring = SlotRing(rank=3, dest=1, tag=7, slot_nbytes=64, capacity=2)
+        try:
+            ring.acquire(timeout=0.1)
+            ring.acquire(timeout=0.1)
+            t0 = time.monotonic()
+            with pytest.raises(RingBackpressureError) as exc_info:
+                ring.acquire(timeout=0.1)
+            assert time.monotonic() - t0 >= 0.1
+            err = exc_info.value
+            assert isinstance(err, DeadlockError)
+            assert err.rank == 3 and err.capacity == 2
+            # Consumption unblocks the next acquire.
+            ring._tail[0] += 1
+            ring.acquire(timeout=0.1)
+        finally:
+            ring.close(unlink=True)
+
+
+class TestShmTransport:
+    def _roundtrip(self, transport, payload, dest=1, tag=0):
+        ref = transport.encode(dest, tag, payload)
+        assert isinstance(ref, ShmSlotRef)
+        return transport.decode(ref)
+
+    def test_large_array_roundtrip(self):
+        tp = ShmTransport(rank=0, size=2, min_bytes=1024)
+        try:
+            arr = np.random.default_rng(0).standard_normal(8192).astype(np.float32)
+            out = self._roundtrip(tp, arr)
+            np.testing.assert_array_equal(out, arr)
+            assert out.flags.writeable  # private copy, never ring memory
+            out[0] = -1.0  # must not corrupt anything
+            assert tp.stats["shm_messages"] == 1
+            assert tp.stats["bytes_copied_in"] == arr.nbytes
+            assert tp.stats["bytes_copied_out"] == arr.nbytes
+            assert 0 < tp.stats["bytes_on_wire"] < arr.nbytes
+        finally:
+            tp.close(unlink=True)
+
+    def test_nested_trace_style_tuple(self):
+        tp = ShmTransport(rank=0, size=2, min_bytes=1024)
+        try:
+            arr = np.arange(16384, dtype=np.float32)
+            seq_wrapped = (7, (np.float32(0.5), arr))  # (seq, (loss, weights))
+            out = self._roundtrip(tp, seq_wrapped)
+            assert out[0] == 7
+            assert out[1][0] == np.float32(0.5)
+            np.testing.assert_array_equal(out[1][1], arr)
+        finally:
+            tp.close(unlink=True)
+
+    def test_small_and_arrayfree_payloads_fall_back(self):
+        tp = ShmTransport(rank=0, size=2, min_bytes=1 << 14)
+        try:
+            assert tp.encode(1, 0, "token") is None
+            assert tp.encode(1, 0, np.zeros(4, dtype=np.float32)) is None
+            # Non-contiguous arrays pickle in-band -> no out-of-band bytes.
+            big = np.zeros((256, 256), dtype=np.float32)
+            assert tp.encode(1, 0, big[::2, ::2]) is None
+            assert tp.stats["queue_messages"] == 3
+            assert tp.stats["shm_messages"] == 0
+            assert tp.stats["ring_allocs"] == 0
+        finally:
+            tp.close(unlink=True)
+
+    def test_ring_growth_keeps_old_generation_decodable(self):
+        tp = ShmTransport(rank=0, size=2, min_bytes=1024)
+        try:
+            small = np.arange(8192, dtype=np.float32)
+            big = np.arange(32768, dtype=np.float32)
+            ref_small = tp.encode(1, 0, small)
+            ref_big = tp.encode(1, 0, big)  # outgrows the ring: new generation
+            assert tp.stats["ring_allocs"] == 2
+            assert ref_small.segment != ref_big.segment
+            np.testing.assert_array_equal(tp.decode(ref_big), big)
+            np.testing.assert_array_equal(tp.decode(ref_small), small)
+        finally:
+            tp.close(unlink=True)
+
+    def test_per_channel_rings(self):
+        tp = ShmTransport(rank=0, size=4, min_bytes=1024)
+        try:
+            arr = np.arange(8192, dtype=np.float32)
+            refs = [tp.encode(d, t, arr) for d, t in ((1, 0), (2, 0), (1, 5))]
+            assert len({r.segment for r in refs}) == 3  # one ring per (dest, tag)
+            assert tp.stats["ring_allocs"] == 3
+        finally:
+            tp.close(unlink=True)
+
+
+class TestTensorOpsOut:
+    def _setup(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 3, 9, 9)).astype(np.float32)
+        return x, 3, 3, 2, 1  # x, field_h, field_w, stride, pad
+
+    def test_im2col_out_bitwise(self):
+        x, fh, fw, stride, pad = self._setup()
+        ref = im2col(x, fh, fw, stride, pad)
+        out = np.empty_like(ref)
+        got = im2col(x, fh, fw, stride, pad, out=out)
+        assert got is out
+        np.testing.assert_array_equal(got, ref)
+
+    def test_im2col_out_validation(self):
+        x, fh, fw, stride, pad = self._setup()
+        ref = im2col(x, fh, fw, stride, pad)
+        with pytest.raises(ValueError, match="out must be C-contiguous"):
+            im2col(x, fh, fw, stride, pad, out=np.empty((1, 1), dtype=x.dtype))
+        with pytest.raises(ValueError, match="out must be C-contiguous"):
+            im2col(x, fh, fw, stride, pad, out=ref.astype(np.float64))
+
+    def test_col2im_out_bitwise_and_zeroed(self):
+        x, fh, fw, stride, pad = self._setup()
+        cols = im2col(x, fh, fw, stride, pad)
+        ref = col2im(cols, x.shape, fh, fw, stride, pad)
+        n, c, h, w = x.shape
+        scratch = np.full((n, c, h + 2 * pad, w + 2 * pad), 7.0, dtype=cols.dtype)
+        got = col2im(cols, x.shape, fh, fw, stride, pad, out=scratch)
+        np.testing.assert_array_equal(got, ref)  # stale scratch contents zeroed
+        # Second use with the same workspace is still exact.
+        got2 = col2im(cols * 2, x.shape, fh, fw, stride, pad, out=scratch).copy()
+        np.testing.assert_array_equal(got2, ref * 2)
+
+    def test_col2im_out_validation(self):
+        x, fh, fw, stride, pad = self._setup()
+        cols = im2col(x, fh, fw, stride, pad)
+        with pytest.raises(ValueError, match="out must be C-contiguous"):
+            col2im(cols, x.shape, fh, fw, stride, pad, out=np.empty_like(x))
+
+
+class TestNextBatchInto:
+    def test_matches_next_batch_bitwise(self):
+        train, _ = make_mnist_like(n_train=64, n_test=16, seed=5)
+        a = BatchSampler(train, 8, seed=1, name="x")
+        b = BatchSampler(train, 8, seed=1, name="x")
+        img_buf = np.empty((8,) + train.images.shape[1:], dtype=train.images.dtype)
+        lbl_buf = np.empty((8,) + train.labels.shape[1:], dtype=train.labels.dtype)
+        for _ in range(4):  # stays in sync across draws
+            ia, la = a.next_batch()
+            ib, lb = b.next_batch_into(img_buf, lbl_buf)
+            np.testing.assert_array_equal(ia, ib)
+            np.testing.assert_array_equal(la, lb)
+        assert a.batches_drawn == b.batches_drawn == 4
+
+
+# ---------------------------------------------------------------------------
+# Process-backed integration: backpressure through a real communicator.
+# ---------------------------------------------------------------------------
+
+ARRAY_ELEMS = 16384  # 64 KiB float32 >> DEFAULT_MIN_BYTES
+
+
+def _slow_consumer(ctx, n_messages):
+    if ctx.rank == 0:
+        for i in range(n_messages):
+            ctx.send(np.full(ARRAY_ELEMS, float(i), dtype=np.float32), dest=1, tag=0)
+        return "sent"
+    time.sleep(0.3)  # let the sender fill the ring and block on slot reuse
+    sums = [float(ctx.recv(source=0, tag=0).sum()) for _ in range(n_messages)]
+    return sums
+
+
+def _absent_consumer(ctx, n_messages):
+    if ctx.rank == 0:
+        for i in range(n_messages):
+            ctx.send(np.full(ARRAY_ELEMS, float(i), dtype=np.float32), dest=1, tag=0)
+        return "sent"
+    return "never received"
+
+
+@needs_fork
+@pytest.mark.mp
+class TestRingBackpressureEndToEnd:
+    def test_blocked_sender_recovers_when_receiver_drains(self):
+        comm = MultiprocessCommunicator(2, transport="shm", shm_slots=1, timeout=20.0)
+        try:
+            results = comm.run(_slow_consumer, 4)
+        finally:
+            comm.close()
+        assert results[0] == "sent"
+        assert results[1] == [0.0, ARRAY_ELEMS * 1.0, ARRAY_ELEMS * 2.0, ARRAY_ELEMS * 3.0]
+
+    def test_never_draining_receiver_raises_deadlock(self):
+        # Only the sender fails, so the error arrives unwrapped — and it
+        # must survive the pickle trip back from the forked rank intact.
+        comm = MultiprocessCommunicator(2, transport="shm", shm_slots=1, timeout=1.0)
+        try:
+            with pytest.raises(DeadlockError) as exc_info:
+                comm.run(_absent_consumer, 3)
+        finally:
+            comm.close()
+        err = exc_info.value
+        assert isinstance(err, RingBackpressureError)
+        assert err.rank == 0 and err.capacity == 1
+
+
+def _echo_stats(ctx):
+    if ctx.rank == 0:
+        payload = np.arange(ARRAY_ELEMS, dtype=np.float32)
+        ctx.send(payload, dest=1, tag=0)
+        return float(ctx.recv(source=1, tag=1).sum())
+    got = ctx.recv(source=0, tag=0)
+    ctx.send(got * 2.0, dest=1 - ctx.rank, tag=1)
+    return "echoed"
+
+
+@needs_fork
+@pytest.mark.mp
+class TestTransportStats:
+    def test_counters_reported_to_parent(self):
+        comm = MultiprocessCommunicator(2, transport="shm", timeout=30.0)
+        try:
+            comm.run(_echo_stats)
+        finally:
+            comm.close()
+        stats = comm.transport_stats
+        assert stats["shm_messages"] == 2
+        assert stats["bytes_copied_in"] == 2 * ARRAY_ELEMS * 4
+        assert stats["bytes_copied_out"] == 2 * ARRAY_ELEMS * 4
+        assert stats["ring_allocs"] == 2
+
+    def test_queue_transport_reports_no_shm_traffic(self):
+        comm = MultiprocessCommunicator(2, transport="queue", timeout=30.0)
+        try:
+            comm.run(_echo_stats)
+        finally:
+            comm.close()
+        assert comm.transport_stats == {}
+
+
+# ---------------------------------------------------------------------------
+# Transport equivalence: queue vs shm must be bit-identical (mp + slow).
+# ---------------------------------------------------------------------------
+
+RANKS = 4
+ITERATIONS = 5
+
+
+@pytest.fixture(scope="module")
+def tiny_problem():
+    from repro.data.normalize import standardize, standardize_like
+    from repro.nn.models import build_mlp
+
+    train, test = make_mnist_like(n_train=512, n_test=256, seed=11, difficulty=0.8)
+    mean, std = standardize(train)
+    standardize_like(test, mean, std)
+    net = build_mlp(seed=7)
+    net.forward(train.images[:1])  # materialize params before cloning
+    return net, train
+
+
+@needs_fork
+@pytest.mark.mp
+@pytest.mark.slow
+class TestTransportEquivalence:
+    @pytest.mark.parametrize("variant", [1, 3])
+    def test_sync_easgd(self, tiny_problem, variant):
+        from repro.algorithms.mpi_easgd import run_mpi_sync_easgd
+
+        net, train = tiny_problem
+        runs = {
+            transport: run_mpi_sync_easgd(
+                net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
+                seed=0, backend="processes", variant=variant, transport=transport,
+            )
+            for transport in ("queue", "shm")
+        }
+        np.testing.assert_array_equal(runs["queue"].center, runs["shm"].center)
+        for wq, ws in zip(runs["queue"].worker_weights, runs["shm"].worker_weights):
+            np.testing.assert_array_equal(wq, ws)
+
+    def test_sync_sgd(self, tiny_problem):
+        from repro.algorithms.mpi_sgd import run_mpi_sync_sgd
+
+        net, train = tiny_problem
+        runs = {
+            transport: run_mpi_sync_sgd(
+                net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
+                seed=0, backend="processes", transport=transport,
+            )
+            for transport in ("queue", "shm")
+        }
+        np.testing.assert_array_equal(runs["queue"].weights, runs["shm"].weights)
+        assert runs["queue"].mean_losses == runs["shm"].mean_losses
+
+    def test_async_easgd(self, tiny_problem):
+        from repro.algorithms.mpi_async_easgd import run_mpi_async_easgd
+
+        net, train = tiny_problem
+        runs = {
+            transport: run_mpi_async_easgd(
+                net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
+                seed=0, backend="processes", transport=transport,
+            )
+            for transport in ("queue", "shm")
+        }
+        np.testing.assert_array_equal(runs["queue"].center, runs["shm"].center)
+        for wq, ws in zip(runs["queue"].worker_weights, runs["shm"].worker_weights):
+            np.testing.assert_array_equal(wq, ws)
+        assert runs["queue"].mean_losses == runs["shm"].mean_losses
+
+    def test_async_easgd_matches_threads(self, tiny_problem):
+        from repro.algorithms.mpi_async_easgd import run_mpi_async_easgd
+
+        net, train = tiny_problem
+        threaded = run_mpi_async_easgd(
+            net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
+            seed=0, backend="threads",
+        )
+        forked = run_mpi_async_easgd(
+            net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
+            seed=0, backend="processes", transport="shm",
+        )
+        np.testing.assert_array_equal(threaded.center, forked.center)
