@@ -12,9 +12,9 @@ individual contribution is measurable:
   Sync SGD: message bytes vs trajectory quality.
 """
 
-import numpy as np
 
 from conftest import run_once
+
 from repro.algorithms.registry import make_trainer
 from repro.comm.alphabeta import CRAY_ARIES
 from repro.comm.collectives import flat_sequential_cost, tree_reduce_cost
@@ -55,7 +55,7 @@ def bench_ablation_sync3_overlap(benchmark, mnist_spec):
     runs = run_once(benchmark, experiment)
     t2 = runs["no-overlap (EASGD2)"].sim_time
     t3 = runs["overlap (EASGD3)"].sim_time
-    print(f"\n=== Ablation: Sync EASGD3 overlap ===\n"
+    print("\n=== Ablation: Sync EASGD3 overlap ===\n"
           f"  EASGD2 {t2:.3f}s -> EASGD3 {t3:.3f}s  ({t2 / t3:.2f}x; paper: 1.1x)")
     assert 1.0 < t2 / t3 < 1.6
 
@@ -73,7 +73,7 @@ def bench_ablation_elastic_overlap(benchmark, mnist_spec):
     runs = run_once(benchmark, experiment)
     t_sgd = runs["async-sgd"].sim_time
     t_easgd = runs["async-easgd"].sim_time
-    print(f"\n=== Ablation: elastic compute/exchange overlap ===\n"
+    print("\n=== Ablation: elastic compute/exchange overlap ===\n"
           f"  async-sgd {t_sgd:.3f}s vs async-easgd {t_easgd:.3f}s "
           f"({t_sgd / t_easgd:.2f}x)")
     assert t_easgd < t_sgd

@@ -22,13 +22,13 @@ cell of the matrix completed, never who won.
 """
 
 import json
-import time
 from pathlib import Path
+import time
 
+from conftest import run_once
 import numpy as np
 import pytest
 
-from conftest import run_once
 from repro.algorithms.mpi_sgd import run_mpi_sync_sgd
 from repro.comm.mp_runtime import fork_available
 from repro.data import make_mnist_like

@@ -1,0 +1,107 @@
+"""Engine-overhead guard — the step-pipeline loop vs the bespoke loop.
+
+The ``repro.engine`` refactor replaced every trainer family's private
+``train()`` loop with one :class:`repro.engine.StepPipeline` driven by
+strategy objects. The numerics are asserted bit-identical elsewhere
+(golden traces, backend equivalence); this benchmark guards the *cost* of
+the indirection. Before the port, the bespoke ``SyncEASGDTrainer.train()``
+loop's throughput on a fixed mlp/mnist-like workload was archived as the
+``sync-easgd3-loop`` cell of ``BENCH_transport.json``; here the same
+workload runs on the engine-based trainer and must stay within 5% of that
+number.
+
+Methodology matches the archived cell: best-of-5 reps of 100 iterations
+after a 20-iteration warmup, throughput = iterations / wall. Best-vs-best
+is the comparison noise cannot inflate (the archived ``best`` is the
+fastest the old loop ever ran; if the engine's fastest rep keeps up, the
+indirection is free in practice).
+
+Run standalone with ``python benchmarks/bench_engine_overhead.py`` or via
+``pytest benchmarks/bench_engine_overhead.py --benchmark-only -s``.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.algorithms import TrainerConfig
+from repro.algorithms.sync_easgd import SyncEASGDTrainer
+from repro.cluster import CostModel, GpuPlatform
+from repro.data import make_mnist_like, standardize, standardize_like
+from repro.nn.models import build_mlp
+from repro.nn.spec import LENET
+
+try:
+    import pytest
+
+    pytestmark = pytest.mark.slow
+except ImportError:  # pragma: no cover - standalone invocation
+    pytest = None
+
+ARCHIVE = Path(__file__).resolve().parent.parent / "BENCH_transport.json"
+BASELINE_METHOD = "sync-easgd3-loop"
+#: Allowed slowdown of the engine loop vs the archived bespoke loop.
+MAX_REGRESSION = 0.05
+WARMUP_ITERATIONS = 20
+ITERATIONS = 100
+REPS = 5
+
+
+def _baseline_cell() -> dict:
+    cells = json.loads(ARCHIVE.read_text())["cells"]
+    for cell in cells:
+        if cell.get("method") == BASELINE_METHOD:
+            return cell
+    raise KeyError(f"{ARCHIVE} has no {BASELINE_METHOD!r} cell")
+
+
+def _run_once(iterations: int) -> float:
+    """One timed run of the archived workload; returns steps/second."""
+    train, test = make_mnist_like(n_train=512, n_test=128, seed=5, difficulty=0.8)
+    mean, std = standardize(train)
+    standardize_like(test, mean, std)
+    cfg = TrainerConfig(
+        batch_size=16, lr=0.05, rho=2.0, seed=0,
+        eval_every=10_000, eval_samples=64,
+    )
+    tr = SyncEASGDTrainer(
+        build_mlp(seed=0), train, test, GpuPlatform(num_gpus=4, seed=0),
+        cfg, CostModel.from_spec(LENET), variant=3,
+    )
+    t0 = time.perf_counter()
+    tr.train(iterations)
+    return iterations / (time.perf_counter() - t0)
+
+
+def measure() -> dict:
+    baseline = _baseline_cell()
+    _run_once(WARMUP_ITERATIONS)
+    reps = [_run_once(ITERATIONS) for _ in range(REPS)]
+    best = max(reps)
+    base_best = baseline["best_steps_per_second"]
+    report = {
+        "baseline_best_steps_per_second": base_best,
+        "engine_steps_per_second": reps,
+        "engine_best_steps_per_second": best,
+        "ratio": best / base_best,
+    }
+    print(f"\n=== Engine overhead: sync-easgd3, P=4, {ITERATIONS} iters ===")
+    print(f"  pre-refactor loop best : {base_best:8.2f} steps/s (archived)")
+    print(f"  engine pipeline best   : {best:8.2f} steps/s "
+          f"({best / base_best:.3f}x of baseline)")
+    assert best >= (1.0 - MAX_REGRESSION) * base_best, (
+        f"engine loop regressed: {best:.2f} steps/s vs archived "
+        f"{base_best:.2f} steps/s (floor {1.0 - MAX_REGRESSION:.0%})"
+    )
+    return report
+
+
+def bench_engine_overhead(benchmark):
+    """The engine-based loop keeps the archived bespoke-loop throughput."""
+    benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)
+
+
+if __name__ == "__main__":  # pragma: no cover - standalone entry
+    measure()
+    sys.exit(0)

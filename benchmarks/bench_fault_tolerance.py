@@ -17,9 +17,9 @@ versions.
 
 import json
 
+from conftest import run_once
 import pytest
 
-from conftest import run_once
 from repro.faults import FaultPlan
 from repro.harness import run_method
 from repro.harness.analysis import fault_rate_curve

@@ -15,6 +15,7 @@ latency share; EXPERIMENTS.md records both regimes.
 """
 
 from conftest import run_once
+
 from repro.harness import ExperimentSpec, run_method
 
 ITERATIONS = 200

@@ -11,6 +11,7 @@ at 16 parts), with MCDRAM holding at most 16 copies. Shapes asserted:
 """
 
 from conftest import CIFAR_TARGET, run_once
+
 from repro.algorithms import TrainerConfig
 from repro.cluster import CostModel
 from repro.knl import ChipPartitionTrainer

@@ -14,6 +14,7 @@ the extra fabric traffic. Two readings, both asserted:
 """
 
 from conftest import run_once
+
 from repro.algorithms import TrainerConfig
 from repro.cluster import CostModel, KnlPlatform
 from repro.data import make_cifar_like, standardize, standardize_like

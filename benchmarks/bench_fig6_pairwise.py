@@ -13,6 +13,7 @@ in no more simulated time than the existing counterpart.
 """
 
 from conftest import run_once
+
 from repro.harness import run_method
 from repro.harness.figures import FIG6_PAIRS
 

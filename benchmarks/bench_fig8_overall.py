@@ -7,9 +7,9 @@ All eight methods run under one spec; the figure's qualitative claims:
 - Sync EASGD and Hogwild EASGD are essentially tied for fastest.
 """
 
+from conftest import run_once
 import numpy as np
 
-from conftest import run_once
 from repro.harness import run_method
 from repro.harness.figures import FIG8_METHODS, log10_error_series
 

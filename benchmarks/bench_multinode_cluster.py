@@ -9,6 +9,7 @@ cluster keeps the per-iteration comm share bounded.
 """
 
 from conftest import run_once
+
 from repro.algorithms import ClusterSyncEASGDTrainer, TrainerConfig
 from repro.cluster import CostModel, GpuClusterPlatform
 from repro.nn.models import build_lenet

@@ -9,6 +9,7 @@ the U-shaped time-to-accuracy this bench asserts.
 """
 
 from conftest import run_once
+
 from repro.data import make_mnist_like, standardize, standardize_like
 from repro.nn.models import build_mlp
 from repro.scaling import batch_size_study

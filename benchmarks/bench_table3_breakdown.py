@@ -12,9 +12,9 @@ communication ratio. Headlines asserted here:
 - per-iteration times order: EASGD* > EASGD > Sync1 > Sync2 > Sync3.
 """
 
-import pytest
 
 from conftest import MNIST_TARGET, run_once
+
 from repro.harness import breakdown_row, render_table3, run_method
 from repro.harness.breakdown import speedup_over
 

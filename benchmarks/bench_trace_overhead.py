@@ -11,6 +11,7 @@ import dataclasses
 from pathlib import Path
 
 from conftest import requires_trace_export, run_once
+
 from repro.harness import run_method
 
 
@@ -35,7 +36,7 @@ def bench_trace_off_is_free(benchmark, mnist_spec):
     assert on.trace is not None and len(on.trace) > 0
     assert [r.test_accuracy for r in off.records] == [r.test_accuracy for r in on.records]
     print(f"\n=== Trace overhead ===\n  traced events: {len(on.trace)}; "
-          f"trajectories identical: True")
+          "trajectories identical: True")
 
 
 @requires_trace_export

@@ -35,9 +35,9 @@ pytest with ``pytest benchmarks/bench_transport.py --benchmark-only -s``.
 
 import hashlib
 import json
+from pathlib import Path
 import sys
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -155,7 +155,7 @@ def run_experiment() -> list:
 def check_and_archive(cells: list) -> float:
     by_key = {(c["backend"], c["transport"]): c for c in cells}
 
-    print(f"\n=== Transport shoot-out: packed allreduce, "
+    print("\n=== Transport shoot-out: packed allreduce, "
           f"{PACKED_ELEMS * 4 / 1e6:.0f} MB buffer, P={RANKS}, "
           f"{ITERATIONS} steps ===")
     for c in cells:
@@ -176,7 +176,7 @@ def check_and_archive(cells: list) -> float:
     print(f"  shm vs queue speedup: {speedup:.2f}x")
     assert speedup >= 2.0, (
         f"shm transport only {speedup:.2f}x over pickled queue "
-        f"(needs >= 2x for the zero-copy claim)"
+        "(needs >= 2x for the zero-copy claim)"
     )
     # shm moved the tensor bytes by memcpy, and its descriptors are tiny.
     assert shm["bytes_copied"] > 0 and queue["bytes_copied"] == 0

@@ -18,6 +18,13 @@ from pathlib import Path
 
 import pytest
 
+from repro.algorithms import TrainerConfig
+from repro.cluster import CostModel
+from repro.data import make_cifar_like, make_mnist_like
+from repro.harness import ExperimentSpec
+from repro.nn.models import build_alexnet_mini, build_lenet
+from repro.nn.spec import ALEXNET, LENET
+
 #: Benchmarks that archive Chrome traces need the exporters; if the trace
 #: package is unavailable (e.g. a trimmed vendored copy), those benchmarks
 #: skip instead of erroring at import time.
@@ -30,13 +37,6 @@ except ImportError:  # pragma: no cover - only in trimmed installs
 requires_trace_export = pytest.mark.skipif(
     not HAVE_TRACE_EXPORT, reason="repro.trace exporters unavailable"
 )
-
-from repro.algorithms import TrainerConfig
-from repro.cluster import CostModel
-from repro.data import make_cifar_like, make_mnist_like
-from repro.harness import ExperimentSpec
-from repro.nn.models import build_alexnet_mini, build_lenet
-from repro.nn.spec import ALEXNET, LENET
 
 #: The paper trains MNIST/LeNet to 98.8%; on our synthetic MNIST-like set
 #: the comparable "hard but reachable" target is 95%.

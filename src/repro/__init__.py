@@ -40,13 +40,13 @@ Quick start::
     print(result.final_accuracy, result.sim_time)
 """
 
-__version__ = "1.0.0"
-
-from repro.algorithms import ALGORITHMS, TrainerConfig, make_trainer
+from repro.algorithms import ALGORITHMS, make_trainer, TrainerConfig
 from repro.cluster import CostModel, GpuPlatform, KnlPlatform
 from repro.comm.runtime import DeadlockError
 from repro.faults import AllWorkersCrashedError, FaultError, FaultLog, FaultPlan
 from repro.harness import ExperimentSpec, run_method, run_methods
+
+__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

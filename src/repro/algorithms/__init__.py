@@ -6,23 +6,23 @@ The paper's methods: Async EASGD, Async MEASGD, Hogwild EASGD, and
 Sync EASGD1/2/3 (Algorithms 2-4), plus Sync SGD for the packed-layer study.
 """
 
-from repro.algorithms.base import TrainerConfig, TrainRecord, RunResult, TimeBreakdown
-from repro.algorithms.original_easgd import OriginalEASGDTrainer
-from repro.algorithms.sync_easgd import SyncEASGDTrainer
-from repro.algorithms.sync_sgd import SyncSGDTrainer
 from repro.algorithms.async_ps import (
-    AsyncSGDTrainer,
-    AsyncMSGDTrainer,
-    HogwildSGDTrainer,
     AsyncEASGDTrainer,
     AsyncMEASGDTrainer,
+    AsyncMSGDTrainer,
+    AsyncSGDTrainer,
     HogwildEASGDTrainer,
+    HogwildSGDTrainer,
 )
-from repro.algorithms.multinode import ClusterSyncEASGDTrainer
-from repro.algorithms.mpi_sgd import MpiSgdResult, run_mpi_sync_sgd
-from repro.algorithms.mpi_easgd import MpiEasgdResult, run_mpi_sync_easgd
+from repro.algorithms.base import RunResult, TimeBreakdown, TrainerConfig, TrainRecord
 from repro.algorithms.mpi_async_easgd import MpiAsyncEasgdResult, run_mpi_async_easgd
-from repro.algorithms.registry import ALGORITHMS, make_trainer
+from repro.algorithms.mpi_easgd import MpiEasgdResult, run_mpi_sync_easgd
+from repro.algorithms.mpi_sgd import MpiSgdResult, run_mpi_sync_sgd
+from repro.algorithms.multinode import ClusterSyncEASGDTrainer
+from repro.algorithms.original_easgd import OriginalEASGDTrainer
+from repro.algorithms.registry import ALGORITHM_INFO, AlgorithmInfo, ALGORITHMS, make_trainer
+from repro.algorithms.sync_easgd import SyncEASGDTrainer
+from repro.algorithms.sync_sgd import SyncSGDTrainer
 
 __all__ = [
     "TrainerConfig",
@@ -45,7 +45,9 @@ __all__ = [
     "run_mpi_sync_easgd",
     "MpiAsyncEasgdResult",
     "run_mpi_async_easgd",
+    "ALGORITHM_INFO",
     "ALGORITHMS",
+    "AlgorithmInfo",
 
     "make_trainer",
 ]

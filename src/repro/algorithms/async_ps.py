@@ -22,6 +22,12 @@ pass overlaps the master exchange; only the elastic update (Eq 1) needs the
 returned Wbar. Lock-free (Hogwild) service removes the master's queueing
 delay. Events are processed in arrival order with deterministic
 tie-breaking, so runs are reproducible for a fixed seed.
+
+The event loop is driven by :class:`repro.engine.StepPipeline` through
+the family's :class:`~repro.engine.EventStepStrategy`: only *some* events
+complete a logical step (a worker-master interaction); rejoins, messages
+from dead workers, and dropped/retransmitted messages merely mutate the
+simulation.
 """
 
 from __future__ import annotations
@@ -30,17 +36,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.algorithms.base import (
-    BaseTrainer,
-    RunResult,
-    TimeBreakdown,
-    TrainRecord,
-    TrainerConfig,
-)
+from repro.algorithms.base import BaseTrainer, TrainerConfig
 from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
 from repro.cluster.simclock import EventQueue
 from repro.data.dataset import Dataset
+from repro.engine.strategy import EventStepStrategy
 from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
 from repro.nn.network import Network
 from repro.optim.easgd import (
@@ -61,8 +62,310 @@ __all__ = [
 ]
 
 
+class _AsyncPSStep(EventStepStrategy):
+    """The parameter-server discrete-event simulation, one event per advance."""
+
+    def __init__(self, trainer: "_AsyncPSBase") -> None:
+        self.trainer = trainer
+
+    def begin(self, pipeline) -> None:
+        tr = self.trainer
+        g = self.g = tr.platform.num_gpus
+        cfg = tr.config
+
+        tr._init_states(g, tr.net.get_params())
+        self.samplers = [tr.make_sampler(("worker", j)) for j in range(g)]
+
+        self.stage_t = tr.platform.stage_batch_time(tr.cost, cfg.batch_size)
+        self.oneway_t = tr.platform.cpu_gpu_param_time(tr.cost, packed=tr.packed)
+        self.service_t = tr.platform.cpu_update_time(tr.cost)
+        self.local_upd_t = tr.platform.gpu_update_time(tr.cost) if tr.elastic else 0.0
+
+        plan_msgs = tr.platform.param_plan(tr.cost, packed=tr.packed)
+        self.nb = plan_msgs.total_bytes
+        tr.make_trace(
+            g,
+            pattern="ps",
+            lock_free=tr.lock_free,
+            elastic=tr.elastic,
+            packed=tr.packed,
+            messages_per_exchange=1,
+        )
+        #: Request channels sent but not yet consumed/accounted; whatever
+        #: is still here when the run ends becomes a "lost" fault event so
+        #: conservation holds for truncated runs.
+        self.inflight: set = set()
+
+        plan = tr.faults
+        self.log = tr.fault_log = FaultLog()
+        self.queue = EventQueue()
+        self.send_seq = [0] * g  # per-worker message sequence numbers
+        self.retry_backoff = 2.0 * max(self.oneway_t, 1e-9)
+        # Heartbeat-timeout eviction policy: a worker the master has not
+        # heard from for ~25 healthy cycles is declared dead. The policy
+        # only *detects* — dead workers already contribute nothing — but it
+        # is what turns a silent loss into a logged, observable eviction.
+        fwdbwd_base = tr.platform.fwdbwd_time(
+            tr.cost, cfg.batch_size, worker=0, jittered=False
+        )
+        self.heartbeat = tr.heartbeat_timeout
+        if self.heartbeat is None:
+            self.heartbeat = 25.0 * (
+                self.stage_t + fwdbwd_base + 2.0 * self.oneway_t + self.service_t
+            )
+
+        self.master_free = 0.0
+        self.waiting_total = 0.0
+        self.dropped = 0
+        self.msg_dropped = 0
+        self.degraded_iters = 0
+        self.rejoined = 0
+        self.last_seen = [0.0] * g
+        self.crash_logged: set = set()
+        self.evicted: set = set()
+        # Staleness instrumentation: how many master updates landed between
+        # a worker's last sync and the application of its contribution —
+        # the quantity asynchronous convergence analyses bound.
+        self.master_version = 0
+        self.worker_version = [0] * g
+        self.staleness_sum = 0
+        self.staleness_max = 0
+        self.completed = 0
+        self._breakdown = pipeline.breakdown
+
+        for j in range(g):
+            self._launch_cycle(j, 0.0)
+        # Crashed workers with a scheduled rejoin re-enter via rejoin events.
+        if plan is not None:
+            for j in range(g):
+                rejoin_at = plan.rejoin_time(j)
+                if rejoin_at is not None:
+                    self.queue.push(rejoin_at, ("rejoin", j))
+
+    def _launch_cycle(self, j: int, start: float) -> None:
+        """Schedule worker j's next master-arrival event."""
+        tr = self.trainer
+        plan = tr.faults
+        trace = tr.trace
+        fwdbwd = tr.platform.fwdbwd_time(tr.cost, tr.config.batch_size, worker=j)
+        if plan is not None:
+            fwdbwd *= plan.slowdown(j, start)  # straggler/stall inflation
+        compute_done = start + self.stage_t + fwdbwd
+        if tr.elastic:
+            # EASGD: the send does not wait for the pass (overlap).
+            arrival = start + self.oneway_t
+        else:
+            # SGD: the gradient is what gets sent; pass first.
+            arrival = compute_done + self.oneway_t
+        seq = self.send_seq[j]
+        self.send_seq[j] += 1
+        delayed = False
+        if plan is not None:
+            lag = plan.delay_seconds(j, "master", 0, seq)
+            if lag > 0.0:
+                self.log.record(arrival, "delay", f"worker {j} -> master",
+                                f"+{lag:.4g}s seq={seq}")
+                arrival += lag
+                delayed = True
+        if trace is not None:
+            trace.span("staging", j, start, start + self.stage_t, op="cpu-gpu-data")
+            trace.span("compute", j, start + self.stage_t, compute_done, op="fwd-bwd")
+            send_t0 = start if tr.elastic else compute_done
+            trace.send(j, MASTER, send_t0, arrival, tag=0, nbytes=self.nb, seq=seq,
+                       op="ps-request")
+            self.inflight.add((j, seq))
+            if delayed:
+                trace.fault(j, arrival, "delay", peer=MASTER, seq=seq)
+        self.queue.push(arrival, ("arrival", j, compute_done, fwdbwd, seq, 0))
+
+    # -- the event loop hooks --------------------------------------------------
+    def pending(self) -> bool:
+        return bool(self.queue)
+
+    def advance(self, pipeline, t_next: int) -> bool:
+        tr = self.trainer
+        g = self.g
+        plan = tr.faults
+        trace = tr.trace
+        log = self.log
+        breakdown = pipeline.breakdown
+
+        event = self.queue.pop()
+        now = event.time
+        if plan is not None:
+            # Master-side failure detection: log crashes as they take
+            # effect and evict workers silent for longer than the
+            # heartbeat timeout.
+            for k in range(g):
+                if k in self.crash_logged or not plan.is_dead(k, now):
+                    continue
+                self.crash_logged.add(k)
+                log.record(plan.crash_time(k), "crash", f"worker {k}", "fail-stop")
+                if trace is not None:
+                    trace.fault(k, plan.crash_time(k), "crash")
+            for k in range(g):
+                if k in self.evicted or not plan.is_dead(k, now):
+                    continue
+                if now - self.last_seen[k] > self.heartbeat:
+                    self.evicted.add(k)
+                    log.record(
+                        now, "evict", f"worker {k}",
+                        f"no heartbeat for > {self.heartbeat:.4g}s",
+                    )
+                    if trace is not None:
+                        trace.fault(k, now, "evict")
+        if event.payload[0] == "rejoin":
+            j = event.payload[1]
+            # Recovery: the worker restores by re-pulling the elastic
+            # center (checkpoint = the master's Wbar), resetting its
+            # velocity and staleness bookkeeping, then resumes cycling.
+            tr.worker_w[j][...] = tr.master
+            tr.worker_v[j][...] = 0.0
+            self.worker_version[j] = self.master_version
+            self.evicted.discard(j)
+            self.last_seen[j] = now
+            self.rejoined += 1
+            log.record(now, "rejoin", f"worker {j}", "re-pulled elastic center")
+            if trace is not None:
+                trace.fault(j, now, "rejoin")
+            self._launch_cycle(j, now)
+            return False
+        _, j, compute_done, fwdbwd, seq, attempt = event.payload
+        arrival = now
+        if plan is not None and plan.is_dead(j, arrival):
+            self.dropped += 1  # fail-stop: the message never arrives
+            if trace is not None:
+                trace.fault(j, arrival, "dead", peer=MASTER, seq=seq)
+                self.inflight.discard((j, seq))
+            return False
+        if plan is not None and plan.should_drop(j, "master", 0, seq, attempt):
+            # Transient message loss: the worker retransmits with
+            # exponential backoff; after max_send_retries it goes
+            # silent (and will be evicted by the heartbeat policy).
+            self.msg_dropped += 1
+            log.record(arrival, "drop", f"worker {j} -> master",
+                       f"seq={seq} attempt={attempt}")
+            if trace is not None:
+                trace.fault(j, arrival, "drop", peer=MASTER, seq=seq)
+            if attempt + 1 > tr.max_send_retries:
+                log.record(
+                    arrival, "give-up", f"worker {j}",
+                    f"seq={seq}: still dropped after {attempt + 1} attempts",
+                )
+                if trace is not None:
+                    trace.fault(j, arrival, "give-up", peer=MASTER, seq=seq)
+                    self.inflight.discard((j, seq))
+                return False
+            backoff = self.retry_backoff * (2 ** min(attempt, 6))
+            breakdown.add("cpu-gpu para", self.oneway_t)  # the retransmission
+            self.queue.push(
+                arrival + backoff, ("arrival", j, compute_done, fwdbwd, seq, attempt + 1)
+            )
+            return False
+        self.last_seen[j] = arrival
+        if plan is not None and any(plan.is_dead(k, arrival) for k in range(g)):
+            self.degraded_iters += 1
+            breakdown.mark_degraded()
+
+        if tr.lock_free:
+            service_start = arrival
+        else:
+            service_start = max(arrival, self.master_free)
+        service_done = service_start + self.service_t
+        if not tr.lock_free:
+            self.master_free = service_done
+        self.waiting_total += service_start - arrival
+
+        # --- numerics: gradient at the worker's current local weights ---
+        images, labels = self.samplers[j].next_batch()
+        tr.net.set_params(tr.worker_w[j])
+        self.last_loss = tr.net.gradient(images, labels, tr.loss)
+        staleness = self.master_version - self.worker_version[j]
+        self.staleness_sum += staleness
+        self.staleness_max = max(self.staleness_max, staleness)
+        tr._interaction(j, tr.net.grads)
+        self.master_version += 1
+        self.worker_version[j] = self.master_version
+
+        # --- bookkeeping -----------------------------------------------
+        t = t_next
+        self.completed = t
+        reply_at = service_done + self.oneway_t
+        if tr.elastic:
+            resume = max(reply_at, compute_done) + self.local_upd_t
+        else:
+            resume = reply_at
+        pipeline.sim_time = max(pipeline.sim_time, service_done)
+
+        if trace is not None:
+            self.inflight.discard((j, seq))
+            trace.recv(MASTER, j, arrival, service_start, tag=0, nbytes=self.nb,
+                       seq=seq, op="ps-request", iteration=t)
+            trace.span("service", MASTER, service_start, service_done,
+                       op="ps-serve", iteration=t, value=arrival)
+            trace.send(MASTER, j, service_done, reply_at, tag=1, nbytes=self.nb,
+                       seq=seq, op="ps-reply", iteration=t)
+            trace.recv(j, MASTER, reply_at, reply_at, tag=1, nbytes=self.nb,
+                       seq=seq, op="ps-reply", iteration=t)
+            if tr.elastic:
+                u0 = max(reply_at, compute_done)
+                trace.span("update", j, u0, u0 + self.local_upd_t,
+                           op="elastic-update", iteration=t,
+                           value=float(staleness))
+
+        self._launch_cycle(j, resume)
+
+        breakdown.add("cpu-gpu data", self.stage_t)
+        breakdown.add("cpu-gpu para", 2.0 * self.oneway_t)
+        breakdown.add("for/backward", fwdbwd)
+        breakdown.add("cpu update", self.service_t)
+        if tr.elastic:
+            breakdown.add("gpu update", self.local_upd_t)
+        return True
+
+    def on_drained(self, pipeline, t: int) -> None:
+        if t == 0:
+            # The queue drained before a single update was applied — every
+            # worker crashed at (effectively) time zero. An empty run is a
+            # setup error, not a data point.
+            raise AllWorkersCrashedError(
+                f"all {self.g} workers crashed before any master update was "
+                f"applied (fault log: {self.log.summary()})"
+            )
+
+    def on_complete(self, pipeline, t: int) -> None:
+        trace = self.trainer.trace
+        if trace is not None:
+            # Requests still in flight when the run ended never reached the
+            # master; account for them so conservation checks stay true.
+            for src, seq_lost in sorted(self.inflight):
+                trace.fault(src, pipeline.sim_time, "lost", peer=MASTER, seq=seq_lost)
+
+    def eval_params(self) -> np.ndarray:
+        return self.trainer._eval_vector()
+
+    def extras(self) -> Dict[str, float]:
+        t = self.completed
+        extras = {
+            "master_wait_seconds": self.waiting_total,
+            "failed_worker_events_dropped": float(self.dropped),
+            "mean_staleness": self.staleness_sum / t if t else 0.0,
+            "max_staleness": float(self.staleness_max),
+        }
+        if self.trainer.faults is not None:
+            extras.update(
+                {
+                    "messages_dropped": float(self.msg_dropped),
+                    "workers_evicted": float(len(self.evicted)),
+                    "workers_rejoined": float(self.rejoined),
+                    "degraded_iterations": float(self.degraded_iters),
+                }
+            )
+        return extras
+
+
 class _AsyncPSBase(BaseTrainer):
-    """Shared DES loop; subclasses set flags and implement the numerics."""
+    """Shared DES machinery; subclasses set flags and implement the numerics."""
 
     name = "async-base"
     lock_free = False  # Hogwild variants override
@@ -143,296 +446,8 @@ class _AsyncPSBase(BaseTrainer):
         """The vector whose accuracy the trajectory tracks (master state)."""
         return self.master
 
-    # -- the simulation --------------------------------------------------------
-    def train(self, iterations: int) -> RunResult:
-        if iterations <= 0:
-            raise ValueError("iterations must be positive")
-        g = self.platform.num_gpus
-        cfg = self.config
-
-        self._init_states(g, self.net.get_params())
-        samplers = [self.make_sampler(("worker", j)) for j in range(g)]
-
-        breakdown = TimeBreakdown()
-        records: List[TrainRecord] = []
-        last_loss = float("nan")
-
-        stage_t = self.platform.stage_batch_time(self.cost, cfg.batch_size)
-        oneway_t = self.platform.cpu_gpu_param_time(self.cost, packed=self.packed)
-        service_t = self.platform.cpu_update_time(self.cost)
-        local_upd_t = self.platform.gpu_update_time(self.cost) if self.elastic else 0.0
-
-        plan_msgs = self.platform.param_plan(self.cost, packed=self.packed)
-        nb = plan_msgs.total_bytes
-        trace = self.make_trace(
-            g,
-            pattern="ps",
-            lock_free=self.lock_free,
-            elastic=self.elastic,
-            packed=self.packed,
-            messages_per_exchange=1,
-        )
-        #: Request channels sent but not yet consumed/accounted; whatever
-        #: is still here when the run ends becomes a "lost" fault event so
-        #: conservation holds for truncated runs.
-        inflight: set = set()
-
-        plan = self.faults
-        log = self.fault_log = FaultLog()
-        queue = EventQueue()
-        send_seq = [0] * g  # per-worker message sequence numbers
-        retry_backoff = 2.0 * max(oneway_t, 1e-9)
-        # Heartbeat-timeout eviction policy: a worker the master has not
-        # heard from for ~25 healthy cycles is declared dead. The policy
-        # only *detects* — dead workers already contribute nothing — but it
-        # is what turns a silent loss into a logged, observable eviction.
-        fwdbwd_base = self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=0, jittered=False)
-        heartbeat = self.heartbeat_timeout
-        if heartbeat is None:
-            heartbeat = 25.0 * (stage_t + fwdbwd_base + 2.0 * oneway_t + service_t)
-
-        def launch_cycle(j: int, start: float) -> None:
-            """Schedule worker j's next master-arrival event."""
-            fwdbwd = self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
-            if plan is not None:
-                fwdbwd *= plan.slowdown(j, start)  # straggler/stall inflation
-            compute_done = start + stage_t + fwdbwd
-            if self.elastic:
-                # EASGD: the send does not wait for the pass (overlap).
-                arrival = start + oneway_t
-            else:
-                # SGD: the gradient is what gets sent; pass first.
-                arrival = compute_done + oneway_t
-            seq = send_seq[j]
-            send_seq[j] += 1
-            delayed = False
-            if plan is not None:
-                lag = plan.delay_seconds(j, "master", 0, seq)
-                if lag > 0.0:
-                    log.record(arrival, "delay", f"worker {j} -> master", f"+{lag:.4g}s seq={seq}")
-                    arrival += lag
-                    delayed = True
-            if trace is not None:
-                trace.span("staging", j, start, start + stage_t, op="cpu-gpu-data")
-                trace.span("compute", j, start + stage_t, compute_done, op="fwd-bwd")
-                send_t0 = start if self.elastic else compute_done
-                trace.send(j, MASTER, send_t0, arrival, tag=0, nbytes=nb, seq=seq,
-                           op="ps-request")
-                inflight.add((j, seq))
-                if delayed:
-                    trace.fault(j, arrival, "delay", peer=MASTER, seq=seq)
-            queue.push(arrival, ("arrival", j, compute_done, fwdbwd, seq, 0))
-
-        for j in range(g):
-            launch_cycle(j, 0.0)
-        # Crashed workers with a scheduled rejoin re-enter via rejoin events.
-        if plan is not None:
-            for j in range(g):
-                rejoin_at = plan.rejoin_time(j)
-                if rejoin_at is not None:
-                    queue.push(rejoin_at, ("rejoin", j))
-
-        master_free = 0.0
-        sim_time = 0.0
-        waiting_total = 0.0
-        dropped = 0
-        msg_dropped = 0
-        degraded_iters = 0
-        rejoined = 0
-        last_seen = [0.0] * g
-        crash_logged: set = set()
-        evicted: set = set()
-        # Staleness instrumentation: how many master updates landed between
-        # a worker's last sync and the application of its contribution —
-        # the quantity asynchronous convergence analyses bound.
-        master_version = 0
-        worker_version = [0] * g
-        staleness_sum = 0
-        staleness_max = 0
-        t = 0
-        while t < iterations and queue:
-            event = queue.pop()
-            now = event.time
-            if plan is not None:
-                # Master-side failure detection: log crashes as they take
-                # effect and evict workers silent for longer than the
-                # heartbeat timeout.
-                for k in range(g):
-                    if k in crash_logged or not plan.is_dead(k, now):
-                        continue
-                    crash_logged.add(k)
-                    log.record(plan.crash_time(k), "crash", f"worker {k}", "fail-stop")
-                    if trace is not None:
-                        trace.fault(k, plan.crash_time(k), "crash")
-                for k in range(g):
-                    if k in evicted or not plan.is_dead(k, now):
-                        continue
-                    if now - last_seen[k] > heartbeat:
-                        evicted.add(k)
-                        log.record(
-                            now, "evict", f"worker {k}",
-                            f"no heartbeat for > {heartbeat:.4g}s",
-                        )
-                        if trace is not None:
-                            trace.fault(k, now, "evict")
-            if event.payload[0] == "rejoin":
-                j = event.payload[1]
-                # Recovery: the worker restores by re-pulling the elastic
-                # center (checkpoint = the master's Wbar), resetting its
-                # velocity and staleness bookkeeping, then resumes cycling.
-                self.worker_w[j][...] = self.master
-                self.worker_v[j][...] = 0.0
-                worker_version[j] = master_version
-                evicted.discard(j)
-                last_seen[j] = now
-                rejoined += 1
-                log.record(now, "rejoin", f"worker {j}", "re-pulled elastic center")
-                if trace is not None:
-                    trace.fault(j, now, "rejoin")
-                launch_cycle(j, now)
-                continue
-            _, j, compute_done, fwdbwd, seq, attempt = event.payload
-            arrival = now
-            if plan is not None and plan.is_dead(j, arrival):
-                dropped += 1  # fail-stop: the message never arrives
-                if trace is not None:
-                    trace.fault(j, arrival, "dead", peer=MASTER, seq=seq)
-                    inflight.discard((j, seq))
-                continue
-            if plan is not None and plan.should_drop(j, "master", 0, seq, attempt):
-                # Transient message loss: the worker retransmits with
-                # exponential backoff; after max_send_retries it goes
-                # silent (and will be evicted by the heartbeat policy).
-                msg_dropped += 1
-                log.record(arrival, "drop", f"worker {j} -> master", f"seq={seq} attempt={attempt}")
-                if trace is not None:
-                    trace.fault(j, arrival, "drop", peer=MASTER, seq=seq)
-                if attempt + 1 > self.max_send_retries:
-                    log.record(
-                        arrival, "give-up", f"worker {j}",
-                        f"seq={seq}: still dropped after {attempt + 1} attempts",
-                    )
-                    if trace is not None:
-                        trace.fault(j, arrival, "give-up", peer=MASTER, seq=seq)
-                        inflight.discard((j, seq))
-                    continue
-                backoff = retry_backoff * (2 ** min(attempt, 6))
-                breakdown.add("cpu-gpu para", oneway_t)  # the retransmission
-                queue.push(arrival + backoff, ("arrival", j, compute_done, fwdbwd, seq, attempt + 1))
-                continue
-            last_seen[j] = arrival
-            if plan is not None and any(plan.is_dead(k, arrival) for k in range(g)):
-                degraded_iters += 1
-                breakdown.mark_degraded()
-
-            if self.lock_free:
-                service_start = arrival
-            else:
-                service_start = max(arrival, master_free)
-            service_done = service_start + service_t
-            if not self.lock_free:
-                master_free = service_done
-            waiting_total += service_start - arrival
-
-            # --- numerics: gradient at the worker's current local weights ---
-            images, labels = samplers[j].next_batch()
-            self.net.set_params(self.worker_w[j])
-            last_loss = self.net.gradient(images, labels, self.loss)
-            staleness = master_version - worker_version[j]
-            staleness_sum += staleness
-            staleness_max = max(staleness_max, staleness)
-            self._interaction(j, self.net.grads)
-            master_version += 1
-            worker_version[j] = master_version
-
-            # --- bookkeeping -----------------------------------------------
-            t += 1
-            reply_at = service_done + oneway_t
-            if self.elastic:
-                resume = max(reply_at, compute_done) + local_upd_t
-            else:
-                resume = reply_at
-            sim_time = max(sim_time, service_done)
-
-            if trace is not None:
-                inflight.discard((j, seq))
-                trace.recv(MASTER, j, arrival, service_start, tag=0, nbytes=nb,
-                           seq=seq, op="ps-request", iteration=t)
-                trace.span("service", MASTER, service_start, service_done,
-                           op="ps-serve", iteration=t, value=arrival)
-                trace.send(MASTER, j, service_done, reply_at, tag=1, nbytes=nb,
-                           seq=seq, op="ps-reply", iteration=t)
-                trace.recv(j, MASTER, reply_at, reply_at, tag=1, nbytes=nb,
-                           seq=seq, op="ps-reply", iteration=t)
-                if self.elastic:
-                    u0 = max(reply_at, compute_done)
-                    trace.span("update", j, u0, u0 + local_upd_t,
-                               op="elastic-update", iteration=t,
-                               value=float(staleness))
-
-            launch_cycle(j, resume)
-
-            breakdown.add("cpu-gpu data", stage_t)
-            breakdown.add("cpu-gpu para", 2.0 * oneway_t)
-            breakdown.add("for/backward", fwdbwd)
-            breakdown.add("cpu update", service_t)
-            if self.elastic:
-                breakdown.add("gpu update", local_upd_t)
-
-            if t % cfg.eval_every == 0 or t == iterations:
-                acc = self.evaluate_params(self._eval_vector())
-                records.append(TrainRecord(t, sim_time, last_loss, acc))
-                if self.should_stop(acc):
-                    break
-
-        if t == 0:
-            # The queue drained before a single update was applied — every
-            # worker crashed at (effectively) time zero. An empty run is a
-            # setup error, not a data point.
-            raise AllWorkersCrashedError(
-                f"all {g} workers crashed before any master update was applied "
-                f"(fault log: {log.summary()})"
-            )
-        if not records or records[-1].iteration != t:
-            # Fault-truncated run (queue drained mid-stride): snapshot the
-            # final state so the degraded trajectory is still analyzable.
-            acc = self.evaluate_params(self._eval_vector())
-            records.append(TrainRecord(t, sim_time, last_loss, acc))
-
-        if trace is not None:
-            # Requests still in flight when the run ended never reached the
-            # master; account for them so conservation checks stay true.
-            for src, seq_lost in sorted(inflight):
-                trace.fault(src, sim_time, "lost", peer=MASTER, seq=seq_lost)
-
-        extras = {
-            "master_wait_seconds": waiting_total,
-            "failed_worker_events_dropped": float(dropped),
-            "mean_staleness": staleness_sum / t if t else 0.0,
-            "max_staleness": float(staleness_max),
-        }
-        if plan is not None:
-            extras.update(
-                {
-                    "messages_dropped": float(msg_dropped),
-                    "workers_evicted": float(len(evicted)),
-                    "workers_rejoined": float(rejoined),
-                    "degraded_iterations": float(degraded_iters),
-                }
-            )
-
-        final_acc = records[-1].test_accuracy if records else 0.0
-        return RunResult(
-            method=self.name,
-            records=records,
-            breakdown=breakdown,
-            iterations=records[-1].iteration if records else 0,
-            sim_time=sim_time,
-            final_accuracy=final_acc,
-            extras=extras,
-            fault_log=log if plan is not None else None,
-            trace=trace,
-        )
+    def make_step(self) -> _AsyncPSStep:
+        return _AsyncPSStep(self)
 
 
 class AsyncSGDTrainer(_AsyncPSBase):

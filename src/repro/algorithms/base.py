@@ -197,9 +197,10 @@ class RunResult:
 class BaseTrainer:
     """Common state: datasets, the evaluation network, metric recording.
 
-    Subclasses implement ``train(iterations)``. ``train_to_accuracy`` wraps
-    it for the Table 3 protocol ("same accuracy 98.8%"): run in chunks until
-    a target accuracy is reached or the iteration cap hits.
+    Subclasses implement ``make_step()``, returning the step strategy the
+    shared :class:`repro.engine.StepPipeline` drives. ``train_to_accuracy``
+    wraps ``train`` for the Table 3 protocol ("same accuracy 98.8%"): run
+    until a target accuracy is reached or the iteration cap hits.
     """
 
     name = "base"
@@ -269,8 +270,21 @@ class BaseTrainer:
         return self._stop_accuracy is not None and accuracy >= self._stop_accuracy
 
     # -- public API --------------------------------------------------------------
-    def train(self, iterations: int) -> RunResult:
+    def make_step(self):
+        """The family's step strategy (see :mod:`repro.engine.strategy`)."""
         raise NotImplementedError
+
+    def train(self, iterations: int) -> RunResult:
+        """Run ``iterations`` steps through the shared step pipeline.
+
+        All step sequencing (the loop, the clock, eval snapshots, result
+        assembly) lives in :mod:`repro.engine`; subclasses contribute only
+        their step strategy via :meth:`make_step`.
+        """
+        # Late import: repro.engine depends on this module's dataclasses.
+        from repro.engine import run_training
+
+        return run_training(self, iterations)
 
     def train_to_accuracy(
         self, target: float, max_iterations: int, chunk: Optional[int] = None

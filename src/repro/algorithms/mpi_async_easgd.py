@@ -38,13 +38,10 @@ from repro.comm.backend import make_communicator
 from repro.comm.runtime import RankContextBase
 from repro.data.dataset import Dataset
 from repro.data.loader import BatchSampler
+from repro.engine.rank_loop import rank_steps
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.network import Network
-from repro.optim.easgd import (
-    EASGDHyper,
-    elastic_center_update_single,
-    elastic_worker_update,
-)
+from repro.optim.easgd import EASGDHyper, elastic_center_update_single, elastic_worker_update
 from repro.trace.events import Trace
 
 __all__ = ["MpiAsyncEasgdResult", "run_mpi_async_easgd"]
@@ -75,8 +72,7 @@ def _master_main(
     history: List[np.ndarray] = []
     mean_losses: List[float] = []
     trace = ctx.trace
-    for t in range(1, iterations + 1):
-        ctx.trace_iteration = t
+    for t in rank_steps(ctx, iterations):
         loss_sum = 0.0
         for j in range(1, ctx.size):
             batch_loss, w_j = ctx.recv(source=j, tag=TAG_W)
@@ -119,8 +115,7 @@ def _worker_main(
     loss = SoftmaxCrossEntropy()
     arena = BufferArena()
 
-    for t in range(1, iterations + 1):
-        ctx.trace_iteration = t
+    for _t in rank_steps(ctx, iterations):
         images, labels = sampler.next_batch()
         net.set_params(local)
         batch_loss = net.gradient(images, labels, loss)

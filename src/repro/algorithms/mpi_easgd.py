@@ -27,6 +27,7 @@ from repro.comm.backend import make_communicator
 from repro.comm.runtime import RankContextBase
 from repro.data.dataset import Dataset
 from repro.data.loader import BatchSampler
+from repro.engine.rank_loop import rank_steps
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.network import Network
 from repro.optim.easgd import EASGDHyper, elastic_worker_update
@@ -80,8 +81,7 @@ def _rank_main(
         )
         sampler.next_batch_into(img_buf, lbl_buf)  # batch for t=1, staged eagerly
 
-    for t in range(1, iterations + 1):
-        ctx.trace_iteration = t  # stamp runtime-emitted events with the loop index
+    for t in rank_steps(ctx, iterations):
         if overlap:
             images, labels = img_buf, lbl_buf
         else:

@@ -26,6 +26,7 @@ from repro.comm.backend import make_communicator
 from repro.comm.runtime import RankContextBase
 from repro.data.dataset import Dataset
 from repro.data.loader import BatchSampler
+from repro.engine.rank_loop import rank_steps
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.network import Network
 from repro.trace.events import Trace
@@ -57,8 +58,7 @@ def _rank_main(
     mean_losses: List[float] = []
     arena = BufferArena()  # the packed send buffer, reused every step
 
-    for t in range(1, iterations + 1):
-        ctx.trace_iteration = t
+    for _t in rank_steps(ctx, iterations):
         images, labels = sampler.next_batch()
         net.set_params(weights)
         batch_loss = net.gradient(images, labels, loss)

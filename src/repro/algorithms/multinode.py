@@ -8,6 +8,10 @@ GpuClusterPlatform`: per iteration every GPU in the cluster computes a
 gradient, worker weights are reduced within each node and allreduced
 across nodes, and the EASGD updates are applied exactly as in Sync EASGD3
 (including the compute/communication overlap).
+
+The loop is the shared :class:`repro.engine.StepPipeline`; the family
+contributes a clock step built on the same
+:class:`~repro.engine.SyncElasticUpdate` rule as Sync EASGD3.
 """
 
 from __future__ import annotations
@@ -16,21 +20,69 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.algorithms.base import (
-    BaseTrainer,
-    RunResult,
-    TimeBreakdown,
-    TrainRecord,
-    TrainerConfig,
-)
+from repro.algorithms.base import BaseTrainer, TrainerConfig
 from repro.cluster.cost import CostModel
 from repro.cluster.multinode import GpuClusterPlatform
-from repro.comm.collectives import tree_reduce
 from repro.data.dataset import Dataset
+from repro.engine.strategy import (
+    ClockStepStrategy,
+    gather_gradients,
+    jittered_fwdbwd,
+    SyncElasticUpdate,
+)
 from repro.nn.network import Network
-from repro.optim.easgd import EASGDHyper, elastic_worker_update
+from repro.optim.easgd import EASGDHyper
 
 __all__ = ["ClusterSyncEASGDTrainer"]
+
+
+class _ClusterSyncEasgdStep(ClockStepStrategy):
+    """One hierarchical Sync EASGD iteration across nodes x GPUs."""
+
+    def __init__(self, trainer: "ClusterSyncEASGDTrainer") -> None:
+        self.trainer = trainer
+
+    def begin(self, pipeline) -> None:
+        tr = self.trainer
+        w = tr.platform.num_workers
+        cfg = tr.config
+        self.center = tr.net.get_params()
+        self.workers: List[np.ndarray] = [self.center.copy() for _ in range(w)]
+        self.samplers = [tr.make_sampler(("cluster-worker", j)) for j in range(w)]
+        self.update = SyncElasticUpdate(tr.hyper)
+        self.live = list(range(w))
+        self.stage_t = tr.platform.stage_batch_time(tr.cost, cfg.batch_size)
+        self.comm_t = tr.platform.hierarchical_allreduce_time(
+            tr.cost, tr.allreduce, tr.packed
+        )
+        self.upd_t = 2.0 * tr.platform.gpu_update_time(tr.cost)
+
+    def step(self, pipeline, t: int) -> float:
+        tr = self.trainer
+        cfg = tr.config
+        grads, losses = gather_gradients(tr, self.samplers, self.live,
+                                         weights=self.workers)
+        self.last_loss = losses[-1]
+        self.update.apply(self.center, self.workers, grads, self.live)
+
+        fwdbwd_max = max(jittered_fwdbwd(
+            tr.platform, tr.cost, cfg.batch_size, self.live, None,
+            pipeline.sim_time,
+        ))
+        if tr.overlap:
+            hidden = cfg.overlap_efficiency * min(self.comm_t, self.stage_t + fwdbwd_max)
+            visible_comm = self.comm_t - hidden
+        else:
+            visible_comm = self.comm_t
+        breakdown = pipeline.breakdown
+        breakdown.add("cpu-gpu data", self.stage_t)
+        breakdown.add("for/backward", fwdbwd_max)
+        breakdown.add("gpu-gpu para", visible_comm)
+        breakdown.add("gpu update", self.upd_t)
+        return self.stage_t + fwdbwd_max + visible_comm + self.upd_t
+
+    def eval_params(self) -> np.ndarray:
+        return self.center
 
 
 class ClusterSyncEASGDTrainer(BaseTrainer):
@@ -74,65 +126,5 @@ class ClusterSyncEASGDTrainer(BaseTrainer):
             return stage + fwdbwd + (comm - hidden) + upd
         return stage + fwdbwd + comm + upd
 
-    def train(self, iterations: int) -> RunResult:
-        if iterations <= 0:
-            raise ValueError("iterations must be positive")
-        w = self.platform.num_workers
-        cfg = self.config
-
-        center = self.net.get_params()
-        workers: List[np.ndarray] = [center.copy() for _ in range(w)]
-        samplers = [self.make_sampler(("cluster-worker", j)) for j in range(w)]
-
-        breakdown = TimeBreakdown()
-        records: List[TrainRecord] = []
-        sim_time = 0.0
-        last_loss = float("nan")
-
-        stage_t = self.platform.stage_batch_time(self.cost, cfg.batch_size)
-        comm_t = self.platform.hierarchical_allreduce_time(self.cost, self.allreduce, self.packed)
-        upd_t = 2.0 * self.platform.gpu_update_time(self.cost)
-
-        for t in range(1, iterations + 1):
-            grads: List[np.ndarray] = []
-            for j in range(w):
-                images, labels = samplers[j].next_batch()
-                self.net.set_params(workers[j])
-                last_loss = self.net.gradient(images, labels, self.loss)
-                grads.append(self.net.grads.copy())
-
-            sum_w = tree_reduce(workers)
-            for j in range(w):
-                elastic_worker_update(workers[j], grads[j], center, self.hyper)
-            center += self.hyper.alpha * (sum_w - w * center)
-
-            fwdbwd_max = max(
-                self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
-                for j in range(w)
-            )
-            if self.overlap:
-                hidden = cfg.overlap_efficiency * min(comm_t, stage_t + fwdbwd_max)
-                visible_comm = comm_t - hidden
-            else:
-                visible_comm = comm_t
-            breakdown.add("cpu-gpu data", stage_t)
-            breakdown.add("for/backward", fwdbwd_max)
-            breakdown.add("gpu-gpu para", visible_comm)
-            breakdown.add("gpu update", upd_t)
-            sim_time += stage_t + fwdbwd_max + visible_comm + upd_t
-
-            if t % cfg.eval_every == 0 or t == iterations:
-                acc = self.evaluate_params(center)
-                records.append(TrainRecord(t, sim_time, last_loss, acc))
-                if self.should_stop(acc):
-                    break
-
-        final_acc = records[-1].test_accuracy if records else 0.0
-        return RunResult(
-            method=self.name,
-            records=records,
-            breakdown=breakdown,
-            iterations=records[-1].iteration if records else 0,
-            sim_time=sim_time,
-            final_accuracy=final_acc,
-        )
+    def make_step(self) -> _ClusterSyncEasgdStep:
+        return _ClusterSyncEasgdStep(self)

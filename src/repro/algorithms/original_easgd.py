@@ -11,35 +11,160 @@ Two timing variants, as in Table 3:
 - ``overlapped=False`` -> "Original EASGD*": strictly serial parts.
 - ``overlapped=True``  -> "Original EASGD": forward/backward hides under the
   CPU<->GPU parameter transfers; only the residue is visible compute.
+
+The loop itself lives in :mod:`repro.engine`; this module contributes the
+round-robin step strategy and its point-to-point communication model.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.algorithms.base import (
-    BaseTrainer,
-    RunResult,
-    TimeBreakdown,
-    TrainRecord,
-    TrainerConfig,
-)
+from repro.algorithms.base import BaseTrainer, TrainerConfig
 from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
 from repro.data.dataset import Dataset
-from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
+from repro.engine.faults import SyncFaultTracker
+from repro.engine.strategy import ClockStepStrategy, CommStrategy
+from repro.faults import FaultLog, FaultPlan
 from repro.nn.network import Network
-from repro.optim.easgd import (
-    EASGDHyper,
-    elastic_center_update_single,
-    elastic_worker_update,
-)
+from repro.optim.easgd import EASGDHyper, elastic_center_update_single, elastic_worker_update
 from repro.trace.events import MASTER
 from repro.trace.schedule import emit_p2p
 
 __all__ = ["OriginalEASGDTrainer"]
+
+
+class _RoundRobinComm(CommStrategy):
+    """Per-blob CPU<->GPU point-to-point exchange with one worker per step."""
+
+    def __init__(self, trainer: "OriginalEASGDTrainer") -> None:
+        tr = trainer
+        cfg = tr.config
+        self.overlapped = tr.overlapped
+        self.stage_t = tr.platform.stage_batch_time(tr.cost, cfg.batch_size)
+        self.param_oneway = tr.platform.cpu_gpu_param_time(tr.cost, packed=tr.packed)
+        self.gpu_upd_t = tr.platform.gpu_update_time(tr.cost)
+        self.cpu_upd_t = tr.platform.cpu_update_time(tr.cost)
+        # Lines 13 and 14 run on different devices (GPU_j vs CPU), so the
+        # two weight updates overlap; only the GPU residue is visible.
+        self.visible_gpu_upd = max(
+            0.0, self.gpu_upd_t - cfg.overlap_efficiency * self.cpu_upd_t
+        )
+        self.plan_msgs = tr.platform.param_plan(tr.cost, packed=tr.packed)
+
+    def charge(self, pipeline, t: int, j: int, fwdbwd: float) -> float:
+        param_comm = 2.0 * self.param_oneway  # send Wbar down, fetch W_j up
+        if self.overlapped:
+            # The pass pipelines fully under the (longer) weight
+            # transfers; only the part of compute that outlasts the
+            # transfer remains visible (Table 3 measures 3% residue).
+            visible_fwd = max(0.0, fwdbwd - param_comm)
+        else:
+            visible_fwd = fwdbwd
+        breakdown = pipeline.breakdown
+        breakdown.add("cpu-gpu data", self.stage_t)
+        breakdown.add("cpu-gpu para", param_comm)
+        breakdown.add("for/backward", visible_fwd)
+        breakdown.add("gpu update", self.visible_gpu_upd)
+        breakdown.add("cpu update", self.cpu_upd_t)
+        return self.stage_t + param_comm + visible_fwd + self.visible_gpu_upd + self.cpu_upd_t
+
+    def emit(self, trace, t: int, T: float, j: int, fwdbwd: float,
+             visible_fwd: float) -> None:
+        # Reconstruct the iteration's timeline: staging, then the two
+        # CPU<->GPU transfers (compute hides under them when
+        # overlapped), then the visible update residues.
+        t_stage = T + self.stage_t
+        t_down = t_stage + self.param_oneway
+        t_up = t_down + self.param_oneway
+        trace.span("staging", j, T, t_stage, op="cpu-gpu-data", iteration=t)
+        emit_p2p(trace, MASTER, j, t_stage, t_down, op="round-robin",
+                 nbytes=self.plan_msgs.total_bytes,
+                 messages=self.plan_msgs.num_messages, tag=1, seq=t, iteration=t)
+        emit_p2p(trace, j, MASTER, t_down, t_up, op="round-robin",
+                 nbytes=self.plan_msgs.total_bytes,
+                 messages=self.plan_msgs.num_messages, tag=2, seq=t, iteration=t)
+        c0 = t_stage if self.overlapped else t_up
+        trace.span("compute", j, c0, c0 + fwdbwd, op="fwd-bwd", iteration=t)
+        u0 = t_up + visible_fwd
+        trace.span("update", j, u0, u0 + self.visible_gpu_upd, op="gpu-update",
+                   iteration=t)
+        trace.span("update", MASTER, u0 + self.visible_gpu_upd,
+                   u0 + self.visible_gpu_upd + self.cpu_upd_t, op="cpu-update",
+                   iteration=t)
+
+
+class _OriginalEasgdStep(ClockStepStrategy):
+    """One round-robin iteration: single-worker exchange, Eq 1, Eq 2."""
+
+    def __init__(self, trainer: "OriginalEASGDTrainer") -> None:
+        self.trainer = trainer
+
+    def begin(self, pipeline) -> None:
+        tr = self.trainer
+        g = self.g = tr.platform.num_gpus
+        # Algorithm 1 lines 3-5: per-GPU local weights and the CPU center,
+        # all copies of the same initialization.
+        self.center = tr.net.get_params()
+        self.workers: List[np.ndarray] = [self.center.copy() for _ in range(g)]
+        self.samplers = [tr.make_sampler(("worker", j)) for j in range(g)]
+        self.comm = _RoundRobinComm(tr)
+        tr.make_trace(
+            g,
+            pattern="round-robin",
+            packed=tr.packed,
+            overlapped=tr.overlapped,
+            messages_per_exchange=self.comm.plan_msgs.num_messages,
+        )
+        log = tr.fault_log = FaultLog()
+        self.tracker = SyncFaultTracker(
+            tr.faults, log, g, tr.name,
+            restore=lambda k: self.workers[k].__setitem__(..., self.center),
+        )
+
+    def step(self, pipeline, t: int) -> float:
+        tr = self.trainer
+        live = self.tracker.prologue(pipeline, t)
+        j = (t - 1) % self.g  # Algorithm 1 line 7 (0-based)
+        # Round-robin over survivors: the master skips dead ranks
+        # instead of blocking on a reply that will never come.
+        while j not in live:
+            j = (j + 1) % self.g
+
+        # --- numerics -------------------------------------------------
+        images, labels = self.samplers[j].next_batch()
+        tr.net.set_params(self.workers[j])
+        self.last_loss = tr.net.gradient(images, labels, tr.loss)
+        w_before = self.workers[j].copy()  # W_j^t as fetched by the CPU (line 12)
+        # line 13: GPU applies Eq 1 against the Wbar it was sent.
+        elastic_worker_update(self.workers[j], tr.net.grads, self.center, tr.hyper)
+        # line 14: CPU applies the single-worker Eq 2 with W_j^t.
+        elastic_center_update_single(self.center, w_before, tr.hyper)
+
+        # --- simulated time --------------------------------------------
+        fwdbwd = tr.platform.fwdbwd_time(tr.cost, tr.config.batch_size, worker=j)
+        if tr.faults is not None:
+            fwdbwd *= tr.faults.slowdown(j, pipeline.sim_time)  # straggler inflation
+        iter_time = self.comm.charge(pipeline, t, j, fwdbwd)
+        if tr.trace is not None:
+            visible_fwd = (max(0.0, fwdbwd - 2.0 * self.comm.param_oneway)
+                           if tr.overlapped else fwdbwd)
+            self.comm.emit(tr.trace, t, pipeline.sim_time, j, fwdbwd, visible_fwd)
+        return iter_time
+
+    def eval_params(self) -> np.ndarray:
+        return self.center
+
+    def extras(self) -> Dict[str, float]:
+        if self.trainer.faults is None:
+            return {}
+        return {
+            "degraded_rounds": float(self.tracker.degraded_rounds),
+            "workers_rejoined": float(self.tracker.rejoined),
+        }
 
 
 class OriginalEASGDTrainer(BaseTrainer):
@@ -66,153 +191,5 @@ class OriginalEASGDTrainer(BaseTrainer):
         self.name = "Original EASGD" if overlapped else "Original EASGD*"
         self.hyper = EASGDHyper(lr=config.lr, rho=config.rho, mu=config.mu)
 
-    def train(self, iterations: int) -> RunResult:
-        if iterations <= 0:
-            raise ValueError("iterations must be positive")
-        g = self.platform.num_gpus
-        cfg = self.config
-
-        # Algorithm 1 lines 3-5: per-GPU local weights and the CPU center,
-        # all copies of the same initialization.
-        center = self.net.get_params()
-        workers: List[np.ndarray] = [center.copy() for _ in range(g)]
-        samplers = [self.make_sampler(("worker", j)) for j in range(g)]
-
-        breakdown = TimeBreakdown()
-        records: List[TrainRecord] = []
-        sim_time = 0.0
-        last_loss = float("nan")
-
-        # Per-iteration constant costs.
-        stage_t = self.platform.stage_batch_time(self.cost, cfg.batch_size)
-        param_oneway = self.platform.cpu_gpu_param_time(self.cost, packed=self.packed)
-        gpu_upd_t = self.platform.gpu_update_time(self.cost)
-        cpu_upd_t = self.platform.cpu_update_time(self.cost)
-
-        plan_msgs = self.platform.param_plan(self.cost, packed=self.packed)
-        trace = self.make_trace(
-            g,
-            pattern="round-robin",
-            packed=self.packed,
-            overlapped=self.overlapped,
-            messages_per_exchange=plan_msgs.num_messages,
-        )
-
-        plan = self.faults
-        log = self.fault_log = FaultLog()
-        currently_dead: set = set()
-        degraded_rounds = 0
-        rejoined = 0
-
-        for t in range(1, iterations + 1):
-            j = (t - 1) % g  # Algorithm 1 line 7 (0-based)
-            if plan is not None:
-                for k in range(g):
-                    if plan.is_dead(k, sim_time) and k not in currently_dead:
-                        currently_dead.add(k)
-                        log.record(plan.crash_time(k), "crash", f"worker {k}", "fail-stop")
-                        if trace is not None:
-                            trace.fault(k, sim_time, "crash", iteration=t)
-                    elif not plan.is_dead(k, sim_time) and k in currently_dead:
-                        currently_dead.discard(k)
-                        workers[k][...] = center  # recovery: restore from center
-                        rejoined += 1
-                        log.record(sim_time, "rejoin", f"worker {k}", "re-pulled elastic center")
-                        if trace is not None:
-                            trace.fault(k, sim_time, "rejoin", iteration=t)
-                if len(currently_dead) == g:
-                    raise AllWorkersCrashedError(
-                        f"all {g} workers crashed by t={sim_time:.4g}s "
-                        f"(iteration {t}; fault log: {log.summary()})"
-                    )
-                # Round-robin over survivors: the master skips dead ranks
-                # instead of blocking on a reply that will never come.
-                while j in currently_dead:
-                    j = (j + 1) % g
-                if currently_dead:
-                    degraded_rounds += 1
-                    breakdown.mark_degraded()
-
-            # --- numerics -------------------------------------------------
-            images, labels = samplers[j].next_batch()
-            self.net.set_params(workers[j])
-            last_loss = self.net.gradient(images, labels, self.loss)
-            w_before = workers[j].copy()  # W_j^t as fetched by the CPU (line 12)
-            # line 13: GPU applies Eq 1 against the Wbar it was sent.
-            elastic_worker_update(workers[j], self.net.grads, center, self.hyper)
-            # line 14: CPU applies the single-worker Eq 2 with W_j^t.
-            elastic_center_update_single(center, w_before, self.hyper)
-
-            # --- simulated time --------------------------------------------
-            fwdbwd = self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
-            if plan is not None:
-                fwdbwd *= plan.slowdown(j, sim_time)  # straggler/stall inflation
-            param_comm = 2.0 * param_oneway  # send Wbar down, fetch W_j up
-            if self.overlapped:
-                # The pass pipelines fully under the (longer) weight
-                # transfers; only the part of compute that outlasts the
-                # transfer remains visible (Table 3 measures 3% residue).
-                visible_fwd = max(0.0, fwdbwd - param_comm)
-            else:
-                visible_fwd = fwdbwd
-            # Lines 13 and 14 run on different devices (GPU_j vs CPU), so the
-            # two weight updates overlap; only the GPU residue is visible.
-            visible_gpu_upd = max(
-                0.0, gpu_upd_t - cfg.overlap_efficiency * cpu_upd_t
-            )
-            breakdown.add("cpu-gpu data", stage_t)
-            breakdown.add("cpu-gpu para", param_comm)
-            breakdown.add("for/backward", visible_fwd)
-            breakdown.add("gpu update", visible_gpu_upd)
-            breakdown.add("cpu update", cpu_upd_t)
-
-            if trace is not None:
-                # Reconstruct the iteration's timeline: staging, then the two
-                # CPU<->GPU transfers (compute hides under them when
-                # overlapped), then the visible update residues.
-                t_stage = sim_time + stage_t
-                t_down = t_stage + param_oneway
-                t_up = t_down + param_oneway
-                trace.span("staging", j, sim_time, t_stage, op="cpu-gpu-data",
-                           iteration=t)
-                emit_p2p(trace, MASTER, j, t_stage, t_down, op="round-robin",
-                         nbytes=plan_msgs.total_bytes,
-                         messages=plan_msgs.num_messages, tag=1, seq=t, iteration=t)
-                emit_p2p(trace, j, MASTER, t_down, t_up, op="round-robin",
-                         nbytes=plan_msgs.total_bytes,
-                         messages=plan_msgs.num_messages, tag=2, seq=t, iteration=t)
-                c0 = t_stage if self.overlapped else t_up
-                trace.span("compute", j, c0, c0 + fwdbwd, op="fwd-bwd", iteration=t)
-                u0 = t_up + visible_fwd
-                trace.span("update", j, u0, u0 + visible_gpu_upd, op="gpu-update",
-                           iteration=t)
-                trace.span("update", MASTER, u0 + visible_gpu_upd,
-                           u0 + visible_gpu_upd + cpu_upd_t, op="cpu-update",
-                           iteration=t)
-
-            sim_time += stage_t + param_comm + visible_fwd + visible_gpu_upd + cpu_upd_t
-
-            if t % cfg.eval_every == 0 or t == iterations:
-                acc = self.evaluate_params(center)
-                records.append(TrainRecord(t, sim_time, last_loss, acc))
-                if self.should_stop(acc):
-                    break
-
-        extras = {}
-        if plan is not None:
-            extras = {
-                "degraded_rounds": float(degraded_rounds),
-                "workers_rejoined": float(rejoined),
-            }
-        final_acc = records[-1].test_accuracy if records else 0.0
-        return RunResult(
-            method=self.name,
-            records=records,
-            breakdown=breakdown,
-            iterations=records[-1].iteration if records else 0,
-            sim_time=sim_time,
-            final_accuracy=final_acc,
-            extras=extras,
-            fault_log=log if plan is not None else None,
-            trace=trace,
-        )
+    def make_step(self) -> _OriginalEasgdStep:
+        return _OriginalEasgdStep(self)

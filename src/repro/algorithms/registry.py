@@ -1,11 +1,19 @@
 """Name -> trainer-factory registry used by the harness and benchmarks.
 
-Keys match the method names of Figures 8-9. Each factory has the uniform
-signature ``(network, train_set, test_set, platform, config, cost_model)``.
+Keys match the method names of Figures 8-9 plus the cluster-scale trainers
+(Algorithm 4 / Section 7). Each factory has the uniform signature
+``(network, train_set, test_set, platform, config, cost_model)`` where
+``platform`` is the harness-built :class:`repro.cluster.GpuPlatform`; the
+cluster entries adapt it into the platform type their trainer simulates
+(one KNL node, or one single-GPU cluster node, per requested worker).
+
+:data:`ALGORITHM_INFO` carries the presentation metadata (family,
+synchronisation style, paper section) behind ``repro --list-algorithms``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Dict
 
@@ -22,7 +30,34 @@ from repro.algorithms.original_easgd import OriginalEASGDTrainer
 from repro.algorithms.sync_easgd import SyncEASGDTrainer
 from repro.algorithms.sync_sgd import SyncSGDTrainer
 
-__all__ = ["ALGORITHMS", "make_trainer"]
+__all__ = ["ALGORITHMS", "ALGORITHM_INFO", "AlgorithmInfo", "make_trainer"]
+
+
+def _make_knl_sync_easgd(network, train_set, test_set, platform, config,
+                         cost_model=None, **kwargs) -> BaseTrainer:
+    """Adapt the harness GpuPlatform into ``num_gpus`` KNL nodes."""
+    from repro.cluster.platform import KnlPlatform
+    from repro.knl.trainer import KnlSyncEASGDTrainer
+
+    knl = KnlPlatform(num_nodes=platform.num_gpus, seed=platform.seed)
+    return KnlSyncEASGDTrainer(
+        network, train_set, test_set, knl, config, cost_model, **kwargs
+    )
+
+
+def _make_cluster_sync_easgd(network, train_set, test_set, platform, config,
+                             cost_model=None, **kwargs) -> BaseTrainer:
+    """Adapt the harness GpuPlatform into ``num_gpus`` single-GPU nodes."""
+    from repro.algorithms.multinode import ClusterSyncEASGDTrainer
+    from repro.cluster.multinode import GpuClusterPlatform
+
+    cluster = GpuClusterPlatform(
+        num_nodes=platform.num_gpus, gpus_per_node=1, seed=platform.seed
+    )
+    return ClusterSyncEASGDTrainer(
+        network, train_set, test_set, cluster, config, cost_model, **kwargs
+    )
+
 
 ALGORITHMS: Dict[str, Callable[..., BaseTrainer]] = {
     # existing methods (baselines the paper compares against)
@@ -41,6 +76,38 @@ ALGORITHMS: Dict[str, Callable[..., BaseTrainer]] = {
     "sync-easgd2": partial(SyncEASGDTrainer, variant=2),
     "sync-easgd3": partial(SyncEASGDTrainer, variant=3),
     "sync-easgd": partial(SyncEASGDTrainer, variant=3),  # the headline method
+    # cluster-scale trainers (platform adapted from the harness GpuPlatform)
+    "knl-sync-easgd": _make_knl_sync_easgd,
+    "cluster-sync-easgd": _make_cluster_sync_easgd,
+}
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Presentation metadata for one registry entry."""
+
+    family: str  # which trainer family implements it
+    sync: str  # "sync" or "async"
+    section: str  # where the paper introduces or measures it
+
+
+ALGORITHM_INFO: Dict[str, AlgorithmInfo] = {
+    "original-easgd": AlgorithmInfo("round-robin EASGD", "sync", "Alg 1, Table 3"),
+    "original-easgd*": AlgorithmInfo("round-robin EASGD", "sync", "Alg 1, Table 3"),
+    "async-sgd": AlgorithmInfo("parameter server", "async", "Sec 3.1"),
+    "async-msgd": AlgorithmInfo("parameter server", "async", "Sec 3.1, Eqs 3-4"),
+    "hogwild-sgd": AlgorithmInfo("parameter server", "async", "Sec 3.2"),
+    "sync-sgd": AlgorithmInfo("allreduce SGD", "sync", "Sec 5.2, Fig 10"),
+    "sync-sgd-unpacked": AlgorithmInfo("allreduce SGD", "sync", "Sec 5.2, Fig 10"),
+    "async-easgd": AlgorithmInfo("parameter server", "async", "Sec 5.1, Eqs 1-2"),
+    "async-measgd": AlgorithmInfo("parameter server", "async", "Sec 5.1, Eqs 5-6"),
+    "hogwild-easgd": AlgorithmInfo("parameter server", "async", "Sec 5.1"),
+    "sync-easgd1": AlgorithmInfo("tree EASGD", "sync", "Sec 6.1, Alg 2"),
+    "sync-easgd2": AlgorithmInfo("tree EASGD", "sync", "Sec 6.1, Alg 3"),
+    "sync-easgd3": AlgorithmInfo("tree EASGD", "sync", "Sec 6.1, Alg 3+overlap"),
+    "sync-easgd": AlgorithmInfo("tree EASGD", "sync", "Sec 6.1, Alg 3+overlap"),
+    "knl-sync-easgd": AlgorithmInfo("KNL cluster", "sync", "Sec 6.2, Alg 4"),
+    "cluster-sync-easgd": AlgorithmInfo("GPU cluster", "sync", "Sec 7, Table 4"),
 }
 
 

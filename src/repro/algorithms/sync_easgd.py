@@ -18,32 +18,223 @@ time (Section 6.1):
 That the three variants produce bit-identical weight trajectories while
 their clocks strictly improve is the paper's determinism + speedup story,
 and is asserted by the integration tests.
+
+The step structure (loop, clock, eval snapshots) lives in
+:mod:`repro.engine`; this module contributes the family's strategy
+objects: the shared :class:`~repro.engine.SyncElasticUpdate` rule and the
+variant-aware tree :class:`~repro.engine.CommStrategy`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.algorithms.base import (
-    BaseTrainer,
-    RunResult,
-    TimeBreakdown,
-    TrainRecord,
-    TrainerConfig,
-)
+from repro.algorithms.base import BaseTrainer, TrainerConfig
 from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
-from repro.comm.collectives import tree_reduce
 from repro.data.dataset import Dataset
-from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
+from repro.engine.faults import SyncFaultTracker
+from repro.engine.strategy import (
+    ClockStepStrategy,
+    CommStrategy,
+    gather_gradients,
+    jittered_fwdbwd,
+    SyncElasticUpdate,
+)
+from repro.faults import FaultLog, FaultPlan
 from repro.nn.network import Network
-from repro.optim.easgd import EASGDHyper, elastic_worker_update
+from repro.optim.easgd import EASGDHyper
 from repro.trace.events import MASTER
 from repro.trace.schedule import emit_tree_phase
 
 __all__ = ["SyncEASGDTrainer"]
+
+
+class _TreeEasgdComm(CommStrategy):
+    """Variant-aware tree communication: per-iteration cost + trace spans."""
+
+    def __init__(self, trainer: "SyncEASGDTrainer") -> None:
+        tr = trainer
+        cfg = tr.config
+        self.variant = tr.variant
+        self.overlap_efficiency = cfg.overlap_efficiency
+        # Constant per-iteration costs.
+        self.stage_t = tr.platform.stage_batch_time(tr.cost, cfg.batch_size)
+        self.gpu_upd_t = tr.platform.gpu_update_time(tr.cost)
+        self.cpu_upd_t = tr.platform.cpu_update_time(tr.cost)
+        if self.variant == 1:
+            self.param_traffic = "cpu-gpu para"
+        else:
+            self.param_traffic = "gpu-gpu para"
+        self._platform, self._cost, self._packed = tr.platform, tr.cost, tr.packed
+        self.bcast_t = tr.platform.tree_bcast_time(tr.cost, self.param_traffic, tr.packed)
+        self.reduce_t = tr.platform.tree_reduce_time(tr.cost, self.param_traffic, tr.packed)
+        self.plan_msgs = tr.platform.param_plan(tr.cost, packed=tr.packed)
+
+    def retime(self, ranks: int) -> None:
+        """Re-cost the tree phases after a rebuild over the survivors."""
+        self.bcast_t = self._platform.tree_bcast_time(
+            self._cost, self.param_traffic, self._packed, ranks=ranks
+        )
+        self.reduce_t = self._platform.tree_reduce_time(
+            self._cost, self.param_traffic, self._packed, ranks=ranks
+        )
+
+    def charge(self, pipeline, t: int, live: List[int],
+               fwdbwd_each: List[float]) -> float:
+        breakdown = pipeline.breakdown
+        fwdbwd_max = max(fwdbwd_each)
+        if self.variant == 1:
+            # Serial: stage, bcast, compute, reduce, GPU update, CPU update.
+            iter_time = (self.stage_t + self.bcast_t + fwdbwd_max + self.reduce_t
+                         + self.gpu_upd_t + self.cpu_upd_t)
+            breakdown.add("cpu-gpu data", self.stage_t)
+            breakdown.add("cpu-gpu para", self.bcast_t + self.reduce_t)
+            breakdown.add("for/backward", fwdbwd_max)
+            breakdown.add("gpu update", self.gpu_upd_t)
+            breakdown.add("cpu update", self.cpu_upd_t)
+        elif self.variant == 2:
+            # Center on GPU1: switch traffic; GPU1 also applies Eq 2.
+            upd = 2.0 * self.gpu_upd_t
+            iter_time = self.stage_t + self.bcast_t + fwdbwd_max + self.reduce_t + upd
+            breakdown.add("cpu-gpu data", self.stage_t)
+            breakdown.add("gpu-gpu para", self.bcast_t + self.reduce_t)
+            breakdown.add("for/backward", fwdbwd_max)
+            breakdown.add("gpu update", upd)
+        else:
+            # Variant 3: GPU-GPU comm overlaps the stage+compute path.
+            comm = self.bcast_t + self.reduce_t
+            hidden = self.overlap_efficiency * min(comm, self.stage_t + fwdbwd_max)
+            visible_comm = comm - hidden
+            upd = 2.0 * self.gpu_upd_t
+            iter_time = self.stage_t + fwdbwd_max + visible_comm + upd
+            breakdown.add("cpu-gpu data", self.stage_t)
+            breakdown.add("gpu-gpu para", visible_comm)
+            breakdown.add("for/backward", fwdbwd_max)
+            breakdown.add("gpu update", upd)
+        return iter_time
+
+    def emit(self, trace, t: int, T: float, live: List[int],
+             fwdbwd_each: List[float], iter_time: float) -> None:
+        """Expand one iteration into its traced timeline.
+
+        Variants 1/2 are strictly serial: staging, broadcast, compute,
+        reduce, updates. Variant 3 runs both tree phases concurrently
+        with the staging+compute path (the overlap the paper's speedup
+        comes from), with updates at the iteration tail. The tree is
+        drawn over the live ranks (root = ``live[0]`` after a rebuild);
+        variant 1's extra CPU residency is a link-cost matter already
+        folded into ``bcast_t``/``reduce_t``.
+        """
+        stage_t, bcast_t, reduce_t = self.stage_t, self.bcast_t, self.reduce_t
+        gpu_upd_t, cpu_upd_t = self.gpu_upd_t, self.cpu_upd_t
+        nbytes = self.plan_msgs.total_bytes
+        mult = self.plan_msgs.num_messages
+        if self.variant == 3:
+            for j, fwd in zip(live, fwdbwd_each):
+                trace.span("staging", j, T, T + stage_t, op="cpu-gpu-data", iteration=t)
+                trace.span("compute", j, T + stage_t, T + stage_t + fwd,
+                           op="fwd-bwd", iteration=t)
+            emit_tree_phase(trace, "tree-reduce", live, T, T + reduce_t,
+                            nbytes=nbytes, messages_per_edge=mult, tag=102,
+                            iteration=t, reduce=True)
+            emit_tree_phase(trace, "tree-bcast", live, T + reduce_t,
+                            T + reduce_t + bcast_t, nbytes=nbytes,
+                            messages_per_edge=mult, tag=101, iteration=t)
+            u0 = T + iter_time - 2.0 * gpu_upd_t
+            for j in live:
+                trace.span("update", j, u0, u0 + gpu_upd_t, op="gpu-update", iteration=t)
+            trace.span("update", live[0], u0 + gpu_upd_t, u0 + 2.0 * gpu_upd_t,
+                       op="gpu-update", iteration=t)
+            return
+        # Serial variants: each phase waits for the previous one.
+        fwd_max = max(fwdbwd_each)
+        t_stage = T + stage_t
+        t_bcast = t_stage + bcast_t
+        t_comp = t_bcast + fwd_max
+        t_red = t_comp + reduce_t
+        for j, fwd in zip(live, fwdbwd_each):
+            trace.span("staging", j, T, t_stage, op="cpu-gpu-data", iteration=t)
+            trace.span("compute", j, t_bcast, t_bcast + fwd, op="fwd-bwd", iteration=t)
+        emit_tree_phase(trace, "tree-bcast", live, t_stage, t_bcast,
+                        nbytes=nbytes, messages_per_edge=mult, tag=101, iteration=t)
+        emit_tree_phase(trace, "tree-reduce", live, t_comp, t_red,
+                        nbytes=nbytes, messages_per_edge=mult, tag=102,
+                        iteration=t, reduce=True)
+        for j in live:
+            trace.span("update", j, t_red, t_red + gpu_upd_t, op="gpu-update", iteration=t)
+        if self.variant == 1:
+            trace.span("update", MASTER, t_red + gpu_upd_t,
+                       t_red + gpu_upd_t + cpu_upd_t, op="cpu-update", iteration=t)
+        else:
+            trace.span("update", live[0], t_red + gpu_upd_t,
+                       t_red + 2.0 * gpu_upd_t, op="gpu-update", iteration=t)
+
+
+class _SyncEasgdStep(ClockStepStrategy):
+    """One Sync EASGD iteration: gather, tree-elastic update, charge, trace."""
+
+    def __init__(self, trainer: "SyncEASGDTrainer") -> None:
+        self.trainer = trainer
+
+    def begin(self, pipeline) -> None:
+        tr = self.trainer
+        g = tr.platform.num_gpus
+        self.center = tr.net.get_params()
+        self.workers: List[np.ndarray] = [self.center.copy() for _ in range(g)]
+        self.samplers = [tr.make_sampler(("worker", j)) for j in range(g)]
+        self.update = SyncElasticUpdate(tr.hyper)
+        self.comm = _TreeEasgdComm(tr)
+        tr.make_trace(
+            g,
+            pattern="tree",
+            variant=tr.variant,
+            packed=tr.packed,
+            overlapped=tr.variant == 3,
+            messages_per_exchange=self.comm.plan_msgs.num_messages,
+        )
+        # Fault machinery: a crash removes a rank from the reduction tree
+        # (the tree is rebuilt over survivors instead of deadlocking); a
+        # rejoining rank re-pulls the elastic center before re-entering.
+        log = tr.fault_log = FaultLog()
+        self.tracker = SyncFaultTracker(
+            tr.faults, log, g, tr.name,
+            restore=lambda j: self.workers[j].__setitem__(..., self.center),
+            on_resize=self.comm.retime,
+            resize_label="binomial tree",
+        )
+
+    def step(self, pipeline, t: int) -> float:
+        tr = self.trainer
+        live = self.tracker.prologue(pipeline, t)
+
+        # --- numerics (identical across variants) -----------------------
+        grads, losses = gather_gradients(tr, self.samplers, live, weights=self.workers)
+        self.last_loss = losses[-1]
+        self.update.apply(self.center, self.workers, grads, live)
+
+        # --- simulated time ---------------------------------------------
+        fwdbwd_each = jittered_fwdbwd(
+            tr.platform, tr.cost, tr.config.batch_size, live, tr.faults,
+            pipeline.sim_time,
+        )
+        iter_time = self.comm.charge(pipeline, t, live, fwdbwd_each)
+        if tr.trace is not None:
+            self.comm.emit(tr.trace, t, pipeline.sim_time, live, fwdbwd_each, iter_time)
+        return iter_time
+
+    def eval_params(self) -> np.ndarray:
+        return self.center
+
+    def extras(self) -> Dict[str, float]:
+        if self.trainer.faults is None:
+            return {}
+        return {
+            "degraded_rounds": float(self.tracker.degraded_rounds),
+            "tree_rebuilds": float(self.tracker.rebuilds),
+        }
 
 
 class SyncEASGDTrainer(BaseTrainer):
@@ -73,230 +264,5 @@ class SyncEASGDTrainer(BaseTrainer):
         self.hyper = EASGDHyper(lr=config.lr, rho=config.rho, mu=config.mu)
         self.hyper.validate_sync(platform.num_gpus if hasattr(platform, 'num_gpus') else platform.num_nodes)
 
-    def _emit_iteration(
-        self, trace, t: int, T: float, live: List[int], fwdbwd_each: List[float],
-        stage_t: float, bcast_t: float, reduce_t: float,
-        gpu_upd_t: float, cpu_upd_t: float, iter_time: float, plan_msgs,
-    ) -> None:
-        """Expand one iteration into its traced timeline.
-
-        Variants 1/2 are strictly serial: staging, broadcast, compute,
-        reduce, updates. Variant 3 runs both tree phases concurrently
-        with the staging+compute path (the overlap the paper's speedup
-        comes from), with updates at the iteration tail. The tree is
-        drawn over the live ranks (root = ``live[0]`` after a rebuild);
-        variant 1's extra CPU residency is a link-cost matter already
-        folded into ``bcast_t``/``reduce_t``.
-        """
-        nbytes = plan_msgs.total_bytes
-        mult = plan_msgs.num_messages
-        fwd_max = max(fwdbwd_each)
-        if self.variant == 3:
-            for j, fwd in zip(live, fwdbwd_each):
-                trace.span("staging", j, T, T + stage_t, op="cpu-gpu-data", iteration=t)
-                trace.span("compute", j, T + stage_t, T + stage_t + fwd,
-                           op="fwd-bwd", iteration=t)
-            emit_tree_phase(trace, "tree-reduce", live, T, T + reduce_t,
-                            nbytes=nbytes, messages_per_edge=mult, tag=102,
-                            iteration=t, reduce=True)
-            emit_tree_phase(trace, "tree-bcast", live, T + reduce_t,
-                            T + reduce_t + bcast_t, nbytes=nbytes,
-                            messages_per_edge=mult, tag=101, iteration=t)
-            u0 = T + iter_time - 2.0 * gpu_upd_t
-            for j in live:
-                trace.span("update", j, u0, u0 + gpu_upd_t, op="gpu-update", iteration=t)
-            trace.span("update", live[0], u0 + gpu_upd_t, u0 + 2.0 * gpu_upd_t,
-                       op="gpu-update", iteration=t)
-            return
-        # Serial variants: each phase waits for the previous one.
-        t_stage = T + stage_t
-        t_bcast = t_stage + bcast_t
-        t_comp = t_bcast + fwd_max
-        t_red = t_comp + reduce_t
-        for j, fwd in zip(live, fwdbwd_each):
-            trace.span("staging", j, T, t_stage, op="cpu-gpu-data", iteration=t)
-            trace.span("compute", j, t_bcast, t_bcast + fwd, op="fwd-bwd", iteration=t)
-        emit_tree_phase(trace, "tree-bcast", live, t_stage, t_bcast,
-                        nbytes=nbytes, messages_per_edge=mult, tag=101, iteration=t)
-        emit_tree_phase(trace, "tree-reduce", live, t_comp, t_red,
-                        nbytes=nbytes, messages_per_edge=mult, tag=102,
-                        iteration=t, reduce=True)
-        for j in live:
-            trace.span("update", j, t_red, t_red + gpu_upd_t, op="gpu-update", iteration=t)
-        if self.variant == 1:
-            trace.span("update", MASTER, t_red + gpu_upd_t,
-                       t_red + gpu_upd_t + cpu_upd_t, op="cpu-update", iteration=t)
-        else:
-            trace.span("update", live[0], t_red + gpu_upd_t,
-                       t_red + 2.0 * gpu_upd_t, op="gpu-update", iteration=t)
-
-    def train(self, iterations: int) -> RunResult:
-        if iterations <= 0:
-            raise ValueError("iterations must be positive")
-        g = self.platform.num_gpus
-        cfg = self.config
-
-        center = self.net.get_params()
-        workers: List[np.ndarray] = [center.copy() for _ in range(g)]
-        samplers = [self.make_sampler(("worker", j)) for j in range(g)]
-
-        breakdown = TimeBreakdown()
-        records: List[TrainRecord] = []
-        sim_time = 0.0
-        last_loss = float("nan")
-
-        # Constant per-iteration costs.
-        stage_t = self.platform.stage_batch_time(self.cost, cfg.batch_size)
-        gpu_upd_t = self.platform.gpu_update_time(self.cost)
-        cpu_upd_t = self.platform.cpu_update_time(self.cost)
-        if self.variant == 1:
-            param_traffic = "cpu-gpu para"
-        else:
-            param_traffic = "gpu-gpu para"
-        bcast_t = self.platform.tree_bcast_time(self.cost, param_traffic, self.packed)
-        reduce_t = self.platform.tree_reduce_time(self.cost, param_traffic, self.packed)
-
-        plan_msgs = self.platform.param_plan(self.cost, packed=self.packed)
-        trace = self.make_trace(
-            g,
-            pattern="tree",
-            variant=self.variant,
-            packed=self.packed,
-            overlapped=self.variant == 3,
-            messages_per_exchange=plan_msgs.num_messages,
-        )
-
-        # Fault machinery: a crash removes a rank from the reduction tree
-        # (the tree is rebuilt over survivors instead of deadlocking); a
-        # rejoining rank re-pulls the elastic center before re-entering.
-        plan = self.faults
-        log = self.fault_log = FaultLog()
-        currently_dead: set = set()
-        tree_size = g
-        degraded_rounds = 0
-        rebuilds = 0
-
-        for t in range(1, iterations + 1):
-            live = list(range(g))
-            if plan is not None:
-                live = [j for j in range(g) if not plan.is_dead(j, sim_time)]
-                for j in range(g):
-                    if j not in live and j not in currently_dead:
-                        currently_dead.add(j)
-                        log.record(plan.crash_time(j), "crash", f"worker {j}", "fail-stop")
-                        if trace is not None:
-                            trace.fault(j, sim_time, "crash", iteration=t)
-                    elif j in live and j in currently_dead:
-                        currently_dead.discard(j)
-                        workers[j][...] = center  # recovery: restore from center
-                        log.record(sim_time, "rejoin", f"worker {j}", "re-pulled elastic center")
-                        if trace is not None:
-                            trace.fault(j, sim_time, "rejoin", iteration=t)
-                if not live:
-                    raise AllWorkersCrashedError(
-                        f"all {g} workers crashed by t={sim_time:.4g}s "
-                        f"(iteration {t}; fault log: {log.summary()})"
-                    )
-                if len(live) != tree_size:
-                    tree_size = len(live)
-                    rebuilds += 1
-                    log.record(
-                        sim_time, "tree-rebuild", self.name,
-                        f"binomial tree over {tree_size} of {g} ranks",
-                    )
-                    if trace is not None:
-                        trace.fault(MASTER, sim_time, "tree-rebuild", iteration=t)
-                    bcast_t = self.platform.tree_bcast_time(
-                        self.cost, param_traffic, self.packed, ranks=tree_size
-                    )
-                    reduce_t = self.platform.tree_reduce_time(
-                        self.cost, param_traffic, self.packed, ranks=tree_size
-                    )
-                if len(live) < g:
-                    degraded_rounds += 1
-                    breakdown.mark_degraded()
-            g_live = len(live)
-
-            # --- numerics (identical across variants) -----------------------
-            grads: List[np.ndarray] = []
-            for j in live:
-                images, labels = samplers[j].next_batch()
-                self.net.set_params(workers[j])
-                last_loss = self.net.gradient(images, labels, self.loss)
-                grads.append(self.net.grads.copy())
-
-            sum_w = tree_reduce([workers[j] for j in live])  # step 3: tree sum
-            center_t = center  # Eq 1/Eq 2 both read the pre-update center
-            for i, j in enumerate(live):  # step 4: Eq 1 on every live GPU
-                elastic_worker_update(workers[j], grads[i], center_t, self.hyper)
-            # step 5: Eq 2 — in place, reading the pre-update value once.
-            center += self.hyper.alpha * (sum_w - g_live * center)
-
-            # --- simulated time ---------------------------------------------
-            fwdbwd_each = [
-                self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
-                * (plan.slowdown(j, sim_time) if plan is not None else 1.0)
-                for j in live
-            ]
-            fwdbwd_max = max(fwdbwd_each)
-            if self.variant == 1:
-                # Serial: stage, bcast, compute, reduce, GPU update, CPU update.
-                iter_time = stage_t + bcast_t + fwdbwd_max + reduce_t + gpu_upd_t + cpu_upd_t
-                breakdown.add("cpu-gpu data", stage_t)
-                breakdown.add("cpu-gpu para", bcast_t + reduce_t)
-                breakdown.add("for/backward", fwdbwd_max)
-                breakdown.add("gpu update", gpu_upd_t)
-                breakdown.add("cpu update", cpu_upd_t)
-            elif self.variant == 2:
-                # Center on GPU1: switch traffic; GPU1 also applies Eq 2.
-                upd = 2.0 * gpu_upd_t
-                iter_time = stage_t + bcast_t + fwdbwd_max + reduce_t + upd
-                breakdown.add("cpu-gpu data", stage_t)
-                breakdown.add("gpu-gpu para", bcast_t + reduce_t)
-                breakdown.add("for/backward", fwdbwd_max)
-                breakdown.add("gpu update", upd)
-            else:
-                # Variant 3: GPU-GPU comm overlaps the stage+compute path.
-                comm = bcast_t + reduce_t
-                hidden = cfg.overlap_efficiency * min(comm, stage_t + fwdbwd_max)
-                visible_comm = comm - hidden
-                upd = 2.0 * gpu_upd_t
-                iter_time = stage_t + fwdbwd_max + visible_comm + upd
-                breakdown.add("cpu-gpu data", stage_t)
-                breakdown.add("gpu-gpu para", visible_comm)
-                breakdown.add("for/backward", fwdbwd_max)
-                breakdown.add("gpu update", upd)
-
-            if trace is not None:
-                self._emit_iteration(
-                    trace, t, sim_time, live, fwdbwd_each,
-                    stage_t, bcast_t, reduce_t, gpu_upd_t, cpu_upd_t,
-                    iter_time, plan_msgs,
-                )
-
-            sim_time += iter_time
-
-            if t % cfg.eval_every == 0 or t == iterations:
-                acc = self.evaluate_params(center)
-                records.append(TrainRecord(t, sim_time, last_loss, acc))
-                if self.should_stop(acc):
-                    break
-
-        extras = {}
-        if plan is not None:
-            extras = {
-                "degraded_rounds": float(degraded_rounds),
-                "tree_rebuilds": float(rebuilds),
-            }
-        final_acc = records[-1].test_accuracy if records else 0.0
-        return RunResult(
-            method=self.name,
-            records=records,
-            breakdown=breakdown,
-            iterations=records[-1].iteration if records else 0,
-            sim_time=sim_time,
-            final_accuracy=final_acc,
-            extras=extras,
-            fault_log=log if plan is not None else None,
-            trace=trace,
-        )
+    def make_step(self) -> _SyncEasgdStep:
+        return _SyncEasgdStep(self)

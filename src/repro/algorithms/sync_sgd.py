@@ -13,33 +13,173 @@ worker's gradient is stochastically quantized to the given width before
 the reduction, and the collective's byte volume shrinks proportionally.
 It trades trajectory fidelity for bandwidth — the ablation benchmark
 measures both sides.
+
+The loop lives in :mod:`repro.engine`; this module contributes the
+allreduce step strategy built on the shared
+:class:`~repro.engine.MeanGradientUpdate` rule.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.algorithms.base import (
-    BaseTrainer,
-    RunResult,
-    TimeBreakdown,
-    TrainRecord,
-    TrainerConfig,
-)
+from repro.algorithms.base import BaseTrainer, TrainerConfig
 from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
-from repro.comm.collectives import tree_reduce, tree_rounds
+from repro.comm.collectives import tree_rounds
 from repro.data.dataset import Dataset
-from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
+from repro.engine.faults import SyncFaultTracker
+from repro.engine.strategy import (
+    ClockStepStrategy,
+    CommStrategy,
+    gather_gradients,
+    jittered_fwdbwd,
+    MeanGradientUpdate,
+)
+from repro.faults import FaultLog, FaultPlan
 from repro.nn.network import Network
 from repro.optim.quantize import quantize_gradient
-from repro.trace.events import MASTER
 from repro.trace.schedule import emit_tree_phase
 from repro.util.rng import spawn_rng
 
 __all__ = ["SyncSGDTrainer"]
+
+
+class _AllreduceComm(CommStrategy):
+    """Tree allreduce cost/trace model, with optional quantized wire format."""
+
+    def __init__(self, trainer: "SyncSGDTrainer") -> None:
+        tr = trainer
+        cfg = tr.config
+        g = tr.platform.num_gpus
+        self.stage_t = tr.platform.stage_batch_time(tr.cost, cfg.batch_size)
+        self.gpu_upd_t = tr.platform.gpu_update_time(tr.cost)
+        self.bcast_t = tr.platform.tree_bcast_time(tr.cost, tr.param_traffic, tr.packed)
+        self.reduce_t = tr.platform.tree_reduce_time(tr.cost, tr.param_traffic, tr.packed)
+        if tr.quantize_bits is not None:
+            # Low-precision wire format: the latency (alpha) terms stay, the
+            # byte volume scales with the bit width.
+            shrink = tr.quantize_bits / 32.0
+            plan = tr.platform.param_plan(tr.cost, tr.packed)
+            link = tr.platform.topology.link_for(tr.param_traffic)
+            full_bytes_time = link.beta * plan.total_bytes
+            hops = tree_rounds(g)
+            saved = hops * full_bytes_time * (1.0 - shrink)
+            self.bcast_t = max(self.bcast_t - saved, hops * link.alpha * plan.num_messages)
+            self.reduce_t = max(self.reduce_t - saved, hops * link.alpha * plan.num_messages)
+        self.comm_part = (
+            "gpu-gpu para" if tr.param_traffic == "gpu-gpu para" else "cpu-gpu para"
+        )
+        self.plan_msgs = tr.platform.param_plan(tr.cost, tr.packed)
+        self.wire_bytes = self.plan_msgs.total_bytes
+        if tr.quantize_bits is not None:
+            self.wire_bytes = int(self.wire_bytes * tr.quantize_bits / 32.0)
+        self.full_bcast_t, self.full_reduce_t = self.bcast_t, self.reduce_t
+        self._full_ranks = g
+
+    def retime(self, ranks: int) -> None:
+        """Shrink the tree depth to the surviving group.
+
+        Per-hop cost (incl. any quantized-width adjustment) is unchanged.
+        """
+        depth_ratio = tree_rounds(ranks) / max(tree_rounds(self._full_ranks), 1)
+        self.bcast_t = self.full_bcast_t * depth_ratio
+        self.reduce_t = self.full_reduce_t * depth_ratio
+
+    def charge(self, pipeline, t: int, live: List[int],
+               fwdbwd_each: List[float]) -> float:
+        fwdbwd_max = max(fwdbwd_each)
+        iter_time = self.stage_t + fwdbwd_max + self.reduce_t + self.bcast_t + self.gpu_upd_t
+        breakdown = pipeline.breakdown
+        breakdown.add("cpu-gpu data", self.stage_t)
+        breakdown.add(self.comm_part, self.reduce_t + self.bcast_t)
+        breakdown.add("for/backward", fwdbwd_max)
+        breakdown.add("gpu update", self.gpu_upd_t)
+        return iter_time
+
+    def emit(self, trace, t: int, T: float, live: List[int],
+             fwdbwd_each: List[float], iter_time: float) -> None:
+        # Serial timeline: stage, compute, gradient tree-reduce,
+        # weight tree-bcast, local update.
+        fwdbwd_max = max(fwdbwd_each)
+        t_stage = T + self.stage_t
+        t_comp = t_stage + fwdbwd_max
+        t_red = t_comp + self.reduce_t
+        t_bc = t_red + self.bcast_t
+        for j, fwd in zip(live, fwdbwd_each):
+            trace.span("staging", j, T, t_stage, op="cpu-gpu-data", iteration=t)
+            trace.span("compute", j, t_stage, t_stage + fwd, op="fwd-bwd", iteration=t)
+        emit_tree_phase(trace, "tree-reduce", live, t_comp, t_red,
+                        nbytes=self.wire_bytes, messages_per_edge=self.plan_msgs.num_messages,
+                        tag=102, iteration=t, reduce=True)
+        emit_tree_phase(trace, "tree-bcast", live, t_red, t_bc,
+                        nbytes=self.wire_bytes, messages_per_edge=self.plan_msgs.num_messages,
+                        tag=101, iteration=t)
+        for j in live:
+            trace.span("update", j, t_bc, t_bc + self.gpu_upd_t, op="gpu-update",
+                       iteration=t)
+
+
+class _SyncSgdStep(ClockStepStrategy):
+    """One allreduce-SGD iteration: gather, quantize, mean-apply, charge."""
+
+    def __init__(self, trainer: "SyncSGDTrainer") -> None:
+        self.trainer = trainer
+
+    def begin(self, pipeline) -> None:
+        tr = self.trainer
+        g = tr.platform.num_gpus
+        self.weights = tr.net.get_params()
+        self.samplers = [tr.make_sampler(("worker", j)) for j in range(g)]
+        self.update = MeanGradientUpdate(tr.config.lr)
+        self.comm = _AllreduceComm(tr)
+        tr.make_trace(
+            g,
+            pattern="tree",
+            packed=tr.packed,
+            messages_per_exchange=self.comm.plan_msgs.num_messages,
+            quantize_bits=tr.quantize_bits or 0,
+        )
+        log = tr.fault_log = FaultLog()
+        self.tracker = SyncFaultTracker(
+            tr.faults, log, g, tr.name,
+            rejoin_note="re-entered allreduce group",
+            on_resize=self.comm.retime,
+            resize_label="allreduce tree",
+        )
+        tr.net.set_params(self.weights)
+
+    def step(self, pipeline, t: int) -> float:
+        tr = self.trainer
+        live = self.tracker.prologue(pipeline, t)
+
+        grads, losses = gather_gradients(tr, self.samplers, live)
+        self.last_loss = float(np.mean(losses))
+        if tr.quantize_bits is not None:
+            grads = [
+                quantize_gradient(grad, tr.quantize_bits, tr._quant_rng)[0]
+                for grad in grads
+            ]
+        self.update.apply(tr.net, self.weights, grads, len(live))
+
+        fwdbwd_each = jittered_fwdbwd(
+            tr.platform, tr.cost, tr.config.batch_size, live, tr.faults,
+            pipeline.sim_time,
+        )
+        iter_time = self.comm.charge(pipeline, t, live, fwdbwd_each)
+        if tr.trace is not None:
+            self.comm.emit(tr.trace, t, pipeline.sim_time, live, fwdbwd_each, iter_time)
+        return iter_time
+
+    def eval_params(self) -> np.ndarray:
+        return self.weights
+
+    def extras(self) -> Dict[str, float]:
+        if self.trainer.faults is None:
+            return {}
+        return {"degraded_rounds": float(self.tracker.degraded_rounds)}
 
 
 class SyncSGDTrainer(BaseTrainer):
@@ -73,165 +213,5 @@ class SyncSGDTrainer(BaseTrainer):
         self.name = f"Sync SGD ({suffix})"
         self._quant_rng = spawn_rng(config.seed, "grad-quantize") if quantize_bits else None
 
-    def train(self, iterations: int) -> RunResult:
-        if iterations <= 0:
-            raise ValueError("iterations must be positive")
-        g = self.platform.num_gpus
-        cfg = self.config
-
-        weights = self.net.get_params()
-        samplers = [self.make_sampler(("worker", j)) for j in range(g)]
-
-        breakdown = TimeBreakdown()
-        records: List[TrainRecord] = []
-        sim_time = 0.0
-        last_loss = float("nan")
-
-        stage_t = self.platform.stage_batch_time(self.cost, cfg.batch_size)
-        gpu_upd_t = self.platform.gpu_update_time(self.cost)
-        bcast_t = self.platform.tree_bcast_time(self.cost, self.param_traffic, self.packed)
-        reduce_t = self.platform.tree_reduce_time(self.cost, self.param_traffic, self.packed)
-        if self.quantize_bits is not None:
-            # Low-precision wire format: the latency (alpha) terms stay, the
-            # byte volume scales with the bit width.
-            shrink = self.quantize_bits / 32.0
-            plan = self.platform.param_plan(self.cost, self.packed)
-            link = self.platform.topology.link_for(self.param_traffic)
-            full_bytes_time = link.beta * plan.total_bytes
-            hops = tree_rounds(g)
-            saved = hops * full_bytes_time * (1.0 - shrink)
-            bcast_t = max(bcast_t - saved, hops * link.alpha * plan.num_messages)
-            reduce_t = max(reduce_t - saved, hops * link.alpha * plan.num_messages)
-        comm_part = "gpu-gpu para" if self.param_traffic == "gpu-gpu para" else "cpu-gpu para"
-
-        plan_msgs = self.platform.param_plan(self.cost, self.packed)
-        wire_bytes = plan_msgs.total_bytes
-        if self.quantize_bits is not None:
-            wire_bytes = int(wire_bytes * self.quantize_bits / 32.0)
-        trace = self.make_trace(
-            g,
-            pattern="tree",
-            packed=self.packed,
-            messages_per_exchange=plan_msgs.num_messages,
-            quantize_bits=self.quantize_bits or 0,
-        )
-
-        plan = self.faults
-        log = self.fault_log = FaultLog()
-        currently_dead: set = set()
-        tree_size = g
-        degraded_rounds = 0
-        full_bcast_t, full_reduce_t = bcast_t, reduce_t
-
-        self.net.set_params(weights)
-        for t in range(1, iterations + 1):
-            live = list(range(g))
-            if plan is not None:
-                live = [j for j in range(g) if not plan.is_dead(j, sim_time)]
-                for j in range(g):
-                    if j not in live and j not in currently_dead:
-                        currently_dead.add(j)
-                        log.record(plan.crash_time(j), "crash", f"worker {j}", "fail-stop")
-                        if trace is not None:
-                            trace.fault(j, sim_time, "crash", iteration=t)
-                    elif j in live and j in currently_dead:
-                        currently_dead.discard(j)
-                        log.record(sim_time, "rejoin", f"worker {j}", "re-entered allreduce group")
-                        if trace is not None:
-                            trace.fault(j, sim_time, "rejoin", iteration=t)
-                if not live:
-                    raise AllWorkersCrashedError(
-                        f"all {g} workers crashed by t={sim_time:.4g}s "
-                        f"(iteration {t}; fault log: {log.summary()})"
-                    )
-                if len(live) != tree_size:
-                    tree_size = len(live)
-                    log.record(
-                        sim_time, "tree-rebuild", self.name,
-                        f"allreduce tree over {tree_size} of {g} ranks",
-                    )
-                    if trace is not None:
-                        trace.fault(MASTER, sim_time, "tree-rebuild", iteration=t)
-                    # Tree depth shrinks with the group; per-hop cost (incl.
-                    # any quantized-width adjustment) is unchanged.
-                    depth_ratio = tree_rounds(tree_size) / max(tree_rounds(g), 1)
-                    bcast_t = full_bcast_t * depth_ratio
-                    reduce_t = full_reduce_t * depth_ratio
-                if len(live) < g:
-                    degraded_rounds += 1
-                    breakdown.mark_degraded()
-            g_live = len(live)
-
-            grads: List[np.ndarray] = []
-            losses = []
-            for j in live:
-                images, labels = samplers[j].next_batch()
-                losses.append(self.net.gradient(images, labels, self.loss))
-                grads.append(self.net.grads.copy())
-            last_loss = float(np.mean(losses))
-            if self.quantize_bits is not None:
-                grads = [
-                    quantize_gradient(grad, self.quantize_bits, self._quant_rng)[0]
-                    for grad in grads
-                ]
-            mean_grad = tree_reduce(grads) / g_live
-            weights -= cfg.lr * mean_grad
-            self.net.set_params(weights)
-
-            fwdbwd_each = [
-                self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
-                * (plan.slowdown(j, sim_time) if plan is not None else 1.0)
-                for j in live
-            ]
-            fwdbwd_max = max(fwdbwd_each)
-            iter_time = stage_t + fwdbwd_max + reduce_t + bcast_t + gpu_upd_t
-            breakdown.add("cpu-gpu data", stage_t)
-            breakdown.add(comm_part, reduce_t + bcast_t)
-            breakdown.add("for/backward", fwdbwd_max)
-            breakdown.add("gpu update", gpu_upd_t)
-
-            if trace is not None:
-                # Serial timeline: stage, compute, gradient tree-reduce,
-                # weight tree-bcast, local update.
-                t_stage = sim_time + stage_t
-                t_comp = t_stage + fwdbwd_max
-                t_red = t_comp + reduce_t
-                t_bc = t_red + bcast_t
-                for j, fwd in zip(live, fwdbwd_each):
-                    trace.span("staging", j, sim_time, t_stage, op="cpu-gpu-data",
-                               iteration=t)
-                    trace.span("compute", j, t_stage, t_stage + fwd, op="fwd-bwd",
-                               iteration=t)
-                emit_tree_phase(trace, "tree-reduce", live, t_comp, t_red,
-                                nbytes=wire_bytes, messages_per_edge=plan_msgs.num_messages,
-                                tag=102, iteration=t, reduce=True)
-                emit_tree_phase(trace, "tree-bcast", live, t_red, t_bc,
-                                nbytes=wire_bytes, messages_per_edge=plan_msgs.num_messages,
-                                tag=101, iteration=t)
-                for j in live:
-                    trace.span("update", j, t_bc, t_bc + gpu_upd_t, op="gpu-update",
-                               iteration=t)
-
-            sim_time += iter_time
-
-            if t % cfg.eval_every == 0 or t == iterations:
-                acc = self.evaluate_params(weights)
-                records.append(TrainRecord(t, sim_time, last_loss, acc))
-                if self.should_stop(acc):
-                    break
-
-        extras = {}
-        if plan is not None:
-            extras = {"degraded_rounds": float(degraded_rounds)}
-        final_acc = records[-1].test_accuracy if records else 0.0
-        return RunResult(
-            method=self.name,
-            records=records,
-            breakdown=breakdown,
-            iterations=records[-1].iteration if records else 0,
-            sim_time=sim_time,
-            final_accuracy=final_acc,
-            extras=extras,
-            fault_log=log if plan is not None else None,
-            trace=trace,
-        )
+    def make_step(self) -> _SyncSgdStep:
+        return _SyncSgdStep(self)

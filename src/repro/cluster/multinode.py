@@ -13,18 +13,9 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.cluster.cost import CostModel
-from repro.cluster.devices import (
-    ComputeJitter,
-    DeviceModel,
-    K80_HALF,
-    XEON_E5_HOST,
-)
+from repro.cluster.devices import ComputeJitter, DeviceModel, K80_HALF, XEON_E5_HOST
 from repro.comm.alphabeta import LinkModel, MELLANOX_FDR_56G
-from repro.comm.collectives import (
-    ring_allreduce_cost,
-    tree_bcast_cost,
-    tree_reduce_cost,
-)
+from repro.comm.collectives import ring_allreduce_cost, tree_bcast_cost, tree_reduce_cost
 from repro.comm.topology import GpuNodeTopology
 
 __all__ = ["GpuClusterPlatform"]

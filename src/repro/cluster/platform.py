@@ -13,19 +13,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.cluster.cost import CostModel
-from repro.cluster.devices import (
-    ComputeJitter,
-    DeviceModel,
-    K80_HALF,
-    KNL_7250,
-    XEON_E5_HOST,
-)
+from repro.cluster.devices import ComputeJitter, DeviceModel, K80_HALF, KNL_7250, XEON_E5_HOST
 from repro.comm.alphabeta import LinkModel
-from repro.comm.collectives import (
-    flat_sequential_cost,
-    tree_bcast_cost,
-    tree_reduce_cost,
-)
+from repro.comm.collectives import flat_sequential_cost, tree_bcast_cost, tree_reduce_cost
 from repro.comm.packing import MessagePlan, packed_plan, per_layer_plan
 from repro.comm.topology import GpuNodeTopology, KnlClusterTopology
 

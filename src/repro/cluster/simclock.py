@@ -10,10 +10,10 @@ the reproducibility tests.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional
 
 __all__ = ["SimClock", "Event", "EventQueue"]
 

@@ -2,51 +2,51 @@
 tree collectives (real numerics + modeled cost), and platform topologies."""
 
 from repro.comm.alphabeta import (
+    CRAY_ARIES,
+    INTEL_10GBE,
+    INTEL_QDR_40G,
     LinkModel,
     MELLANOX_FDR_56G,
-    INTEL_QDR_40G,
-    INTEL_10GBE,
     PCIE_GEN3_X16,
     PCIE_SWITCH_P2P,
-    CRAY_ARIES,
     TABLE2_NETWORKS,
 )
-from repro.comm.packing import MessagePlan, packed_plan, per_layer_plan
+from repro.comm.arena import BufferArena
+from repro.comm.backend import BACKENDS, make_communicator, validate_backend
 from repro.comm.collectives import (
-    tree_reduce,
-    tree_bcast_order,
-    tree_reduce_cost,
-    tree_bcast_cost,
-    flat_sequential_cost,
     allreduce_cost,
+    flat_sequential_cost,
+    tree_bcast_cost,
+    tree_bcast_order,
+    tree_reduce,
+    tree_reduce_cost,
 )
-from repro.comm.topology import GpuNodeTopology, KnlClusterTopology
-from repro.comm.runtime import (
-    COLLECTIVE_TAG_STRIDE,
-    DeadlockError,
-    InProcessCommunicator,
-    MultiRankError,
-    RankContext,
-    collective_wire_tags,
-)
+from repro.comm.collectives import ring_allreduce, ring_allreduce_cost
 from repro.comm.mp_runtime import (
+    fork_available,
     MpRankContext,
     MultiprocessCommunicator,
     RemoteRankError,
     SharedFlatArray,
-    fork_available,
 )
-from repro.comm.arena import BufferArena
+from repro.comm.packing import MessagePlan, packed_plan, per_layer_plan
+from repro.comm.runtime import (
+    COLLECTIVE_TAG_STRIDE,
+    collective_wire_tags,
+    DeadlockError,
+    InProcessCommunicator,
+    MultiRankError,
+    RankContext,
+)
 from repro.comm.shm_transport import (
-    TRANSPORTS,
     RingBackpressureError,
     ShmSlotRef,
     ShmTransport,
     SlotRing,
+    TRANSPORTS,
     validate_transport,
 )
-from repro.comm.backend import BACKENDS, make_communicator, validate_backend
-from repro.comm.collectives import ring_allreduce, ring_allreduce_cost
+from repro.comm.topology import GpuNodeTopology, KnlClusterTopology
 
 __all__ = [
     "LinkModel",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.comm.mp_runtime import MultiprocessCommunicator, fork_available
+from repro.comm.mp_runtime import fork_available, MultiprocessCommunicator
 from repro.comm.runtime import InProcessCommunicator
 from repro.comm.shm_transport import TRANSPORTS, validate_transport
 

@@ -45,22 +45,17 @@ the unit of weight/gradient storage for the process-backed Hogwild store
 
 from __future__ import annotations
 
+from collections import deque
 import multiprocessing
+from multiprocessing import shared_memory
 import pickle
 import queue as _queue
 import time
-from collections import deque
-from multiprocessing import shared_memory
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.comm.runtime import (
-    _DEFAULT_TIMEOUT,
-    DeadlockError,
-    MultiRankError,
-    RankContextBase,
-)
+from repro.comm.runtime import _DEFAULT_TIMEOUT, DeadlockError, MultiRankError, RankContextBase
 from repro.comm.shm_transport import (
     DEFAULT_MIN_BYTES,
     DEFAULT_SLOTS,

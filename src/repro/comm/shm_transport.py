@@ -48,9 +48,9 @@ attachable.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import pickle
 import time
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np

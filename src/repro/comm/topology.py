@@ -10,14 +10,9 @@ honest by construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.comm.alphabeta import (
-    CRAY_ARIES,
-    LinkModel,
-    PCIE_GEN3_X16,
-    PCIE_SWITCH_P2P,
-)
+from repro.comm.alphabeta import CRAY_ARIES, LinkModel, PCIE_GEN3_X16, PCIE_SWITCH_P2P
 
 __all__ = ["GpuNodeTopology", "KnlClusterTopology"]
 

@@ -9,17 +9,17 @@ comparisons between training algorithms remain meaningful because every
 algorithm consumes the same sample stream through the same model.
 """
 
+from repro.data.augment import AugmentingSampler, random_horizontal_flip, random_shift_crop
 from repro.data.dataset import Dataset
+from repro.data.io import load_dataset, save_dataset
+from repro.data.loader import BatchSampler, partition_dataset, replicate_dataset
+from repro.data.normalize import standardize, standardize_like
 from repro.data.synthetic import (
-    make_mnist_like,
+    DATASET_GEOMETRY,
     make_cifar_like,
     make_imagenet_like,
-    DATASET_GEOMETRY,
+    make_mnist_like,
 )
-from repro.data.normalize import standardize, standardize_like
-from repro.data.loader import BatchSampler, partition_dataset, replicate_dataset
-from repro.data.augment import AugmentingSampler, random_horizontal_flip, random_shift_crop
-from repro.data.io import save_dataset, load_dataset
 
 __all__ = [
     "Dataset",

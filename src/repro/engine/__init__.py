@@ -1,0 +1,73 @@
+"""The step-pipeline engine every trainer family runs on.
+
+One engine, many strategies. Each training method in this repo — the
+simulated trainers in :mod:`repro.algorithms`, the KNL and multinode
+cluster trainers, the chip-partition trainer, the message-passing rank
+programs, and the Hogwild runner — used to carry its own hand-rolled
+loop re-wiring batch staging, evaluation snapshots, trace spans, fault
+hooks, and result assembly. EASGD and its siblings differ only in their
+*communication/update rule*, not in their step structure, so the loop now
+lives here exactly once:
+
+```
+stage data -> local compute -> communicate -> apply update
+          -> snapshot / trace / fault hooks
+```
+
+The engine vocabulary:
+
+- :class:`StepPipeline` owns step sequencing: the clock-driven iteration
+  loop (synchronous families), the discrete-event loop (asynchronous
+  parameter-server families), the simulated clock, the
+  :class:`~repro.algorithms.base.TimeBreakdown`, the trajectory records,
+  and :class:`~repro.algorithms.base.RunResult` assembly.
+- :class:`EvalPolicy` owns the evaluation cadence and trajectory
+  snapshot/early-stop logic every trainer used to copy by hand.
+- :class:`ClockStepStrategy` / :class:`EventStepStrategy` are the two
+  step shapes a family plugs into the pipeline.
+- :class:`CommStrategy` is a family's communication model: what an
+  iteration costs on the simulated hardware and which trace spans it
+  emits.
+- :class:`UpdateRule` is a family's parameter-update mathematics
+  (synchronous elastic averaging, mean-gradient SGD, round-robin
+  elastic exchange, the async parameter-server interactions).
+- :class:`SyncFaultTracker` is the shared crash/rejoin/tree-rebuild
+  bookkeeping of the synchronous families.
+- :func:`rank_steps` / :func:`local_steps` sequence the message-passing
+  rank programs and shared-memory workers, which run one loop per rank
+  rather than one loop per run.
+"""
+
+from repro.engine.faults import SyncFaultTracker
+from repro.engine.pipeline import run_training, StepPipeline
+from repro.engine.policy import EvalPolicy
+from repro.engine.rank_loop import local_steps, rank_steps
+from repro.engine.strategy import (
+    ClockStepStrategy,
+    CommStrategy,
+    EventStepStrategy,
+    gather_gradients,
+    jittered_fwdbwd,
+    MeanGradientUpdate,
+    StepStrategy,
+    SyncElasticUpdate,
+    UpdateRule,
+)
+
+__all__ = [
+    "StepPipeline",
+    "run_training",
+    "EvalPolicy",
+    "StepStrategy",
+    "ClockStepStrategy",
+    "EventStepStrategy",
+    "CommStrategy",
+    "UpdateRule",
+    "SyncElasticUpdate",
+    "MeanGradientUpdate",
+    "SyncFaultTracker",
+    "gather_gradients",
+    "jittered_fwdbwd",
+    "rank_steps",
+    "local_steps",
+]

@@ -1,0 +1,101 @@
+"""Shared fault bookkeeping for the synchronous trainer families.
+
+Every synchronous family used to hand-roll the same prologue: detect
+crashes as they take effect, let scheduled rejoins re-enter (optionally
+restoring the rejoiner from the elastic center), raise
+:class:`~repro.faults.AllWorkersCrashedError` when nobody survives,
+rebuild the reduction tree over the survivors, and count degraded rounds.
+:class:`SyncFaultTracker` is that prologue, hoisted once; the knobs are
+the bits that genuinely differed per family (the rejoin note, whether a
+rejoiner's replica is restored, what a resize does).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
+from repro.trace.events import MASTER
+
+__all__ = ["SyncFaultTracker"]
+
+
+class SyncFaultTracker:
+    """Crash/rejoin/resize prologue for clock-driven trainers.
+
+    ``prologue(pipeline, t)`` returns the live rank list for iteration
+    ``t`` and performs all transition logging exactly as the bespoke
+    loops did: crashes are logged at their scheduled instant, rejoins at
+    the current simulated time, group resizes through ``on_resize`` with
+    a ``resize_label``-formatted note, and degraded iterations through
+    ``TimeBreakdown.mark_degraded``.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan],
+        log: FaultLog,
+        ranks: int,
+        method_name: str,
+        *,
+        rejoin_note: str = "re-pulled elastic center",
+        restore: Optional[Callable[[int], None]] = None,
+        on_resize: Optional[Callable[[int], None]] = None,
+        resize_label: Optional[str] = None,
+    ) -> None:
+        self.plan = plan
+        self.log = log
+        self.ranks = ranks
+        self.method_name = method_name
+        self.rejoin_note = rejoin_note
+        self.restore = restore
+        self.on_resize = on_resize
+        self.resize_label = resize_label
+        self.currently_dead: Set[int] = set()
+        self.group_size = ranks
+        self.degraded_rounds = 0
+        self.rebuilds = 0
+        self.rejoined = 0
+
+    def prologue(self, pipeline, t: int) -> List[int]:
+        g = self.ranks
+        live = list(range(g))
+        plan = self.plan
+        if plan is None:
+            return live
+        sim_time = pipeline.sim_time
+        trace = pipeline.trainer.trace
+        live = [j for j in range(g) if not plan.is_dead(j, sim_time)]
+        for j in range(g):
+            if j not in live and j not in self.currently_dead:
+                self.currently_dead.add(j)
+                self.log.record(plan.crash_time(j), "crash", f"worker {j}", "fail-stop")
+                if trace is not None:
+                    trace.fault(j, sim_time, "crash", iteration=t)
+            elif j in live and j in self.currently_dead:
+                self.currently_dead.discard(j)
+                if self.restore is not None:  # recovery: restore from center
+                    self.restore(j)
+                self.rejoined += 1
+                self.log.record(sim_time, "rejoin", f"worker {j}", self.rejoin_note)
+                if trace is not None:
+                    trace.fault(j, sim_time, "rejoin", iteration=t)
+        if not live:
+            raise AllWorkersCrashedError(
+                f"all {g} workers crashed by t={sim_time:.4g}s "
+                f"(iteration {t}; fault log: {self.log.summary()})"
+            )
+        if self.on_resize is not None and len(live) != self.group_size:
+            self.group_size = len(live)
+            self.rebuilds += 1
+            self.log.record(
+                sim_time, "tree-rebuild", self.method_name,
+                f"{self.resize_label} over {self.group_size} of {g} ranks",
+            )
+            if trace is not None:
+                trace.fault(MASTER, sim_time, "tree-rebuild", iteration=t)
+            self.on_resize(self.group_size)
+        if len(live) < g:
+            self.degraded_rounds += 1
+            pipeline.breakdown.mark_degraded()
+        return live

@@ -1,0 +1,100 @@
+"""The step pipeline: one loop for every trainer family.
+
+:class:`StepPipeline` owns everything the bespoke ``train()`` loops used
+to duplicate — the iteration/event loop itself, the simulated clock, the
+:class:`~repro.algorithms.base.TimeBreakdown`, the trajectory records,
+the :class:`~repro.engine.policy.EvalPolicy` cadence, and
+:class:`~repro.algorithms.base.RunResult` assembly. A trainer family
+contributes only a step strategy (see :mod:`repro.engine.strategy`).
+
+Two loop shapes cover all families:
+
+- ``clock``: synchronous trainers advance the clock by a closed-form
+  per-iteration time (:class:`ClockStepStrategy`).
+- ``events``: the asynchronous parameter-server simulation pops events
+  until one completes a logical step (:class:`EventStepStrategy`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algorithms.base import RunResult, TimeBreakdown, TrainRecord
+from repro.engine.policy import EvalPolicy
+from repro.engine.strategy import ClockStepStrategy, EventStepStrategy, StepStrategy
+
+__all__ = ["StepPipeline", "run_training"]
+
+
+class StepPipeline:
+    """Drives one training run of ``trainer`` through its step strategy."""
+
+    def __init__(self, trainer, strategy: StepStrategy) -> None:
+        self.trainer = trainer
+        self.strategy = strategy
+        self.policy = EvalPolicy(every=trainer.config.eval_every)
+        self.breakdown = TimeBreakdown()
+        self.records: List[TrainRecord] = []
+        self.sim_time = 0.0
+
+    def run(self, iterations: int) -> RunResult:
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        strategy = self.strategy
+        strategy.begin(self)
+        try:
+            if isinstance(strategy, EventStepStrategy):
+                self._run_events(strategy, iterations)
+            else:
+                self._run_clock(strategy, iterations)
+        finally:
+            strategy.cleanup(self)
+        strategy.end(self)
+        return self._assemble()
+
+    # -- the two loop shapes ---------------------------------------------------
+    def _run_clock(self, strategy: ClockStepStrategy, iterations: int) -> None:
+        for t in range(1, iterations + 1):
+            self.sim_time += strategy.step(self, t)
+            if self.policy.due(t, iterations):
+                if self.policy.snapshot(self, t):
+                    break
+
+    def _run_events(self, strategy: EventStepStrategy, iterations: int) -> None:
+        t = 0
+        while t < iterations and strategy.pending():
+            if not strategy.advance(self, t + 1):
+                continue
+            t += 1
+            if self.policy.due(t, iterations):
+                if self.policy.snapshot(self, t):
+                    break
+        strategy.on_drained(self, t)
+        if not self.records or self.records[-1].iteration != t:
+            # Fault-truncated run (queue drained mid-stride): snapshot the
+            # final state so the degraded trajectory is still analyzable.
+            self.policy.snapshot(self, t)
+        strategy.on_complete(self, t)
+
+    # -- result assembly -------------------------------------------------------
+    def _assemble(self) -> RunResult:
+        trainer = self.trainer
+        records = self.records
+        final_acc = records[-1].test_accuracy if records else 0.0
+        return RunResult(
+            method=trainer.name,
+            records=records,
+            breakdown=self.breakdown,
+            iterations=records[-1].iteration if records else 0,
+            sim_time=self.sim_time,
+            final_accuracy=final_acc,
+            extras=self.strategy.extras(),
+            fault_log=trainer.fault_log if trainer.faults is not None else None,
+            trace=trainer.trace,
+            backend=self.strategy.run_backend,
+        )
+
+
+def run_training(trainer, iterations: int) -> RunResult:
+    """Run ``trainer`` for ``iterations`` steps through the pipeline."""
+    return StepPipeline(trainer, trainer.make_step()).run(iterations)

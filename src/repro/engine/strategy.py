@@ -1,0 +1,205 @@
+"""Strategy interfaces and shared numerics for the step pipeline.
+
+A trainer family plugs into :class:`repro.engine.pipeline.StepPipeline`
+through a *step strategy*: either a :class:`ClockStepStrategy` (the
+synchronous families — one closed-form simulated-time advance per
+iteration) or an :class:`EventStepStrategy` (the asynchronous
+parameter-server families — a discrete-event simulation where only some
+events complete a logical step).
+
+The strategies themselves are thin compositions of two smaller objects:
+
+- an :class:`UpdateRule` carrying the family's parameter mathematics, and
+- a :class:`CommStrategy` carrying its communication cost/trace model.
+
+The helpers at the bottom (:func:`gather_gradients`,
+:func:`jittered_fwdbwd`) are the "stage data -> local compute" phase all
+synchronous families share verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.comm.collectives import tree_reduce
+from repro.optim.easgd import EASGDHyper, elastic_worker_update
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.pipeline import StepPipeline
+
+__all__ = [
+    "StepStrategy",
+    "ClockStepStrategy",
+    "EventStepStrategy",
+    "CommStrategy",
+    "UpdateRule",
+    "SyncElasticUpdate",
+    "MeanGradientUpdate",
+    "gather_gradients",
+    "jittered_fwdbwd",
+]
+
+
+class StepStrategy:
+    """What a trainer family provides to the pipeline.
+
+    The pipeline owns sequencing (loop, clock, records, result); the
+    strategy owns per-family state and the content of one step. The
+    ``last_loss`` attribute is read by :class:`repro.engine.policy
+    .EvalPolicy` at every snapshot point.
+    """
+
+    #: Most recent training-batch loss, stamped into trajectory records.
+    last_loss: float = float("nan")
+    #: Execution substrate recorded on the RunResult (None = simulated).
+    run_backend: Optional[str] = None
+
+    def begin(self, pipeline: "StepPipeline") -> None:
+        """Allocate per-run state (replicas, samplers, costs, trace)."""
+
+    def eval_params(self) -> np.ndarray:
+        """The packed vector whose accuracy the trajectory tracks."""
+        raise NotImplementedError
+
+    def extras(self) -> Dict[str, float]:
+        """Method-specific scalars for ``RunResult.extras``."""
+        return {}
+
+    def end(self, pipeline: "StepPipeline") -> None:
+        """Successful-completion hook (runs after ``cleanup``)."""
+
+    def cleanup(self, pipeline: "StepPipeline") -> None:
+        """Always-run teardown hook (processes, queues, shared memory)."""
+
+
+class ClockStepStrategy(StepStrategy):
+    """One iteration == one step == one closed-form clock advance."""
+
+    def step(self, pipeline: "StepPipeline", t: int) -> float:
+        """Run iteration ``t``; return the simulated seconds it took."""
+        raise NotImplementedError
+
+
+class EventStepStrategy(StepStrategy):
+    """Discrete-event families: steps complete on *some* events only."""
+
+    def pending(self) -> bool:
+        """Whether the event queue can still produce steps."""
+        raise NotImplementedError
+
+    def advance(self, pipeline: "StepPipeline", t_next: int) -> bool:
+        """Process one event; return True iff it completed step ``t_next``.
+
+        Non-completing events (rejoins, dropped/retransmitted messages,
+        arrivals from dead workers) return False and the pipeline simply
+        keeps draining the queue.
+        """
+        raise NotImplementedError
+
+    def on_drained(self, pipeline: "StepPipeline", t: int) -> None:
+        """Called when the loop exits; raise if the run made no progress."""
+
+    def on_complete(self, pipeline: "StepPipeline", t: int) -> None:
+        """Final accounting (e.g. in-flight messages lost at run end)."""
+
+
+class CommStrategy:
+    """A family's communication model: simulated cost + trace emission.
+
+    ``charge`` composes the iteration's simulated time from the phase
+    costs and books the :class:`~repro.algorithms.base.TimeBreakdown`
+    parts; ``emit`` expands the same iteration into its traced timeline.
+    Families with richer signatures (the round-robin exchange, the
+    parameter server) specialize freely — the pipeline never calls a
+    CommStrategy directly, the family's step strategy does.
+    """
+
+    def charge(self, pipeline: "StepPipeline", t: int, live: List[int],
+               fwdbwd_each: List[float]) -> float:
+        raise NotImplementedError
+
+    def emit(self, trace, t: int, T: float, live: List[int],
+             fwdbwd_each: List[float], iter_time: float) -> None:
+        """Emit the iteration's trace spans (no-op when tracing is off)."""
+
+
+class UpdateRule:
+    """A family's parameter-update mathematics, free of loop plumbing."""
+
+
+class SyncElasticUpdate(UpdateRule):
+    """Synchronous EASGD (Algorithms 2-4): tree-sum, Eq 1, Eq 2.
+
+    Shared verbatim by Sync EASGD1/2/3, the KNL cluster trainer, and the
+    multinode cluster trainer — the unification the engine exists for.
+    """
+
+    def __init__(self, hyper: EASGDHyper) -> None:
+        self.hyper = hyper
+
+    def apply(
+        self,
+        center: np.ndarray,
+        workers: Sequence[np.ndarray],
+        grads: Sequence[np.ndarray],
+        live: Sequence[int],
+    ) -> None:
+        sum_w = tree_reduce([workers[j] for j in live])  # step 3: tree sum
+        center_t = center  # Eq 1/Eq 2 both read the pre-update center
+        for i, j in enumerate(live):  # step 4: Eq 1 on every live worker
+            elastic_worker_update(workers[j], grads[i], center_t, self.hyper)
+        # step 5: Eq 2 — in place, reading the pre-update value once.
+        center += self.hyper.alpha * (sum_w - len(live) * center)
+
+
+class MeanGradientUpdate(UpdateRule):
+    """Data-parallel SGD: apply the tree-reduced mean gradient everywhere."""
+
+    def __init__(self, lr: float) -> None:
+        self.lr = lr
+
+    def apply(self, net, weights: np.ndarray, grads: Sequence[np.ndarray],
+              count: int) -> None:
+        weights -= self.lr * (tree_reduce(grads) / count)
+        net.set_params(weights)
+
+
+def gather_gradients(
+    trainer,
+    samplers,
+    live: Sequence[int],
+    weights: Optional[Sequence[np.ndarray]] = None,
+) -> Tuple[List[np.ndarray], List[float]]:
+    """Stage one batch and compute one gradient per live worker.
+
+    When ``weights`` is given each worker's replica is loaded before its
+    pass (the EASGD families); when it is None the network keeps its
+    current (shared) parameters (the Sync SGD family).
+    """
+    grads: List[np.ndarray] = []
+    losses: List[float] = []
+    for j in live:
+        images, labels = samplers[j].next_batch()
+        if weights is not None:
+            trainer.net.set_params(weights[j])
+        losses.append(trainer.net.gradient(images, labels, trainer.loss))
+        grads.append(trainer.net.grads.copy())
+    return grads, losses
+
+
+def jittered_fwdbwd(
+    platform,
+    cost,
+    batch_size: int,
+    live: Sequence[int],
+    plan,
+    sim_time: float,
+) -> List[float]:
+    """Per-live-worker forward/backward seconds with straggler inflation."""
+    return [
+        platform.fwdbwd_time(cost, batch_size, worker=j)
+        * (plan.slowdown(j, sim_time) if plan is not None else 1.0)
+        for j in live
+    ]

@@ -13,9 +13,9 @@ rank threads at once.
 
 from __future__ import annotations
 
-import threading
 from collections import Counter
 from dataclasses import dataclass
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["FaultRecord", "FaultLog"]

@@ -1,24 +1,24 @@
 """Experiment harness: standardized runners for every table and figure."""
 
-from repro.harness.experiment import ExperimentSpec, run_method, run_methods
-from repro.harness.breakdown import Table3Row, breakdown_row, render_table3
-from repro.harness.figures import (
-    fig6_pairwise_series,
-    fig8_overall_series,
-    fig10_packed_series,
-    fig13_scaling_series,
-)
-from repro.harness.tables import render_table2, render_table4, render_table1
-from repro.harness.results import result_to_dict, results_to_json, results_from_json
-from repro.harness.sweeps import SweepPoint, grid_sweep, best_point
-from repro.harness.plots import ascii_plot
 from repro.harness.analysis import (
     accuracy_at_time,
-    time_to_accuracy_interp,
-    speedup_at_accuracy,
     crossover_time,
+    speedup_at_accuracy,
+    time_to_accuracy_interp,
     trajectory_auc,
 )
+from repro.harness.breakdown import breakdown_row, render_table3, Table3Row
+from repro.harness.experiment import ExperimentSpec, run_method, run_methods
+from repro.harness.figures import (
+    fig10_packed_series,
+    fig13_scaling_series,
+    fig6_pairwise_series,
+    fig8_overall_series,
+)
+from repro.harness.plots import ascii_plot
+from repro.harness.results import result_to_dict, results_from_json, results_to_json
+from repro.harness.sweeps import best_point, grid_sweep, SweepPoint
+from repro.harness.tables import render_table1, render_table2, render_table4
 
 __all__ = [
     "ExperimentSpec",

@@ -3,7 +3,9 @@
 Commands
 --------
 ``list``
-    List the registered training methods.
+    List the registered training methods (names only; the top-level
+    ``--list-algorithms`` flag prints the full table with family,
+    sync style, and paper section).
 ``run``
     Train one method on a synthetic dataset and print the summary
     (optionally archive the trajectory as JSON).
@@ -20,7 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.algorithms import ALGORITHMS, TrainerConfig
+from repro.algorithms import ALGORITHM_INFO, ALGORITHMS, TrainerConfig
 from repro.cluster import CostModel
 from repro.comm.backend import BACKENDS, TRANSPORTS
 from repro.data import make_cifar_like, make_mnist_like
@@ -37,7 +39,7 @@ from repro.nn.models import (
     build_resnet_mini,
     build_vgg_mini,
 )
-from repro.nn.spec import LENET, ALEXNET
+from repro.nn.spec import ALEXNET, LENET
 
 _DATASETS = {"mnist": make_mnist_like, "cifar": make_cifar_like}
 _MODELS = {
@@ -50,10 +52,45 @@ _MODELS = {
 }
 
 
+def _render_algorithm_table() -> str:
+    """The registry as an aligned table: name, family, sync style, section."""
+    header = ("method", "family", "mode", "paper")
+    rows = [
+        (name, info.family, info.sync, info.section)
+        for name, info in sorted(ALGORITHM_INFO.items())
+    ]
+    widths = [max(len(r[i]) for r in [header] + rows) for i in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+class _ListAlgorithmsAction(argparse.Action):
+    """``--list-algorithms``: print the registry table and exit.
+
+    A top-level flag (not a subcommand) so it works without naming one —
+    the subparser itself is ``required``.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(_render_algorithm_table())
+        parser.exit(0)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Scaling Deep Learning on GPU and KNL clusters' (SC'17)",
+    )
+    parser.add_argument(
+        "--list-algorithms", action=_ListAlgorithmsAction,
+        help="print the algorithm registry (name, family, sync style, "
+             "paper section) and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -8,8 +8,7 @@ or plotting. All of them run real training under an
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 

@@ -9,8 +9,8 @@ ranks the outcomes.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field, replace
+import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import RunResult, TrainerConfig

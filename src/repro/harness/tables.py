@@ -9,9 +9,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.comm.alphabeta import TABLE2_NETWORKS, LinkModel
+from repro.comm.alphabeta import LinkModel, TABLE2_NETWORKS
 from repro.data.synthetic import DATASET_GEOMETRY
-from repro.scaling.weak_scaling import ScalingPoint, WeakScalingModel
+from repro.scaling.weak_scaling import ScalingPoint
 from repro.util.tables import TextTable
 
 __all__ = ["render_table1", "render_table2", "render_table4"]

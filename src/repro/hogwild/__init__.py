@@ -9,6 +9,6 @@ paper's convergence claim (Section 5.1 and the proof appendix).
 """
 
 from repro.hogwild.shared import SharedWeights
-from repro.hogwild.threads import HogwildRunner, HogwildResult
+from repro.hogwild.threads import HogwildResult, HogwildRunner
 
 __all__ = ["SharedWeights", "HogwildRunner", "HogwildResult"]

@@ -24,9 +24,9 @@ a :meth:`close` when the store is done (owner side unlinks the segment).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 import multiprocessing
 import threading
-from contextlib import nullcontext
 
 import numpy as np
 

@@ -19,10 +19,10 @@ multi-core masters, with no GIL serializing the ``+=``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.comm.backend import validate_backend
 from repro.comm.runtime import MultiRankError
 from repro.data.dataset import Dataset
 from repro.data.loader import BatchSampler
+from repro.engine.rank_loop import local_steps
 from repro.hogwild.shared import SharedWeights
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.network import Network
@@ -100,7 +101,7 @@ class HogwildRunner:
         arena = BufferArena()
         steps = 0
         last_loss = float("nan")
-        for _ in range(self.steps_per_worker):
+        for _ in local_steps(self.steps_per_worker):
             images, labels = sampler.next_batch()
             net.set_params(local)
             last_loss = net.gradient(images, labels, loss)

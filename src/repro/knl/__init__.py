@@ -2,8 +2,8 @@
 6.2, Figure 12), and the communication-efficient EASGD trainer for KNL
 clusters (Algorithm 4)."""
 
-from repro.knl.chip import KnlChip, ClusterMode, McdramMode, KNL_7250_CHIP
-from repro.knl.partition import PartitionPlan, plan_partition, ChipPartitionTrainer
+from repro.knl.chip import ClusterMode, KNL_7250_CHIP, KnlChip, McdramMode
+from repro.knl.partition import ChipPartitionTrainer, PartitionPlan, plan_partition
 from repro.knl.trainer import KnlSyncEASGDTrainer
 
 __all__ = [

@@ -21,26 +21,26 @@ accuracy (0.625)" comparison is then purely a time ratio.
 The gate: all P copies of (weights + data) must fit in 16 GB MCDRAM, or the
 working set spills to DDR4 bandwidth. AlexNet (249 MB) + one CIFAR copy
 (687 MB) fits 16 copies, not 32 — the paper's "P <= 16" limit.
+
+Both execution backends (serial simulation and real forked group workers)
+are clock step strategies over the shared :class:`repro.engine
+.StepPipeline`; they differ in where gradients are computed, never in the
+numbers they produce.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.algorithms.base import (
-    BaseTrainer,
-    RunResult,
-    TimeBreakdown,
-    TrainRecord,
-    TrainerConfig,
-)
+from repro.algorithms.base import BaseTrainer, TrainerConfig
 from repro.cluster.cost import CostModel
 from repro.comm.collectives import tree_reduce, tree_rounds
 from repro.data.dataset import Dataset
-from repro.knl.chip import KnlChip, KNL_7250_CHIP
+from repro.engine.strategy import ClockStepStrategy, MeanGradientUpdate
+from repro.knl.chip import KNL_7250_CHIP, KnlChip
 from repro.nn.network import Network
 
 __all__ = ["PartitionPlan", "plan_partition", "ChipPartitionTrainer"]
@@ -95,6 +95,202 @@ def plan_partition(
     )
 
 
+class _PartitionStepBase(ClockStepStrategy):
+    """Shared setup/extras for both chip-partition backends."""
+
+    def __init__(self, trainer: "ChipPartitionTrainer") -> None:
+        self.trainer = trainer
+
+    def begin(self, pipeline) -> None:
+        tr = self.trainer
+        self.weights = tr.net.get_params()
+        # One global batch per round, divided into P equal slices — the
+        # partitioning must be invisible to the optimization trajectory.
+        self.sampler = tr.make_sampler("global-batch")
+        self.iter_time = tr._iter_time()
+        self.update = MeanGradientUpdate(tr.config.lr)
+
+    def eval_params(self) -> np.ndarray:
+        return self.weights
+
+    def extras(self) -> Dict[str, float]:
+        tr = self.trainer
+        return {
+            "parts": float(tr.parts),
+            "in_mcdram": float(tr.plan.in_mcdram),
+            "bandwidth": tr.plan.bandwidth,
+            "iter_time": self.iter_time,
+        }
+
+
+class _PartitionSerialStep(_PartitionStepBase):
+    """All P group gradients computed in-process, one slice at a time."""
+
+    def begin(self, pipeline) -> None:
+        super().begin(pipeline)
+        self.trainer.net.set_params(self.weights)
+
+    def step(self, pipeline, t: int) -> float:
+        tr = self.trainer
+        p = tr.parts
+        images, labels = self.sampler.next_batch()
+        grads: List[np.ndarray] = []
+        losses = []
+        for j in range(p):
+            lo, hi = j * tr.group_batch, (j + 1) * tr.group_batch
+            losses.append(tr.net.gradient(images[lo:hi], labels[lo:hi], tr.loss))
+            grads.append(tr.net.grads.copy())
+        self.last_loss = float(np.mean(losses))
+        self.update.apply(tr.net, self.weights, grads, p)
+
+        pipeline.breakdown.add("for/backward", self.iter_time)  # single-chip: no links
+        return self.iter_time
+
+
+class _PartitionProcessesStep(_PartitionStepBase):
+    """The Figure 12 experiment on real cores.
+
+    P persistent forked group workers each hold a weight replica
+    (their forked copy of the network) and one named shared-memory
+    gradient segment; the parent holds the weights in a named
+    shared-memory segment all groups map. Per round the parent stages
+    each group's ``b/P`` batch slice directly into per-group
+    shared-memory segments (float32 images, integer labels) and puts
+    only a round token on the task queue — no batch bytes are ever
+    pickled; the ``done_q`` round barrier guarantees a single staging
+    buffer per group suffices. The groups write gradients straight
+    into shared memory, and the parent tree-reduces the P
+    segment views **in the same group order and association as the
+    serial path**, so for deterministic (dropout-free) models the
+    weight trajectory is bit-identical to ``backend="threads"`` /
+    the serial simulation. (Models with stochastic layers diverge:
+    the serial path threads ONE RNG through all groups, replicas
+    cannot.)
+
+    The simulated clock is charged exactly as in the serial path —
+    backends change wall-time, never the modeled time.
+    """
+
+    run_backend = "processes"
+
+    def begin(self, pipeline) -> None:
+        import multiprocessing
+
+        from repro.comm.mp_runtime import SharedFlatArray, fork_available
+
+        if not fork_available():
+            raise RuntimeError(
+                "backend='processes' requires the fork start method; "
+                "use backend='threads' on this platform"
+            )
+        super().begin(pipeline)
+        tr = self.trainer
+        p = tr.parts
+        mp_ctx = multiprocessing.get_context("fork")
+
+        w_shm = SharedFlatArray.from_array(self.weights)
+        g_shms = [SharedFlatArray.create(tr.net.num_params) for _ in range(p)]
+        # Per-group batch staging segments: the parent writes each round's
+        # slice in place, children read the same physical pages (MCDRAM-
+        # style data placement) — the task queue carries a bare round token.
+        img_shape = (tr.group_batch,) + tr.train_set.images.shape[1:]
+        lbl_shape = (tr.group_batch,) + tr.train_set.labels.shape[1:]
+        img_shms = [
+            SharedFlatArray.create(
+                int(np.prod(img_shape)), dtype=tr.train_set.images.dtype
+            )
+            for _ in range(p)
+        ]
+        lbl_shms = [
+            SharedFlatArray.create(
+                int(np.prod(lbl_shape)), dtype=tr.train_set.labels.dtype
+            )
+            for _ in range(p)
+        ]
+        task_qs = [mp_ctx.Queue() for _ in range(p)]
+        done_q = mp_ctx.Queue()
+        net, loss_fn = tr.net, tr.loss
+
+        def group_main(j: int) -> None:
+            # `net` is this child's forked copy — the group's MCDRAM-style
+            # weight replica; `w_shm`/`g_shms`/`img_shms`/`lbl_shms` map the
+            # parent's segments.
+            grad_view = g_shms[j].array
+            images = img_shms[j].array.reshape(img_shape)
+            labels = lbl_shms[j].array.reshape(lbl_shape)
+            while True:
+                task = task_qs[j].get()
+                if task is None:
+                    return
+                net.set_params(w_shm.array)
+                loss = net.gradient(images, labels, loss_fn)
+                grad_view[:] = net.grads
+                done_q.put((j, loss))
+
+        procs = [
+            mp_ctx.Process(target=group_main, args=(j,), name=f"knl-group-{j}")
+            for j in range(p)
+        ]
+        for proc in procs:
+            proc.start()
+
+        self.w_shm, self.g_shms = w_shm, g_shms
+        self.img_shms, self.lbl_shms = img_shms, lbl_shms
+        self.task_qs, self.done_q = task_qs, done_q
+        self.procs = procs
+        self.img_views = [s.array.reshape(img_shape) for s in img_shms]
+        self.lbl_views = [s.array.reshape(lbl_shape) for s in lbl_shms]
+
+    def step(self, pipeline, t: int) -> float:
+        import queue as _queue
+
+        tr = self.trainer
+        p = tr.parts
+        images, labels = self.sampler.next_batch()
+        # Stage slices in shared memory, then wake each group with a
+        # round token. Safe with one buffer per group: the done_q
+        # barrier below means no group is still reading round t-1.
+        for j in range(p):
+            lo, hi = j * tr.group_batch, (j + 1) * tr.group_batch
+            self.img_views[j][:] = images[lo:hi]
+            self.lbl_views[j][:] = labels[lo:hi]
+            self.task_qs[j].put(t)
+        losses: List[float] = [0.0] * p
+        for _ in range(p):
+            try:
+                j, loss = self.done_q.get(timeout=120.0)
+            except _queue.Empty:
+                dead = [j for j in range(p) if not self.procs[j].is_alive()]
+                raise RuntimeError(
+                    f"KNL group worker(s) {dead} died mid-iteration {t}"
+                ) from None
+            losses[j] = loss
+        self.last_loss = float(np.mean(losses))
+        self.weights -= tr.config.lr * (tree_reduce([g.array for g in self.g_shms]) / p)
+        self.w_shm.array[:] = self.weights  # publish for the next round
+
+        pipeline.breakdown.add("for/backward", self.iter_time)
+        return self.iter_time
+
+    def cleanup(self, pipeline) -> None:
+        for q in self.task_qs:
+            q.put(None)
+        for proc in self.procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - hung-worker cleanup
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for q in [*self.task_qs, self.done_q]:
+            q.cancel_join_thread()
+            q.close()
+        for seg in [self.w_shm, *self.g_shms, *self.img_shms, *self.lbl_shms]:
+            seg.unlink()
+
+    def end(self, pipeline) -> None:
+        # Leave the net at the final weights, as the serial path does.
+        self.trainer.net.set_params(self.weights)
+
+
 class ChipPartitionTrainer(BaseTrainer):
     """Real-numerics trainer for the Figure 12 experiment.
 
@@ -147,220 +343,7 @@ class ChipPartitionTrainer(BaseTrainer):
         update_time = 3 * self.cost.weight_bytes / self.plan.bandwidth
         return compute + reduce_time + update_time
 
-    def train(self, iterations: int) -> RunResult:
-        if iterations <= 0:
-            raise ValueError("iterations must be positive")
+    def make_step(self) -> _PartitionStepBase:
         if self.config.backend == "processes":
-            return self._train_processes(iterations)
-        return self._train_serial(iterations)
-
-    def _train_serial(self, iterations: int) -> RunResult:
-        cfg = self.config
-        p = self.parts
-
-        weights = self.net.get_params()
-        # One global batch per round, divided into P equal slices — the
-        # partitioning must be invisible to the optimization trajectory.
-        sampler = self.make_sampler("global-batch")
-        iter_time = self._iter_time()
-
-        breakdown = TimeBreakdown()
-        records: List[TrainRecord] = []
-        sim_time = 0.0
-        last_loss = float("nan")
-
-        self.net.set_params(weights)
-        for t in range(1, iterations + 1):
-            images, labels = sampler.next_batch()
-            grads: List[np.ndarray] = []
-            losses = []
-            for j in range(p):
-                lo, hi = j * self.group_batch, (j + 1) * self.group_batch
-                losses.append(self.net.gradient(images[lo:hi], labels[lo:hi], self.loss))
-                grads.append(self.net.grads.copy())
-            last_loss = float(np.mean(losses))
-            weights -= cfg.lr * (tree_reduce(grads) / p)
-            self.net.set_params(weights)
-
-            sim_time += iter_time
-            breakdown.add("for/backward", iter_time)  # single-chip: no links
-
-            if t % cfg.eval_every == 0 or t == iterations:
-                acc = self.evaluate_params(weights)
-                records.append(TrainRecord(t, sim_time, last_loss, acc))
-                if self.should_stop(acc):
-                    break
-
-        final_acc = records[-1].test_accuracy if records else 0.0
-        return RunResult(
-            method=self.name,
-            records=records,
-            breakdown=breakdown,
-            iterations=records[-1].iteration if records else 0,
-            sim_time=sim_time,
-            final_accuracy=final_acc,
-            extras={
-                "parts": float(p),
-                "in_mcdram": float(self.plan.in_mcdram),
-                "bandwidth": self.plan.bandwidth,
-                "iter_time": iter_time,
-            },
-        )
-
-    def _train_processes(self, iterations: int) -> RunResult:
-        """The Figure 12 experiment on real cores.
-
-        P persistent forked group workers each hold a weight replica
-        (their forked copy of the network) and one named shared-memory
-        gradient segment; the parent holds the weights in a named
-        shared-memory segment all groups map. Per round the parent stages
-        each group's ``b/P`` batch slice directly into per-group
-        shared-memory segments (float32 images, integer labels) and puts
-        only a round token on the task queue — no batch bytes are ever
-        pickled; the ``done_q`` round barrier guarantees a single staging
-        buffer per group suffices. The groups write gradients straight
-        into shared memory, and the parent tree-reduces the P
-        segment views **in the same group order and association as the
-        serial path**, so for deterministic (dropout-free) models the
-        weight trajectory is bit-identical to ``backend="threads"`` /
-        the serial simulation. (Models with stochastic layers diverge:
-        the serial path threads ONE RNG through all groups, replicas
-        cannot.)
-
-        The simulated clock is charged exactly as in the serial path —
-        backends change wall-time, never the modeled time.
-        """
-        import multiprocessing
-        import queue as _queue
-
-        from repro.comm.mp_runtime import SharedFlatArray, fork_available
-
-        if not fork_available():
-            raise RuntimeError(
-                "backend='processes' requires the fork start method; "
-                "use backend='threads' on this platform"
-            )
-        mp_ctx = multiprocessing.get_context("fork")
-        cfg = self.config
-        p = self.parts
-
-        weights = self.net.get_params()
-        sampler = self.make_sampler("global-batch")
-        iter_time = self._iter_time()
-
-        w_shm = SharedFlatArray.from_array(weights)
-        g_shms = [SharedFlatArray.create(self.net.num_params) for _ in range(p)]
-        # Per-group batch staging segments: the parent writes each round's
-        # slice in place, children read the same physical pages (MCDRAM-
-        # style data placement) — the task queue carries a bare round token.
-        img_shape = (self.group_batch,) + self.train_set.images.shape[1:]
-        lbl_shape = (self.group_batch,) + self.train_set.labels.shape[1:]
-        img_shms = [
-            SharedFlatArray.create(
-                int(np.prod(img_shape)), dtype=self.train_set.images.dtype
-            )
-            for _ in range(p)
-        ]
-        lbl_shms = [
-            SharedFlatArray.create(
-                int(np.prod(lbl_shape)), dtype=self.train_set.labels.dtype
-            )
-            for _ in range(p)
-        ]
-        task_qs = [mp_ctx.Queue() for _ in range(p)]
-        done_q = mp_ctx.Queue()
-        net, loss_fn = self.net, self.loss
-
-        def group_main(j: int) -> None:
-            # `net` is this child's forked copy — the group's MCDRAM-style
-            # weight replica; `w_shm`/`g_shms`/`img_shms`/`lbl_shms` map the
-            # parent's segments.
-            grad_view = g_shms[j].array
-            images = img_shms[j].array.reshape(img_shape)
-            labels = lbl_shms[j].array.reshape(lbl_shape)
-            while True:
-                task = task_qs[j].get()
-                if task is None:
-                    return
-                net.set_params(w_shm.array)
-                loss = net.gradient(images, labels, loss_fn)
-                grad_view[:] = net.grads
-                done_q.put((j, loss))
-
-        procs = [
-            mp_ctx.Process(target=group_main, args=(j,), name=f"knl-group-{j}")
-            for j in range(p)
-        ]
-        for proc in procs:
-            proc.start()
-
-        breakdown = TimeBreakdown()
-        records: List[TrainRecord] = []
-        sim_time = 0.0
-        last_loss = float("nan")
-        try:
-            img_views = [s.array.reshape(img_shape) for s in img_shms]
-            lbl_views = [s.array.reshape(lbl_shape) for s in lbl_shms]
-            for t in range(1, iterations + 1):
-                images, labels = sampler.next_batch()
-                # Stage slices in shared memory, then wake each group with a
-                # round token. Safe with one buffer per group: the done_q
-                # barrier below means no group is still reading round t-1.
-                for j in range(p):
-                    lo, hi = j * self.group_batch, (j + 1) * self.group_batch
-                    img_views[j][:] = images[lo:hi]
-                    lbl_views[j][:] = labels[lo:hi]
-                    task_qs[j].put(t)
-                losses: List[float] = [0.0] * p
-                for _ in range(p):
-                    try:
-                        j, loss = done_q.get(timeout=120.0)
-                    except _queue.Empty:
-                        dead = [j for j in range(p) if not procs[j].is_alive()]
-                        raise RuntimeError(
-                            f"KNL group worker(s) {dead} died mid-iteration {t}"
-                        ) from None
-                    losses[j] = loss
-                last_loss = float(np.mean(losses))
-                weights -= cfg.lr * (tree_reduce([g.array for g in g_shms]) / p)
-                w_shm.array[:] = weights  # publish for the next round
-
-                sim_time += iter_time
-                breakdown.add("for/backward", iter_time)
-
-                if t % cfg.eval_every == 0 or t == iterations:
-                    acc = self.evaluate_params(weights)
-                    records.append(TrainRecord(t, sim_time, last_loss, acc))
-                    if self.should_stop(acc):
-                        break
-        finally:
-            for q in task_qs:
-                q.put(None)
-            for proc in procs:
-                proc.join(timeout=10.0)
-                if proc.is_alive():  # pragma: no cover - hung-worker cleanup
-                    proc.terminate()
-                    proc.join(timeout=5.0)
-            for q in [*task_qs, done_q]:
-                q.cancel_join_thread()
-                q.close()
-            for seg in [w_shm, *g_shms, *img_shms, *lbl_shms]:
-                seg.unlink()
-
-        self.net.set_params(weights)  # leave the net at the final weights, as serial does
-        final_acc = records[-1].test_accuracy if records else 0.0
-        return RunResult(
-            method=self.name,
-            records=records,
-            breakdown=breakdown,
-            iterations=records[-1].iteration if records else 0,
-            sim_time=sim_time,
-            final_accuracy=final_acc,
-            extras={
-                "parts": float(p),
-                "in_mcdram": float(self.plan.in_mcdram),
-                "bandwidth": self.plan.bandwidth,
-                "iter_time": iter_time,
-            },
-            backend="processes",
-        )
+            return _PartitionProcessesStep(self)
+        return _PartitionSerialStep(self)

@@ -7,6 +7,10 @@ bcast/reduce trees run over the fabric, and the fabric communication
 overlaps the local compute (the same independence argument as Sync EASGD3).
 Used by the Figure 13 experiment and as the per-iteration model behind the
 Table 4 weak-scaling study.
+
+The loop is the shared :class:`repro.engine.StepPipeline`; the family
+contributes a clock step built on the same
+:class:`~repro.engine.SyncElasticUpdate` rule as Sync EASGD3.
 """
 
 from __future__ import annotations
@@ -15,21 +19,66 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.algorithms.base import (
-    BaseTrainer,
-    RunResult,
-    TimeBreakdown,
-    TrainRecord,
-    TrainerConfig,
-)
+from repro.algorithms.base import BaseTrainer, TrainerConfig
 from repro.cluster.cost import CostModel
 from repro.cluster.platform import KnlPlatform
-from repro.comm.collectives import tree_reduce
 from repro.data.dataset import Dataset
+from repro.engine.strategy import (
+    ClockStepStrategy,
+    gather_gradients,
+    jittered_fwdbwd,
+    SyncElasticUpdate,
+)
 from repro.nn.network import Network
-from repro.optim.easgd import EASGDHyper, elastic_worker_update
+from repro.optim.easgd import EASGDHyper
 
 __all__ = ["KnlSyncEASGDTrainer"]
+
+
+class _KnlSyncEasgdStep(ClockStepStrategy):
+    """One Algorithm 4 iteration: local batches, fabric trees, overlap."""
+
+    def __init__(self, trainer: "KnlSyncEASGDTrainer") -> None:
+        self.trainer = trainer
+
+    def begin(self, pipeline) -> None:
+        tr = self.trainer
+        k = self.k = tr.platform.num_nodes
+        self.center = tr.net.get_params()
+        self.workers: List[np.ndarray] = [self.center.copy() for _ in range(k)]
+        self.samplers = [tr.make_sampler(("node", j)) for j in range(k)]
+        self.update = SyncElasticUpdate(tr.hyper)
+        self.live = list(range(k))
+
+    def step(self, pipeline, t: int) -> float:
+        tr = self.trainer
+        cfg = tr.config
+        grads, losses = gather_gradients(tr, self.samplers, self.live,
+                                         weights=self.workers)
+        self.last_loss = losses[-1]
+        self.update.apply(self.center, self.workers, grads, self.live)
+
+        # --- simulated time -----------------------------------------
+        fwdbwd = max(jittered_fwdbwd(
+            tr.platform, tr.cost, cfg.batch_size, self.live, None,
+            pipeline.sim_time,
+        ))
+        comm = tr.platform.tree_bcast_time(tr.cost, tr.packed)
+        comm += tr.platform.tree_reduce_time(tr.cost, tr.packed)
+        upd = 2.0 * tr.platform.update_time(tr.cost)
+        if tr.overlap:
+            hidden = cfg.overlap_efficiency * min(comm, fwdbwd)
+            visible_comm = comm - hidden
+        else:
+            visible_comm = comm
+        breakdown = pipeline.breakdown
+        breakdown.add("for/backward", fwdbwd)
+        breakdown.add("gpu-gpu para", visible_comm)  # fabric traffic
+        breakdown.add("gpu update", upd)
+        return fwdbwd + visible_comm + upd
+
+    def eval_params(self) -> np.ndarray:
+        return self.center
 
 
 class KnlSyncEASGDTrainer(BaseTrainer):
@@ -69,64 +118,5 @@ class KnlSyncEASGDTrainer(BaseTrainer):
             return fwdbwd + (comm - hidden) + upd
         return fwdbwd + comm + upd
 
-    def train(self, iterations: int) -> RunResult:
-        if iterations <= 0:
-            raise ValueError("iterations must be positive")
-        k = self.platform.num_nodes
-        cfg = self.config
-
-        center = self.net.get_params()
-        workers: List[np.ndarray] = [center.copy() for _ in range(k)]
-        samplers = [self.make_sampler(("node", j)) for j in range(k)]
-
-        breakdown = TimeBreakdown()
-        records: List[TrainRecord] = []
-        sim_time = 0.0
-        last_loss = float("nan")
-
-        for t in range(1, iterations + 1):
-            grads: List[np.ndarray] = []
-            for j in range(k):
-                images, labels = samplers[j].next_batch()
-                self.net.set_params(workers[j])
-                last_loss = self.net.gradient(images, labels, self.loss)
-                grads.append(self.net.grads.copy())
-
-            sum_w = tree_reduce(workers)
-            for j in range(k):
-                elastic_worker_update(workers[j], grads[j], center, self.hyper)
-            center += self.hyper.alpha * (sum_w - k * center)
-
-            # --- simulated time -----------------------------------------
-            fwdbwd = max(
-                self.platform.fwdbwd_time(self.cost, cfg.batch_size, worker=j)
-                for j in range(k)
-            )
-            comm = self.platform.tree_bcast_time(self.cost, self.packed)
-            comm += self.platform.tree_reduce_time(self.cost, self.packed)
-            upd = 2.0 * self.platform.update_time(self.cost)
-            if self.overlap:
-                hidden = cfg.overlap_efficiency * min(comm, fwdbwd)
-                visible_comm = comm - hidden
-            else:
-                visible_comm = comm
-            breakdown.add("for/backward", fwdbwd)
-            breakdown.add("gpu-gpu para", visible_comm)  # fabric traffic
-            breakdown.add("gpu update", upd)
-            sim_time += fwdbwd + visible_comm + upd
-
-            if t % cfg.eval_every == 0 or t == iterations:
-                acc = self.evaluate_params(center)
-                records.append(TrainRecord(t, sim_time, last_loss, acc))
-                if self.should_stop(acc):
-                    break
-
-        final_acc = records[-1].test_accuracy if records else 0.0
-        return RunResult(
-            method=self.name,
-            records=records,
-            breakdown=breakdown,
-            iterations=records[-1].iteration if records else 0,
-            sim_time=sim_time,
-            final_accuracy=final_acc,
-        )
+    def make_step(self) -> _KnlSyncEasgdStep:
+        return _KnlSyncEasgdStep(self)

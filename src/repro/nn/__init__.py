@@ -10,23 +10,23 @@ per-layer ("unpacked") scheme of Figure 10 is derived from the recorded
 segment table.
 """
 
-from repro.nn.layers import Layer, Dense, Conv2D, MaxPool2D, AvgPool2D, Flatten
-from repro.nn.activations import ReLU, Tanh, Sigmoid
-from repro.nn.regularization import Dropout, BatchNorm, LocalResponseNorm
-from repro.nn.losses import SoftmaxCrossEntropy, MeanSquaredError
-from repro.nn.network import Network, ParamSegment
+from repro.nn.activations import ReLU, Sigmoid, Tanh
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten, Layer, MaxPool2D
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
 from repro.nn.models import (
+    build_alexnet_mini,
+    build_googlenet_mini,
     build_lenet,
     build_mlp,
-    build_alexnet_mini,
-    build_vgg_mini,
-    build_googlenet_mini,
     build_resnet_mini,
+    build_vgg_mini,
     InceptionBlock,
     ResidualBlock,
 )
-from repro.nn.spec import ModelSpec, LayerSpec, LENET, ALEXNET, VGG19, GOOGLENET
-from repro.nn.serialize import save_checkpoint, load_checkpoint, structure_fingerprint
+from repro.nn.network import Network, ParamSegment
+from repro.nn.regularization import BatchNorm, Dropout, LocalResponseNorm
+from repro.nn.serialize import load_checkpoint, save_checkpoint, structure_fingerprint
+from repro.nn.spec import ALEXNET, GOOGLENET, LayerSpec, LENET, ModelSpec, VGG19
 
 __all__ = [
     "Layer",

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.nn.tensor_ops import conv_output_size, im2col, col2im
+from repro.nn.tensor_ops import col2im, conv_output_size, im2col
 
 __all__ = [
     "ParamSpec",

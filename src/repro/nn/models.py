@@ -15,15 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nn.activations import ReLU
-from repro.nn.layers import (
-    AvgPool2D,
-    Conv2D,
-    Dense,
-    Flatten,
-    Layer,
-    MaxPool2D,
-    ParamSpec,
-)
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten, Layer, MaxPool2D, ParamSpec
 from repro.nn.network import Network
 from repro.nn.regularization import BatchNorm, Dropout, LocalResponseNorm
 

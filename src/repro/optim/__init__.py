@@ -1,16 +1,16 @@
 """Update rules: plain SGD, momentum SGD, and the EASGD family (Eqs 1-6)."""
 
-from repro.optim.sgd import SGDRule, MomentumRule
+from repro.optim.clip import clip_gradient_norm
 from repro.optim.easgd import (
-    elastic_worker_update,
+    EASGDHyper,
     elastic_center_update,
     elastic_center_update_single,
     elastic_momentum_worker_update,
-    EASGDHyper,
+    elastic_worker_update,
 )
-from repro.optim.schedules import ConstantLR, StepDecayLR, InverseScalingLR
 from repro.optim.quantize import quantize_gradient
-from repro.optim.clip import clip_gradient_norm
+from repro.optim.schedules import ConstantLR, InverseScalingLR, StepDecayLR
+from repro.optim.sgd import MomentumRule, SGDRule
 
 __all__ = [
     "SGDRule",

@@ -1,14 +1,14 @@
 """Weak-scaling study (Section 7.1, Table 4, Figure 13) and the
 Intel-Caffe-like behavioural baseline."""
 
+from repro.scaling.baselines import intel_caffe_like, our_implementation
+from repro.scaling.batch_size import batch_size_study, BatchPoint, blas_efficiency
 from repro.scaling.weak_scaling import (
-    WeakScalingModel,
+    CORES_PER_NODE,
     ScalingPoint,
     weak_scaling_sweep,
-    CORES_PER_NODE,
+    WeakScalingModel,
 )
-from repro.scaling.baselines import our_implementation, intel_caffe_like
-from repro.scaling.batch_size import blas_efficiency, BatchPoint, batch_size_study
 
 __all__ = [
     "WeakScalingModel",

@@ -18,7 +18,7 @@ Both share the straggler term, since both are bulk-synchronous.
 
 from __future__ import annotations
 
-from repro.nn.spec import GOOGLENET, VGG19, ModelSpec
+from repro.nn.spec import ModelSpec
 from repro.scaling.weak_scaling import WeakScalingModel
 
 __all__ = [

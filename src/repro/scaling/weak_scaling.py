@@ -26,8 +26,8 @@ Per-iteration time at P nodes:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import List, Sequence
 
 from repro.comm.alphabeta import CRAY_ARIES, LinkModel

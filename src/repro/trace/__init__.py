@@ -10,7 +10,7 @@
   the harness and the test suite.
 """
 
-from repro.trace.check import InvariantViolation, check_all
+from repro.trace.check import check_all, InvariantViolation
 from repro.trace.events import EVENT_KINDS, MASTER, Trace, TraceEvent
 from repro.trace.export import from_jsonl, to_chrome, to_jsonl
 from repro.trace.metrics import summarize, transport_stats

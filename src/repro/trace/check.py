@@ -212,7 +212,7 @@ def check_fcfs_service(trace: Trace) -> None:
             )
         if cur.t0 < prev.t1 - 1e-12:
             raise InvariantViolation(
-                f"service spans overlap under a locked master: "
+                "service spans overlap under a locked master: "
                 f"[{prev.t0:.6g},{prev.t1:.6g}] vs [{cur.t0:.6g},{cur.t1:.6g}]"
             )
 

@@ -15,8 +15,8 @@ are executed unless tracing was requested.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field, fields
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["MASTER", "EVENT_KINDS", "TraceEvent", "Trace"]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.trace.events import Trace, TraceEvent
+from repro.trace.events import Trace
 
 __all__ = [
     "message_counts",

@@ -12,7 +12,7 @@ the uniform model the cost functions already assume.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.trace.events import MASTER, Trace
 

@@ -1,7 +1,7 @@
 """Small shared utilities: seeded RNG streams, human formatting, text tables."""
 
-from repro.util.rng import RngStream, spawn_rng, derive_seed
-from repro.util.format import format_bytes, format_seconds, format_percent
+from repro.util.format import format_bytes, format_percent, format_seconds
+from repro.util.rng import derive_seed, RngStream, spawn_rng
 from repro.util.tables import TextTable
 
 __all__ = [

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.algorithms import TrainerConfig
 from repro.algorithms.original_easgd import OriginalEASGDTrainer
 from repro.cluster import CostModel, GpuPlatform
 from repro.nn.models import build_mlp

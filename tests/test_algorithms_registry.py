@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algorithms import ALGORITHMS, make_trainer
+from repro.algorithms import ALGORITHM_INFO, ALGORITHMS, make_trainer
 from repro.algorithms.base import BaseTrainer
 from repro.cluster import CostModel, GpuPlatform
 from repro.nn.models import build_mlp
@@ -24,12 +24,21 @@ EXPECTED_METHODS = {
     "sync-easgd2",
     "sync-easgd3",
     "sync-easgd",
+    "knl-sync-easgd",
+    "cluster-sync-easgd",
 }
 
 
 class TestRegistry:
     def test_all_paper_methods_present(self):
         assert EXPECTED_METHODS == set(ALGORITHMS)
+
+    def test_info_covers_every_entry(self):
+        assert set(ALGORITHM_INFO) == set(ALGORITHMS)
+        for name, info in ALGORITHM_INFO.items():
+            assert info.sync in ("sync", "async"), name
+            assert info.family, name
+            assert info.section, name
 
     def test_unknown_name_raises_with_suggestions(self):
         with pytest.raises(KeyError, match="unknown algorithm"):

@@ -202,7 +202,7 @@ class TestDatasetIO:
 
 class TestStalenessMetrics:
     def test_async_reports_staleness(self, mnist_tiny, fast_config):
-        from repro.algorithms.async_ps import AsyncSGDTrainer, HogwildSGDTrainer
+        from repro.algorithms.async_ps import AsyncSGDTrainer
         from repro.cluster import CostModel, GpuPlatform
         from repro.nn.models import build_mlp
         from repro.nn.spec import LENET

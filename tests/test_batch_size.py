@@ -1,8 +1,8 @@
 """Section 7.2: the impact of batch size."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.data import make_mnist_like, standardize, standardize_like
 from repro.nn.models import build_mlp

@@ -7,12 +7,7 @@ import pytest
 from repro.algorithms import ALGORITHMS, TrainerConfig
 from repro.harness.cli import main
 from repro.harness.experiment import ExperimentSpec, run_method
-from repro.harness.results import (
-    SCHEMA_VERSION,
-    result_to_dict,
-    results_from_json,
-    results_to_json,
-)
+from repro.harness.results import result_to_dict, results_from_json, results_to_json, SCHEMA_VERSION
 from repro.nn.models import build_mlp
 
 

@@ -1,19 +1,12 @@
 """Cluster simulation: devices, clock, event queue, cost models, platforms."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.cluster.cost import BWD_FLOPS_FACTOR, CostModel
-from repro.cluster.devices import (
-    ComputeJitter,
-    DeviceModel,
-    K80_HALF,
-    KNL_7250,
-    M40,
-    XEON_E5_HOST,
-)
+from repro.cluster.devices import ComputeJitter, DeviceModel, K80_HALF, KNL_7250, M40, XEON_E5_HOST
 from repro.cluster.platform import GpuPlatform, KnlPlatform
 from repro.cluster.simclock import Event, EventQueue, SimClock
 from repro.nn.models import build_lenet

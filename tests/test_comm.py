@@ -1,11 +1,10 @@
 """Communication substrate: alpha-beta, packing, collectives, topology."""
 
-import math
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.comm.alphabeta import (
     INTEL_10GBE,

@@ -5,10 +5,10 @@ shape, or message plan — not just the calibrated defaults — because the
 paper's argument is structural (schedules and layouts), not numeric.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform

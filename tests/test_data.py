@@ -1,9 +1,9 @@
 """Datasets: container validation, generators, normalization, samplers."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.data.dataset import Dataset
 from repro.data.loader import BatchSampler, partition_dataset, replicate_dataset

@@ -1,0 +1,75 @@
+"""Engine smoke: every registered algorithm runs on the shared pipeline.
+
+The registry is the contract surface of the step-pipeline engine — every
+entry, whatever its strategy (clock step, event step, adapted platform),
+must produce a :class:`repro.algorithms.base.RunResult` that satisfies the
+same invariants. Two iterations at P=2 keeps the whole sweep fast.
+"""
+
+import pytest
+
+from repro.algorithms import ALGORITHMS, make_trainer, TrainerConfig
+from repro.cluster import CostModel, GpuPlatform
+from repro.nn.models import build_mlp
+from repro.nn.spec import LENET
+from repro.trace import from_jsonl, to_jsonl
+
+ITERATIONS = 2
+WORKERS = 2
+
+
+def _run(name, mnist_tiny, *, trace=False):
+    train, test = mnist_tiny
+    config = TrainerConfig(
+        batch_size=16, lr=0.05, rho=2.0, seed=0,
+        eval_every=1, eval_samples=64, trace=trace,
+    )
+    trainer = make_trainer(
+        name,
+        build_mlp(seed=0),
+        train,
+        test,
+        GpuPlatform(num_gpus=WORKERS, seed=0),
+        config,
+        CostModel.from_spec(LENET),
+    )
+    return trainer.train(ITERATIONS)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestEngineSmoke:
+    def test_run_result_invariants(self, name, mnist_tiny):
+        res = _run(name, mnist_tiny)
+
+        # Every family reports the requested length and a positive clock.
+        assert res.iterations == ITERATIONS
+        assert res.sim_time > 0.0
+
+        # Non-empty trajectory with monotone simulated time and the final
+        # snapshot stamped at the last iteration.
+        assert res.records, "trajectory must not be empty"
+        times = [r.sim_time for r in res.records]
+        assert times == sorted(times)
+        assert all(t > 0.0 for t in times)
+        assert res.records[-1].iteration == ITERATIONS
+        iters = [r.iteration for r in res.records]
+        assert iters == sorted(iters)
+
+        # The snapshot accuracy is a probability and matches the summary.
+        assert 0.0 <= res.final_accuracy <= 1.0
+        assert res.final_accuracy == res.records[-1].test_accuracy
+
+        # Breakdown totals are well-formed (parts sum across workers, so
+        # they may legitimately exceed the clock for concurrent families).
+        assert res.breakdown.total >= 0.0
+        assert res.breakdown.comm_seconds >= 0.0
+        assert 0.0 <= res.breakdown.comm_ratio <= 1.0
+
+    def test_trace_round_trips_when_enabled(self, name, mnist_tiny):
+        res = _run(name, mnist_tiny, trace=True)
+        if res.trace is None:  # family does not record traces; nothing to check
+            pytest.skip(f"{name} does not record traces")
+        assert res.trace.events, "enabled trace must record events"
+        rebuilt = from_jsonl(to_jsonl(res.trace))
+        assert rebuilt.meta == res.trace.meta
+        assert to_jsonl(rebuilt) == to_jsonl(res.trace)

@@ -17,13 +17,7 @@ from repro.algorithms.sync_sgd import SyncSGDTrainer
 from repro.cluster import CostModel, GpuPlatform
 from repro.comm.collectives import tree_reduce
 from repro.comm.runtime import DeadlockError, InProcessCommunicator
-from repro.faults import (
-    AllWorkersCrashedError,
-    FaultError,
-    FaultLog,
-    FaultPlan,
-    FaultRecord,
-)
+from repro.faults import AllWorkersCrashedError, FaultError, FaultLog, FaultPlan, FaultRecord
 from repro.harness.analysis import fault_degradation, fault_rate_curve
 from repro.harness.results import result_to_dict, results_from_json, results_to_json
 from repro.nn.models import build_mlp

@@ -7,22 +7,22 @@ from repro.algorithms import TrainerConfig
 from repro.cluster import CostModel
 from repro.data import make_mnist_like
 from repro.harness import (
-    ExperimentSpec,
-    Table3Row,
     breakdown_row,
+    ExperimentSpec,
     render_table1,
     render_table2,
     render_table3,
     render_table4,
     run_method,
     run_methods,
+    Table3Row,
 )
 from repro.harness.breakdown import speedup_over
 from repro.harness.figures import (
-    FIG6_PAIRS,
-    FIG8_METHODS,
     fig10_packed_series,
     fig13_scaling_series,
+    FIG6_PAIRS,
+    FIG8_METHODS,
     log10_error_series,
 )
 from repro.nn.models import build_mlp

@@ -6,9 +6,9 @@ from repro.algorithms import TrainerConfig
 from repro.cluster import CostModel
 from repro.data import make_mnist_like
 from repro.harness import (
-    ExperimentSpec,
     accuracy_at_time,
     crossover_time,
+    ExperimentSpec,
     run_method,
     speedup_at_accuracy,
     time_to_accuracy_interp,

@@ -1,10 +1,10 @@
 """KNL substrate: chip model, partitioning plans, the Figure 12 trainer,
 and the Algorithm 4 cluster trainer."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.algorithms import TrainerConfig
 from repro.cluster import CostModel, KnlPlatform

@@ -10,10 +10,10 @@ import pytest
 
 from repro.comm.collectives import tree_reduce
 from repro.comm.mp_runtime import (
+    fork_available,
     MultiprocessCommunicator,
     RemoteRankError,
     SharedFlatArray,
-    fork_available,
 )
 from repro.comm.runtime import DeadlockError, InProcessCommunicator, MultiRankError
 

@@ -1,9 +1,9 @@
 """The in-process MPI-style runtime and the message-passing EASGD port."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.algorithms import TrainerConfig
 from repro.algorithms.mpi_easgd import run_mpi_sync_easgd

@@ -1,18 +1,14 @@
 """Ring allreduce, the multi-node GPU cluster, and the cluster trainer."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.algorithms import ClusterSyncEASGDTrainer, TrainerConfig
 from repro.cluster import CostModel, GpuClusterPlatform
-from repro.comm.alphabeta import CRAY_ARIES, MELLANOX_FDR_56G, LinkModel
-from repro.comm.collectives import (
-    allreduce_cost,
-    ring_allreduce,
-    ring_allreduce_cost,
-)
+from repro.comm.alphabeta import CRAY_ARIES, LinkModel, MELLANOX_FDR_56G
+from repro.comm.collectives import allreduce_cost, ring_allreduce, ring_allreduce_cost
 from repro.nn.models import build_mlp
 from repro.nn.spec import LENET, VGG19
 

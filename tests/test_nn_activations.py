@@ -1,13 +1,12 @@
 """Activation functions: values, gradients, stability."""
 
+from conftest import check_network_gradients
 import numpy as np
 import pytest
 
 from repro.nn.activations import ReLU, Sigmoid, Tanh
 from repro.nn.layers import Flatten
 from repro.nn.network import Network
-
-from conftest import check_network_gradients
 
 
 def _data(shape, seed=0):

@@ -1,14 +1,13 @@
 """Extended nn features: grouped conv, LRN, residual blocks, ResNet mini."""
 
+from conftest import check_network_gradients
 import numpy as np
 import pytest
 
 from repro.nn.layers import Conv2D
-from repro.nn.models import ResidualBlock, build_alexnet_mini, build_resnet_mini
+from repro.nn.models import build_alexnet_mini, build_resnet_mini, ResidualBlock
 from repro.nn.network import Network
 from repro.nn.regularization import LocalResponseNorm
-
-from conftest import check_network_gradients
 
 
 def _data(shape, seed=0):

@@ -1,12 +1,11 @@
 """Layer forward/backward: shapes, values, finite-difference gradchecks."""
 
+from conftest import check_network_gradients
 import numpy as np
 import pytest
 
 from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten, MaxPool2D
 from repro.nn.network import Network
-
-from conftest import check_network_gradients
 
 
 def _data(shape, seed=0, scale=1.0):

@@ -1,11 +1,10 @@
 """Loss functions: values, gradients, stability, error handling."""
 
+from conftest import numeric_gradient
 import numpy as np
 import pytest
 
 from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
-
-from conftest import numeric_gradient
 
 
 class TestSoftmaxCrossEntropy:

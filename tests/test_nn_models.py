@@ -1,21 +1,20 @@
 """Model builders: shapes, inception block, trainability."""
 
+from conftest import check_network_gradients
 import numpy as np
 import pytest
 
+from repro.nn.activations import ReLU
+from repro.nn.layers import Conv2D
 from repro.nn.models import (
-    InceptionBlock,
     build_alexnet_mini,
     build_googlenet_mini,
     build_lenet,
     build_mlp,
     build_vgg_mini,
+    InceptionBlock,
 )
-from repro.nn.activations import ReLU
-from repro.nn.layers import Conv2D
 from repro.nn.network import Network
-
-from conftest import check_network_gradients
 
 ALL_BUILDERS = [build_mlp, build_lenet, build_alexnet_mini, build_vgg_mini, build_googlenet_mini]
 

@@ -1,9 +1,9 @@
 """Network: packed buffer invariants, clone semantics, training API."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.nn.activations import ReLU
 from repro.nn.layers import Conv2D, Dense, Flatten

@@ -7,7 +7,6 @@ from repro.nn.layers import Flatten
 from repro.nn.network import Network
 from repro.nn.regularization import BatchNorm, Dropout
 
-from conftest import check_network_gradients
 
 
 def _data(shape, seed=0):

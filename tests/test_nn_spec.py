@@ -1,9 +1,8 @@
 """Model specs: the paper's quoted sizes and internal consistency."""
 
-import numpy as np
 import pytest
 
-from repro.nn.spec import ALEXNET, GOOGLENET, LENET, MODEL_SPECS, VGG19, LayerSpec
+from repro.nn.spec import ALEXNET, GOOGLENET, LayerSpec, LENET, MODEL_SPECS, VGG19
 
 
 class TestQuotedSizes:

@@ -1,9 +1,9 @@
 """im2col / col2im: shapes, values, adjointness."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.nn.tensor_ops import col2im, conv_output_size, im2col
 
@@ -63,7 +63,6 @@ class TestIm2col:
         x = rng.normal(size=(2, 2, 5, 5)).astype(np.float32)
         w = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
         cols = im2col(x, 3, 3, 1, 0)
-        y = (cols @ w.reshape(3, -1).T).reshape(2, 3, 3, 3, order="C")
         # direct convolution
         direct = np.zeros((2, 3, 3, 3), dtype=np.float32)
         for n in range(2):
@@ -71,7 +70,6 @@ class TestIm2col:
                 for i in range(3):
                     for j in range(3):
                         direct[n, o, i, j] = (x[n, :, i : i + 3, j : j + 3] * w[o]).sum()
-        y2 = y.reshape(2, 3, 3, 3)
         # im2col output rows are (n, oh, ow); reorder to (n, o, oh, ow)
         y3 = (cols @ w.reshape(3, -1).T).reshape(2, 3, 3, 3)
         y3 = y3.transpose(0, 3, 1, 2)

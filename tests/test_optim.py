@@ -1,22 +1,22 @@
 """Update rules: SGD, momentum, the EASGD equations, schedules, quantization."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.optim import (
     ConstantLR,
     EASGDHyper,
-    InverseScalingLR,
-    MomentumRule,
-    SGDRule,
-    StepDecayLR,
     elastic_center_update,
     elastic_center_update_single,
     elastic_momentum_worker_update,
     elastic_worker_update,
+    InverseScalingLR,
+    MomentumRule,
     quantize_gradient,
+    SGDRule,
+    StepDecayLR,
 )
 
 

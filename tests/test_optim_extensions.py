@@ -1,26 +1,22 @@
 """Optimizer extensions: weight decay, Nesterov, gradient clipping,
 pipelined transfers, hyperparameter sweeps, fault injection."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.algorithms import TrainerConfig
 from repro.algorithms.async_ps import AsyncEASGDTrainer
 from repro.cluster import CostModel, GpuPlatform
 from repro.comm.alphabeta import LinkModel, PCIE_SWITCH_P2P
 from repro.comm.collectives import tree_bcast_cost
-from repro.comm.pipelining import (
-    optimal_chunks,
-    pipelined_hops_cost,
-    pipelined_tree_bcast_cost,
-)
+from repro.comm.pipelining import optimal_chunks, pipelined_hops_cost, pipelined_tree_bcast_cost
 from repro.harness.experiment import ExperimentSpec
 from repro.harness.sweeps import best_point, grid_sweep
 from repro.nn.models import build_mlp
 from repro.nn.spec import ALEXNET, LENET
-from repro.optim import MomentumRule, SGDRule, clip_gradient_norm
+from repro.optim import clip_gradient_norm, MomentumRule, SGDRule
 
 
 class TestWeightDecay:

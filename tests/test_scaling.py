@@ -1,13 +1,13 @@
 """Weak-scaling models: Table 4 shapes and the Intel Caffe comparison."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.nn.spec import GOOGLENET, VGG19
 from repro.scaling import CORES_PER_NODE, weak_scaling_sweep
 from repro.scaling.baselines import intel_caffe_like, our_implementation
-from repro.scaling.weak_scaling import WeakScalingModel, straggler_factor
+from repro.scaling.weak_scaling import straggler_factor, WeakScalingModel
 
 
 class TestStragglerFactor:

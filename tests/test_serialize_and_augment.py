@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.augment import (
-    AugmentingSampler,
-    random_horizontal_flip,
-    random_shift_crop,
-)
+from repro.data.augment import AugmentingSampler, random_horizontal_flip, random_shift_crop
 from repro.data.synthetic import make_synthetic
 from repro.nn.models import build_lenet, build_mlp
 from repro.nn.serialize import load_checkpoint, save_checkpoint, structure_fingerprint

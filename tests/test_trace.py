@@ -18,9 +18,8 @@ from repro.algorithms.sync_sgd import SyncSGDTrainer
 from repro.cluster import CostModel, GpuPlatform
 from repro.nn.models import build_mlp
 from repro.nn.spec import LENET
-from repro.trace import MASTER, Trace, TraceEvent, from_jsonl, to_chrome, to_jsonl
+from repro.trace import from_jsonl, MASTER, to_chrome, to_jsonl, Trace, TraceEvent
 from repro.trace.check import (
-    InvariantViolation,
     check_all,
     check_fcfs_service,
     check_message_conservation,
@@ -29,6 +28,7 @@ from repro.trace.check import (
     check_packed_single_message,
     check_tree_message_bound,
     check_tree_round_bound,
+    InvariantViolation,
 )
 from repro.trace.export import chrome_events
 from repro.trace.metrics import (

@@ -11,8 +11,8 @@ To bless new goldens after an intentional change::
     PYTHONPATH=src python tests/test_trace_golden.py --regenerate
 """
 
-import sys
 from pathlib import Path
+import sys
 
 import pytest
 

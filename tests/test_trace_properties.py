@@ -14,9 +14,9 @@ plans, and asserts on the *traced* communication structure:
 
 import math
 
-import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, HealthCheck, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.algorithms import TrainerConfig
 from repro.algorithms.original_easgd import OriginalEASGDTrainer

@@ -1,12 +1,12 @@
 """Utilities: RNG streams, formatting, tables."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.util.format import format_bytes, format_percent, format_seconds
-from repro.util.rng import RngStream, derive_seed, spawn_rng
+from repro.util.rng import derive_seed, RngStream, spawn_rng
 from repro.util.tables import TextTable
 
 
