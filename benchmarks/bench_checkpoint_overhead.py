@@ -1,0 +1,142 @@
+"""Checkpoint-overhead guard — durability must be near-free at a sane cadence.
+
+Crash-safe checkpointing (``repro.durability``) fsyncs a full copy of the
+run state — packed center/worker weights, RNG cursors, trace events — at
+every cadence point. The write itself runs on a background thread
+(:meth:`CheckpointManager.save_async`): the synchronous cost per cadence
+point is only detaching the state (array copies), and the
+serialize+fsync overlaps the following training steps. This benchmark
+measures what that costs on a conv workload (sync-easgd3, P = 4,
+lenet/mnist-like, ~30 ms per step — the mlp micro-workload of the
+engine-overhead guard steps in ~2 ms, where any fsync at all would
+dominate and the measurement would gate on disk latency, not on the
+checkpoint path), at three cadences:
+
+- ``off``      — no checkpointing (the baseline);
+- ``every=10`` — the recommended cadence; must stay within 5% of baseline;
+- ``every=1``  — a checkpoint per step (the worst case, reported but not
+  gated: it exists so the artifact shows where the ceiling is).
+
+Best-of-3 reps of 60 iterations after a warmup, throughput =
+iterations / wall, best-vs-best — same methodology as the archived
+transport/engine cells. The result is archived as ``BENCH_checkpoint.json``
+next to ``BENCH_transport.json``.
+
+Run standalone with ``python benchmarks/bench_checkpoint_overhead.py`` or
+via ``pytest benchmarks/bench_checkpoint_overhead.py --benchmark-only -s``.
+"""
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.algorithms import TrainerConfig
+from repro.algorithms.sync_easgd import SyncEASGDTrainer
+from repro.cluster import CostModel, GpuPlatform
+from repro.data import make_mnist_like, standardize, standardize_like
+from repro.nn.models import build_lenet
+from repro.nn.spec import LENET
+
+try:
+    import pytest
+
+    pytestmark = [pytest.mark.slow, pytest.mark.durability]
+except ImportError:  # pragma: no cover - standalone invocation
+    pytest = None
+
+ARCHIVE = Path(__file__).resolve().parent.parent / "BENCH_checkpoint.json"
+#: Allowed throughput loss at the recommended cadence (every=10).
+MAX_OVERHEAD_AT_10 = 0.05
+WARMUP_ITERATIONS = 10
+ITERATIONS = 60
+REPS = 3
+CADENCES = (0, 10, 1)  # 0 = checkpointing off
+
+
+def _run_once(iterations: int, every: int, directory: str) -> tuple:
+    """One timed run; returns (steps/s, checkpoint extras)."""
+    train, test = make_mnist_like(n_train=1024, n_test=128, seed=5, difficulty=0.8)
+    mean, std = standardize(train)
+    standardize_like(test, mean, std)
+    cfg = TrainerConfig(
+        batch_size=16, lr=0.05, rho=2.0, seed=0,
+        eval_every=10_000, eval_samples=64,
+        checkpoint_every=every,
+        checkpoint_dir=directory if every else None,
+    )
+    tr = SyncEASGDTrainer(
+        build_lenet(seed=0), train, test, GpuPlatform(num_gpus=4, seed=0),
+        cfg, CostModel.from_spec(LENET), variant=3,
+    )
+    t0 = time.perf_counter()
+    result = tr.train(iterations)
+    wall = time.perf_counter() - t0
+    extras = {k: v for k, v in result.extras.items() if k.startswith("checkpoint_")}
+    return iterations / wall, extras
+
+
+def _measure_cadence(every: int) -> dict:
+    workdir = tempfile.mkdtemp(prefix=f"bench-ckpt-{every}-")
+    try:
+        _run_once(WARMUP_ITERATIONS, every, workdir)
+        reps, extras = [], {}
+        for _ in range(REPS):
+            rate, extras = _run_once(ITERATIONS, every, workdir)
+            reps.append(rate)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "method": "sync-easgd3",
+        "P": 4,
+        "checkpoint_every": every,
+        "iterations": ITERATIONS,
+        "warmup_iterations": WARMUP_ITERATIONS,
+        "steps_per_second": reps,
+        "best_steps_per_second": max(reps),
+        **{k: extras.get(k, 0) for k in
+           ("checkpoint_writes", "checkpoint_bytes", "checkpoint_write_seconds")},
+    }
+
+
+def measure() -> dict:
+    cells = {every: _measure_cadence(every) for every in CADENCES}
+    base = cells[0]["best_steps_per_second"]
+    report = {
+        "benchmark": "checkpoint-overhead",
+        "max_overhead_at_10": MAX_OVERHEAD_AT_10,
+        "cells": [
+            {**cell, "overhead_vs_off": 1.0 - cell["best_steps_per_second"] / base}
+            for cell in cells.values()
+        ],
+    }
+    ARCHIVE.write_text(json.dumps(report, indent=1) + "\n")
+
+    print(f"\n=== Checkpoint overhead: sync-easgd3, P=4, {ITERATIONS} iters ===")
+    for cell in report["cells"]:
+        label = cell["checkpoint_every"] or "off"
+        print(f"  every={label!s:>3}: {cell['best_steps_per_second']:8.2f} steps/s "
+              f"({cell['overhead_vs_off']:+.1%} vs off, "
+              f"{int(cell['checkpoint_writes'])} writes, "
+              f"{int(cell['checkpoint_bytes'])} bytes)")
+    print(f"archived to {ARCHIVE.name}")
+
+    overhead_10 = next(c["overhead_vs_off"] for c in report["cells"]
+                       if c["checkpoint_every"] == 10)
+    assert overhead_10 <= MAX_OVERHEAD_AT_10, (
+        f"checkpointing at every=10 costs {overhead_10:.1%} throughput "
+        f"(budget {MAX_OVERHEAD_AT_10:.0%})"
+    )
+    return report
+
+
+def bench_checkpoint_overhead(benchmark):
+    """Durability at the recommended cadence stays within 5% of free."""
+    benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)
+
+
+if __name__ == "__main__":  # pragma: no cover - standalone entry
+    measure()
+    sys.exit(0)

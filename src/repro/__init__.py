@@ -22,6 +22,8 @@ Subpackages
     Real threaded lock-free training on shared NumPy weights.
 ``repro.faults``
     Deterministic fault schedules (crash/straggler/drop) + recovery.
+``repro.durability``
+    Crash-safe versioned checkpoints with bit-identical resume.
 ``repro.scaling``
     Table 4 weak-scaling models (ours vs Intel-Caffe-like).
 ``repro.harness``
@@ -43,6 +45,13 @@ Quick start::
 from repro.algorithms import ALGORITHMS, make_trainer, TrainerConfig
 from repro.cluster import CostModel, GpuPlatform, KnlPlatform
 from repro.comm.runtime import DeadlockError
+from repro.durability import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointMismatchError,
+    NoCheckpointError,
+)
 from repro.faults import AllWorkersCrashedError, FaultError, FaultLog, FaultPlan
 from repro.harness import ExperimentSpec, run_method, run_methods
 
@@ -64,4 +73,9 @@ __all__ = [
     "FaultError",
     "AllWorkersCrashedError",
     "DeadlockError",
+    "CheckpointManager",
+    "CheckpointError",
+    "CheckpointCorruptionError",
+    "CheckpointMismatchError",
+    "NoCheckpointError",
 ]

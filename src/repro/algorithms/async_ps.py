@@ -344,6 +344,68 @@ class _AsyncPSStep(EventStepStrategy):
     def eval_params(self) -> np.ndarray:
         return self.trainer._eval_vector()
 
+    def state_dict(self) -> Dict:
+        tr = self.trainer
+        arrays = {"master": tr.master, "master-v": tr.master_v}
+        for j in range(self.g):
+            arrays[f"worker-w-{j}"] = tr.worker_w[j]
+            arrays[f"worker-v-{j}"] = tr.worker_v[j]
+        # Sets serialize sorted: their iteration order is insertion
+        # history, which a resumed process must not inherit implicitly.
+        meta = {
+            "last_loss": self.last_loss,
+            "samplers": [s.get_state() for s in self.samplers],
+            "queue": self.queue.getstate(),
+            "send_seq": list(self.send_seq),
+            "inflight": sorted(self.inflight),
+            "master_free": self.master_free,
+            "waiting_total": self.waiting_total,
+            "dropped": self.dropped,
+            "msg_dropped": self.msg_dropped,
+            "degraded_iters": self.degraded_iters,
+            "rejoined": self.rejoined,
+            "last_seen": list(self.last_seen),
+            "crash_logged": sorted(self.crash_logged),
+            "evicted": sorted(self.evicted),
+            "master_version": self.master_version,
+            "worker_version": list(self.worker_version),
+            "staleness_sum": self.staleness_sum,
+            "staleness_max": self.staleness_max,
+            "completed": self.completed,
+        }
+        return {"arrays": arrays, "meta": meta}
+
+    def load_state_dict(self, state: Dict) -> None:
+        tr = self.trainer
+        arrays, meta = state["arrays"], state["meta"]
+        tr.master[...] = arrays["master"]
+        tr.master_v[...] = arrays["master-v"]
+        for j in range(self.g):
+            tr.worker_w[j][...] = arrays[f"worker-w-{j}"]
+            tr.worker_v[j][...] = arrays[f"worker-v-{j}"]
+        for sampler, st in zip(self.samplers, meta["samplers"]):
+            sampler.set_state(st)
+        # The queue replaces everything begin() scheduled (initial cycles,
+        # rejoin events): the saved stream already contains their successors.
+        self.queue.setstate(meta["queue"])
+        self.last_loss = meta["last_loss"]
+        self.send_seq = [int(s) for s in meta["send_seq"]]
+        self.inflight = {tuple(x) for x in meta["inflight"]}
+        self.master_free = float(meta["master_free"])
+        self.waiting_total = float(meta["waiting_total"])
+        self.dropped = int(meta["dropped"])
+        self.msg_dropped = int(meta["msg_dropped"])
+        self.degraded_iters = int(meta["degraded_iters"])
+        self.rejoined = int(meta["rejoined"])
+        self.last_seen = [float(x) for x in meta["last_seen"]]
+        self.crash_logged = set(meta["crash_logged"])
+        self.evicted = set(meta["evicted"])
+        self.master_version = int(meta["master_version"])
+        self.worker_version = [int(v) for v in meta["worker_version"]]
+        self.staleness_sum = int(meta["staleness_sum"])
+        self.staleness_max = int(meta["staleness_max"])
+        self.completed = int(meta["completed"])
+
     def extras(self) -> Dict[str, float]:
         t = self.completed
         extras = {

@@ -78,6 +78,14 @@ class TrainerConfig:
     #: own default; the thread backend passes by reference regardless.
     #: Like ``backend``, this changes wall-clock behaviour, never bits.
     transport: Optional[str] = None
+    #: Durable runs (repro.durability): save a crash-safe checkpoint of the
+    #: full pipeline state every N completed steps (0 = off). Requires
+    #: ``checkpoint_dir``. Like tracing, this never changes run numerics.
+    checkpoint_every: int = 0
+    #: Directory holding the run's versioned checkpoint store.
+    checkpoint_dir: Optional[str] = None
+    #: Retention: how many newest checkpoint versions survive pruning.
+    checkpoint_keep: int = 3
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -88,6 +96,12 @@ class TrainerConfig:
             raise ValueError("eval_samples must be positive")
         if not 0.0 <= self.overlap_efficiency <= 1.0:
             raise ValueError("overlap_efficiency must be in [0, 1]")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if self.checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be at least 1")
+        if self.checkpoint_every > 0 and self.checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
         # Late import: repro.comm.backend imports nothing from algorithms,
         # but keeping the dependency one-way at module load is cheap.
         from repro.comm.backend import validate_backend, validate_transport
@@ -274,17 +288,20 @@ class BaseTrainer:
         """The family's step strategy (see :mod:`repro.engine.strategy`)."""
         raise NotImplementedError
 
-    def train(self, iterations: int) -> RunResult:
+    def train(self, iterations: int, resume: bool = False) -> RunResult:
         """Run ``iterations`` steps through the shared step pipeline.
 
         All step sequencing (the loop, the clock, eval snapshots, result
         assembly) lives in :mod:`repro.engine`; subclasses contribute only
-        their step strategy via :meth:`make_step`.
+        their step strategy via :meth:`make_step`. With ``resume=True``
+        the run continues from the newest valid checkpoint under
+        ``config.checkpoint_dir`` instead of from scratch, bit-identically
+        to a run that was never interrupted.
         """
         # Late import: repro.engine depends on this module's dataclasses.
         from repro.engine import run_training
 
-        return run_training(self, iterations)
+        return run_training(self, iterations, resume=resume)
 
     def train_to_accuracy(
         self, target: float, max_iterations: int, chunk: Optional[int] = None

@@ -16,7 +16,7 @@ contributes a clock step built on the same
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -83,6 +83,27 @@ class _ClusterSyncEasgdStep(ClockStepStrategy):
 
     def eval_params(self) -> np.ndarray:
         return self.center
+
+    def state_dict(self) -> Dict:
+        arrays = {"center": self.center}
+        for j, w in enumerate(self.workers):
+            arrays[f"worker-{j}"] = w
+        return {
+            "arrays": arrays,
+            "meta": {
+                "last_loss": self.last_loss,
+                "samplers": [s.get_state() for s in self.samplers],
+            },
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        arrays, meta = state["arrays"], state["meta"]
+        self.center[:] = arrays["center"]
+        for j, w in enumerate(self.workers):
+            w[:] = arrays[f"worker-{j}"]
+        for sampler, st in zip(self.samplers, meta["samplers"]):
+            sampler.set_state(st)
+        self.last_loss = meta["last_loss"]
 
 
 class ClusterSyncEASGDTrainer(BaseTrainer):

@@ -228,6 +228,31 @@ class _SyncEasgdStep(ClockStepStrategy):
     def eval_params(self) -> np.ndarray:
         return self.center
 
+    def state_dict(self) -> Dict:
+        arrays = {"center": self.center}
+        for j, w in enumerate(self.workers):
+            arrays[f"worker-{j}"] = w
+        return {
+            "arrays": arrays,
+            "meta": {
+                "last_loss": self.last_loss,
+                "samplers": [s.get_state() for s in self.samplers],
+                "tracker": self.tracker.state_dict(),
+            },
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        arrays, meta = state["arrays"], state["meta"]
+        self.center[:] = arrays["center"]
+        for j, w in enumerate(self.workers):
+            w[:] = arrays[f"worker-{j}"]
+        for sampler, st in zip(self.samplers, meta["samplers"]):
+            sampler.set_state(st)
+        self.last_loss = meta["last_loss"]
+        # Restoring the tracker re-fires comm.retime if the saved run was
+        # mid-degradation, so the rebuilt tree is costed for the survivors.
+        self.tracker.load_state_dict(meta["tracker"])
+
     def extras(self) -> Dict[str, float]:
         if self.trainer.faults is None:
             return {}

@@ -176,6 +176,31 @@ class _SyncSgdStep(ClockStepStrategy):
     def eval_params(self) -> np.ndarray:
         return self.weights
 
+    def state_dict(self) -> Dict:
+        tr = self.trainer
+        meta = {
+            "last_loss": self.last_loss,
+            "samplers": [s.get_state() for s in self.samplers],
+            "tracker": self.tracker.state_dict(),
+            "quant_rng": (
+                tr._quant_rng.bit_generator.state
+                if tr._quant_rng is not None else None
+            ),
+        }
+        return {"arrays": {"weights": self.weights}, "meta": meta}
+
+    def load_state_dict(self, state: Dict) -> None:
+        tr = self.trainer
+        meta = state["meta"]
+        self.weights[:] = state["arrays"]["weights"]
+        tr.net.set_params(self.weights)
+        for sampler, st in zip(self.samplers, meta["samplers"]):
+            sampler.set_state(st)
+        self.last_loss = meta["last_loss"]
+        self.tracker.load_state_dict(meta["tracker"])
+        if meta["quant_rng"] is not None:
+            tr._quant_rng.bit_generator.state = meta["quant_rng"]
+
     def extras(self) -> Dict[str, float]:
         if self.trainer.faults is None:
             return {}

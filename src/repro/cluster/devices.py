@@ -132,3 +132,10 @@ class ComputeJitter:
             return 1.0
         # mean-one lognormal: exp(N(-sigma^2/2, sigma))
         return float(np.exp(self._rng.normal(-0.5 * self.sigma**2, self.sigma)))
+
+    def getstate(self) -> dict:
+        """The stream position, for checkpoint/resume."""
+        return self._rng.bit_generator.state
+
+    def setstate(self, state: dict) -> None:
+        self._rng.bit_generator.state = state

@@ -49,16 +49,20 @@ class GpuClusterPlatform:
         return self.num_nodes * self.gpus_per_node
 
     # -- compute ---------------------------------------------------------------
+    def jitter_for(self, worker: int) -> ComputeJitter:
+        """The worker's jitter stream (created on first use)."""
+        jitter = self._jitters.get(worker)
+        if jitter is None:
+            jitter = ComputeJitter(self.seed, ("cluster-gpu", worker), self.jitter_sigma)
+            self._jitters[worker] = jitter
+        return jitter
+
     def fwdbwd_time(self, cost: CostModel, batch_size: int, worker: int, jittered: bool = True) -> float:
         """One pass on one GPU anywhere in the cluster."""
         base = self.gpu.compute_time(cost.fwdbwd_flops(batch_size))
         if not jittered or self.jitter_sigma == 0.0:
             return base
-        jitter = self._jitters.get(worker)
-        if jitter is None:
-            jitter = ComputeJitter(self.seed, ("cluster-gpu", worker), self.jitter_sigma)
-            self._jitters[worker] = jitter
-        return base * jitter.sample()
+        return base * self.jitter_for(worker).sample()
 
     def stage_batch_time(self, cost: CostModel, batch_size: int) -> float:
         """Host -> GPU staging inside a node (concurrent across nodes)."""

@@ -43,16 +43,20 @@ class GpuPlatform:
             raise ValueError("topology GPU count disagrees with platform")
 
     # -- compute -----------------------------------------------------------
+    def jitter_for(self, worker: int) -> ComputeJitter:
+        """The worker's jitter stream (created on first use)."""
+        jitter = self._jitters.get(worker)
+        if jitter is None:
+            jitter = ComputeJitter(self.seed, ("gpu", worker), self.jitter_sigma)
+            self._jitters[worker] = jitter
+        return jitter
+
     def fwdbwd_time(self, cost: CostModel, batch_size: int, worker: int, jittered: bool = True) -> float:
         """One forward+backward pass on one GPU, with per-worker jitter."""
         base = self.gpu.compute_time(cost.fwdbwd_flops(batch_size))
         if not jittered or self.jitter_sigma == 0.0:
             return base
-        jitter = self._jitters.get(worker)
-        if jitter is None:
-            jitter = ComputeJitter(self.seed, ("gpu", worker), self.jitter_sigma)
-            self._jitters[worker] = jitter
-        return base * jitter.sample()
+        return base * self.jitter_for(worker).sample()
 
     def gpu_update_time(self, cost: CostModel) -> float:
         """Eq 1 on a GPU: stream read+write of the packed weights (3 passes)."""
@@ -137,15 +141,19 @@ class KnlPlatform:
         elif self.topology.num_nodes != self.num_nodes:
             raise ValueError("topology node count disagrees with platform")
 
-    def fwdbwd_time(self, cost: CostModel, batch_size: int, worker: int, jittered: bool = True) -> float:
-        base = self.node.compute_time(cost.fwdbwd_flops(batch_size))
-        if not jittered or self.jitter_sigma == 0.0:
-            return base
+    def jitter_for(self, worker: int) -> ComputeJitter:
+        """The node's jitter stream (created on first use)."""
         jitter = self._jitters.get(worker)
         if jitter is None:
             jitter = ComputeJitter(self.seed, ("knl", worker), self.jitter_sigma)
             self._jitters[worker] = jitter
-        return base * jitter.sample()
+        return jitter
+
+    def fwdbwd_time(self, cost: CostModel, batch_size: int, worker: int, jittered: bool = True) -> float:
+        base = self.node.compute_time(cost.fwdbwd_flops(batch_size))
+        if not jittered or self.jitter_sigma == 0.0:
+            return base
+        return base * self.jitter_for(worker).sample()
 
     def update_time(self, cost: CostModel) -> float:
         """Eq 1/Eq 2 on a KNL node (MCDRAM-speed streaming)."""

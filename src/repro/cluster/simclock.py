@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 import heapq
-import itertools
 from typing import Any, List, Optional
 
 __all__ = ["SimClock", "Event", "EventQueue"]
@@ -55,13 +54,14 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
-        self._counter = itertools.count()
+        self._next = 0
 
     def push(self, time: float, payload: Any = None) -> Event:
         """Schedule a payload at an absolute simulated time."""
         if time < 0:
             raise ValueError("event time must be non-negative")
-        event = Event(time, next(self._counter), payload)
+        event = Event(time, self._next, payload)
+        self._next += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -73,6 +73,24 @@ class EventQueue:
 
     def peek(self) -> Optional[Event]:
         return self._heap[0] if self._heap else None
+
+    def getstate(self) -> dict:
+        """Snapshot pending events and the tie-break counter position.
+
+        The heap is stored as plain ``(time, seq, payload)`` tuples in
+        heap order; payloads must themselves be picklable (every trainer
+        payload is a tuple of ints/floats/strings).
+        """
+        return {
+            "next": self._next,
+            "heap": [(e.time, e.seq, e.payload) for e in self._heap],
+        }
+
+    def setstate(self, state: dict) -> None:
+        """Restore a snapshot; subsequent pushes continue the sequence."""
+        self._next = int(state["next"])
+        self._heap = [Event(t, s, p) for (t, s, p) in state["heap"]]
+        heapq.heapify(self._heap)
 
     def __len__(self) -> int:
         return len(self._heap)

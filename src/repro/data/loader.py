@@ -64,6 +64,18 @@ class BatchSampler:
         np.take(self.dataset.labels, idx, axis=0, out=labels_out)
         return images_out, labels_out
 
+    def get_state(self) -> dict:
+        """Snapshot the data cursor: RNG position + batches drawn."""
+        return {
+            "bit_generator": self._rng.bit_generator.state,
+            "batches_drawn": self.batches_drawn,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot; the next draw continues the saved sequence."""
+        self._rng.bit_generator.state = state["bit_generator"]
+        self.batches_drawn = int(state["batches_drawn"])
+
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         while True:
             yield self.next_batch()

@@ -57,6 +57,34 @@ class SyncFaultTracker:
         self.rebuilds = 0
         self.rejoined = 0
 
+    def state_dict(self) -> dict:
+        """Fault-plan progress as a picklable dict (sets become sorted lists)."""
+        return {
+            "currently_dead": sorted(self.currently_dead),
+            "group_size": self.group_size,
+            "degraded_rounds": self.degraded_rounds,
+            "rebuilds": self.rebuilds,
+            "rejoined": self.rejoined,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore fault-plan progress captured by :meth:`state_dict`.
+
+        If the saved group size differs from the full rank count, the
+        resize hook re-fires so dependent structures (reduction-tree
+        timings) are rebuilt for the surviving group — ``begin()`` always
+        constructs them for the full group.
+        """
+        self.currently_dead = set(state["currently_dead"])
+        self.degraded_rounds = int(state["degraded_rounds"])
+        self.rebuilds = int(state["rebuilds"])
+        self.rejoined = int(state["rejoined"])
+        saved_group = int(state["group_size"])
+        if saved_group != self.group_size:
+            self.group_size = saved_group
+            if self.on_resize is not None:
+                self.on_resize(saved_group)
+
     def prologue(self, pipeline, t: int) -> List[int]:
         g = self.ranks
         live = list(range(g))

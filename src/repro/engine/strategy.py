@@ -73,6 +73,35 @@ class StepStrategy:
     def cleanup(self, pipeline: "StepPipeline") -> None:
         """Always-run teardown hook (processes, queues, shared memory)."""
 
+    # -- durability protocol -----------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Full per-run state as ``{"arrays": {...}, "meta": {...}}``.
+
+        ``arrays`` maps names to the family's numpy vectors (center,
+        replicas, velocities); ``meta`` holds everything else (sampler
+        cursors, fault-tracker progress, event queues) as plain
+        picklable values. Together with the pipeline-level state this
+        must be *complete*: restoring it after a fresh ``begin()`` and
+        re-running must be bit-identical to never having stopped.
+        Collections with history-dependent iteration order (sets) must
+        be serialized sorted.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot into a begun strategy.
+
+        Called after ``begin()``: structure (replica lists, samplers,
+        comm models) already exists and only its *state* is overwritten,
+        in place where other components hold references (shared-memory
+        segments, the evaluation network).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
 
 class ClockStepStrategy(StepStrategy):
     """One iteration == one step == one closed-form clock advance."""

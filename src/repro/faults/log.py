@@ -47,6 +47,11 @@ class FaultLog:
             self._records.append(rec)
         return rec
 
+    def reset(self) -> None:
+        """Drop all records (checkpoint restore replays the saved ones)."""
+        with self._lock:
+            self._records.clear()
+
     @property
     def records(self) -> Tuple[FaultRecord, ...]:
         with self._lock:

@@ -26,6 +26,7 @@ from repro.algorithms import ALGORITHM_INFO, ALGORITHMS, TrainerConfig
 from repro.cluster import CostModel
 from repro.comm.backend import BACKENDS, TRANSPORTS
 from repro.data import make_cifar_like, make_mnist_like
+from repro.durability.errors import CheckpointError
 from repro.faults import FaultError, FaultPlan
 from repro.harness.breakdown import breakdown_row, render_table3
 from repro.harness.experiment import ExperimentSpec, run_method
@@ -82,6 +83,21 @@ class _ListAlgorithmsAction(argparse.Action):
         parser.exit(0)
 
 
+def _add_durability_args(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint/resume flags shared by the ``run`` and ``knl`` commands."""
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="directory for crash-safe checkpoints; required "
+                             "by --checkpoint-every and --resume")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="N",
+                        help="write a checkpoint every N steps (0 disables)")
+    parser.add_argument("--checkpoint-keep", type=int, default=3, metavar="K",
+                        help="retain the K newest checkpoint versions")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the newest valid checkpoint in "
+                             "--checkpoint-dir (bit-identical continuation)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -131,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(.jsonl -> archive format; anything else -> "
                           "Chrome/Perfetto JSON), then verify its structural "
                           "invariants")
+    _add_durability_args(run)
 
     table = sub.add_parser("table", help="print a paper-table reproduction")
     table.add_argument("id", choices=["1", "2", "4"])
@@ -154,6 +171,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "shared memory under --backend processes)")
     knl.add_argument("--json", metavar="PATH", default=None,
                      help="write the trajectory to a JSON file")
+    _add_durability_args(knl)
     return parser
 
 
@@ -178,16 +196,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec_builder = lambda: builder(input_shape=(3, 32, 32), seed=args.seed)  # noqa: E731
     else:
         spec_builder = lambda: builder(seed=args.seed)  # noqa: E731
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    try:
+        config = TrainerConfig(
+            batch_size=args.batch_size, lr=args.lr, rho=args.rho, seed=args.seed,
+            trace=args.trace is not None, backend=args.backend,
+            transport=args.transport,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_keep=args.checkpoint_keep,
+        )
+    except ValueError as exc:
+        print(f"invalid checkpoint options: {exc}", file=sys.stderr)
+        return 2
     spec = ExperimentSpec(
         train_set=train,
         test_set=test,
         model_builder=spec_builder,
         num_gpus=args.gpus,
-        config=TrainerConfig(
-            batch_size=args.batch_size, lr=args.lr, rho=args.rho, seed=args.seed,
-            trace=args.trace is not None, backend=args.backend,
-            transport=args.transport,
-        ),
+        config=config,
         cost_model=cost,
     ).normalize()
 
@@ -201,11 +230,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     try:
         if args.target is not None:
+            if args.resume:
+                print("--resume is only supported with fixed-length runs "
+                      "(drop --target)", file=sys.stderr)
+                return 2
             result = run_method(spec, args.method, target_accuracy=args.target,
                                 max_iterations=args.iterations, **trainer_kwargs)
         else:
             result = run_method(spec, args.method, iterations=args.iterations,
-                                **trainer_kwargs)
+                                resume=args.resume, **trainer_kwargs)
+    except CheckpointError as exc:
+        print(f"resume failed: {exc}", file=sys.stderr)
+        return 3
     except TypeError as exc:
         if args.faults and "faults" in str(exc):
             print(f"method {args.method!r} does not support fault injection",
@@ -272,19 +308,34 @@ def _cmd_knl(args: argparse.Namespace) -> int:
         print(f"--batch-size {args.batch_size} must divide evenly into "
               f"--parts {args.parts} groups", file=sys.stderr)
         return 2
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     net = build_lenet(seed=args.seed)
     net.forward(train.images[:1])  # materialize params before forking replicas
+    try:
+        config = TrainerConfig(
+            batch_size=args.batch_size, lr=args.lr, seed=args.seed,
+            backend=args.backend, transport=args.transport,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_keep=args.checkpoint_keep,
+        )
+    except ValueError as exc:
+        print(f"invalid checkpoint options: {exc}", file=sys.stderr)
+        return 2
     trainer = ChipPartitionTrainer(
         network=net,
         train_set=train,
         test_set=test,
-        config=TrainerConfig(
-            batch_size=args.batch_size, lr=args.lr, seed=args.seed,
-            backend=args.backend, transport=args.transport,
-        ),
+        config=config,
         parts=args.parts,
     )
-    result = trainer.train(args.iterations)
+    try:
+        result = trainer.train(args.iterations, resume=args.resume)
+    except CheckpointError as exc:
+        print(f"resume failed: {exc}", file=sys.stderr)
+        return 3
 
     print(f"method          : {result.method}")
     print(f"backend         : {result.backend or 'serial (simulated)'}")

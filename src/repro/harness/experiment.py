@@ -59,13 +59,15 @@ def run_method(
     iterations: Optional[int] = None,
     target_accuracy: Optional[float] = None,
     max_iterations: int = 20_000,
+    resume: bool = False,
     **trainer_kwargs,
 ) -> RunResult:
     """Run one registered method under the spec.
 
     Exactly one of ``iterations`` (fixed-length run) or ``target_accuracy``
     (Table 3 protocol: run until the target, report truncated time) must be
-    given.
+    given. ``resume=True`` continues a fixed-length run from the newest
+    checkpoint under ``spec.config.checkpoint_dir``.
     """
     if (iterations is None) == (target_accuracy is None):
         raise ValueError("pass exactly one of iterations / target_accuracy")
@@ -80,7 +82,9 @@ def run_method(
         **trainer_kwargs,
     )
     if iterations is not None:
-        return trainer.train(iterations)
+        return trainer.train(iterations, resume=resume)
+    if resume:
+        raise ValueError("resume is only supported with fixed-length runs")
     return trainer.train_to_accuracy(target_accuracy, max_iterations)
 
 

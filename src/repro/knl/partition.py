@@ -113,6 +113,24 @@ class _PartitionStepBase(ClockStepStrategy):
     def eval_params(self) -> np.ndarray:
         return self.weights
 
+    def state_dict(self) -> Dict:
+        return {
+            "arrays": {"weights": self.weights},
+            "meta": {
+                "last_loss": self.last_loss,
+                "sampler": self.sampler.get_state(),
+            },
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.weights[:] = state["arrays"]["weights"]
+        self.sampler.set_state(state["meta"]["sampler"])
+        self.last_loss = state["meta"]["last_loss"]
+        self._publish_weights()
+
+    def _publish_weights(self) -> None:
+        """Push restored weights to wherever the backend computes from."""
+
     def extras(self) -> Dict[str, float]:
         tr = self.trainer
         return {
@@ -128,6 +146,9 @@ class _PartitionSerialStep(_PartitionStepBase):
 
     def begin(self, pipeline) -> None:
         super().begin(pipeline)
+        self.trainer.net.set_params(self.weights)
+
+    def _publish_weights(self) -> None:
         self.trainer.net.set_params(self.weights)
 
     def step(self, pipeline, t: int) -> float:
@@ -240,6 +261,10 @@ class _PartitionProcessesStep(_PartitionStepBase):
         self.procs = procs
         self.img_views = [s.array.reshape(img_shape) for s in img_shms]
         self.lbl_views = [s.array.reshape(lbl_shape) for s in lbl_shms]
+
+    def _publish_weights(self) -> None:
+        # The group workers read the shared segment, not self.weights.
+        self.w_shm.array[:] = self.weights
 
     def step(self, pipeline, t: int) -> float:
         import queue as _queue

@@ -15,6 +15,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.durability.errors import CheckpointCorruptionError, CheckpointMismatchError
 from repro.nn.network import Network
 
 __all__ = ["structure_fingerprint", "save_checkpoint", "load_checkpoint"]
@@ -46,15 +47,31 @@ def save_checkpoint(net: Network, path: Union[str, Path], iteration: int = 0) ->
 def load_checkpoint(net: Network, path: Union[str, Path]) -> int:
     """Restore weights into ``net`` in place; returns the saved iteration.
 
-    Refuses checkpoints whose structural fingerprint does not match the
-    target network (different layer stack, shapes, or ordering).
+    The structural fingerprint is validated *before* any weight is
+    loaded: a checkpoint from a different layer stack, shapes, or
+    ordering raises :class:`~repro.durability.errors.
+    CheckpointMismatchError` — same-shaped buffers from a different
+    architecture must never load silently. An unreadable or incomplete
+    file raises :class:`~repro.durability.errors.
+    CheckpointCorruptionError`.
     """
     path = Path(path)
-    with np.load(path) as data:
+    try:
+        data = np.load(path)
+    except Exception as exc:
+        raise CheckpointCorruptionError(
+            f"checkpoint {path} is unreadable ({exc})"
+        ) from exc
+    with data:
+        for key in ("fingerprint", "params", "iteration"):
+            if key not in data.files:
+                raise CheckpointCorruptionError(
+                    f"checkpoint {path} is missing entry {key!r}"
+                )
         saved_fp = bytes(data["fingerprint"]).decode("ascii")
         expected_fp = structure_fingerprint(net)
         if saved_fp != expected_fp:
-            raise ValueError(
+            raise CheckpointMismatchError(
                 f"checkpoint structure mismatch: saved {saved_fp[:12]}..., "
                 f"network is {expected_fp[:12]}..."
             )

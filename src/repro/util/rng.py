@@ -49,5 +49,32 @@ class RngStream:
         """Return an independent child stream at ``path + names``."""
         return RngStream(self.root_seed, *(self.path + names))
 
+    def getstate(self) -> dict:
+        """Snapshot the stream as a plain picklable dict.
+
+        Captures identity (root seed + path) and the exact bit-generator
+        position, so a restored stream emits the identical tail sequence.
+        """
+        return {
+            "root_seed": self.root_seed,
+            "path": [str(p) for p in self.path],
+            "bit_generator": self.generator.bit_generator.state,
+        }
+
+    def setstate(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`getstate`.
+
+        The stream's identity must match: restoring a different stream's
+        position would silently entangle two supposedly independent
+        streams, so it raises ``ValueError`` instead.
+        """
+        ours = [str(p) for p in self.path]
+        if state["root_seed"] != self.root_seed or state["path"] != ours:
+            raise ValueError(
+                f"RNG state belongs to stream (seed={state['root_seed']}, "
+                f"path={state['path']}), not (seed={self.root_seed}, path={ours})"
+            )
+        self.generator.bit_generator.state = state["bit_generator"]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngStream(seed={self.root_seed}, path={self.path!r})"

@@ -1,0 +1,166 @@
+"""Kill-and-resume integration: SIGKILL a training process mid-run, resume
+from its checkpoints via the CLI, and require the trajectory to be
+bit-identical to an uninterrupted run.
+
+This is the durability contract end to end: the atomic version store must
+survive a kill at an arbitrary instant (including mid-write), and the
+resumed run must replay to exactly the numbers the straight run produced —
+the only sanctioned difference is the wall-clock ``checkpoint_*`` extras.
+
+Tier 2 (``slow``): each case forks full CLI subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.durability.checkpoint import list_versions
+
+pytestmark = [pytest.mark.durability, pytest.mark.slow]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ITERATIONS = 80
+CHECKPOINT_EVERY = 5
+POLL_TIMEOUT = 120.0
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
+
+
+def _run_cli(argv: list, check: bool = True) -> subprocess.CompletedProcess:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT, env=_env(), capture_output=True, text=True,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"CLI failed ({proc.returncode}):\n{proc.stdout}\n{proc.stderr}"
+        )
+    return proc
+
+
+def _kill_after_first_checkpoint(argv: list, checkpoint_dir: Path) -> None:
+    """Launch the CLI, SIGKILL its whole process tree once a checkpoint
+    version has landed, and assert it really died to the signal."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT, env=_env(), start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + POLL_TIMEOUT
+        while time.monotonic() < deadline:
+            if list_versions(checkpoint_dir):
+                break
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"run exited (rc={proc.returncode}) before writing "
+                    "any checkpoint"
+                )
+            time.sleep(0.02)
+        else:
+            raise AssertionError("no checkpoint appeared before the deadline")
+        os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+        rc = proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # belt and braces on the failure paths
+            proc.kill()
+            proc.wait(timeout=30)
+    assert rc == -signal.SIGKILL, f"expected death by SIGKILL, got rc={rc}"
+
+
+def _strip_checkpoint_extras(obj):
+    if isinstance(obj, dict):
+        return {
+            k: _strip_checkpoint_extras(v)
+            for k, v in obj.items() if not k.startswith("checkpoint_")
+        }
+    if isinstance(obj, list):
+        return [_strip_checkpoint_extras(v) for v in obj]
+    return obj
+
+
+def _trajectory(path: Path):
+    return _strip_checkpoint_extras(json.loads(path.read_text()))
+
+
+def _newest_manifest(checkpoint_dir: Path) -> dict:
+    versions = list_versions(checkpoint_dir)
+    assert versions, f"no checkpoint versions under {checkpoint_dir}"
+    return json.loads((versions[-1][1] / "manifest.json").read_text())
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+def test_kill_and_resume_is_bit_identical(tmp_path, backend):
+    common = [
+        "run", "--method", "sync-easgd3", "--gpus", "4",
+        "--iterations", str(ITERATIONS), "--batch-size", "16",
+        "--train-samples", "1024", "--seed", "0", "--backend", backend,
+        "--checkpoint-every", str(CHECKPOINT_EVERY),
+    ]
+    straight_json = tmp_path / "straight.json"
+    killed_json = tmp_path / "killed.json"
+    straight_dir = tmp_path / "ck-straight"
+    killed_dir = tmp_path / "ck-killed"
+
+    _run_cli([*common, "--checkpoint-dir", str(straight_dir),
+              "--json", str(straight_json)])
+
+    _kill_after_first_checkpoint(
+        [*common, "--checkpoint-dir", str(killed_dir)], killed_dir
+    )
+    assert list_versions(killed_dir), "kill must leave at least one version"
+    _run_cli([*common, "--checkpoint-dir", str(killed_dir), "--resume",
+              "--json", str(killed_json)])
+
+    assert _trajectory(killed_json) == _trajectory(straight_json)
+
+    # The final checkpoints agree array for array: same step, same digests.
+    straight_manifest = _newest_manifest(straight_dir)
+    killed_manifest = _newest_manifest(killed_dir)
+    assert killed_manifest["step"] == straight_manifest["step"] == ITERATIONS
+    assert killed_manifest["arrays"] == straight_manifest["arrays"]
+    assert killed_manifest["state_digest"] == straight_manifest["state_digest"]
+
+
+@pytest.mark.mp
+def test_kill_and_resume_chip_partition_processes(tmp_path):
+    """Same contract for the trainer that forks real worker processes."""
+    from repro.comm.mp_runtime import fork_available
+
+    if not fork_available():
+        pytest.skip("needs the fork start method")
+    common = [
+        "knl", "--parts", "4", "--iterations", str(ITERATIONS),
+        "--batch-size", "64", "--seed", "0", "--backend", "processes",
+        "--checkpoint-every", str(CHECKPOINT_EVERY),
+    ]
+    straight_json = tmp_path / "straight.json"
+    killed_json = tmp_path / "killed.json"
+    straight_dir = tmp_path / "ck-straight"
+    killed_dir = tmp_path / "ck-killed"
+
+    _run_cli([*common, "--checkpoint-dir", str(straight_dir),
+              "--json", str(straight_json)])
+    _kill_after_first_checkpoint(
+        [*common, "--checkpoint-dir", str(killed_dir)], killed_dir
+    )
+    _run_cli([*common, "--checkpoint-dir", str(killed_dir), "--resume",
+              "--json", str(killed_json)])
+
+    assert _trajectory(killed_json) == _trajectory(straight_json)
+    assert (_newest_manifest(killed_dir)["arrays"]
+            == _newest_manifest(straight_dir)["arrays"])
