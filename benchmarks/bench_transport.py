@@ -1,33 +1,48 @@
-"""Transport shoot-out — pickled queues vs zero-copy shm slot rings.
+"""Transport and collective shoot-out on the packed allreduce.
 
 The process backend can move a packed AlexNet-scale buffer (Section 6.1's
-61 M parameters, ~233 MB of float32) across rank boundaries two ways:
+61 M parameters, ~244 MB of float32) across rank boundaries two ways:
 ``transport="queue"`` pickles the whole buffer through an OS pipe for
-every tree edge, ``transport="shm"`` memcpys it into a shared-memory slot
-ring and pickles only a ~200-byte descriptor. This benchmark times the
-same packed-allreduce rank program — the communication inner loop of
-Sync SGD / Sync EASGD with Section 5.2's single packed buffer — on both
-transports at P = 4 and archives the matrix twice: as
-``BENCH_transport.json`` at the repo root (the machine-readable scorecard)
-and under ``benchmarks/artifacts/`` (the CI-uploaded copy).
+every edge, ``transport="shm"`` memcpys it into a shared-memory slot ring
+and pickles only a ~200-byte descriptor — and it can schedule the
+reduction two ways: ``collective="tree"`` (binomial reduce + bcast) or
+``collective="ring"`` (sharded reduce-scatter + allgather; over shm the
+shards live in a :class:`~repro.comm.shm_transport.CollectiveArena` and
+the bulk bytes never cross the message fabric at all).
 
-Assertions: final weights bit-identical across every cell (transports may
-never touch numerics — verified via sha256 of the weight bytes, so the
-forked ranks ship back 64-byte digests instead of 233 MB arrays), and shm
-at least 2x the steps/s of the pickled queue at P = 4 — the zero-copy
-claim this PR makes. The program is transport-dominated by construction
-(the synthetic gradient costs one fused pass to produce), which is
-exactly the regime where the paper's communication codesign pays.
+This benchmark times the same packed-allreduce rank program — the
+communication inner loop of Sync SGD / Sync EASGD with Section 5.2's
+single packed buffer — across that matrix and archives everything twice:
+``BENCH_transport.json`` at the repo root (the machine-readable
+scorecard) and under ``benchmarks/artifacts/`` (the CI-uploaded copy).
+Pre-existing cells with foreign methods (e.g. the archived
+``sync-easgd3-loop`` throughput that ``bench_engine_overhead.py`` guards
+against) are carried over untouched.
+
+Headline cells (244 MB, P=4): threads baseline, processes/queue/tree,
+processes/shm/tree, processes/shm/ring. Satellite matrix (24 MB,
+P in {2, 4, 8}): tree, chunked tree, ring — all on processes/shm — plus
+one float16-wire ring ablation.
+
+Assertions: final weights bit-identical across every float32 cell of a
+given size (schedules and transports may never touch numerics — verified
+via sha256 of the weight bytes, so the forked ranks ship back 64-byte
+digests instead of 244 MB arrays); processes/shm/tree at least 2x the
+steps/s of the pickled queue; processes/shm/ring at least matching the
+threads baseline (the tentpole claim: the arena ring eliminates enough
+copies to beat by-reference threads even on one core); and the ring
+cell's step-time spread p95/p50 under 2.
 
 Noisy-host methodology: shared single-core containers suffer CPU-steal
 spikes that can stretch one iteration 5x, drowning the transport signal
-in scheduler noise. Each rank therefore times every iteration
-individually; a step's wall is the *max across ranks* (the slowest rank
-defines the step, as in any synchronous method) and the throughput
-estimate is ``1 / min(step walls)`` — the same min-based estimator
-``timeit`` documents, because the minimum is the only statistic noise
-cannot inflate. The mean and the full per-step series are archived
-alongside for transparency.
+in scheduler noise. Three untimed warmup iterations absorb the one-time
+costs (segment creation, first-touch page faults, feeder spin-up, CoW
+faults after fork). Each rank then times every iteration individually; a
+step's wall is the *max across ranks* (the slowest rank defines the step,
+as in any synchronous method). The headline throughput is ``1 / min(step
+walls)`` — the min is the only statistic noise cannot inflate — and the
+archive also carries the trimmed mean (drop one high, one low) and the
+p50/p95 quantiles so the spread is visible, not just the point estimate.
 
 Run standalone with ``python benchmarks/bench_transport.py`` or under
 pytest with ``pytest benchmarks/bench_transport.py --benchmark-only -s``.
@@ -41,7 +56,6 @@ import time
 
 import numpy as np
 
-from repro.comm.arena import BufferArena
 from repro.comm.backend import make_communicator
 from repro.nn.spec import ALEXNET
 
@@ -54,36 +68,44 @@ except ImportError:  # pragma: no cover - standalone invocation
 
 RANKS = 4
 ITERATIONS = 8
+WARMUP = 3
 LR = 0.05
 #: The packed message Sync SGD moves: every gradient plus the piggybacked
 #: scalar loss, at the full AlexNet parameter count the paper quotes.
 PACKED_ELEMS = ALEXNET.num_params + 1
 
+#: The satellite matrix runs a 24 MB buffer so the P=8 cells stay cheap.
+MATRIX_ELEMS = 6_000_000 + 1
+MATRIX_ITERATIONS = 5
+MATRIX_WARMUP = 2
+#: ~4 MB chunks for the pipelined tree cells.
+MATRIX_CHUNK_ELEMS = 1 << 20
+
 ROOT_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_transport.json"
 ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
 
 
-def _packed_allreduce_program(ctx, elems: int, iterations: int, lr: float):
+def _packed_allreduce_program(ctx, elems: int, iterations: int, warmup: int,
+                              lr: float):
     """The communication inner loop of the packed synchronous trainers.
 
     Deterministic synthetic 'gradients' (one in-place broadcast add, no
     RNG over 61 M elements) keep the program transport-dominated; the
     allreduce + update numerics are the real ones, so final weights are a
-    meaningful bit-identity witness. Iteration 0 is an untimed warmup —
-    it pays the one-time costs (slot-ring segment creation, first-touch
-    page faults, queue feeder spin-up) so the timed iterations measure
-    the steady-state hot loop both transports settle into. Each rank
-    times every iteration individually; the caller folds them into
-    per-step walls (max across ranks) and takes the noise-robust min.
-    Returns a digest, not the 233 MB array.
+    meaningful bit-identity witness. The packed buffer comes from
+    ``ctx.collective_buffer`` — on the shm ring that is the rank's arena
+    contribution row, so gradients are born in shared memory — and
+    ``view=True`` lets the arena hand back its result row without a
+    copy. Each rank times every iteration individually; the caller folds
+    them into per-step walls (max across ranks). Returns a digest, not
+    the 244 MB array.
     """
     weights = np.zeros(elems - 1, dtype=np.float32)
-    arena = BufferArena()
+    buf = ctx.collective_buffer(elems)
     scratch = np.empty(elems - 1, dtype=np.float32)
     walls = []
-    for t in range(iterations + 1):  # t == 0 is the untimed warmup
+    for t in range(iterations + warmup):
         t0 = time.perf_counter()
-        buf = arena.get("packed", elems, np.float32)
         # Pseudo-gradient = weights + rank/step constant: one fused pass,
         # couples consecutive steps so association order is observable.
         np.add(
@@ -92,10 +114,10 @@ def _packed_allreduce_program(ctx, elems: int, iterations: int, lr: float):
             out=buf[:-1],
         )
         buf[-1] = np.float32(ctx.rank + t)  # stand-in for the batch loss
-        total = ctx.allreduce(buf)
+        total = ctx.allreduce(buf, view=True)
         np.multiply(total[:-1], np.float32(lr / ctx.size), out=scratch)
         np.subtract(weights, scratch, out=weights)
-        if t > 0:
+        if t >= warmup:
             walls.append(time.perf_counter() - t0)
     return (
         hashlib.sha256(weights.tobytes()).hexdigest(),
@@ -104,103 +126,199 @@ def _packed_allreduce_program(ctx, elems: int, iterations: int, lr: float):
     )
 
 
-def _run_cell(backend: str, transport: str, ranks: int) -> dict:
+def _step_stats(step_walls: list) -> dict:
+    """Noise-aware summaries of the per-step walls."""
+    walls = np.asarray(step_walls, dtype=np.float64)
+    trimmed = np.sort(walls)[1:-1] if walls.size >= 4 else walls
+    p50 = float(np.percentile(walls, 50))
+    p95 = float(np.percentile(walls, 95))
+    best = float(walls.min())
+    return {
+        "step_seconds": [float(w) for w in walls],
+        "mean_step_seconds": float(walls.mean()),
+        "trimmed_mean_step_seconds": float(trimmed.mean()),
+        "p50_step_seconds": p50,
+        "p95_step_seconds": p95,
+        "spread_p95_p50": p95 / p50 if p50 > 0 else float("inf"),
+        "min_step_seconds": best,
+        "steps_per_second": 1.0 / best,
+    }
+
+
+def _run_cell(backend: str, transport, ranks: int, *, collective: str = "tree",
+              wire_dtype: str = "float32", chunk_elems=None,
+              elems: int = PACKED_ELEMS, iterations: int = ITERATIONS,
+              warmup: int = WARMUP) -> dict:
     comm = make_communicator(
-        ranks, backend=backend, timeout=600.0, transport=transport
+        ranks, backend=backend, timeout=600.0, transport=transport,
+        collective=collective, wire_dtype=wire_dtype, chunk_elems=chunk_elems,
     )
     try:
-        results = comm.run(_packed_allreduce_program, PACKED_ELEMS, ITERATIONS, LR)
+        results = comm.run(
+            _packed_allreduce_program, elems, iterations, warmup, LR
+        )
     finally:
         comm.close()
     digests = {digest for digest, _, _ in results}
     assert len(digests) == 1, f"ranks diverged within one run: {digests}"
-    # A synchronous step completes when its slowest rank does; the min
-    # over steps is the steady-state estimate CPU-steal cannot inflate.
+    # A synchronous step completes when its slowest rank does.
     step_walls = [
-        max(walls[t] for _, _, walls in results) for t in range(ITERATIONS)
+        max(walls[t] for _, _, walls in results) for t in range(iterations)
     ]
-    best = min(step_walls)
     stats = getattr(comm, "transport_stats", {}) or {}
     bytes_copied = int(stats.get("bytes_copied_in", 0)) + int(
         stats.get("bytes_copied_out", 0)
     )
-    return {
+    cell = {
         "method": "packed-allreduce",
         "P": ranks,
         "backend": backend,
         "transport": transport,
-        "iterations": ITERATIONS,
-        "warmup_iterations": 1,
-        "buffer_bytes": PACKED_ELEMS * 4,
-        "step_seconds": step_walls,
-        "mean_step_seconds": sum(step_walls) / len(step_walls),
-        "min_step_seconds": best,
-        "steps_per_second": 1.0 / best,
-        "bytes_copied": bytes_copied,  # includes the warmup iteration
+        "collective": collective,
+        "wire_dtype": wire_dtype,
+        "chunk_elems": chunk_elems,
+        "iterations": iterations,
+        "warmup_iterations": warmup,
+        "buffer_bytes": elems * 4,
+        "bytes_copied": bytes_copied,  # includes the warmup iterations
         "bytes_on_wire": int(stats.get("bytes_on_wire", 0)),
+        "bytes_inplace": int(stats.get("bytes_inplace", 0)),
         "digest": next(iter(digests)),
         "head": results[0][1],
     }
+    cell.update(_step_stats(step_walls))
+    return cell
 
 
-def run_experiment() -> list:
-    cells = [
+def _label(c: dict) -> str:
+    extra = f"/{c['collective']}"
+    if c["chunk_elems"]:
+        extra += f"+chunk{c['chunk_elems']}"
+    if c["wire_dtype"] != "float32":
+        extra += f"/{c['wire_dtype']}"
+    return f"{c['backend']}/{c['transport'] or '-'}{extra}"
+
+
+def run_experiment() -> dict:
+    headline = [
+        _run_cell("threads", None, RANKS),  # by-reference baseline
         _run_cell("processes", "queue", RANKS),
-        _run_cell("processes", "shm", RANKS),
-        _run_cell("threads", "queue", RANKS),  # by-reference baseline
+        _run_cell("processes", "shm", RANKS, collective="tree"),
+        _run_cell("processes", "shm", RANKS, collective="ring"),
     ]
-    return cells
+    matrix = [
+        _run_cell("processes", "shm", p, collective=coll, chunk_elems=chunk,
+                  elems=MATRIX_ELEMS, iterations=MATRIX_ITERATIONS,
+                  warmup=MATRIX_WARMUP)
+        for p in (2, 4, 8)
+        for coll, chunk in (
+            ("tree", None), ("tree", MATRIX_CHUNK_ELEMS), ("ring", None),
+        )
+    ]
+    ablation = [
+        _run_cell("processes", "shm", RANKS, collective="ring",
+                  wire_dtype="float16", elems=MATRIX_ELEMS,
+                  iterations=MATRIX_ITERATIONS, warmup=MATRIX_WARMUP),
+    ]
+    return {"headline": headline, "matrix": matrix, "ablation": ablation}
 
 
-def check_and_archive(cells: list) -> float:
-    by_key = {(c["backend"], c["transport"]): c for c in cells}
+def check_and_archive(sections: dict) -> float:
+    headline = sections["headline"]
+    matrix = sections["matrix"]
+    ablation = sections["ablation"]
+    by_key = {
+        (c["backend"], c["transport"], c["collective"]): c for c in headline
+    }
 
-    print("\n=== Transport shoot-out: packed allreduce, "
+    print("\n=== Transport/collective shoot-out: packed allreduce, "
           f"{PACKED_ELEMS * 4 / 1e6:.0f} MB buffer, P={RANKS}, "
           f"{ITERATIONS} steps ===")
-    for c in cells:
-        print(f"  {c['backend']:>10}/{c['transport']:<6} "
+    for c in headline + matrix + ablation:
+        print(f"  P={c['P']} {_label(c):<34} "
               f"{c['steps_per_second']:>8.3f} steps/s   "
-              f"{c['bytes_copied'] / 1e9:>6.2f} GB copied   "
-              f"step min {c['min_step_seconds']:.2f}s "
-              f"mean {c['mean_step_seconds']:.2f}s")
+              f"min {c['min_step_seconds']:.3f}s "
+              f"p50 {c['p50_step_seconds']:.3f}s "
+              f"p95 {c['p95_step_seconds']:.3f}s "
+              f"spread {c['spread_p95_p50']:.2f}x")
 
-    # Bit-identity across every cell: the transport may change the clock,
-    # never the bits.
-    digests = {c["digest"] for c in cells}
-    assert len(digests) == 1, f"transports diverged: {digests}"
+    # Bit-identity across every float32 headline cell: neither the
+    # transport nor the schedule may change the bits.
+    digests = {c["digest"] for c in headline}
+    assert len(digests) == 1, f"headline cells diverged: {digests}"
 
-    shm = by_key[("processes", "shm")]
-    queue = by_key[("processes", "queue")]
-    speedup = shm["steps_per_second"] / queue["steps_per_second"]
-    print(f"  shm vs queue speedup: {speedup:.2f}x")
+    threads = by_key[("threads", None, "tree")]
+    queue = by_key[("processes", "queue", "tree")]
+    shm_tree = by_key[("processes", "shm", "tree")]
+    shm_ring = by_key[("processes", "shm", "ring")]
+
+    speedup = shm_tree["steps_per_second"] / queue["steps_per_second"]
+    print(f"  shm-tree vs queue-tree speedup: {speedup:.2f}x")
     assert speedup >= 2.0, (
         f"shm transport only {speedup:.2f}x over pickled queue "
         "(needs >= 2x for the zero-copy claim)"
     )
-    # shm moved the tensor bytes by memcpy, and its descriptors are tiny.
-    assert shm["bytes_copied"] > 0 and queue["bytes_copied"] == 0
-    assert shm["bytes_on_wire"] < shm["bytes_copied"] // 1000
+    # shm-tree moved the tensor bytes by memcpy, with tiny descriptors.
+    assert shm_tree["bytes_copied"] > 0 and queue["bytes_copied"] == 0
+    assert shm_tree["bytes_on_wire"] < shm_tree["bytes_copied"] // 1000
 
+    # The tentpole: the arena ring beats by-reference threads at P=4 on
+    # the 244 MB buffer (its bulk bytes never cross the message fabric).
+    ring_vs_threads = (
+        shm_ring["steps_per_second"] / threads["steps_per_second"]
+    )
+    print(f"  shm-ring vs threads baseline: {ring_vs_threads:.2f}x")
+    assert ring_vs_threads >= 1.0, (
+        f"processes+shm+ring at {shm_ring['steps_per_second']:.3f} steps/s "
+        f"lost to threads at {threads['steps_per_second']:.3f} steps/s"
+    )
+    assert shm_ring["spread_p95_p50"] < 2.0, (
+        f"ring step-time spread {shm_ring['spread_p95_p50']:.2f}x >= 2 — "
+        "the measurement is too noisy to trust"
+    )
+
+    # Satellite matrix: within each P every float32 schedule lands on the
+    # same digest (the collectives are interchangeable bit for bit).
+    for p in sorted({c["P"] for c in matrix}):
+        p_digests = {c["digest"] for c in matrix if c["P"] == p}
+        assert len(p_digests) == 1, f"P={p} matrix cells diverged: {p_digests}"
+
+    # float16 ring ablation: close to the float32 result, never equal.
+    f32_ref = next(c for c in matrix
+                   if c["P"] == RANKS and c["collective"] == "ring"
+                   and not c["chunk_elems"])
+    for c in ablation:
+        assert c["digest"] != f32_ref["digest"], "half wire rounded nothing"
+        np.testing.assert_allclose(c["head"], f32_ref["head"], rtol=2e-2,
+                                   atol=1e-4)
+
+    cells = headline + matrix + ablation
+    foreign = []
+    if ROOT_ARTIFACT.exists():  # carry archived foreign methods forward
+        previous = json.loads(ROOT_ARTIFACT.read_text())
+        foreign = [c for c in previous.get("cells", [])
+                   if c.get("method") != "packed-allreduce"]
     payload = json.dumps(
-        {"benchmark": "transport", "ranks": RANKS, "cells": cells}, indent=2
+        {"benchmark": "transport", "ranks": RANKS, "cells": cells + foreign},
+        indent=2,
     )
     ROOT_ARTIFACT.write_text(payload)
     ARTIFACT_DIR.mkdir(exist_ok=True)
     (ARTIFACT_DIR / "transport.json").write_text(payload)
-    print(f"  matrix archived to {ROOT_ARTIFACT} and {ARTIFACT_DIR / 'transport.json'}")
+    print(f"  matrix archived to {ROOT_ARTIFACT} and "
+          f"{ARTIFACT_DIR / 'transport.json'}")
     return speedup
 
 
 def bench_transport(benchmark):
-    """Pickle-queue vs shm slot rings on the packed AlexNet-scale buffer."""
+    """Queue vs shm and tree vs ring on the packed AlexNet-scale buffer."""
     from conftest import run_once
     from repro.comm.mp_runtime import fork_available
 
     if not fork_available():
         pytest.skip("process backend requires the fork start method")
-    cells = run_once(benchmark, run_experiment)
-    check_and_archive(cells)
+    sections = run_once(benchmark, run_experiment)
+    check_and_archive(sections)
 
 
 if __name__ == "__main__":

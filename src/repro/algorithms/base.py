@@ -78,6 +78,15 @@ class TrainerConfig:
     #: own default; the thread backend passes by reference regardless.
     #: Like ``backend``, this changes wall-clock behaviour, never bits.
     transport: Optional[str] = None
+    #: Allreduce schedule for the collective runners and the simulated
+    #: cost models: "tree" (binomial, Theta(log P) latency) or "ring"
+    #: (sharded reduce-scatter + allgather, Theta(1) per-rank bandwidth).
+    #: With a float32 wire both schedules are bit-identical by design.
+    collective: str = "tree"
+    #: On-fabric array format for the message runners: "float32" (exact)
+    #: or "float16" (half the wire bytes; reductions still accumulate in
+    #: float32). The only knob here that is allowed to change numerics.
+    wire_dtype: str = "float32"
     #: Durable runs (repro.durability): save a crash-safe checkpoint of the
     #: full pipeline state every N completed steps (0 = off). Requires
     #: ``checkpoint_dir``. Like tracing, this never changes run numerics.
@@ -104,11 +113,18 @@ class TrainerConfig:
             raise ValueError("checkpoint_every requires checkpoint_dir")
         # Late import: repro.comm.backend imports nothing from algorithms,
         # but keeping the dependency one-way at module load is cheap.
-        from repro.comm.backend import validate_backend, validate_transport
+        from repro.comm.backend import (
+            validate_backend,
+            validate_collective,
+            validate_transport,
+            validate_wire_dtype,
+        )
 
         validate_backend(self.backend)
         if self.transport is not None:
             validate_transport(self.transport)
+        validate_collective(self.collective)
+        validate_wire_dtype(self.wire_dtype)
 
 
 @dataclass(frozen=True)

@@ -135,6 +135,8 @@ def run_mpi_sync_easgd(
     backend: str = "threads",
     variant: int = 3,
     transport: Optional[str] = None,
+    wire_dtype: str = "float32",
+    chunk_elems: Optional[int] = None,
 ) -> MpiEasgdResult:
     """Run Sync EASGD across ``ranks`` real threads or processes.
 
@@ -146,7 +148,11 @@ def run_mpi_sync_easgd(
     ``"shm"`` (zero-copy slot rings) or ``"queue"`` (pickle through
     pipes); ``None`` keeps the backend's default. Transports change only
     how bytes travel, never their values, so results are bit-identical
-    across transports too.
+    across transports too. ``chunk_elems`` pipelines the reduce/bcast
+    edges in fixed-size chunks (also bit-exact, but the packed
+    single-message invariant no longer applies); ``wire_dtype="float16"``
+    halves the wire bytes at the cost of rounded weights — the only knob
+    here that changes numerics.
 
     ``variant`` labels which Sync EASGD flavour (1, 2, or 3) this run
     stands in for. The paper's variants differ in *system* behaviour
@@ -174,10 +180,11 @@ def run_mpi_sync_easgd(
         # doesn't emit. The variant label is informational here.
         trace.meta.setdefault("easgd_variant", variant)
         trace.meta.setdefault("pattern", "tree")
-        trace.meta.setdefault("packed", True)
+        trace.meta.setdefault("packed", chunk_elems is None or chunk_elems <= 0)
         trace.meta.setdefault("messages_per_exchange", 1)
     comm = make_communicator(
-        ranks, backend=backend, timeout=timeout, trace=trace, transport=transport
+        ranks, backend=backend, timeout=timeout, trace=trace, transport=transport,
+        wire_dtype=wire_dtype, chunk_elems=chunk_elems,
     )
     try:
         results = comm.run(

@@ -21,7 +21,6 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.comm.arena import BufferArena
 from repro.comm.backend import make_communicator
 from repro.comm.runtime import RankContextBase
 from repro.data.dataset import Dataset
@@ -56,25 +55,30 @@ def _rank_main(
     sampler = BatchSampler(train_set, batch_size, seed, name=("worker", ctx.rank))
     loss = SoftmaxCrossEntropy()
     mean_losses: List[float] = []
-    arena = BufferArena()  # the packed send buffer, reused every step
+    # The packed send buffer, reused every step. On the shm-backed ring
+    # this is the rank's collective-arena contribution row: gradients are
+    # packed straight into shared memory and the allreduce skips its
+    # staging copy. Elsewhere it is an ordinary private buffer (reuse is
+    # safe either way — the collective copies, or owns the row protocol).
+    buf = ctx.collective_buffer(weights.size + 1)
 
     for _t in rank_steps(ctx, iterations):
         images, labels = sampler.next_batch()
         net.set_params(weights)
         batch_loss = net.gradient(images, labels, loss)
 
-        # allreduce == tree_reduce association + bcast of the root's sum,
-        # so every rank applies the bit-identical averaged gradient. The
-        # scalar batch loss piggybacks as one extra element: elementwise
-        # summation leaves the gradient entries untouched, and the
-        # iteration stays a single packed buffer per tree edge (the
-        # invariant check_packed_single_message enforces). Packing writes
-        # into one arena buffer (same values as np.append, no per-step
-        # allocation); the collective copies it on entry, so reuse is safe.
-        buf = arena.get("packed", net.grads.size + 1, net.grads.dtype)
+        # allreduce == tree_reduce association + bcast of the root's sum
+        # (or the sharded ring, whose shard-wise folds reproduce the same
+        # association), so every rank applies the bit-identical averaged
+        # gradient. The scalar batch loss piggybacks as one extra element:
+        # elementwise summation leaves the gradient entries untouched, and
+        # the iteration stays a single packed buffer per tree edge (the
+        # invariant check_packed_single_message enforces). ``view=True``
+        # lets the shm ring hand back a zero-copy window on the shared
+        # result row — read before the next collective, never written.
         buf[:-1] = net.grads
         buf[-1] = np.float32(batch_loss)
-        total = ctx.allreduce(buf)
+        total = ctx.allreduce(buf, view=True)
         mean_grad = total[:-1] / ctx.size
         weights -= lr * mean_grad
 
@@ -96,12 +100,19 @@ def run_mpi_sync_sgd(
     trace: Optional[Trace] = None,
     backend: str = "threads",
     transport: Optional[str] = None,
+    collective: str = "tree",
+    wire_dtype: str = "float32",
+    chunk_elems: Optional[int] = None,
 ) -> MpiSgdResult:
     """Run synchronous data-parallel SGD across ``ranks`` real workers.
 
     ``transport`` picks the process backend's byte path (``"shm"`` or
-    ``"queue"``; ``None`` = backend default) — wall-clock only, the
-    weights are bit-identical either way.
+    ``"queue"``; ``None`` = backend default) and ``collective`` the
+    allreduce schedule (``"tree"`` or ``"ring"``) — wall-clock only, the
+    weights are bit-identical either way. ``wire_dtype="float16"`` halves
+    the on-fabric bytes but rounds them (approximate weights);
+    ``chunk_elems`` pipelines the tree reduce's edges in fixed-size
+    chunks (bit-exact, but no longer one packed message per edge).
     """
     if iterations <= 0:
         raise ValueError("iterations must be positive")
@@ -110,13 +121,15 @@ def run_mpi_sync_sgd(
     if lr <= 0:
         raise ValueError("lr must be positive")
 
+    chunked = chunk_elems is not None and chunk_elems > 0
     if trace is not None:
         trace.meta.setdefault("method", "MPI Sync SGD")
-        trace.meta.setdefault("pattern", "tree")
-        trace.meta.setdefault("packed", True)
+        trace.meta.setdefault("pattern", collective)
+        trace.meta.setdefault("packed", not chunked)
         trace.meta.setdefault("messages_per_exchange", 1)
     comm = make_communicator(
-        ranks, backend=backend, timeout=timeout, trace=trace, transport=transport
+        ranks, backend=backend, timeout=timeout, trace=trace, transport=transport,
+        collective=collective, wire_dtype=wire_dtype, chunk_elems=chunk_elems,
     )
     try:
         results = comm.run(

@@ -28,7 +28,7 @@ import numpy as np
 from repro.algorithms.base import BaseTrainer, TrainerConfig
 from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
-from repro.comm.collectives import tree_rounds
+from repro.comm.collectives import ring_allreduce_cost, tree_rounds, validate_collective
 from repro.data.dataset import Dataset
 from repro.engine.faults import SyncFaultTracker
 from repro.engine.strategy import (
@@ -41,14 +41,20 @@ from repro.engine.strategy import (
 from repro.faults import FaultLog, FaultPlan
 from repro.nn.network import Network
 from repro.optim.quantize import quantize_gradient
-from repro.trace.schedule import emit_tree_phase
+from repro.trace.schedule import emit_ring_allreduce, emit_tree_phase
 from repro.util.rng import spawn_rng
 
 __all__ = ["SyncSGDTrainer"]
 
 
 class _AllreduceComm(CommStrategy):
-    """Tree allreduce cost/trace model, with optional quantized wire format."""
+    """Allreduce cost/trace model: tree or sharded ring, optionally quantized.
+
+    The tree costs reduce + bcast as two Theta(log P) phases; the ring
+    costs one reduce-scatter + allgather pass — 2(P-1) steps of n/P-byte
+    shards (:func:`repro.comm.collectives.ring_allreduce_cost`), the
+    bandwidth-optimal schedule the process backend implements for real.
+    """
 
     def __init__(self, trainer: "SyncSGDTrainer") -> None:
         tr = trainer
@@ -78,47 +84,71 @@ class _AllreduceComm(CommStrategy):
             self.wire_bytes = int(self.wire_bytes * tr.quantize_bits / 32.0)
         self.full_bcast_t, self.full_reduce_t = self.bcast_t, self.reduce_t
         self._full_ranks = g
+        self.collective = tr.collective
+        self._link = tr.platform.topology.link_for(tr.param_traffic)
+        self.ring_t = (
+            ring_allreduce_cost(self._link, self.wire_bytes, g)
+            if self.collective == "ring" else 0.0
+        )
+
+    def comm_time(self) -> float:
+        """The allreduce's charge on the iteration critical path."""
+        if self.collective == "ring":
+            return self.ring_t
+        return self.reduce_t + self.bcast_t
 
     def retime(self, ranks: int) -> None:
-        """Shrink the tree depth to the surviving group.
+        """Re-cost the collective for the surviving group.
 
-        Per-hop cost (incl. any quantized-width adjustment) is unchanged.
+        The tree shrinks its depth at unchanged per-hop cost (incl. any
+        quantized-width adjustment); the ring re-shards the same buffer
+        over the survivors — fewer, larger shards, 2(ranks-1) steps.
         """
         depth_ratio = tree_rounds(ranks) / max(tree_rounds(self._full_ranks), 1)
         self.bcast_t = self.full_bcast_t * depth_ratio
         self.reduce_t = self.full_reduce_t * depth_ratio
+        if self.collective == "ring":
+            self.ring_t = ring_allreduce_cost(self._link, self.wire_bytes, ranks)
 
     def charge(self, pipeline, t: int, live: List[int],
                fwdbwd_each: List[float]) -> float:
         fwdbwd_max = max(fwdbwd_each)
-        iter_time = self.stage_t + fwdbwd_max + self.reduce_t + self.bcast_t + self.gpu_upd_t
+        comm_t = self.comm_time()
+        iter_time = self.stage_t + fwdbwd_max + comm_t + self.gpu_upd_t
         breakdown = pipeline.breakdown
         breakdown.add("cpu-gpu data", self.stage_t)
-        breakdown.add(self.comm_part, self.reduce_t + self.bcast_t)
+        breakdown.add(self.comm_part, comm_t)
         breakdown.add("for/backward", fwdbwd_max)
         breakdown.add("gpu update", self.gpu_upd_t)
         return iter_time
 
     def emit(self, trace, t: int, T: float, live: List[int],
              fwdbwd_each: List[float], iter_time: float) -> None:
-        # Serial timeline: stage, compute, gradient tree-reduce,
-        # weight tree-bcast, local update.
+        # Serial timeline: stage, compute, allreduce (gradient tree-reduce
+        # + weight tree-bcast, or one sharded ring pass), local update.
         fwdbwd_max = max(fwdbwd_each)
         t_stage = T + self.stage_t
         t_comp = t_stage + fwdbwd_max
-        t_red = t_comp + self.reduce_t
-        t_bc = t_red + self.bcast_t
         for j, fwd in zip(live, fwdbwd_each):
             trace.span("staging", j, T, t_stage, op="cpu-gpu-data", iteration=t)
             trace.span("compute", j, t_stage, t_stage + fwd, op="fwd-bwd", iteration=t)
-        emit_tree_phase(trace, "tree-reduce", live, t_comp, t_red,
-                        nbytes=self.wire_bytes, messages_per_edge=self.plan_msgs.num_messages,
-                        tag=102, iteration=t, reduce=True)
-        emit_tree_phase(trace, "tree-bcast", live, t_red, t_bc,
-                        nbytes=self.wire_bytes, messages_per_edge=self.plan_msgs.num_messages,
-                        tag=101, iteration=t)
+        if self.collective == "ring":
+            t_done = t_comp + self.ring_t
+            emit_ring_allreduce(trace, live, t_comp, t_done,
+                                nbytes=self.wire_bytes, tag=102, iteration=t)
+        else:
+            t_red = t_comp + self.reduce_t
+            t_done = t_red + self.bcast_t
+            emit_tree_phase(trace, "tree-reduce", live, t_comp, t_red,
+                            nbytes=self.wire_bytes,
+                            messages_per_edge=self.plan_msgs.num_messages,
+                            tag=102, iteration=t, reduce=True)
+            emit_tree_phase(trace, "tree-bcast", live, t_red, t_done,
+                            nbytes=self.wire_bytes,
+                            messages_per_edge=self.plan_msgs.num_messages,
+                            tag=101, iteration=t)
         for j in live:
-            trace.span("update", j, t_bc, t_bc + self.gpu_upd_t, op="gpu-update",
+            trace.span("update", j, t_done, t_done + self.gpu_upd_t, op="gpu-update",
                        iteration=t)
 
 
@@ -137,7 +167,7 @@ class _SyncSgdStep(ClockStepStrategy):
         self.comm = _AllreduceComm(tr)
         tr.make_trace(
             g,
-            pattern="tree",
+            pattern=tr.collective,  # "tree" or "ring" — picks the invariants
             packed=tr.packed,
             messages_per_exchange=self.comm.plan_msgs.num_messages,
             quantize_bits=tr.quantize_bits or 0,
@@ -147,7 +177,7 @@ class _SyncSgdStep(ClockStepStrategy):
             tr.faults, log, g, tr.name,
             rejoin_note="re-entered allreduce group",
             on_resize=self.comm.retime,
-            resize_label="allreduce tree",
+            resize_label=f"allreduce {tr.collective}",
         )
         tr.net.set_params(self.weights)
 
@@ -222,6 +252,7 @@ class SyncSGDTrainer(BaseTrainer):
         param_traffic: str = "gpu-gpu para",
         quantize_bits: Optional[int] = None,
         faults: Optional[FaultPlan] = None,
+        collective: Optional[str] = None,
     ) -> None:
         if faults is not None:
             faults.validate(platform.num_gpus)
@@ -232,7 +263,14 @@ class SyncSGDTrainer(BaseTrainer):
         self.packed = packed
         self.param_traffic = param_traffic
         self.quantize_bits = quantize_bits
+        self.collective = validate_collective(
+            collective if collective is not None else config.collective
+        )
+        if self.collective == "ring" and not packed:
+            raise ValueError("the ring allreduce ships one packed buffer; use packed=True")
         suffix = "packed" if packed else "per-layer"
+        if self.collective == "ring":
+            suffix += ", ring"
         if quantize_bits is not None:
             suffix += f", {quantize_bits}-bit"
         self.name = f"Sync SGD ({suffix})"

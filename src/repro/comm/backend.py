@@ -13,15 +13,21 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.comm.collectives import COLLECTIVES, validate_collective
 from repro.comm.mp_runtime import fork_available, MultiprocessCommunicator
 from repro.comm.runtime import InProcessCommunicator
 from repro.comm.shm_transport import TRANSPORTS, validate_transport
+from repro.optim.quantize import validate_wire_dtype, WIRE_DTYPES
 
 __all__ = [
     "BACKENDS",
     "TRANSPORTS",
+    "COLLECTIVES",
+    "WIRE_DTYPES",
     "validate_backend",
     "validate_transport",
+    "validate_collective",
+    "validate_wire_dtype",
     "make_communicator",
 ]
 
@@ -40,14 +46,18 @@ def make_communicator(size: int, backend: str = "threads", **kwargs: Any):
     """Build the communicator for ``backend`` with uniform kwargs.
 
     ``kwargs`` are the common knobs (``timeout``, ``faults``,
-    ``max_retries``, ``retry_backoff``, ``trace``, ``transport``) plus the
-    process-backend shm tuning knobs (``shm_slots``, ``shm_min_bytes``).
-    ``transport`` selects how the process backend moves message bytes —
-    ``"shm"`` (zero-copy slot rings, the default) or ``"queue"`` (pickle
-    through pipes); the thread backend accepts the knob for interface
-    parity but always passes payloads by reference. The shm tuning knobs
-    are meaningless for threads and are dropped rather than rejected, so
-    one call site can serve both backends.
+    ``max_retries``, ``retry_backoff``, ``trace``, ``transport``,
+    ``collective``, ``wire_dtype``, ``chunk_elems``) plus the
+    process-backend tuning knobs (``shm_slots``, ``shm_min_bytes``,
+    ``pin_cpus``). ``transport`` selects how the process backend moves
+    message bytes — ``"shm"`` (zero-copy slot rings, the default) or
+    ``"queue"`` (pickle through pipes); the thread backend accepts the
+    knob for interface parity but always passes payloads by reference.
+    ``collective`` picks the allreduce schedule ("tree"/"ring") and
+    ``wire_dtype`` the on-fabric array format ("float32"/"float16") —
+    both are shared knobs, honoured identically by either backend. The
+    process-only tuning knobs are meaningless for threads and are dropped
+    rather than rejected, so one call site can serve both backends.
     """
     validate_backend(backend)
     if kwargs.get("transport", "") is None:
@@ -62,4 +72,5 @@ def make_communicator(size: int, backend: str = "threads", **kwargs: Any):
         return MultiprocessCommunicator(size, **kwargs)
     kwargs.pop("shm_slots", None)
     kwargs.pop("shm_min_bytes", None)
+    kwargs.pop("pin_cpus", None)
     return InProcessCommunicator(size, **kwargs)

@@ -21,13 +21,17 @@ import numpy as np
 from repro.comm.alphabeta import LinkModel
 
 __all__ = [
+    "COLLECTIVES",
+    "validate_collective",
     "tree_rounds",
     "tree_reduce",
+    "tree_reduce_into",
     "tree_bcast_order",
     "tree_reduce_cost",
     "tree_bcast_cost",
     "flat_sequential_cost",
     "allreduce_cost",
+    "shard_bounds",
     "ring_allreduce",
     "ring_allreduce_cost",
     "tree_gather",
@@ -35,6 +39,21 @@ __all__ = [
     "tree_gather_cost",
     "scatter_cost",
 ]
+
+#: The recognised allreduce schedules for the rank runtimes.
+#: ``tree``: binomial reduce-to-root + broadcast — Theta(log P) rounds,
+#: every round moves the full buffer. ``ring``: reduce-scatter + allgather
+#: — 2(P-1) rounds of n/P-byte shards, Theta(1) bytes per rank in n.
+COLLECTIVES = ("tree", "ring")
+
+
+def validate_collective(collective: str) -> str:
+    """Return ``collective`` or raise a ValueError naming the valid choices."""
+    if collective not in COLLECTIVES:
+        raise ValueError(
+            f"unknown collective {collective!r}; expected one of {COLLECTIVES}"
+        )
+    return collective
 
 
 def tree_rounds(p: int) -> int:
@@ -68,6 +87,49 @@ def tree_reduce(vectors: Sequence[np.ndarray]) -> np.ndarray:
         stride *= 2
     assert acc[0] is not None
     return acc[0]
+
+
+def tree_reduce_into(vectors: Sequence[np.ndarray], out: np.ndarray) -> np.ndarray:
+    """:func:`tree_reduce` without the input copies, accumulating into ``out``.
+
+    Bitwise identical to ``tree_reduce(vectors)``: the association order is
+    the same stride-doubling schedule, and ``np.add(a, b, out=...)`` is the
+    same ufunc as ``a + b``. The inputs are only *read* (they may live in
+    shared memory or belong to other ranks); all intermediate sums land in
+    ``out``, which therefore must not overlap any input. With one vector
+    the result is a plain copy.
+    """
+    if not vectors:
+        raise ValueError("need at least one vector")
+    shape = vectors[0].shape
+    for v in vectors:
+        if v.shape != shape:
+            raise ValueError("all vectors must have the same shape")
+    if out.shape != shape:
+        raise ValueError(f"out has shape {out.shape}, expected {shape}")
+    p = len(vectors)
+    if p == 1:
+        np.copyto(out, vectors[0])
+        return out
+    # Mirror tree_reduce's chain: slot 0's accumulator is ``out`` itself
+    # (seeded by the first fold), other slots get private scratch the
+    # first time they accumulate. Read-only inputs are never written.
+    acc: List[np.ndarray | None] = list(vectors)
+    fresh = [True] * p  # acc[i] still aliases the caller's input
+    stride = 1
+    while stride < p:
+        for i in range(0, p - stride, 2 * stride):
+            a, b = acc[i], acc[i + stride]
+            if fresh[i]:
+                target = out if i == 0 else np.empty_like(out)
+                np.add(a, b, out=target)  # type: ignore[arg-type]
+                acc[i], fresh[i] = target, False
+            else:
+                np.add(a, b, out=a)  # type: ignore[arg-type]
+            acc[i + stride] = None
+        stride *= 2
+    assert acc[0] is out
+    return out
 
 
 def tree_bcast_order(p: int) -> List[Tuple[int, int]]:
@@ -113,14 +175,37 @@ def allreduce_cost(link: LinkModel, nbytes: int, p: int) -> float:
     return tree_reduce_cost(link, nbytes, p) + tree_bcast_cost(link, nbytes, p)
 
 
+def shard_bounds(n: int, p: int) -> List[int]:
+    """The P+1 split points of an n-element buffer into P near-equal shards.
+
+    Shard ``s`` is ``[bounds[s], bounds[s+1])`` with ``(n*i)//p`` bounds, so
+    shard sizes differ by at most one element and ragged cases degrade
+    gracefully: ``n < p`` simply yields some empty shards (those owners move
+    zero bytes), never an error. Every party to a ring collective — both
+    rank runtimes, the serial reference, and the trace emitter — derives its
+    shard layout from this one function.
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [(n * i) // p for i in range(p + 1)]
+
+
 def ring_allreduce(vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
     """Ring allreduce numerics: every rank ends with the (identical) sum.
 
-    Implements the classic two-phase schedule — reduce-scatter around the
-    ring, then allgather — chunk by chunk, with a fixed chunk/rank order so
-    the floating-point association is deterministic. Returns a list of P
+    The serial reference for the runtimes' sharded schedule: the buffer is
+    split into P owner shards (:func:`shard_bounds`), the reduce-scatter
+    phase gives owner ``s`` every rank's version of shard ``s``, and the
+    owner folds them with the *binomial-tree association over rank order*
+    (:func:`tree_reduce` restricted to the shard). Because tree reduction
+    is elementwise in the rank dimension, the assembled result is bitwise
+    identical to ``tree_reduce(vectors)`` — ring and tree are
+    interchangeable without perturbing a single ULP, which is what lets
+    the backends switch collectives per buffer size. Returns a list of P
     result vectors (all equal; separate arrays, as separate ranks would
-    hold).
+    hold after the allgather).
     """
     if not vectors:
         raise ValueError("need at least one vector")
@@ -132,32 +217,15 @@ def ring_allreduce(vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
     if p == 1:
         return [np.array(vectors[0], copy=True)]
 
-    # Work on per-rank copies split into P chunks.
-    flats = [np.array(v, copy=True).reshape(-1) for v in vectors]
-    bounds = np.linspace(0, flats[0].size, p + 1).astype(int)
-
-    def chunk(rank: int, c: int) -> np.ndarray:
-        return flats[rank][bounds[c] : bounds[c + 1]]
-
-    # Phase 1: reduce-scatter. After P-1 steps, rank r holds the full sum
-    # of chunk (r+1) mod P.
-    for step in range(p - 1):
-        for rank in range(p):
-            send_c = (rank - step) % p
-            dst = (rank + 1) % p
-            chunk(dst, send_c)[...] += chunk(rank, send_c)
-    # NOTE: the loop above mutates in a fixed rank order; because each
-    # (step, chunk) pair is touched by exactly one (src, dst) edge, the
-    # result is schedule-correct despite the sequential simulation.
-
-    # Phase 2: allgather the finished chunks around the ring.
-    for step in range(p - 1):
-        for rank in range(p):
-            send_c = (rank + 1 - step) % p
-            dst = (rank + 1) % p
-            chunk(dst, send_c)[...] = chunk(rank, send_c)
-
-    return [f.reshape(shape) for f in flats]
+    flats = [np.asarray(v).reshape(-1) for v in vectors]
+    n = flats[0].size
+    bounds = shard_bounds(n, p)
+    total = np.empty(n, dtype=np.result_type(*[f.dtype for f in flats]))
+    for s in range(p):
+        lo, hi = bounds[s], bounds[s + 1]
+        if hi > lo:
+            tree_reduce_into([f[lo:hi] for f in flats], total[lo:hi])
+    return [total.reshape(shape).copy() for _ in range(p)]
 
 
 def ring_allreduce_cost(link: LinkModel, nbytes: int, p: int) -> float:

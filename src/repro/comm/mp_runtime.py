@@ -48,15 +48,29 @@ from __future__ import annotations
 from collections import deque
 import multiprocessing
 from multiprocessing import shared_memory
+import os
 import pickle
 import queue as _queue
 import time
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+import uuid
 
 import numpy as np
 
-from repro.comm.runtime import _DEFAULT_TIMEOUT, DeadlockError, MultiRankError, RankContextBase
+from repro.comm.collectives import (
+    shard_bounds,
+    tree_reduce_into,
+    validate_collective,
+)
+from repro.comm.runtime import (
+    _DEFAULT_TIMEOUT,
+    COLLECTIVE_TAG_STRIDE,
+    DeadlockError,
+    MultiRankError,
+    RankContextBase,
+)
 from repro.comm.shm_transport import (
+    CollectiveArena,
     DEFAULT_MIN_BYTES,
     DEFAULT_SLOTS,
     ShmSlotRef,
@@ -64,6 +78,7 @@ from repro.comm.shm_transport import (
     validate_transport,
 )
 from repro.faults import FaultLog, FaultPlan
+from repro.optim.quantize import validate_wire_dtype
 from repro.trace.events import Trace, TraceEvent
 
 __all__ = [
@@ -232,17 +247,34 @@ class MpRankContext(RankContextBase):
         start_time: float,
         tracing: bool,
         transport: Optional[Any] = None,
+        collective: str = "tree",
+        wire_dtype: str = "float32",
+        chunk_elems: Optional[int] = None,
+        coll_prefix: Optional[str] = None,
     ) -> None:
         self.size = size
         self.timeout = timeout
         self.faults = faults
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.collective = collective
+        self.wire_dtype = wire_dtype
+        self.chunk_elems = chunk_elems
         self.fault_log = FaultLog()
         self.trace: Optional[Trace] = Trace() if tracing else None
         self._inboxes = inboxes
         self._start = start_time
         self._transport = transport
+        self._coll_prefix = coll_prefix or f"repro-coll-{uuid.uuid4().hex[:8]}"
+        #: Collective arenas keyed by (tag, elems); shared across ranks by
+        #: name, created lazily on the first ring allreduce of that shape.
+        self._arenas: Dict[Tuple[int, int], CollectiveArena] = {}
+        #: Receiver-side seq counters for manually-emitted arena trace
+        #: events (mirrors the sender's ``_next_seq`` discipline).
+        self._recv_seq: Dict[Tuple[int, int], int] = {}
+        # Zero-copy receive plumbing for the in-place reduce fold.
+        self._view_ok = False
+        self._pending_release: Optional[Callable[[], None]] = None
         # Selective receive: messages for channels nobody asked about yet.
         self._stash: Dict[Tuple[int, int], Deque[Any]] = {}
         self._init_rank_state(rank)
@@ -256,11 +288,41 @@ class MpRankContext(RankContextBase):
                 payload = ref
         self._inboxes[dest].put((self.rank, tag, payload))
 
-    def _decode(self, payload: Any) -> Any:
-        """Materialize a slot-ring descriptor back into its payload."""
+    def _decode(self, payload: Any, view: bool = False) -> Any:
+        """Materialize a slot-ring descriptor back into its payload.
+
+        ``view=True`` (only ever set for the channel actually being
+        polled, never for stashed foreign messages) defers the private
+        copy: the payload's arrays view slot memory and the slot stays
+        claimed until the stored ``_pending_release`` runs.
+        """
         if self._transport is not None and isinstance(payload, ShmSlotRef):
+            if view:
+                obj, release = self._transport.decode_view(payload)
+                self._pending_release = release
+                return obj
             return self._transport.decode(payload)
         return payload
+
+    def _recv_add(self, acc: np.ndarray, source: int, tag: int) -> None:
+        """In-place fold with the receive-side copy eliminated.
+
+        Over the shm transport the incoming buffer is read *directly from
+        the ring slot* into ``np.add`` — the reduce-only consumer never
+        materializes a private copy of the operand. The slot is handed
+        back to the sender only after the fold completes.
+        """
+        if self._transport is None:
+            super()._recv_add(acc, source, tag)
+            return
+        self._view_ok = True
+        try:
+            np.add(acc, self._wire_in(self.recv(source, tag)), out=acc)
+        finally:
+            self._view_ok = False
+            release, self._pending_release = self._pending_release, None
+            if release is not None:
+                release()
 
     def _elapsed(self) -> float:
         # CLOCK_MONOTONIC is system-wide on Linux, so child timestamps are
@@ -295,10 +357,168 @@ class MpRankContext(RankContextBase):
                 wait = min(wait * 2.0, 2.0)
                 continue
             if (src, t) == wanted:
-                return self._decode(payload)
+                return self._decode(payload, view=self._view_ok)
             # Decode *before* stashing: a descriptor parked here would pin
             # its ring slot and could backpressure-deadlock the sender.
             self._stash.setdefault((src, t), deque()).append(self._decode(payload))
+
+    # -- collective arena (the shm ring allreduce fast path) ---------------------
+    def _arena_for(self, tag: int, elems: int) -> CollectiveArena:
+        key = (tag, elems)
+        arena = self._arenas.get(key)
+        if arena is None:
+            name = f"{self._coll_prefix}-t{tag}-n{elems}"
+            arena = CollectiveArena.create_or_attach(
+                name, self.size, elems, self.wire_dtype, timeout=self.timeout
+            )
+            self._arenas[key] = arena
+        return arena
+
+    def arena_names(self) -> List[str]:
+        """Arena segment names this rank mapped (for parent-side unlink)."""
+        return [arena.name for arena in self._arenas.values()]
+
+    def close_arenas(self) -> None:
+        """Drop this rank's arena mappings (the parent unlinks by name)."""
+        for arena in self._arenas.values():
+            arena.close()
+        self._arenas.clear()
+
+    def _next_recv_seq(self, source: int, tag: int) -> int:
+        key = (source, tag)
+        seq = self._recv_seq.get(key, 0)
+        self._recv_seq[key] = seq + 1
+        return seq
+
+    def _arena_msg(self, kind: str, peer: int, tag: int, nbytes: int, rnd: int) -> None:
+        """One manually-emitted trace event for an arena-phase message.
+
+        The arena moves bulk bytes through shared rows, not through
+        ``send``/``recv``, so the trace events that keep the ring's
+        structure checkable (P(P-1) messages per phase, shard-sized
+        nbytes, per-channel seq) are emitted by hand with the *logical*
+        chunk size — byte accounting is identical to the generic
+        message-passing ring schedule.
+        """
+        trace = self.trace
+        if trace is None:
+            return
+        now = self._elapsed()
+        if kind == "send":
+            trace.send(self.rank, peer, now, now, tag=tag, nbytes=nbytes,
+                       seq=self._next_seq(peer, tag), op=self._trace_op,
+                       round=rnd, iteration=self.trace_iteration)
+        else:
+            trace.recv(self.rank, peer, now, now, tag=tag, nbytes=nbytes,
+                       seq=self._next_recv_seq(peer, tag), op=self._trace_op,
+                       round=rnd, iteration=self.trace_iteration)
+
+    def collective_buffer(self, elems: int, tag: int = 103) -> np.ndarray:
+        """The arena contribution row, when one will back the allreduce.
+
+        A caller that computes its contribution straight into this row
+        skips the staging copy in :meth:`_ring_allreduce` — gradients are
+        then *born* in shared memory. Falls back to a private buffer
+        whenever the arena path would not engage (tree collective, queue
+        transport, float16 wire, or a buffer too small to shard).
+        """
+        if (
+            self._transport is not None
+            and self.collective == "ring"
+            and self.wire_dtype == "float32"
+            and self.faults is None
+            and self.size > 1
+            and elems >= self.size
+        ):
+            row = self._arena_for(tag, int(elems)).rows[self.rank]
+            row[:] = 0.0
+            return row
+        return super().collective_buffer(elems, tag)
+
+    def _ring_allreduce(self, arr: np.ndarray, tag: int, view: bool = False) -> np.ndarray:
+        """Sharded ring allreduce with the bulk bytes never leaving shm.
+
+        Same logical schedule (and bit-identical association) as the
+        generic message ring, but the data plane is a
+        :class:`~repro.comm.shm_transport.CollectiveArena`:
+
+        1. stage the contribution into this rank's arena row (skipped
+           when the caller already computed into it via
+           :meth:`collective_buffer`);
+        2. *reduce-scatter*: send a ready token to every peer, collect
+           theirs, then tree-reduce the P row slices of our owner shard
+           straight into the shared result row — in place in shm;
+        3. *allgather*: send a done token to every peer, collect theirs,
+           then read the fully-assembled result row.
+
+        Reuse safety (single-generation rows): a rank re-enters this
+        method (and may overwrite its row) only after collecting *all*
+        P-1 done tokens, and a done token is sent only after its owner
+        finished reading every row — so no row is overwritten while any
+        reader is mid-reduce. The result row for round t+1 is rewritten
+        only after every rank has sent its round-t+1 ready token, i.e.
+        after every rank returned from round t — which is exactly the
+        documented validity window of a ``view=True`` result.
+        """
+        transport = self._transport
+        if transport is None:
+            # Queue transport: fall back to the generic message-passing ring.
+            return super()._ring_allreduce(arr, tag, view=view)
+        t0 = self._elapsed()
+        prev_op = self._trace_op
+        p, r = self.size, self.rank
+        rs_tag = tag + 6 * COLLECTIVE_TAG_STRIDE
+        ag_tag = tag + 7 * COLLECTIVE_TAG_STRIDE
+        flat = arr.reshape(-1)
+        n = flat.size
+        arena = self._arena_for(tag, n)
+        bounds = shard_bounds(n, p)
+        wire_item = arena.rows[0].dtype.itemsize
+
+        def shard_nbytes(s: int) -> int:
+            return (bounds[s + 1] - bounds[s]) * wire_item
+
+        # 1. Stage our contribution (no-op when it was born in the row).
+        row = arena.rows[r]
+        if not np.shares_memory(row, flat):
+            np.copyto(row, flat, casting="same_kind")
+
+        # 2. Reduce-scatter: ready tokens out, ready tokens in, then the
+        #    in-shm owner reduce. Logically rank r ships shard (r+k)%p's
+        #    chunk to its owner in step k — the trace records that.
+        self._trace_op = "ring-reduce-scatter"
+        for k in range(1, p):
+            dest = (r + k) % p
+            self._deliver(dest, rs_tag, r)
+            self._arena_msg("send", dest, rs_tag, shard_nbytes(dest), k - 1)
+        lo, hi = bounds[r], bounds[r + 1]
+        for k in range(1, p):
+            src = (r - k) % p
+            self._poll(src, rs_tag, None)
+            self._arena_msg("recv", src, rs_tag, shard_nbytes(r), k - 1)
+        if hi > lo:
+            cols: Sequence[np.ndarray] = [arena.rows[q][lo:hi] for q in range(p)]
+            if self.wire_dtype != "float32":
+                cols = [c.astype(np.float32) for c in cols]
+            tree_reduce_into(cols, arena.result[lo:hi])
+
+        # 3. Allgather: done tokens out, done tokens in, result is ready.
+        self._trace_op = "ring-allgather"
+        for k in range(1, p):
+            dest = (r + k) % p
+            self._deliver(dest, ag_tag, r)
+            self._arena_msg("send", dest, ag_tag, shard_nbytes(r), k - 1)
+        for k in range(1, p):
+            src = (r - k) % p
+            self._poll(src, ag_tag, None)
+            self._arena_msg("recv", src, ag_tag, shard_nbytes(src), k - 1)
+        self._trace_op, self._trace_round = prev_op, -1
+        self._collective_span("ring-allreduce", t0)
+        if view:
+            result = arena.result.view()
+            result.flags.writeable = False
+            return result.reshape(arr.shape)
+        return arena.result.reshape(arr.shape).copy()
 
 
 class MultiprocessCommunicator:
@@ -325,6 +545,10 @@ class MultiprocessCommunicator:
         transport: str = "shm",
         shm_slots: int = DEFAULT_SLOTS,
         shm_min_bytes: int = DEFAULT_MIN_BYTES,
+        collective: str = "tree",
+        wire_dtype: str = "float32",
+        chunk_elems: Optional[int] = None,
+        pin_cpus: Any = "auto",
     ) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
@@ -335,6 +559,10 @@ class MultiprocessCommunicator:
         if retry_backoff <= 0:
             raise ValueError("retry_backoff must be positive")
         validate_transport(transport)
+        validate_collective(collective)
+        validate_wire_dtype(wire_dtype)
+        if chunk_elems is not None and chunk_elems <= 0:
+            raise ValueError("chunk_elems must be positive")
         if shm_slots <= 0:
             raise ValueError("shm_slots must be positive")
         if not fork_available():
@@ -347,6 +575,15 @@ class MultiprocessCommunicator:
         self.faults = faults
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        #: Allreduce schedule ("tree"/"ring") and on-fabric array format
+        #: ("float32"/"float16") — see RankContextBase for semantics.
+        self.collective = collective
+        self.wire_dtype = wire_dtype
+        self.chunk_elems = chunk_elems
+        #: Rank->CPU pinning: "auto" pins rank i to core i (mod cores) only
+        #: when at least ``size`` cores are available; True forces pinning
+        #: even oversubscribed; None/False disables.
+        self.pin_cpus = pin_cpus
         #: Message transport: "shm" (default) stages large array payloads
         #: through zero-copy slot rings; "queue" pickles every payload
         #: through the inbox pipes (the pre-transport behaviour). Numerics
@@ -365,9 +602,24 @@ class MultiprocessCommunicator:
             trace.meta.setdefault("clock", "wall")
             trace.meta.setdefault("backend", "processes")
             trace.meta.setdefault("transport", transport)
+            trace.meta.setdefault("collective", collective)
+            trace.meta.setdefault("wire_dtype", wire_dtype)
         self.fault_log = FaultLog()
         self._mp = multiprocessing.get_context("fork")
         self._start = time.monotonic()
+
+    def _pin_plan(self) -> Optional[List[int]]:
+        """The CPU list ranks pin to, or None when pinning is off/impossible."""
+        if not self.pin_cpus or not hasattr(os, "sched_getaffinity"):
+            return None
+        cpus = sorted(os.sched_getaffinity(0))
+        if not cpus:
+            return None
+        if self.pin_cpus == "auto" and len(cpus) < self.size:
+            # Oversubscribed: exclusive cores don't exist, and pinning
+            # several ranks to one core would serialize them outright.
+            return None
+        return cpus
 
     def _elapsed(self) -> float:
         """Wall seconds since the communicator was created."""
@@ -395,8 +647,16 @@ class MultiprocessCommunicator:
         inboxes = [self._mp.Queue() for _ in range(self.size)]
         results_q = self._mp.Queue()
         tracing = self.trace is not None
+        # Generated pre-fork so every child derives identical arena names.
+        coll_prefix = f"repro-coll-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        pin_plan = self._pin_plan()
 
         def child_main(rank: int) -> None:
+            if pin_plan is not None:
+                try:
+                    os.sched_setaffinity(0, {pin_plan[rank % len(pin_plan)]})
+                except OSError:  # pragma: no cover - cgroup/permission quirk
+                    pass
             transport = (
                 ShmTransport(
                     rank, self.size, slots=self.shm_slots,
@@ -408,7 +668,9 @@ class MultiprocessCommunicator:
             ctx = MpRankContext(
                 rank, self.size, inboxes, self.timeout, self.faults,
                 self.max_retries, self.retry_backoff, self._start, tracing,
-                transport=transport,
+                transport=transport, collective=self.collective,
+                wire_dtype=self.wire_dtype, chunk_elems=self.chunk_elems,
+                coll_prefix=coll_prefix,
             )
             status: str = "ok"
             payload: Any = None
@@ -424,10 +686,11 @@ class MultiprocessCommunicator:
                     )
             except BaseException as exc:
                 status, payload = "err", _shippable_exception(rank, exc)
-            ring_names: List[str] = []
+            ring_names: List[str] = ctx.arena_names()
+            ctx.close_arenas()
             tstats: Dict[str, int] = {}
             if transport is not None:
-                ring_names = transport.ring_names()
+                ring_names += transport.ring_names()
                 tstats = dict(transport.stats)
                 if ctx.trace is not None:
                     # One instant mark per counter: bytes-on-wire vs

@@ -21,7 +21,13 @@ import math
 
 from repro.comm.alphabeta import LinkModel
 
-__all__ = ["pipelined_hops_cost", "optimal_chunks", "pipelined_tree_bcast_cost"]
+__all__ = [
+    "pipelined_hops_cost",
+    "optimal_chunks",
+    "pipelined_tree_bcast_cost",
+    "pipelined_tree_reduce_cost",
+    "pipelined_ring_allreduce_cost",
+]
 
 
 def pipelined_hops_cost(link: LinkModel, nbytes: int, depth: int, chunks: int) -> float:
@@ -55,3 +61,29 @@ def pipelined_tree_bcast_cost(link: LinkModel, nbytes: int, p: int) -> float:
         return 0.0
     chunks = optimal_chunks(link, nbytes, depth)
     return pipelined_hops_cost(link, nbytes, depth, chunks)
+
+
+def pipelined_tree_reduce_cost(link: LinkModel, nbytes: int, p: int) -> float:
+    """Binomial-tree reduce with chunked edges (``chunk_elems``).
+
+    Under alpha-beta the reduce pipeline mirrors the bcast: chunk k's
+    transfer down an edge overlaps the fold of chunk k-1, so the critical
+    path is the same ``(depth + C - 1)`` chunk-times.
+    """
+    return pipelined_tree_bcast_cost(link, nbytes, p)
+
+
+def pipelined_ring_allreduce_cost(link: LinkModel, nbytes: int, p: int, chunks: int = 1) -> float:
+    """Sharded ring allreduce, optionally sub-chunking each n/P shard.
+
+    The base schedule is already chunked at granularity n/P — 2(P-1)
+    steps of shard-sized messages (``ring_allreduce_cost``). Splitting
+    each shard into ``chunks`` sub-chunks deepens the pipeline to
+    ``2(P-1) + chunks - 1`` steps of n/(P*chunks)-byte messages, trading
+    alpha terms for overlap exactly like the tree pipeline.
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    if p == 1:
+        return 0.0
+    return pipelined_hops_cost(link, nbytes / p, 2 * (p - 1), chunks)

@@ -55,7 +55,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.comm.collectives import shard_bounds, tree_reduce_into, validate_collective
 from repro.faults import FaultLog, FaultPlan
+from repro.optim.quantize import decode_wire, encode_wire, validate_wire_dtype
 from repro.trace.events import Trace
 
 __all__ = [
@@ -96,18 +98,25 @@ _DEFAULT_TIMEOUT = 60.0  # seconds before a recv declares a deadlock
 #:   block 1: ``allreduce`` reduce phase
 #:   block 2: ``allreduce`` bcast phase
 #:   blocks 4-5: ``barrier`` (its internal allreduce, shifted by block 3)
+#:   block 6: ring allreduce reduce-scatter phase
+#:   block 7: ring allreduce allgather phase
 COLLECTIVE_TAG_STRIDE = 1 << 16
 
 #: Default user tags of the four collectives (kept from the original API).
 _DEFAULT_TAGS = {"bcast": 101, "reduce": 102, "allreduce": 103, "barrier": 104}
 
 
-def collective_wire_tags(op: str, tag: Optional[int] = None) -> Tuple[int, ...]:
+def collective_wire_tags(
+    op: str, tag: Optional[int] = None, collective: str = "tree"
+) -> Tuple[int, ...]:
     """The point-to-point wire tags a collective with user tag ``tag`` uses.
 
     The regression surface for the tag-space partition: for any user tags
     within one stride block, the wire-tag sets of ``bcast``, ``reduce``,
-    ``allreduce``, and ``barrier`` are pairwise disjoint.
+    ``allreduce``, and ``barrier`` are pairwise disjoint — and the ring
+    schedule's two phase blocks (``collective="ring"``) are disjoint from
+    all of them, so a communicator may mix ring and tree allreduces freely
+    (``barrier`` always runs its one-element allreduce on the tree).
     """
     if op not in _DEFAULT_TAGS:
         raise ValueError(f"unknown collective {op!r}; expected one of {sorted(_DEFAULT_TAGS)}")
@@ -115,6 +124,8 @@ def collective_wire_tags(op: str, tag: Optional[int] = None) -> Tuple[int, ...]:
     if op in ("bcast", "reduce"):
         return (tag,)
     if op == "allreduce":
+        if collective == "ring":
+            return (tag + 6 * COLLECTIVE_TAG_STRIDE, tag + 7 * COLLECTIVE_TAG_STRIDE)
         return (tag + COLLECTIVE_TAG_STRIDE, tag + 2 * COLLECTIVE_TAG_STRIDE)
     # barrier = allreduce shifted into its own block
     return collective_wire_tags("allreduce", tag + 3 * COLLECTIVE_TAG_STRIDE)
@@ -292,6 +303,20 @@ class RankContextBase:
     rank: int
     size: int
 
+    #: Allreduce schedule: "tree" (binomial, log P full-buffer rounds) or
+    #: "ring" (reduce-scatter + allgather, 2(P-1) rounds of n/P shards).
+    #: Both produce bitwise-identical sums; see ``allreduce`` for when the
+    #: ring dispatch falls back to the tree.
+    collective: str = "tree"
+    #: On-fabric payload format for collective arrays: "float32" (identity)
+    #: or "float16" (half the bytes, lossy — backends stop being
+    #: bit-identical, see docs/performance.md).
+    wire_dtype: str = "float32"
+    #: When set, tree-reduce edges move the buffer in pipelined chunks of
+    #: this many elements (memcpy of chunk k overlaps reduction of k-1)
+    #: instead of one packed message. Association is unchanged.
+    chunk_elems: Optional[int] = None
+
     def _init_rank_state(self, rank: int) -> None:
         self.rank = rank
         self._send_seq: Dict[Tuple[int, int], int] = {}
@@ -415,19 +440,61 @@ class RankContextBase:
                    round=self._trace_round, iteration=self.trace_iteration)
         return payload
 
-    # -- collectives (binomial-tree schedules) ------------------------------------
+    # -- collectives (binomial-tree + ring schedules) -----------------------------
     def _collective_span(self, op: str, t0: float) -> None:
         trace = self.trace
         if trace is not None:
             trace.span("collective", self.rank, t0, self._elapsed(), op=op,
                        iteration=self.trace_iteration)
 
+    # -- wire format helpers ------------------------------------------------------
+    def _wire_out(self, array: np.ndarray) -> np.ndarray:
+        """Cast an outgoing collective array to the wire format (no-op f32)."""
+        return encode_wire(array, self.wire_dtype)
+
+    def _wire_in(self, payload: Any) -> Any:
+        """Widen an incoming collective payload back to float32 (no-op f32)."""
+        if isinstance(payload, np.ndarray):
+            return decode_wire(payload, self.wire_dtype)
+        return payload
+
+    def _recv_add(self, acc: np.ndarray, source: int, tag: int) -> None:
+        """Receive an array and fold it into ``acc`` in place.
+
+        ``np.add(acc, x, out=acc)`` is the same ufunc as ``acc + x`` — the
+        association (and hence the bits) is unchanged — but the fold no
+        longer materializes a fresh sum array per edge. Fabrics override
+        this to also skip the receive-side private copy: the thread
+        backend already adds straight from the sender's buffer, and the
+        shm transport adds straight from the slot bytes
+        (:meth:`repro.comm.mp_runtime.MpRankContext._recv_add`).
+        """
+        np.add(acc, self._wire_in(self.recv(source, tag)), out=acc)
+
+    def _send_chunked(self, acc: np.ndarray, dest: int, tag: int, chunk: int) -> None:
+        flat = acc.reshape(-1)
+        for lo in range(0, flat.size, chunk):
+            self.send(self._wire_out(flat[lo : lo + chunk]), dest, tag)
+
+    def _recv_add_chunked(self, acc: np.ndarray, source: int, tag: int, chunk: int) -> None:
+        flat = acc.reshape(-1)
+        for lo in range(0, flat.size, chunk):
+            seg = flat[lo : lo + chunk]
+            np.add(seg, self._wire_in(self.recv(source, tag)), out=seg)
+
     def bcast(self, payload: Any, root: int = 0, tag: int = 101) -> Any:
-        """Broadcast from ``root``; every rank returns the payload."""
+        """Broadcast from ``root``; every rank returns the payload.
+
+        Array payloads travel in the wire format: the root encodes once
+        and interior ranks forward the wire bytes verbatim, so a float16
+        bcast quantizes exactly once regardless of tree depth.
+        """
         t0 = self._elapsed()
         prev_op = self._trace_op
         self._trace_op = "tree-bcast"
         rel = (self.rank - root) % self.size
+        if rel == 0 and isinstance(payload, np.ndarray):
+            payload = self._wire_out(payload)
         # receive from parent (the rank that turned our bit on)
         if rel != 0:
             have = 1
@@ -448,17 +515,28 @@ class RankContextBase:
             have *= 2
         self._trace_op, self._trace_round = prev_op, -1
         self._collective_span("tree-bcast", t0)
-        return payload
+        return self._wire_in(payload)
 
     def reduce(self, array: np.ndarray, root: int = 0, tag: int = 102) -> Optional[np.ndarray]:
         """Tree-sum arrays to ``root`` with the same association order as
         :func:`repro.comm.collectives.tree_reduce`. Returns the sum at the
-        root, ``None`` elsewhere."""
+        root, ``None`` elsewhere.
+
+        With ``chunk_elems`` set (and no fault plan, whose message
+        accounting assumes one packed send per edge), each edge moves the
+        buffer as a pipelined chunk train: the receiver folds chunk k
+        while the fabric is already moving chunk k+1. The accumulation
+        is elementwise, so chunking never changes the bits.
+        """
         t0 = self._elapsed()
         prev_op = self._trace_op
         self._trace_op = "tree-reduce"
         rel = (self.rank - root) % self.size
         acc = np.array(array, copy=True)
+        chunk = self.chunk_elems
+        chunked = (
+            chunk is not None and 0 < chunk < acc.size and self.faults is None
+        )
         result: Optional[np.ndarray] = None
         stride = 1
         while stride < self.size:
@@ -466,9 +544,17 @@ class RankContextBase:
             if rel % (2 * stride) == 0:
                 partner = rel + stride
                 if partner < self.size:
-                    acc = acc + self.recv((partner + root) % self.size, tag)
+                    src = (partner + root) % self.size
+                    if chunked:
+                        self._recv_add_chunked(acc, src, tag, chunk)
+                    else:
+                        self._recv_add(acc, src, tag)
             elif rel % (2 * stride) == stride:
-                self.send(acc, (rel - stride + root) % self.size, tag)
+                dest = (rel - stride + root) % self.size
+                if chunked:
+                    self._send_chunked(acc, dest, tag, chunk)
+                else:
+                    self.send(self._wire_out(acc), dest, tag)
                 break  # sent upstream; this rank is done
             stride *= 2
         else:
@@ -477,17 +563,113 @@ class RankContextBase:
         self._collective_span("tree-reduce", t0)
         return result
 
-    def allreduce(self, array: np.ndarray, tag: int = 103) -> np.ndarray:
-        """Tree reduce to rank 0 followed by tree broadcast.
+    def allreduce(self, array: np.ndarray, tag: int = 103, *, view: bool = False) -> np.ndarray:
+        """Sum across ranks; every rank returns the total.
 
-        The two phases run on tags derived from ``tag`` in reserved
-        blocks (see :func:`collective_wire_tags`) so they can never
-        collide with ``barrier`` or with user point-to-point traffic —
-        the pre-partition scheme put the bcast phase on ``tag + 1``,
-        which for the default tags was exactly ``barrier``'s reduce tag.
+        The schedule follows ``self.collective``: the binomial tree
+        (reduce to rank 0 + bcast) or the sharded ring (reduce-scatter +
+        allgather, Theta(1) bytes per rank in the buffer size). Both
+        produce bitwise-identical results. The ring falls back to the
+        tree when a fault plan is active (its shard bookkeeping assumes
+        reliable links), when the buffer is smaller than the rank count,
+        or at size 1 — ``barrier``'s one-element allreduce therefore
+        always runs on the tree.
+
+        Each phase runs on tags derived from ``tag`` in reserved blocks
+        (see :func:`collective_wire_tags`) so no phase can ever collide
+        with ``barrier`` or with user point-to-point traffic.
+
+        ``view=True`` permits the fabric to return a *read-only* view of
+        shared result storage, valid until this rank's next allreduce on
+        the same tag — the zero-copy path for callers that only read the
+        total (default: always a private array).
         """
+        arr = np.asarray(array)
+        if (
+            self.collective == "ring"
+            and self.size > 1
+            and self.faults is None
+            and arr.size >= self.size
+        ):
+            return self._ring_allreduce(arr, tag, view=view)
         total = self.reduce(array, root=0, tag=tag + COLLECTIVE_TAG_STRIDE)
         return self.bcast(total, root=0, tag=tag + 2 * COLLECTIVE_TAG_STRIDE)
+
+    def _ring_allreduce(self, arr: np.ndarray, tag: int, view: bool = False) -> np.ndarray:
+        """Sharded ring allreduce over point-to-point messages.
+
+        The buffer splits into P owner shards (:func:`shard_bounds`).
+        Phase 1 (reduce-scatter, tag block 6): in step k, rank r hands
+        shard ``(r+k) % P``'s chunk to its owner and collects rank
+        ``(r-k) % P``'s version of its own shard; the owner then folds
+        the P versions *in rank order with the binomial-tree association*
+        (:func:`tree_reduce_into`), which is what makes the result
+        bitwise equal to the tree schedule. Phase 2 (allgather, tag
+        block 7): every owner circulates its reduced shard. Each rank
+        sends 2(P-1) messages of ~n/P elements — Theta(1) total bytes in
+        n per rank versus the tree's Theta(log P).
+
+        Fabrics with shared result storage override this (the shm arena
+        path reduces in place in shared memory); this generic schedule
+        works over any fabric and makes exactly one private copy of the
+        input, mirroring ``reduce``'s copy discipline so slice sends are
+        safe under by-reference delivery.
+        """
+        t0 = self._elapsed()
+        prev_op = self._trace_op
+        p, r = self.size, self.rank
+        rs_tag = tag + 6 * COLLECTIVE_TAG_STRIDE
+        ag_tag = tag + 7 * COLLECTIVE_TAG_STRIDE
+        flat = np.array(arr, copy=True).reshape(-1)
+        bounds = shard_bounds(flat.size, p)
+        lo, hi = bounds[r], bounds[r + 1]
+        wire = self.wire_dtype
+
+        # Phase 1: reduce-scatter. Sends are asynchronous, so the
+        # send-then-recv step order cannot deadlock.
+        self._trace_op = "ring-reduce-scatter"
+        versions: List[Optional[np.ndarray]] = [None] * p
+        own = flat[lo:hi]
+        # Our own contribution passes through the same wire round-trip as
+        # everyone else's, so all P shard versions are uniformly quantized.
+        versions[r] = own if wire == "float32" else decode_wire(self._wire_out(own), wire)
+        for k in range(1, p):
+            dest, src = (r + k) % p, (r - k) % p
+            self._trace_round = k - 1
+            self.send(self._wire_out(flat[bounds[dest] : bounds[dest + 1]]), dest, rs_tag)
+            versions[src] = self._wire_in(self.recv(src, rs_tag))
+        out = np.empty(flat.size, dtype=flat.dtype)
+        if hi > lo:
+            tree_reduce_into(versions, out[lo:hi])  # type: ignore[arg-type]
+
+        # Phase 2: allgather the reduced owner shards.
+        self._trace_op = "ring-allgather"
+        wire_reduced = self._wire_out(out[lo:hi])
+        if wire != "float32":
+            # Keep our own copy of the shard identical to what the other
+            # ranks will decode, so all ranks return the same total.
+            out[lo:hi] = decode_wire(wire_reduced, wire)
+        for k in range(1, p):
+            dest, src = (r + k) % p, (r - k) % p
+            self._trace_round = k - 1
+            self.send(wire_reduced, dest, ag_tag)
+            out[bounds[src] : bounds[src + 1]] = self._wire_in(self.recv(src, ag_tag))
+        self._trace_op, self._trace_round = prev_op, -1
+        self._collective_span("ring-allreduce", t0)
+        return out.reshape(arr.shape)
+
+    def collective_buffer(self, elems: int, tag: int = 103) -> np.ndarray:
+        """A zeroed float32 staging buffer for ``allreduce(..., tag=tag)``.
+
+        Fabrics with shared collective storage return their own staging
+        row here (the shm arena's contribution row), letting the caller
+        compute *into* the fabric and skip the allreduce staging copy.
+        The default is an ordinary private buffer, so callers can use
+        this unconditionally on any backend.
+        """
+        if elems <= 0:
+            raise ValueError("elems must be positive")
+        return np.zeros(int(elems), dtype=np.float32)
 
     def barrier(self, tag: int = 104) -> None:
         """Synchronize all ranks (zero-byte allreduce on a reserved tag block)."""
@@ -527,6 +709,18 @@ class RankContext(RankContextBase):
     def retry_backoff(self) -> float:
         return self.comm.retry_backoff
 
+    @property
+    def collective(self) -> str:
+        return self.comm.collective
+
+    @property
+    def wire_dtype(self) -> str:
+        return self.comm.wire_dtype
+
+    @property
+    def chunk_elems(self) -> Optional[int]:
+        return self.comm.chunk_elems
+
     # -- fabric hooks -----------------------------------------------------------
     def _deliver(self, dest: int, tag: int, payload: Any) -> None:
         self.comm._mailboxes[dest].put(self.rank, tag, payload)
@@ -560,6 +754,9 @@ class InProcessCommunicator:
         retry_backoff: float = 0.001,
         trace: Optional[Trace] = None,
         transport: Optional[str] = None,
+        collective: str = "tree",
+        wire_dtype: str = "float32",
+        chunk_elems: Optional[int] = None,
     ) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
@@ -574,6 +771,10 @@ class InProcessCommunicator:
             from repro.comm.shm_transport import validate_transport
 
             validate_transport(transport)
+        validate_collective(collective)
+        validate_wire_dtype(wire_dtype)
+        if chunk_elems is not None and chunk_elems <= 0:
+            raise ValueError("chunk_elems must be positive")
         # Thread mailboxes pass payloads by reference — already zero-copy —
         # so "shm" is accepted for interface parity but coerced: there is
         # exactly one (optimal) transport on this backend.
@@ -583,6 +784,9 @@ class InProcessCommunicator:
         self.faults = faults
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.collective = collective
+        self.wire_dtype = wire_dtype
+        self.chunk_elems = chunk_elems
         #: When set, every send/recv/collective records a TraceEvent here
         #: (wall-clock spans). None = tracing off, zero overhead.
         self.trace = trace
@@ -590,6 +794,8 @@ class InProcessCommunicator:
             trace.meta.setdefault("ranks", size)
             trace.meta.setdefault("clock", "wall")
             trace.meta.setdefault("transport", self.transport)
+            trace.meta.setdefault("collective", collective)
+            trace.meta.setdefault("wire_dtype", wire_dtype)
         #: Drops, retransmissions, delays, and lost messages land here.
         self.fault_log = FaultLog()
         self._mailboxes = [_Mailbox() for _ in range(size)]

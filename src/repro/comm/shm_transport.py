@@ -64,6 +64,7 @@ __all__ = [
     "ShmSlotRef",
     "SlotRing",
     "ShmTransport",
+    "CollectiveArena",
     "DEFAULT_SLOTS",
     "DEFAULT_MIN_BYTES",
 ]
@@ -275,6 +276,7 @@ class ShmTransport:
             "queue_messages": 0,
             "bytes_copied_in": 0,  # sender-side memcpys into slots
             "bytes_copied_out": 0,  # receiver-side memcpys out of slots
+            "bytes_inplace": 0,  # consumed in place from slots (no copy at all)
             "bytes_on_wire": 0,  # descriptor meta actually crossing the pipe
             "ring_allocs": 0,
         }
@@ -332,6 +334,18 @@ class ShmTransport:
         )
 
     # -- receiver side ---------------------------------------------------------
+    def _attach(self, segment: str) -> Tuple[Any, np.ndarray, np.ndarray]:
+        """Map (and cache) a sender's segment; returns (shm, tail, data)."""
+        entry = self._attached.get(segment)
+        if entry is None:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(name=segment)
+            tail = np.frombuffer(shm.buf, dtype=np.int64, count=1)
+            data = np.frombuffer(shm.buf, dtype=np.uint8)
+            entry = self._attached[segment] = (shm, tail, data)
+        return entry
+
     def decode(self, ref: ShmSlotRef) -> Any:
         """Reconstruct the payload and release its slot back to the sender.
 
@@ -340,15 +354,7 @@ class ShmTransport:
         that never alias ring memory — a sender overwriting the slot later
         cannot corrupt them.
         """
-        entry = self._attached.get(ref.segment)
-        if entry is None:
-            from multiprocessing import shared_memory
-
-            shm = shared_memory.SharedMemory(name=ref.segment)
-            tail = np.frombuffer(shm.buf, dtype=np.int64, count=1)
-            data = np.frombuffer(shm.buf, dtype=np.uint8)
-            entry = self._attached[ref.segment] = (shm, tail, data)
-        _, tail, data = entry
+        _, tail, data = self._attach(ref.segment)
         privates: List[np.ndarray] = []
         for off, nbytes in ref.buffers:
             start = ref.slot_offset + off
@@ -358,6 +364,30 @@ class ShmTransport:
         tail[0] += 1  # slot is free for the sender again
         self.stats["bytes_copied_out"] += ref.nbytes
         return pickle.loads(ref.meta, buffers=privates)
+
+    def decode_view(self, ref: ShmSlotRef) -> Tuple[Any, Any]:
+        """Reconstruct the payload with arrays *viewing* slot memory.
+
+        The zero-copy receive for consume-once readers (the in-place
+        reduce fold): no private copy is made and the tail does **not**
+        advance yet — the slot stays claimed while the caller reads the
+        views. Returns ``(payload, release)``; the caller must drop every
+        reference into the payload and then call ``release()`` exactly
+        once to hand the slot back to the sender. Holding the payload past
+        ``release()`` would race the sender's next overwrite.
+        """
+        _, tail, data = self._attach(ref.segment)
+        views = [
+            data[ref.slot_offset + off : ref.slot_offset + off + nbytes].data
+            for off, nbytes in ref.buffers
+        ]
+        payload = pickle.loads(ref.meta, buffers=views)
+        self.stats["bytes_inplace"] += ref.nbytes
+
+        def release() -> None:
+            tail[0] += 1
+
+        return payload, release
 
     # -- lifecycle -------------------------------------------------------------
     def ring_names(self) -> List[str]:
@@ -377,3 +407,116 @@ class ShmTransport:
                 shm.close()
             except BufferError:  # pragma: no cover - a stray payload view
                 pass
+
+
+class CollectiveArena:
+    """All-ranks shared staging area for one sharded-ring allreduce channel.
+
+    One named segment holds P **contribution rows** (``elems`` elements in
+    the wire dtype, one row per rank, each row cache-line aligned) followed
+    by one float32 **result row**. The ring schedule then never moves the
+    bulk bytes at all: every rank writes its contribution into its own row,
+    each shard owner tree-reduces the P row slices of its shard straight
+    into the result row — reduction happens *in place in shared memory* —
+    and every rank reads the finished result row directly. Only tiny
+    ready/done tokens cross the message fabric; see
+    :meth:`repro.comm.mp_runtime.MpRankContext._ring_allreduce` for the
+    protocol and its single-generation reuse-safety argument.
+
+    All ranks of a run map the same segment: the first caller of
+    :meth:`create_or_attach` creates it, the rest attach by name (retrying
+    while the creator's ftruncate is still in flight). The parent
+    communicator unlinks by name after the run, exactly like slot rings.
+    """
+
+    def __init__(self, shm: Any, size: int, elems: int, wire_dtype: str) -> None:
+        wire = np.dtype(np.float16 if wire_dtype == "float16" else np.float32)
+        self.size = size
+        self.elems = elems
+        self.wire_dtype = wire_dtype
+        self.row_nbytes = -(-elems * wire.itemsize // 64) * 64
+        self._shm = shm
+        #: rows[q]: rank q's contribution, in the wire dtype.
+        self.rows: List[np.ndarray] = [
+            np.frombuffer(shm.buf, dtype=wire, count=elems, offset=q * self.row_nbytes)
+            for q in range(size)
+        ]
+        #: The float32 result row all ranks read after the owners reduce.
+        self.result: np.ndarray = np.frombuffer(
+            shm.buf, dtype=np.float32, count=elems, offset=size * self.row_nbytes
+        )
+
+    @staticmethod
+    def _total_bytes(size: int, elems: int, wire_dtype: str) -> int:
+        wire = np.dtype(np.float16 if wire_dtype == "float16" else np.float32)
+        row = -(-elems * wire.itemsize // 64) * 64
+        return size * row + elems * 4
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def create_or_attach(
+        cls,
+        name: str,
+        size: int,
+        elems: int,
+        wire_dtype: str = "float32",
+        timeout: float = _DEFAULT_TIMEOUT,
+    ) -> "CollectiveArena":
+        """Map the arena ``name``, creating it if this rank arrives first.
+
+        Creation is racy by design (all ranks call this with the same
+        name): exactly one create succeeds, the others attach. An attacher
+        can glimpse the segment between the creator's ``shm_open`` and
+        ``ftruncate`` — it retries until the mapping reaches the expected
+        size or ``timeout`` expires.
+        """
+        if size <= 0 or elems <= 0:
+            raise ValueError("size and elems must be positive")
+        from multiprocessing import shared_memory
+
+        total = cls._total_bytes(size, elems, wire_dtype)
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+            return cls(shm, size, elems, wire_dtype)
+        except FileExistsError:
+            pass
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except (FileNotFoundError, ValueError):
+                shm = None
+            if shm is not None:
+                if shm.buf.nbytes >= total:
+                    return cls(shm, size, elems, wire_dtype)
+                shm.close()  # creator's ftruncate not landed yet
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"collective arena {name!r} never reached {total} bytes"
+                )
+            time.sleep(0.0005)
+
+    def close(self, unlink: bool = False) -> None:
+        """Drop this process's views and mapping; ``unlink`` destroys the
+        segment system-wide (the communicator unlinks by name from the
+        parent, so ranks normally close only)."""
+        self.rows = []
+        self.result = None  # type: ignore[assignment]
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a stray view still pinned
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CollectiveArena({self.name!r}, ranks={self.size}, "
+            f"elems={self.elems}, wire={self.wire_dtype})"
+        )

@@ -24,7 +24,7 @@ from typing import List, Optional
 
 from repro.algorithms import ALGORITHM_INFO, ALGORITHMS, TrainerConfig
 from repro.cluster import CostModel
-from repro.comm.backend import BACKENDS, TRANSPORTS
+from repro.comm.backend import BACKENDS, COLLECTIVES, TRANSPORTS, WIRE_DTYPES
 from repro.data import make_cifar_like, make_mnist_like
 from repro.durability.errors import CheckpointError
 from repro.faults import FaultError, FaultPlan
@@ -132,6 +132,15 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(zero-copy slot rings, the default) or 'queue' "
                           "(pickle through pipes); bits are identical, only "
                           "wall-clock changes")
+    run.add_argument("--collective", default="tree", choices=COLLECTIVES,
+                     help="allreduce schedule: 'tree' (binomial, log-P "
+                          "latency) or 'ring' (sharded reduce-scatter + "
+                          "allgather, constant per-rank bandwidth); with a "
+                          "float32 wire the results are bit-identical")
+    run.add_argument("--wire-dtype", default="float32", choices=WIRE_DTYPES,
+                     help="on-fabric array format for the message runners; "
+                          "'float16' halves the wire bytes but rounds them "
+                          "(the only comm knob that changes numerics)")
     run.add_argument("--train-samples", type=int, default=4096)
     run.add_argument("--difficulty", type=float, default=1.5)
     run.add_argument("--paper-scale-cost", action="store_true",
@@ -204,6 +213,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             batch_size=args.batch_size, lr=args.lr, rho=args.rho, seed=args.seed,
             trace=args.trace is not None, backend=args.backend,
             transport=args.transport,
+            collective=args.collective, wire_dtype=args.wire_dtype,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_keep=args.checkpoint_keep,

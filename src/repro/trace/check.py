@@ -28,6 +28,9 @@ __all__ = [
     "check_message_conservation",
     "check_tree_message_bound",
     "check_tree_round_bound",
+    "check_ring_message_bound",
+    "check_ring_round_bound",
+    "check_ring_bytes_per_rank",
     "check_flat_exchange_shape",
     "check_packed_single_message",
     "check_overlap",
@@ -41,6 +44,9 @@ _LOSS_OPS = ("drop", "lost", "give-up", "dead")
 
 #: Ops that mark messages belonging to a tree collective.
 TREE_OPS = ("tree-reduce", "tree-bcast")
+
+#: Ops that mark messages belonging to a sharded ring allreduce phase.
+RING_OPS = ("ring-reduce-scatter", "ring-allgather")
 
 
 class InvariantViolation(AssertionError):
@@ -133,6 +139,73 @@ def check_tree_round_bound(trace: Trace, p: Optional[int] = None) -> None:
             )
 
 
+def check_ring_message_bound(trace: Trace, p: Optional[int] = None) -> None:
+    """Each ring phase moves at most P*(P-1) p2p messages.
+
+    Reduce-scatter and allgather each pair every ordered (src, dst)
+    couple exactly once, so a phase that exceeds P(P-1) messages — or
+    reuses an edge — is no longer the sharded direct-exchange schedule.
+    """
+    p = p or _ranks(trace)
+    bound = max(p * (p - 1), 1)
+    for (iteration, op), sends in sorted(_sends_by_iteration(trace, RING_OPS).items()):
+        edges = {(e.rank, e.peer) for e in sends}
+        if len(sends) > bound:
+            raise InvariantViolation(
+                f"iteration {iteration}: {op} sent {len(sends)} messages > "
+                f"bound P*(P-1) = {bound} for P={p}"
+            )
+        if len(edges) != len(sends):
+            raise InvariantViolation(
+                f"iteration {iteration}: {op} reused an edge "
+                f"({len(sends)} messages over {len(edges)} edges)"
+            )
+
+
+def check_ring_round_bound(trace: Trace, p: Optional[int] = None) -> None:
+    """Each ring phase finishes in at most P-1 rounds (2(P-1) total) —
+    the latency the ring trades for its Theta(1) per-rank bandwidth."""
+    p = p or _ranks(trace)
+    bound = max(p - 1, 1)
+    for (iteration, op), sends in sorted(_sends_by_iteration(trace, RING_OPS).items()):
+        rounds = {e.round for e in sends}
+        if len(rounds) > bound or any(r < 0 for r in rounds):
+            raise InvariantViolation(
+                f"iteration {iteration}: {op} used {len(rounds)} rounds > "
+                f"P-1 = {bound} for P={p}"
+            )
+
+
+def check_ring_bytes_per_rank(trace: Trace, p: Optional[int] = None,
+                              itemsize: int = 8) -> None:
+    """Every rank's ring egress is at most 2*(P-1)*(n//P + itemsize + 1).
+
+    This is the Theta(1)-bandwidth-per-rank conservation claim: the
+    buffer size n is recovered from the collective's own total traffic
+    (both phases together move exactly 2*(P-1)*n wire bytes), and no
+    single rank may ship more than P-1 shards per phase, each at most
+    one element over the even n/P split. A rank that forwarded whole
+    buffers (the naive hop-by-hop ring) blows through the cap.
+    """
+    p = p or _ranks(trace)
+    if p <= 1:
+        return
+    per_rank: Dict[Tuple[int, int], int] = {}
+    totals: Dict[int, int] = {}
+    for e in trace.sends():
+        if e.op in RING_OPS:
+            per_rank[(e.iteration, e.rank)] = per_rank.get((e.iteration, e.rank), 0) + e.nbytes
+            totals[e.iteration] = totals.get(e.iteration, 0) + e.nbytes
+    for (iteration, rank), sent in sorted(per_rank.items()):
+        n = totals[iteration] // (2 * (p - 1))
+        cap = 2 * (p - 1) * (n // p + itemsize + 1)
+        if sent > cap:
+            raise InvariantViolation(
+                f"iteration {iteration}: rank {rank} shipped {sent} ring bytes > "
+                f"per-rank cap {cap} for n={n}, P={p}"
+            )
+
+
 def check_flat_exchange_shape(trace: Trace) -> None:
     """Round-robin EASGD: one worker per iteration, 2 transfers with it.
 
@@ -166,7 +239,7 @@ def check_packed_single_message(trace: Trace) -> None:
     """
     counts: Dict[Tuple[int, str, int, Optional[int], int], int] = {}
     for e in trace.sends():
-        if e.op in TREE_OPS + ("round-robin", "ps-request", "ps-reply"):
+        if e.op in TREE_OPS + RING_OPS + ("round-robin", "ps-request", "ps-reply"):
             key = (e.iteration, e.op, e.rank, e.peer, e.round)
             counts[key] = counts.get(key, 0) + 1
     for key, n in sorted(counts.items()):
@@ -222,7 +295,7 @@ def check_all(trace: Trace) -> List[str]:
 
     Returns the names of the checks that ran (and passed); raises
     :class:`InvariantViolation` on the first failure. The dispatch keys
-    off ``meta['pattern']`` — "tree", "round-robin", or "ps" — which the
+    off ``meta['pattern']`` — "tree", "ring", "round-robin", or "ps" — which the
     trainers stamp when they create the trace.
     """
     ran: List[str] = []
@@ -243,6 +316,16 @@ def check_all(trace: Trace) -> List[str]:
             run("comm-compute-overlap", check_overlap, trace)
         elif variant in (1, 2):
             run("serial-no-overlap", check_no_overlap, trace)
+    elif pattern == "ring":
+        run("ring-message-bound", check_ring_message_bound, trace)
+        run("ring-round-bound", check_ring_round_bound, trace)
+        run("ring-bytes-per-rank", check_ring_bytes_per_rank, trace)
+        # Barriers and weight broadcasts still ride the tree schedule even
+        # when the allreduce is a ring; hold them to the tree bounds too.
+        run("tree-message-bound", check_tree_message_bound, trace)
+        run("tree-round-bound", check_tree_round_bound, trace)
+        if trace.meta.get("packed"):
+            run("packed-single-message", check_packed_single_message, trace)
     elif pattern == "round-robin":
         run("flat-exchange-shape", check_flat_exchange_shape, trace)
         if trace.meta.get("packed"):

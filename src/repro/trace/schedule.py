@@ -16,7 +16,7 @@ from typing import List, Sequence, Tuple
 
 from repro.trace.events import MASTER, Trace
 
-__all__ = ["tree_edge_rounds", "emit_tree_phase", "emit_p2p"]
+__all__ = ["tree_edge_rounds", "emit_tree_phase", "emit_ring_allreduce", "emit_p2p"]
 
 
 def tree_edge_rounds(p: int) -> List[List[Tuple[int, int]]]:
@@ -80,6 +80,54 @@ def emit_tree_phase(
                            seq=seq, op=op, round=r, iteration=iteration)
                 trace.recv(dst, src, r0, r1, tag=tag, nbytes=per_msg_bytes,
                            seq=seq, op=op, round=r, iteration=iteration)
+
+
+def emit_ring_allreduce(
+    trace: Trace,
+    ranks: Sequence[int],
+    t0: float,
+    t1: float,
+    *,
+    nbytes: int,
+    tag: int = 0,
+    iteration: int = -1,
+) -> None:
+    """Record one sharded ring allreduce: reduce-scatter then allgather.
+
+    Mirrors the runtime schedule of :meth:`repro.comm.runtime
+    .RankContextBase._ring_allreduce` without importing it (trace/ must
+    stay import-free of comm/): the buffer splits into P nearly-equal
+    shards at byte bounds ``(nbytes * s) // P``; in reduce-scatter round
+    k every rank sends its version of shard ``(i + k) % P`` to that
+    shard's owner, and in allgather round k every owner forwards its
+    reduced shard to rank ``(i + k) % P``. Both phases move P(P-1)
+    messages in P-1 rounds each — 2(P-1) equal-time rounds overall —
+    and every rank ships Theta(nbytes / P) per round, the constant
+    per-rank bandwidth that lets the ring win at large P. Allgather
+    seq numbers continue after the reduce-scatter's so every
+    (src, dst, tag, seq) channel stays unique within the collective.
+    """
+    p = len(ranks)
+    trace.span("collective", MASTER, t0, t1, op="ring-allreduce",
+               nbytes=2 * nbytes * max(p - 1, 0), iteration=iteration)
+    if p <= 1:
+        return
+    bounds = [(nbytes * s) // p for s in range(p + 1)]
+    shard = [bounds[s + 1] - bounds[s] for s in range(p)]
+    per_round = (t1 - t0) / (2 * (p - 1))
+    for phase, op in enumerate(("ring-reduce-scatter", "ring-allgather")):
+        for k in range(1, p):
+            r0 = t0 + (phase * (p - 1) + k - 1) * per_round
+            r1 = r0 + per_round
+            for i in range(p):
+                j = (i + k) % p
+                src, dst = ranks[i], ranks[j]
+                nb = shard[j] if op == "ring-reduce-scatter" else shard[i]
+                seq = phase * (p - 1) + k - 1
+                trace.send(src, dst, r0, r1, tag=tag, nbytes=nb,
+                           seq=seq, op=op, round=k - 1, iteration=iteration)
+                trace.recv(dst, src, r0, r1, tag=tag, nbytes=nb,
+                           seq=seq, op=op, round=k - 1, iteration=iteration)
 
 
 def emit_p2p(

@@ -11,7 +11,15 @@ golden traces do.
 Dropout-free models only: stochastic layers thread one RNG stream through
 the serial path but per-replica streams through rank programs, so bitwise
 claims are scoped to deterministic networks (see ``mpi_sgd`` docstring).
+
+The collective matrix extends the same bar across schedules: every
+backend x transport x collective cell (threads/processes, queue/shm,
+tree/ring) must land on ONE weight digest at P = 2 and P = 4 — the ring's
+shard-wise folds reproduce the tree's association bit for bit, on either
+substrate, over either byte path.
 """
+
+import hashlib
 
 import numpy as np
 import pytest
@@ -106,6 +114,94 @@ class TestSyncSgdEquivalence:
         )
         sim.train(ITERATIONS)
         np.testing.assert_array_equal(mpi.weights, sim.net.get_params())
+
+
+def _digest(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+class TestCollectiveMatrix:
+    """backend x transport x collective -> one digest (float32 wire)."""
+
+    #: Every cell of the equivalence matrix. Threads ignore the transport
+    #: knob (payloads pass by reference), so one thread cell per collective.
+    CELLS = [
+        ("threads", None, "tree"),
+        ("threads", None, "ring"),
+        ("processes", "queue", "tree"),
+        ("processes", "queue", "ring"),
+        ("processes", "shm", "tree"),
+        ("processes", "shm", "ring"),
+    ]
+
+    @pytest.mark.parametrize("ranks", [2, 4])
+    def test_one_digest_across_matrix(self, mnist_tiny, ranks):
+        net, train = _template(mnist_tiny)
+        digests = {}
+        for backend, transport, collective in self.CELLS:
+            res = run_mpi_sync_sgd(
+                net, train, ranks=ranks, iterations=ITERATIONS, batch_size=16,
+                seed=0, backend=backend, transport=transport,
+                collective=collective,
+            )
+            digests[(backend, transport, collective)] = _digest(res.weights)
+        assert len(set(digests.values())) == 1, digests
+
+    def test_chunked_tree_matches_unchunked(self, mnist_tiny):
+        """chunk_elems pipelines the reduce's edges without moving a bit."""
+        net, train = _template(mnist_tiny)
+        digests = {
+            (backend, chunk): _digest(run_mpi_sync_sgd(
+                net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
+                seed=0, backend=backend, chunk_elems=chunk,
+            ).weights)
+            for backend, chunk in [
+                ("threads", None), ("threads", 1000), ("processes", 1000),
+            ]
+        }
+        assert len(set(digests.values())) == 1, digests
+
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_ring_trace_invariants(self, mnist_tiny, transport):
+        """Both ring data planes (generic messages, shm arena) emit traces
+        that satisfy the ring structural bounds."""
+        net, train = _template(mnist_tiny)
+        trace = Trace()
+        run_mpi_sync_sgd(
+            net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
+            seed=0, backend="processes", transport=transport,
+            collective="ring", trace=trace,
+        )
+        ran = check_all(trace)
+        assert "message-conservation" in ran
+        assert "ring-message-bound" in ran
+        assert "ring-round-bound" in ran
+        assert "ring-bytes-per-rank" in ran
+        assert any(e.op == "ring-reduce-scatter" for e in trace.sends())
+
+    def test_ring_schedule_is_transport_invariant(self, mnist_tiny):
+        """The shm arena moves its bulk bytes out-of-band, but its trace
+        must still record the exact message structure of the generic ring:
+        same send/recv counts, same byte totals, per transport and backend."""
+        net, train = _template(mnist_tiny)
+        counts = {}
+        for backend, transport in [
+            ("threads", None), ("processes", "queue"), ("processes", "shm"),
+        ]:
+            trace = Trace()
+            run_mpi_sync_sgd(
+                net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
+                seed=0, backend=backend, transport=transport,
+                collective="ring", trace=trace,
+            )
+            ring_sends = [e for e in trace.sends() if e.op.startswith("ring-")]
+            ring_recvs = [e for e in trace.recvs() if e.op.startswith("ring-")]
+            counts[(backend, transport)] = (
+                len(ring_sends),
+                len(ring_recvs),
+                sum(e.nbytes for e in ring_sends),
+            )
+        assert len(set(counts.values())) == 1, counts
 
 
 class TestProcessTraceInvariants:

@@ -40,6 +40,7 @@ METHODS = {
     "sync-easgd1": (SyncEASGDTrainer, {"variant": 1}),
     "sync-easgd3": (SyncEASGDTrainer, {"variant": 3}),
     "sync-sgd": (SyncSGDTrainer, {}),
+    "sync-sgd-ring": (SyncSGDTrainer, {"collective": "ring"}),
     "async-easgd": (AsyncEASGDTrainer, {}),
 }
 

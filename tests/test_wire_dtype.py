@@ -1,0 +1,163 @@
+"""The float16 wire format: codec edge cases and end-to-end divergence.
+
+``encode_wire``/``decode_wire`` are IEEE format conversions, not the
+stochastic quantizer: they must survive the values ``quantize_gradient``
+rejects (NaN, Inf) with the standard IEEE outcomes — NaN stays NaN,
+overflow saturates to the correctly-signed infinity, sub-half-denormal
+magnitudes flush toward signed zero — and round-trip exactly for values
+half represents exactly.
+
+End to end, a float16 wire rounds every message of every iteration, so
+the trajectory *diverges* from float32 — but boundedly: the paper's
+half-precision-communication trade is useful only if the loss stays in
+family. The e2e test pins that bound for Sync EASGD3 on threads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.mpi_easgd import run_mpi_sync_easgd
+from repro.algorithms.mpi_sgd import run_mpi_sync_sgd
+from repro.comm.runtime import InProcessCommunicator
+from repro.optim.quantize import (
+    decode_wire,
+    encode_wire,
+    validate_wire_dtype,
+    WIRE_DTYPES,
+)
+
+RANKS = 4
+ITERATIONS = 6
+
+
+class TestCodec:
+    def test_float32_is_identity_no_copy(self):
+        arr = np.arange(8, dtype=np.float32)
+        assert encode_wire(arr, "float32") is arr
+        assert decode_wire(arr, "float32") is arr
+
+    def test_half_exact_values_round_trip(self):
+        # Integers up to 2048 and powers of two across half's range are
+        # exactly representable: encode/decode must be lossless on them.
+        exact = np.array(
+            [0.0, -0.0, 1.0, -1.0, 2048.0, 0.5, 2.0**-14, 2.0**15, 65504.0],
+            dtype=np.float32,
+        )
+        out = decode_wire(encode_wire(exact, "float16"), "float16")
+        np.testing.assert_array_equal(out, exact)
+        assert np.signbit(out[1]) and not np.signbit(out[0])
+
+    def test_nan_stays_nan(self):
+        arr = np.array([np.nan, 1.0, -np.nan], dtype=np.float32)
+        out = decode_wire(encode_wire(arr, "float16"), "float16")
+        assert np.isnan(out[0]) and np.isnan(out[2])
+        assert out[1] == 1.0
+
+    def test_overflow_saturates_to_signed_inf(self):
+        # Above half's max finite (65504) the IEEE conversion overflows
+        # to infinity, preserving sign; infinities pass through.
+        with np.errstate(over="ignore"):
+            arr = np.array([1e38, -1e38, np.inf, -np.inf], dtype=np.float32)
+            out = decode_wire(encode_wire(arr, "float16"), "float16")
+        assert np.isposinf(out[0]) and np.isneginf(out[1])
+        assert np.isposinf(out[2]) and np.isneginf(out[3])
+
+    def test_denormals_flush_or_survive(self):
+        # float32 denormals sit far below half's smallest subnormal
+        # (2^-24): they flush to signed zero. Half's own subnormal range
+        # survives the trip.
+        with np.errstate(under="ignore"):
+            tiny = np.array([1e-40, -1e-40], dtype=np.float32)
+            out = decode_wire(encode_wire(tiny, "float16"), "float16")
+        np.testing.assert_array_equal(out, np.array([0.0, -0.0], dtype=np.float32))
+        assert not np.signbit(out[0]) and np.signbit(out[1])
+        half_sub = np.array([2.0**-24, -(2.0**-24)], dtype=np.float32)
+        np.testing.assert_array_equal(
+            decode_wire(encode_wire(half_sub, "float16"), "float16"), half_sub
+        )
+
+    def test_decode_always_float32(self):
+        out = decode_wire(encode_wire(np.ones(3, dtype=np.float32), "float16"),
+                          "float16")
+        assert out.dtype == np.float32
+
+    def test_validate(self):
+        for w in WIRE_DTYPES:
+            assert validate_wire_dtype(w) == w
+        with pytest.raises(ValueError):
+            validate_wire_dtype("bfloat16")
+
+
+class TestRuntimeWire:
+    def test_f16_allreduce_close_not_equal(self):
+        """A half wire rounds the sums but stays within half's ulp."""
+        rng = np.random.default_rng(3)
+        vectors = [rng.normal(size=501).astype(np.float32) for _ in range(RANKS)]
+
+        def prog(ctx):
+            return ctx.allreduce(vectors[ctx.rank].copy())
+
+        exact = InProcessCommunicator(RANKS).run(prog)
+        for wire in ("float16",):
+            for collective in ("tree", "ring"):
+                comm = InProcessCommunicator(
+                    RANKS, wire_dtype=wire, collective=collective
+                )
+                results = comm.run(prog)
+                for out, ref in zip(results, exact):
+                    # Relative tolerance ~ half epsilon per hop; a wrong
+                    # decode (e.g. double scaling) trips this instantly.
+                    np.testing.assert_allclose(out, ref, rtol=2e-2, atol=1e-2)
+
+    def test_f16_cross_rank_identical(self):
+        """Rounding must not desynchronise the group: every rank sees the
+        *same* (rounded) total, for both schedules."""
+        rng = np.random.default_rng(4)
+        vectors = [rng.normal(size=77).astype(np.float32) for _ in range(RANKS)]
+        for collective in ("tree", "ring"):
+            comm = InProcessCommunicator(
+                RANKS, wire_dtype="float16", collective=collective
+            )
+            results = comm.run(lambda ctx: ctx.allreduce(vectors[ctx.rank].copy()))
+            for out in results[1:]:
+                np.testing.assert_array_equal(out, results[0])
+
+
+class TestEndToEnd:
+    def test_easgd3_bounded_divergence(self, mnist_tiny):
+        from repro.nn.models import build_mlp
+
+        train, _ = mnist_tiny
+        net = build_mlp(seed=7)
+        net.forward(train.images[:1])
+        runs = {
+            wire: run_mpi_sync_easgd(
+                net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
+                seed=0, backend="threads", variant=3, wire_dtype=wire,
+            )
+            for wire in ("float32", "float16")
+        }
+        c32, c16 = runs["float32"].center, runs["float16"].center
+        assert not np.array_equal(c32, c16), "half wire should round something"
+        # Bounded divergence: the rounded trajectory stays in family.
+        denom = np.linalg.norm(c32)
+        assert np.linalg.norm(c32 - c16) / denom < 0.05
+        assert np.all(np.isfinite(c16))
+
+    def test_sgd_f16_losses_track_f32(self, mnist_tiny):
+        train, _ = mnist_tiny
+        from repro.nn.models import build_mlp
+
+        net = build_mlp(seed=7)
+        net.forward(train.images[:1])
+        runs = {
+            wire: run_mpi_sync_sgd(
+                net, train, ranks=RANKS, iterations=ITERATIONS, batch_size=16,
+                seed=0, backend="threads", wire_dtype=wire,
+            )
+            for wire in ("float32", "float16")
+        }
+        l32 = np.array(runs["float32"].mean_losses)
+        l16 = np.array(runs["float16"].mean_losses)
+        assert np.all(np.isfinite(l16))
+        np.testing.assert_allclose(l16, l32, rtol=0.1)
