@@ -304,7 +304,8 @@ class BaseTrainer:
         """The family's step strategy (see :mod:`repro.engine.strategy`)."""
         raise NotImplementedError
 
-    def train(self, iterations: int, resume: bool = False) -> RunResult:
+    def train(self, iterations: int, resume: bool = False,
+              snapshotter=None) -> RunResult:
         """Run ``iterations`` steps through the shared step pipeline.
 
         All step sequencing (the loop, the clock, eval snapshots, result
@@ -312,12 +313,14 @@ class BaseTrainer:
         their step strategy via :meth:`make_step`. With ``resume=True``
         the run continues from the newest valid checkpoint under
         ``config.checkpoint_dir`` instead of from scratch, bit-identically
-        to a run that was never interrupted.
+        to a run that was never interrupted. ``snapshotter`` attaches a
+        serving-tier publisher (see :mod:`repro.serving`).
         """
         # Late import: repro.engine depends on this module's dataclasses.
         from repro.engine import run_training
 
-        return run_training(self, iterations, resume=resume)
+        return run_training(self, iterations, resume=resume,
+                            snapshotter=snapshotter)
 
     def train_to_accuracy(
         self, target: float, max_iterations: int, chunk: Optional[int] = None

@@ -53,7 +53,6 @@ import pickle
 import queue as _queue
 import time
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
-import uuid
 
 import numpy as np
 
@@ -68,6 +67,13 @@ from repro.comm.runtime import (
     DeadlockError,
     MultiRankError,
     RankContextBase,
+)
+from repro.comm.shm_lifecycle import (
+    adopt_owner_pid,
+    reap_stale_segments,
+    register_segment,
+    segment_name,
+    unregister_segment,
 )
 from repro.comm.shm_transport import (
     CollectiveArena,
@@ -144,7 +150,12 @@ class SharedFlatArray:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
         dtype = np.dtype(dtype)
+        if name is None:
+            # Lifecycle-tracked: the pid-stamped name lets a later run reap
+            # this segment if the creator dies before any unlink path runs.
+            name = segment_name("flat")
         shm = shared_memory.SharedMemory(create=True, size=dtype.itemsize * size, name=name)
+        register_segment(shm.name)
         arr = cls(shm, size, owner=True, dtype=dtype)
         arr.array[:] = 0
         return arr
@@ -184,6 +195,7 @@ class SharedFlatArray:
                 self._shm.unlink()
             except FileNotFoundError:  # already unlinked elsewhere
                 pass
+            unregister_segment(self._shm.name)
 
     def __enter__(self) -> "SharedFlatArray":
         return self
@@ -265,7 +277,7 @@ class MpRankContext(RankContextBase):
         self._inboxes = inboxes
         self._start = start_time
         self._transport = transport
-        self._coll_prefix = coll_prefix or f"repro-coll-{uuid.uuid4().hex[:8]}"
+        self._coll_prefix = coll_prefix or segment_name("coll")
         #: Collective arenas keyed by (tag, elems); shared across ranks by
         #: name, created lazily on the first ring allreduce of that shape.
         self._arenas: Dict[Tuple[int, int], CollectiveArena] = {}
@@ -644,11 +656,17 @@ class MultiprocessCommunicator:
             from multiprocessing import resource_tracker
 
             resource_tracker.ensure_running()
+        # Post-mortem for earlier runs that died by signal: their atexit
+        # sweeps never fired, but their pids are in the segment names.
+        reap_stale_segments()
+        # Segments created anywhere in this run's process tree carry this
+        # (top-level) pid, so the reaper only fires once the run is dead.
+        adopt_owner_pid()
         inboxes = [self._mp.Queue() for _ in range(self.size)]
         results_q = self._mp.Queue()
         tracing = self.trace is not None
         # Generated pre-fork so every child derives identical arena names.
-        coll_prefix = f"repro-coll-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        coll_prefix = segment_name("coll")
         pin_plan = self._pin_plan()
 
         def child_main(rank: int) -> None:
@@ -706,6 +724,11 @@ class MultiprocessCommunicator:
                 transport.close()
             events = list(ctx.trace.events) if ctx.trace is not None else []
             records = list(ctx.fault_log.records)
+            # Reported names become the parent's to unlink — drop them from
+            # this child's registry so its atexit sweep can't destroy
+            # segments other ranks may still hold descriptors into.
+            for name in ring_names:
+                unregister_segment(name)
             results_q.put((rank, status, payload, events, records, ring_names, tstats))
 
         procs = [

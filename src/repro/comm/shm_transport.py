@@ -56,6 +56,11 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.comm.runtime import _DEFAULT_TIMEOUT, DeadlockError
+from repro.comm.shm_lifecycle import (
+    register_segment,
+    segment_name,
+    unregister_segment,
+)
 
 __all__ = [
     "TRANSPORTS",
@@ -65,6 +70,8 @@ __all__ = [
     "SlotRing",
     "ShmTransport",
     "CollectiveArena",
+    "SeqlockBuffer",
+    "TornReadError",
     "DEFAULT_SLOTS",
     "DEFAULT_MIN_BYTES",
 ]
@@ -165,7 +172,12 @@ class SlotRing:
         self.slot_nbytes = -(-slot_nbytes // 64) * 64
         self.capacity = capacity
         self.total_bytes = _HEADER_BYTES + self.capacity * self.slot_nbytes
-        self._shm = shared_memory.SharedMemory(create=True, size=self.total_bytes)
+        # Lifecycle-tracked name: the pid-stamped prefix lets a later run
+        # reap this segment if we die before any unlink path executes.
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self.total_bytes, name=segment_name("ring")
+        )
+        register_segment(self._shm.name)
         self._tail = np.frombuffer(self._shm.buf, dtype=np.int64, count=1)
         self._tail[0] = 0
         self._data = np.frombuffer(self._shm.buf, dtype=np.uint8)
@@ -224,6 +236,7 @@ class SlotRing:
                 self._shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            unregister_segment(self._shm.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -480,6 +493,7 @@ class CollectiveArena:
         total = cls._total_bytes(size, elems, wire_dtype)
         try:
             shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+            register_segment(name)
             return cls(shm, size, elems, wire_dtype)
         except FileExistsError:
             pass
@@ -514,9 +528,208 @@ class CollectiveArena:
                 self._shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            unregister_segment(self._shm.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CollectiveArena({self.name!r}, ranks={self.size}, "
             f"elems={self.elems}, wire={self.wire_dtype})"
         )
+
+
+class TornReadError(RuntimeError):
+    """A seqlock reader could not obtain a stable snapshot in time.
+
+    Raised only when the writer publishes continuously faster than one
+    reader memcpy for the whole retry budget — in practice a sign the
+    publisher is spinning in a tight loop, not a transient race.
+    """
+
+
+class SeqlockBuffer:
+    """Double-buffered, version-counted publication area for one packed vector.
+
+    The serving tier's read point (and the guard the evaluation path was
+    missing): a single writer repeatedly :meth:`publish`\\ es the latest
+    center weights; any number of readers :meth:`read` a torn-free,
+    staleness-tagged copy without ever blocking the writer.  No locks —
+    the protocol is the classic **seqlock** over a **double buffer**:
+
+    - Header (one cache line of int64 words): ``seq`` (even = stable; a
+      publish increments it twice), ``active`` slot index, ``step`` tag
+      of the active snapshot, ``elems``, and a ``train_step`` heartbeat
+      the trainer bumps every step even when it skips a full publish.
+    - Two float32 slots of ``elems`` each.  The writer always fills the
+      *inactive* slot, then flips ``active``/``step`` inside the odd
+      ``seq`` window.  A reader copies the active slot and accepts the
+      copy only if ``seq`` did not change around it; for its copy to be
+      torn the writer would have had to complete a *second* publish into
+      the slot being read, which changes ``seq`` and forces a retry.
+
+    Storage is either a named POSIX shm segment (``shared=True`` — the
+    cross-process read point, lifecycle-tracked like every other repro
+    segment) or a private NumPy buffer (``shared=False`` — same protocol
+    for thread readers, nothing to unlink).
+
+    Word-ordering caveat: CPython offers no memory barriers, so this
+    leans on the same x86-TSO store-ordering assumption the slot-ring
+    head/tail protocol above already makes.
+    """
+
+    _HEADER_WORDS = 8  # seq, active, step, elems, train_step, 3 reserved
+    _W_SEQ, _W_ACTIVE, _W_STEP, _W_ELEMS, _W_TRAIN = 0, 1, 2, 3, 4
+
+    def __init__(self, shm: Optional[Any], buf: Any, elems: int, owner: bool) -> None:
+        self._shm = shm  # None for local (in-process) storage
+        self.elems = int(elems)
+        self.owner = owner
+        self.slot_nbytes = -(-self.elems * 4 // 64) * 64
+        self._header = np.frombuffer(buf, dtype=np.int64, count=self._HEADER_WORDS)
+        self._slots = [
+            np.frombuffer(buf, dtype=np.float32, count=self.elems,
+                          offset=_HEADER_BYTES + s * self.slot_nbytes)
+            for s in (0, 1)
+        ]
+        if owner:
+            self._header[:] = 0
+            self._header[self._W_ELEMS] = self.elems
+
+    @staticmethod
+    def _total_bytes(elems: int) -> int:
+        return _HEADER_BYTES + 2 * (-(-elems * 4 // 64) * 64)
+
+    @property
+    def name(self) -> Optional[str]:
+        """The shm segment name (None for local storage)."""
+        return self._shm.name if self._shm is not None else None
+
+    @classmethod
+    def create(cls, elems: int, shared: bool = False) -> "SeqlockBuffer":
+        """Allocate a buffer for ``elems`` float32 values.
+
+        ``shared=True`` places it in named shared memory so forked serving
+        processes can :meth:`attach`; ``shared=False`` keeps it on the
+        process heap (thread readers share it by reference).
+        """
+        if elems <= 0:
+            raise ValueError("elems must be positive")
+        total = cls._total_bytes(elems)
+        if shared:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True, size=total, name=segment_name("snap")
+            )
+            register_segment(shm.name)
+            return cls(shm, shm.buf, elems, owner=True)
+        return cls(None, np.zeros(total, dtype=np.uint8).data, elems, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, elems: int) -> "SeqlockBuffer":
+        """Map an existing shared buffer by name (reader side)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        buf = cls(shm, shm.buf, elems, owner=False)
+        if int(buf._header[cls._W_ELEMS]) not in (0, elems):
+            size = int(buf._header[cls._W_ELEMS])
+            buf.close()
+            raise ValueError(f"buffer {name!r} holds {size} elems, expected {elems}")
+        return buf
+
+    # -- writer side -------------------------------------------------------
+    def publish(self, vec: np.ndarray, step: int) -> int:
+        """Publish ``vec`` as the snapshot for training step ``step``.
+
+        Single-writer: fill the inactive slot, then flip inside the odd
+        seq window. Returns the new version number.
+        """
+        flat = np.asarray(vec).reshape(-1)
+        if flat.size != self.elems:
+            raise ValueError(f"expected {self.elems} elems, got {flat.size}")
+        header = self._header
+        target = 1 - int(header[self._W_ACTIVE])
+        np.copyto(self._slots[target], flat, casting="same_kind")
+        header[self._W_SEQ] += 1  # odd: flip in progress
+        header[self._W_ACTIVE] = target
+        header[self._W_STEP] = int(step)
+        if step > header[self._W_TRAIN]:
+            header[self._W_TRAIN] = int(step)
+        header[self._W_SEQ] += 1  # even: stable again
+        return int(header[self._W_SEQ]) // 2
+
+    def mark_step(self, step: int) -> None:
+        """Record training progress without republishing weights.
+
+        One int64 store — the cheap per-step heartbeat that makes "steps
+        behind training" staleness measurable between full publishes.
+        """
+        self._header[self._W_TRAIN] = int(step)
+
+    # -- reader side -------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Completed publish count (0 = nothing published yet)."""
+        return int(self._header[self._W_SEQ]) // 2
+
+    @property
+    def step(self) -> int:
+        """Training step tag of the newest published snapshot."""
+        return int(self._header[self._W_STEP])
+
+    @property
+    def train_step(self) -> int:
+        """Newest training step the writer has reached (heartbeat word)."""
+        return int(self._header[self._W_TRAIN])
+
+    def read(
+        self,
+        out: Optional[np.ndarray] = None,
+        timeout: float = _DEFAULT_TIMEOUT,
+    ) -> Tuple[np.ndarray, int, int]:
+        """A torn-free ``(params, step, version)`` snapshot copy.
+
+        Never blocks the writer; retries while a flip is in flight or a
+        flip landed mid-copy.  ``out`` (shape ``(elems,)`` float32) makes
+        the hot serving path allocation-free.
+        """
+        header = self._header
+        if out is None:
+            out = np.empty(self.elems, dtype=np.float32)
+        deadline = time.monotonic() + timeout
+        while True:
+            s0 = int(header[self._W_SEQ])
+            if s0 & 1 == 0:
+                slot = int(header[self._W_ACTIVE])
+                step = int(header[self._W_STEP])
+                np.copyto(out, self._slots[slot])
+                if int(header[self._W_SEQ]) == s0:
+                    return out, step, s0 // 2
+            if time.monotonic() >= deadline:
+                raise TornReadError(
+                    f"no stable snapshot within {timeout}s — writer is "
+                    "publishing continuously"
+                )
+            time.sleep(0.0)  # yield; flips are two int64 stores, retry is cheap
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self, unlink: bool = False) -> None:
+        """Drop views and mapping; ``unlink`` destroys a shared segment."""
+        self._header = None  # type: ignore[assignment]
+        self._slots = []
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a stray view still pinned
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            unregister_segment(self._shm.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.name or "local"
+        return f"SeqlockBuffer({where}, elems={self.elems}, version={self.version})"

@@ -40,7 +40,8 @@ __all__ = ["StepPipeline", "run_training"]
 class StepPipeline:
     """Drives one training run of ``trainer`` through its step strategy."""
 
-    def __init__(self, trainer, strategy: StepStrategy, checkpointer=None) -> None:
+    def __init__(self, trainer, strategy: StepStrategy, checkpointer=None,
+                 snapshotter=None) -> None:
         self.trainer = trainer
         self.strategy = strategy
         self.policy = EvalPolicy(every=trainer.config.eval_every)
@@ -49,6 +50,34 @@ class StepPipeline:
         self.sim_time = 0.0
         #: Optional :class:`repro.durability.CheckpointManager`.
         self.checkpointer = checkpointer
+        #: Optional :class:`repro.serving.ModelSnapshotter`.  When set,
+        #: every completed step publishes (or heartbeats) the strategy's
+        #: packed eval vector for the serving tier — a bounded memcpy on
+        #: the training side, never a lock.
+        self.snapshotter = snapshotter
+
+    def _publish(self, t: int) -> None:
+        if self.snapshotter is not None:
+            self.snapshotter.on_step(self.strategy.eval_params(), t, self.sim_time)
+
+    def eval_view(self, t: int) -> np.ndarray:
+        """The packed params to evaluate at step ``t``, torn-free.
+
+        With a snapshotter attached, the step-``t`` publish already put
+        these exact bits behind a seqlock — read them back through the
+        guard so the eval path can never observe a half-written vector
+        (float32→float32 round-trips bit-exactly, so trajectories are
+        identical with and without serving attached).  Without one, hand
+        back the strategy's live reference: the pipeline is between
+        steps, when no writer is active.
+        """
+        ref = self.strategy.eval_params()
+        snap = self.snapshotter
+        if snap is not None and snap.buffer.step == t and ref.dtype == np.float32:
+            params, step, _ = snap.buffer.read()
+            if step == t and params.size == ref.size:
+                return params
+        return ref
 
     def run(self, iterations: int, resume: bool = False) -> RunResult:
         if iterations <= 0:
@@ -79,6 +108,7 @@ class StepPipeline:
                    start: int) -> None:
         for t in range(start + 1, iterations + 1):
             self.sim_time += strategy.step(self, t)
+            self._publish(t)
             stop = False
             if self.policy.due(t, iterations):
                 stop = self.policy.snapshot(self, t)
@@ -94,6 +124,7 @@ class StepPipeline:
             if not strategy.advance(self, t + 1):
                 continue
             t += 1
+            self._publish(t)
             stop = False
             if self.policy.due(t, iterations):
                 stop = self.policy.snapshot(self, t)
@@ -240,8 +271,15 @@ def _make_checkpointer(trainer) -> Optional[object]:
     )
 
 
-def run_training(trainer, iterations: int, resume: bool = False) -> RunResult:
-    """Run ``trainer`` for ``iterations`` steps through the pipeline."""
+def run_training(trainer, iterations: int, resume: bool = False,
+                 snapshotter=None) -> RunResult:
+    """Run ``trainer`` for ``iterations`` steps through the pipeline.
+
+    ``snapshotter`` attaches a serving-tier
+    :class:`~repro.serving.ModelSnapshotter`: each completed step then
+    publishes the packed eval vector for concurrent inference readers.
+    """
     pipeline = StepPipeline(trainer, trainer.make_step(),
-                            checkpointer=_make_checkpointer(trainer))
+                            checkpointer=_make_checkpointer(trainer),
+                            snapshotter=snapshotter)
     return pipeline.run(iterations, resume=resume)

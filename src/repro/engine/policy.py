@@ -39,9 +39,18 @@ class EvalPolicy:
         return t % self.every == 0 or t == iterations
 
     def snapshot(self, pipeline: "StepPipeline", t: int) -> bool:
-        """Evaluate, record a trajectory point, and report early-stop."""
+        """Evaluate, record a trajectory point, and report early-stop.
+
+        The params are taken through :meth:`StepPipeline.eval_view`, not
+        ``strategy.eval_params()`` directly: the strategy hands out a
+        live reference, and when concurrent writers exist (a serving
+        publisher, shared-memory workers) a direct read could observe a
+        half-written vector.  The view is seqlock-guarded whenever a
+        guard exists and falls back to the raw reference only in the
+        strictly serial case.
+        """
         trainer = pipeline.trainer
-        acc = trainer.evaluate_params(pipeline.strategy.eval_params())
+        acc = trainer.evaluate_params(pipeline.eval_view(t))
         pipeline.records.append(
             TrainRecord(t, pipeline.sim_time, pipeline.strategy.last_loss, acc)
         )

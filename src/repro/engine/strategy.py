@@ -60,7 +60,16 @@ class StepStrategy:
         """Allocate per-run state (replicas, samplers, costs, trace)."""
 
     def eval_params(self) -> np.ndarray:
-        """The packed vector whose accuracy the trajectory tracks."""
+        """The packed vector whose accuracy the trajectory tracks.
+
+        Contract: return the *live* packed array (a view, not a copy) —
+        the pipeline's snapshot publisher copies it into the seqlock
+        buffer itself, so a defensive copy here would just double the
+        memcpy on every publish.  Consumers that need isolation from
+        later in-place updates (evaluation, serving) go through
+        :meth:`StepPipeline.eval_view` / the snapshot reader, never
+        through a raw reference they hold across steps.
+        """
         raise NotImplementedError
 
     def extras(self) -> Dict[str, float]:

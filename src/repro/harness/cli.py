@@ -14,6 +14,9 @@ Commands
 ``knl``
     Run the KNL chip-partition experiment (Section 6.2 / Figure 12) on the
     serial simulator or on real forked processes over shared memory.
+``serve``
+    Train one method while a serving front-end answers inference traffic
+    from the freshest published center weights (see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -181,6 +184,55 @@ def _build_parser() -> argparse.ArgumentParser:
     knl.add_argument("--json", metavar="PATH", default=None,
                      help="write the trajectory to a JSON file")
     _add_durability_args(knl)
+
+    serve = sub.add_parser(
+        "serve",
+        help="train while serving inference from live center weights",
+    )
+    serve.add_argument("--method", default="sync-easgd3", choices=sorted(ALGORITHMS))
+    serve.add_argument("--dataset", default="mnist", choices=sorted(_DATASETS))
+    serve.add_argument("--model", default="mlp", choices=sorted(_MODELS))
+    serve.add_argument("--gpus", type=int, default=4)
+    serve.add_argument("--iterations", type=int, default=100)
+    serve.add_argument("--batch-size", type=int, default=32)
+    serve.add_argument("--lr", type=float, default=0.03)
+    serve.add_argument("--rho", type=float, default=2.0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--train-samples", type=int, default=1024)
+    serve.add_argument("--difficulty", type=float, default=1.2)
+    serve.add_argument("--requests", type=int, default=200,
+                       help="total inference requests to issue")
+    serve.add_argument("--loop", default="open", choices=("open", "closed"),
+                       help="open: arrivals fire on schedule regardless of "
+                            "completions; closed: --clients users in a "
+                            "submit/wait/think cycle")
+    serve.add_argument("--arrival", default="poisson", choices=("poisson", "onoff"),
+                       help="open-loop arrival process (onoff = bursty)")
+    serve.add_argument("--rate", type=float, default=500.0,
+                       help="open-loop arrival rate, requests/s (onoff: the "
+                            "in-burst rate)")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="closed-loop concurrent clients")
+    serve.add_argument("--think", type=float, default=0.001,
+                       help="closed-loop mean think time, seconds")
+    serve.add_argument("--batch-cap", type=int, default=8,
+                       help="micro-batcher admission cap")
+    serve.add_argument("--max-wait", type=float, default=0.002,
+                       help="oldest-request drain deadline, seconds")
+    serve.add_argument("--max-staleness-steps", type=int, default=None,
+                       help="force a weight refresh when the served snapshot "
+                            "lags training by more than this many steps")
+    serve.add_argument("--refresh-policy", default="fresh", choices=("fresh", "lazy"),
+                       help="fresh: reload whenever a newer snapshot exists; "
+                            "lazy: serve cached weights until the staleness "
+                            "bound forces a refresh")
+    serve.add_argument("--publish-every", type=int, default=1,
+                       help="training steps between snapshot publishes")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="write the serving trace here and verify its "
+                            "invariants (.jsonl -> archive; else Chrome JSON)")
+    serve.add_argument("--json", metavar="PATH", default=None,
+                       help="write serve stats + trajectory to a JSON file")
     return parser
 
 
@@ -377,9 +429,185 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Validate the serving knobs before the training thread starts: a
+    # late ValueError would leave a half-finished run behind the error.
+    for knob, value, bound in (
+        ("--iterations", args.iterations, 1),
+        ("--requests", args.requests, 1),
+        ("--clients", args.clients, 1),
+        ("--batch-cap", args.batch_cap, 1),
+        ("--publish-every", args.publish_every, 1),
+        ("--max-wait", args.max_wait, 0),
+        ("--think", args.think, 0),
+    ):
+        if value < bound:
+            print(f"{knob} must be >= {bound}", file=sys.stderr)
+            return 2
+    if args.rate <= 0:
+        print("--rate must be positive", file=sys.stderr)
+        return 2
+    if args.max_staleness_steps is not None and args.max_staleness_steps < 0:
+        print("--max-staleness-steps must be >= 0", file=sys.stderr)
+        return 2
+
+    import threading
+    import time
+
+    from repro.serving import (
+        ClosedLoopLoadGen,
+        ModelSnapshotter,
+        OpenLoopLoadGen,
+        ServingFrontend,
+        onoff_arrivals,
+        poisson_arrivals,
+    )
+    from repro.trace.events import Trace
+
+    train, test = _DATASETS[args.dataset](
+        n_train=args.train_samples,
+        n_test=max(args.train_samples // 4, 256),
+        seed=args.seed,
+        difficulty=args.difficulty,
+    )
+    builder = _MODELS[args.model]
+    if args.dataset == "cifar" and args.model in ("mlp", "lenet"):
+        spec_builder = lambda: builder(input_shape=(3, 32, 32), seed=args.seed)  # noqa: E731
+    else:
+        spec_builder = lambda: builder(seed=args.seed)  # noqa: E731
+    config = TrainerConfig(batch_size=args.batch_size, lr=args.lr,
+                           rho=args.rho, seed=args.seed)
+    spec = ExperimentSpec(
+        train_set=train, test_set=test, model_builder=spec_builder,
+        num_gpus=args.gpus, config=config,
+    ).normalize()
+
+    replica = spec.model_builder()  # the serving tier's own weights copy
+    trace = Trace(meta={
+        "pattern": "serving", "method": args.method,
+        "batch_cap": args.batch_cap,
+        "max_staleness_steps": args.max_staleness_steps,
+        "publish_every": args.publish_every,
+        "loop": args.loop, "arrival": args.arrival,
+    })
+    snapshotter = ModelSnapshotter(
+        replica.num_params, publish_every=args.publish_every, trace=trace,
+    )
+
+    outcome: dict = {}
+
+    def train_main() -> None:
+        try:
+            outcome["result"] = run_method(
+                spec, args.method, iterations=args.iterations,
+                snapshotter=snapshotter,
+            )
+        except BaseException as exc:  # ferried to the foreground
+            outcome["error"] = exc
+
+    trainer_thread = threading.Thread(target=train_main, name="training")
+    trainer_thread.start()
+    # Serve only from published weights: wait for the first snapshot.
+    while snapshotter.buffer.version == 0:
+        if not trainer_thread.is_alive():
+            break
+        time.sleep(0.001)
+    if "error" in outcome:
+        trainer_thread.join()
+        print(f"training failed before serving began: {outcome['error']}",
+              file=sys.stderr)
+        return 3
+
+    frontend = ServingFrontend.for_network(
+        replica, snapshotter.reader(),
+        batch_cap=args.batch_cap, max_wait=args.max_wait,
+        max_staleness_steps=args.max_staleness_steps,
+        refresh_policy=args.refresh_policy, trace=trace,
+    ).start()
+    make_request = lambda i: test.images[i % len(test.images)]  # noqa: E731
+    try:
+        if args.loop == "open":
+            if args.arrival == "poisson":
+                arrivals = poisson_arrivals(args.requests, args.rate, seed=args.seed)
+            else:
+                burst = max(2.0 / args.rate, 0.01)
+                arrivals = onoff_arrivals(args.requests, args.rate,
+                                          on_mean=burst, off_mean=burst,
+                                          seed=args.seed)
+            OpenLoopLoadGen(arrivals).run(frontend, make_request)
+        else:
+            per_client = max(args.requests // args.clients, 1)
+            ClosedLoopLoadGen(args.clients, per_client, think_mean=args.think,
+                              seed=args.seed).run(frontend, make_request)
+    finally:
+        frontend.stop()
+        trainer_thread.join()
+    if "error" in outcome:
+        print(f"training failed while serving: {outcome['error']}", file=sys.stderr)
+        return 3
+
+    result = outcome["result"]
+    stats = frontend.stats()
+    print(f"method          : {result.method}")
+    print(f"iterations      : {result.iterations}")
+    print(f"final accuracy  : {result.final_accuracy:.3f}")
+    print(f"publishes       : {snapshotter.publishes}")
+    print(f"served          : {stats.served} requests in {stats.batches} batches")
+    print(f"p50 latency     : {stats.p50_latency * 1e3:.2f} ms")
+    print(f"p99 latency     : {stats.p99_latency * 1e3:.2f} ms")
+    print(f"throughput      : {stats.throughput:.0f} req/s")
+    print(f"mean batch      : {stats.mean_batch:.2f} (cap {args.batch_cap})")
+    print(f"weight refreshes: {stats.refreshes}")
+    print(f"staleness       : max {stats.max_staleness} steps, "
+          f"mean {stats.mean_staleness:.2f}")
+
+    from repro.trace import InvariantViolation, check_all, to_chrome, to_jsonl
+
+    try:
+        ran = check_all(trace)
+        print(f"invariants      : {', '.join(ran)} ok")
+    except InvariantViolation as exc:
+        print(f"invariant violated: {exc}", file=sys.stderr)
+        return 3
+    if args.trace:
+        if args.trace.endswith(".jsonl"):
+            to_jsonl(trace, args.trace)
+        else:
+            to_chrome(trace, args.trace)
+        print(f"trace written to {args.trace} ({len(trace)} events)")
+    if args.json:
+        import json
+
+        payload = {
+            "method": result.method,
+            "iterations": result.iterations,
+            "final_accuracy": result.final_accuracy,
+            "publishes": snapshotter.publishes,
+            "serve": stats.to_dict(),
+            "knobs": {
+                "loop": args.loop, "arrival": args.arrival,
+                "batch_cap": args.batch_cap, "max_wait": args.max_wait,
+                "max_staleness_steps": args.max_staleness_steps,
+                "refresh_policy": args.refresh_policy,
+                "publish_every": args.publish_every,
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"stats written to {args.json}")
+    snapshotter.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro``."""
     args = _build_parser().parse_args(argv)
+    # Post-mortem sweep: unlink shm debris from earlier runs that died by
+    # signal (their atexit cleanup never fired; their pids are embedded in
+    # the segment names, so live runs are never touched).
+    from repro.comm.shm_lifecycle import reap_stale_segments
+
+    reap_stale_segments()
     try:
         if args.command == "list":
             return _cmd_list()
@@ -389,6 +617,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_table(args)
         if args.command == "knl":
             return _cmd_knl(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except BrokenPipeError:  # e.g. `repro list | head` — not an error
         return 0
     raise AssertionError("unreachable")

@@ -60,6 +60,7 @@ def run_method(
     target_accuracy: Optional[float] = None,
     max_iterations: int = 20_000,
     resume: bool = False,
+    snapshotter=None,
     **trainer_kwargs,
 ) -> RunResult:
     """Run one registered method under the spec.
@@ -67,10 +68,13 @@ def run_method(
     Exactly one of ``iterations`` (fixed-length run) or ``target_accuracy``
     (Table 3 protocol: run until the target, report truncated time) must be
     given. ``resume=True`` continues a fixed-length run from the newest
-    checkpoint under ``spec.config.checkpoint_dir``.
+    checkpoint under ``spec.config.checkpoint_dir``. ``snapshotter``
+    attaches a serving-tier publisher to a fixed-length run.
     """
     if (iterations is None) == (target_accuracy is None):
         raise ValueError("pass exactly one of iterations / target_accuracy")
+    if snapshotter is not None and iterations is None:
+        raise ValueError("snapshotter requires a fixed-length run")
     trainer = make_trainer(
         method,
         spec.model_builder(),
@@ -82,7 +86,7 @@ def run_method(
         **trainer_kwargs,
     )
     if iterations is not None:
-        return trainer.train(iterations, resume=resume)
+        return trainer.train(iterations, resume=resume, snapshotter=snapshotter)
     if resume:
         raise ValueError("resume is only supported with fixed-length runs")
     return trainer.train_to_accuracy(target_accuracy, max_iterations)

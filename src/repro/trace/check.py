@@ -36,6 +36,10 @@ __all__ = [
     "check_overlap",
     "check_no_overlap",
     "check_fcfs_service",
+    "check_serving_no_overlap",
+    "check_serving_batch_cap",
+    "check_serving_staleness_bound",
+    "check_serving_publish_monotone",
     "check_all",
 ]
 
@@ -290,13 +294,92 @@ def check_fcfs_service(trace: Trace) -> None:
             )
 
 
+def _serving_batches(trace: Trace) -> List:
+    return sorted(
+        (e for e in trace.by_kind("service") if e.op == "serving/batch"),
+        key=lambda e: (e.t0, e.t1),
+    )
+
+
+def check_serving_no_overlap(trace: Trace) -> None:
+    """One server thread owns the replica: batch spans never overlap."""
+    batches = _serving_batches(trace)
+    for prev, cur in zip(batches, batches[1:]):
+        if cur.t0 < prev.t1 - 1e-9:
+            raise InvariantViolation(
+                "serving batches overlap under a single server: "
+                f"[{prev.t0:.6g},{prev.t1:.6g}] vs [{cur.t0:.6g},{cur.t1:.6g}]"
+            )
+
+
+def check_serving_batch_cap(trace: Trace, cap: Optional[int] = None) -> None:
+    """No forward pass exceeds the micro-batcher's admission cap.
+
+    Batch size rides in ``round``; the cap comes from ``meta['batch_cap']``
+    unless given explicitly.
+    """
+    cap = cap or int(trace.meta.get("batch_cap", 0))
+    if cap <= 0:
+        raise InvariantViolation("trace meta lacks a 'batch_cap'")
+    for e in _serving_batches(trace):
+        if e.round > cap:
+            raise InvariantViolation(
+                f"serving batch at t={e.t0:.6g} packed {e.round} requests > "
+                f"batch_cap {cap}"
+            )
+        if e.round < 1:
+            raise InvariantViolation(
+                f"serving batch at t={e.t0:.6g} records size {e.round} < 1"
+            )
+
+
+def check_serving_staleness_bound(trace: Trace, bound: Optional[int] = None) -> None:
+    """No batch was served from weights older than ``max_staleness_steps``.
+
+    Staleness (training steps the served snapshot lagged the trainer
+    heartbeat) rides in ``value``.  The bound is only enforceable up to
+    the publish cadence — with ``publish_every > 1`` the freshest
+    available snapshot may itself exceed the bound, so the allowance
+    widens by the thinning.
+    """
+    if bound is None:
+        raw = trace.meta.get("max_staleness_steps")
+        if raw is None:
+            raise InvariantViolation("trace meta lacks a 'max_staleness_steps'")
+        bound = int(raw)
+    allow = bound + max(int(trace.meta.get("publish_every", 1)) - 1, 0)
+    for e in _serving_batches(trace):
+        if e.value > allow:
+            raise InvariantViolation(
+                f"serving batch at t={e.t0:.6g} served staleness {e.value:.0f} > "
+                f"bound {bound} (+{allow - bound} publish thinning)"
+            )
+
+
+def check_serving_publish_monotone(trace: Trace) -> None:
+    """Snapshot publishes advance: versions strictly, steps never backward."""
+    marks = [e for e in trace.by_kind("mark") if e.op == "serving/publish"]
+    marks.sort(key=lambda e: e.value)
+    for prev, cur in zip(marks, marks[1:]):
+        if cur.value == prev.value:
+            raise InvariantViolation(
+                f"two publishes share version {cur.value:.0f}"
+            )
+        if cur.iteration < prev.iteration:
+            raise InvariantViolation(
+                f"publish version {cur.value:.0f} (step {cur.iteration}) is older "
+                f"than version {prev.value:.0f} (step {prev.iteration})"
+            )
+
+
 def check_all(trace: Trace) -> List[str]:
     """Run every invariant the trace's metadata declares applicable.
 
     Returns the names of the checks that ran (and passed); raises
     :class:`InvariantViolation` on the first failure. The dispatch keys
-    off ``meta['pattern']`` — "tree", "ring", "round-robin", or "ps" — which the
-    trainers stamp when they create the trace.
+    off ``meta['pattern']`` — "tree", "ring", "round-robin", "ps", or
+    "serving" — which the trainers (and the serving front-end) stamp when
+    they create the trace.
     """
     ran: List[str] = []
 
@@ -333,4 +416,11 @@ def check_all(trace: Trace) -> List[str]:
     elif pattern == "ps":
         if not trace.meta.get("lock_free"):
             run("fcfs-service", check_fcfs_service, trace)
+    elif pattern == "serving":
+        run("serving-no-overlap", check_serving_no_overlap, trace)
+        run("serving-publish-monotone", check_serving_publish_monotone, trace)
+        if trace.meta.get("batch_cap"):
+            run("serving-batch-cap", check_serving_batch_cap, trace)
+        if trace.meta.get("max_staleness_steps") is not None:
+            run("serving-staleness-bound", check_serving_staleness_bound, trace)
     return ran

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.comm.shm_lifecycle import stale_segments
 from repro.durability.checkpoint import list_versions
 
 pytestmark = [pytest.mark.durability, pytest.mark.slow]
@@ -126,6 +127,11 @@ def test_kill_and_resume_is_bit_identical(tmp_path, backend):
     _run_cli([*common, "--checkpoint-dir", str(killed_dir), "--resume",
               "--json", str(killed_json)])
 
+    # Zero-leak contract: whatever /dev/shm debris the SIGKILL left behind
+    # (pid-stamped `repro-*` segments), the resume run must have reaped —
+    # and its own segments are gone with its clean exit.
+    assert stale_segments() == [], "killed run leaked shm segments past resume"
+
     assert _trajectory(killed_json) == _trajectory(straight_json)
 
     # The final checkpoints agree array for array: same step, same digests.
@@ -161,6 +167,7 @@ def test_kill_and_resume_chip_partition_processes(tmp_path):
     _run_cli([*common, "--checkpoint-dir", str(killed_dir), "--resume",
               "--json", str(killed_json)])
 
+    assert stale_segments() == [], "killed run leaked shm segments past resume"
     assert _trajectory(killed_json) == _trajectory(straight_json)
     assert (_newest_manifest(killed_dir)["arrays"]
             == _newest_manifest(straight_dir)["arrays"])

@@ -1,0 +1,624 @@
+"""Serving-tier correctness: seqlock snapshots, shm lifecycle, adaptive
+micro-batching, staleness bounds, serving trace invariants, and the
+bit-identity contract (training trajectories are unchanged by an attached
+serving tier, threads and processes backends alike).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import TrainerConfig
+from repro.comm import shm_lifecycle as lifecycle
+from repro.comm.mp_runtime import SharedFlatArray, fork_available
+from repro.comm.shm_transport import SeqlockBuffer, TornReadError
+from repro.data import make_mnist_like
+from repro.harness.experiment import ExperimentSpec, run_method
+from repro.nn.models import build_mlp
+from repro.serving import (
+    ClosedLoopLoadGen,
+    ModelSnapshotter,
+    OpenLoopLoadGen,
+    ServingFrontend,
+    SnapshotReader,
+    linear_service_time,
+    onoff_arrivals,
+    plan_batches,
+    plan_latencies,
+    poisson_arrivals,
+)
+from repro.trace.check import (
+    InvariantViolation,
+    check_all,
+    check_serving_batch_cap,
+    check_serving_no_overlap,
+    check_serving_publish_monotone,
+    check_serving_staleness_bound,
+)
+from repro.trace.events import MASTER, Trace, TraceEvent
+
+pytestmark = pytest.mark.serving
+
+
+# ---------------------------------------------------------------------------
+# Seqlock buffer: torn-free reads under concurrent publishing
+# ---------------------------------------------------------------------------
+
+
+class TestSeqlockBuffer:
+    def test_publish_read_roundtrip_local(self):
+        buf = SeqlockBuffer.create(16)
+        vec = np.arange(16, dtype=np.float32)
+        assert buf.version == 0
+        version = buf.publish(vec, step=5)
+        assert version == 1
+        out, step, ver = buf.read()
+        assert np.array_equal(out, vec) and step == 5 and ver == 1
+        # The copy is isolated from later publishes.
+        buf.publish(vec * 2, step=6)
+        assert np.array_equal(out, vec)
+        buf.close()
+
+    def test_shared_roundtrip_and_attach_validation(self):
+        buf = SeqlockBuffer.create(8, shared=True)
+        try:
+            assert buf.name is not None and buf.name in lifecycle.registered_segments()
+            buf.publish(np.full(8, 3.0, dtype=np.float32), step=1)
+            other = SeqlockBuffer.attach(buf.name, 8)
+            out, step, _ = other.read()
+            assert np.all(out == 3.0) and step == 1
+            other.close()
+            with pytest.raises(ValueError, match="elems"):
+                SeqlockBuffer.attach(buf.name, 9)
+        finally:
+            name = buf.name
+            buf.close(unlink=True)
+        assert name not in lifecycle.registered_segments()
+        assert name not in lifecycle.list_live_segments()
+
+    def test_wrong_size_publish_rejected(self):
+        buf = SeqlockBuffer.create(4)
+        with pytest.raises(ValueError, match="elems"):
+            buf.publish(np.zeros(5, dtype=np.float32), step=1)
+        buf.close()
+
+    def test_torn_read_error_when_writer_wedged(self):
+        buf = SeqlockBuffer.create(4)
+        buf.publish(np.zeros(4, dtype=np.float32), step=1)
+        buf._header[SeqlockBuffer._W_SEQ] += 1  # simulate a wedged mid-flip writer
+        with pytest.raises(TornReadError):
+            buf.read(timeout=0.05)
+        buf.close()
+
+    def test_no_torn_reads_under_thread_hammer(self):
+        """A writer republishing flat-out never lets a reader observe a
+        mixed-version vector: every read must be elementwise-uniform and
+        tagged with its own value as the step."""
+        elems = 4096  # large enough that a torn memcpy would be caught
+        buf = SeqlockBuffer.create(elems)
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            i = 0
+            vec = np.empty(elems, dtype=np.float32)
+            while not stop.is_set():
+                i += 1
+                vec.fill(float(i))
+                buf.publish(vec, step=i)
+
+        def reader():
+            out = np.empty(elems, dtype=np.float32)
+            while not stop.is_set():
+                try:
+                    params, step, _ = buf.read(out=out, timeout=5.0)
+                except TornReadError:
+                    continue  # the writer can outpace one copy; never torn
+                lo, hi = params.min(), params.max()
+                if lo != hi or lo != float(step):
+                    torn.append((float(lo), float(hi), step))
+                    return
+
+        w = threading.Thread(target=writer)
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        w.start()
+        for r in readers:
+            r.start()
+        time.sleep(0.8)
+        stop.set()
+        w.join()
+        for r in readers:
+            r.join()
+        assert torn == [], f"observed mixed-version vectors: {torn[:3]}"
+        assert buf.version > 100  # the hammer actually hammered
+        buf.close()
+
+    @pytest.mark.mp
+    def test_no_torn_reads_across_processes(self):
+        """Same contract with the writer in a forked process over shm."""
+        if not fork_available():
+            pytest.skip("needs the fork start method")
+        elems = 2048
+        buf = SeqlockBuffer.create(elems, shared=True)
+        pid = os.fork()
+        if pid == 0:  # child: publish flat-out, then exit
+            try:
+                child = SeqlockBuffer.attach(buf.name, elems)
+                vec = np.empty(elems, dtype=np.float32)
+                for i in range(1, 2001):
+                    vec.fill(float(i))
+                    child.publish(vec, step=i)
+                child.close()
+                os._exit(0)
+            except BaseException:
+                os._exit(1)
+        try:
+            out = np.empty(elems, dtype=np.float32)
+            deadline = time.monotonic() + 30.0
+            reads = 0
+            while time.monotonic() < deadline:
+                try:
+                    params, step, _ = buf.read(out=out, timeout=5.0)
+                except TornReadError:
+                    continue
+                if step:
+                    lo, hi = params.min(), params.max()
+                    assert lo == hi == float(step), (
+                        f"torn read: [{lo}, {hi}] at step {step}"
+                    )
+                    reads += 1
+                if step >= 2000:
+                    break
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0
+            assert reads > 0
+        finally:
+            buf.close(unlink=True)
+
+
+# ---------------------------------------------------------------------------
+# Shm lifecycle: naming, registry, reaper
+# ---------------------------------------------------------------------------
+
+
+class TestShmLifecycle:
+    def test_segment_name_embeds_owner_pid(self):
+        name = lifecycle.segment_name("ring")
+        assert name.startswith("repro-")
+        # The embedded pid must be alive (it is this process or an
+        # adopted, still-running ancestor).
+        pid = int(name.split("-")[1])
+        os.kill(pid, 0)  # raises if dead
+
+    def test_register_unregister_cleanup(self):
+        name = lifecycle.segment_name("flat", suffix="lifecycletest")
+        lifecycle.register_segment(name)
+        assert name in lifecycle.registered_segments()
+        lifecycle.unregister_segment(name)
+        assert name not in lifecycle.registered_segments()
+        # cleanup of a registered-but-never-created name is a no-op
+        lifecycle.register_segment(name)
+        assert lifecycle.cleanup_registered() == []
+        assert name not in lifecycle.registered_segments()
+
+    def test_reaper_unlinks_dead_owner_only(self):
+        from multiprocessing import shared_memory
+
+        dead = "repro-999999-ring-reaptest"
+        live = lifecycle.segment_name("ring", suffix="reaptest")
+        segs = [
+            shared_memory.SharedMemory(create=True, size=64, name=dead),
+            shared_memory.SharedMemory(create=True, size=64, name=live),
+        ]
+        for s in segs:
+            s.close()
+        try:
+            assert dead in lifecycle.stale_segments()
+            assert live not in lifecycle.stale_segments()
+            reaped = lifecycle.reap_stale_segments()
+            assert dead in reaped and live not in reaped
+            assert dead not in lifecycle.list_live_segments()
+            assert live in lifecycle.list_live_segments()
+        finally:
+            lifecycle.unlink_segment(live)
+            lifecycle.unlink_segment(dead)
+
+    def test_shared_flat_array_is_lifecycle_tracked(self):
+        arr = SharedFlatArray.create(32)
+        name = arr.name
+        assert name.startswith("repro-") and "-flat-" in name
+        assert name in lifecycle.registered_segments()
+        arr.unlink()
+        assert name not in lifecycle.registered_segments()
+        assert name not in lifecycle.list_live_segments()
+
+
+# ---------------------------------------------------------------------------
+# Snapshotter and reader
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotter:
+    def test_publish_thinning_and_heartbeat(self):
+        snap = ModelSnapshotter(4, publish_every=3)
+        reader = snap.reader()
+        for t in range(1, 8):
+            snap.on_step(np.full(4, float(t), dtype=np.float32), step=t)
+        assert snap.publishes == 2  # steps 3 and 6
+        assert snap.buffer.step == 6
+        assert snap.buffer.train_step == 7
+        params, step, _ = reader.refresh()
+        assert step == 6 and np.all(params == 6.0)
+        assert reader.staleness() == 1  # heartbeat at 7, snapshot at 6
+        snap.close()
+
+    def test_reader_refresh_only_on_new_version(self):
+        snap = ModelSnapshotter(4)
+        reader = snap.reader()
+        assert reader.staleness() == -1
+        with pytest.raises(RuntimeError, match="no snapshot"):
+            reader.refresh()
+        snap.on_step(np.zeros(4, dtype=np.float32), step=1)
+        reader.refresh()
+        assert reader.refreshes == 1
+        reader.refresh()  # same version: no new copy
+        assert reader.refreshes == 1
+        snap.on_step(np.ones(4, dtype=np.float32), step=2)
+        assert reader.has_new()
+        params, step, _ = reader.refresh()
+        assert reader.refreshes == 2 and step == 2 and np.all(params == 1.0)
+        snap.close()
+
+
+# ---------------------------------------------------------------------------
+# Micro-batcher: determinism, adaptivity, latency deadline
+# ---------------------------------------------------------------------------
+
+
+class TestMicroBatcher:
+    CAP = 8
+    WAIT = 0.005
+    COST = staticmethod(linear_service_time(0.002, 0.0005))
+
+    def test_deterministic_under_seeded_arrivals(self):
+        for seed in (0, 1, 7):
+            arr = poisson_arrivals(200, rate=400.0, seed=seed)
+            p1 = plan_batches(arr, self.CAP, self.WAIT, self.COST)
+            p2 = plan_batches(arr, self.CAP, self.WAIT, self.COST)
+            assert p1 == p2
+            served = sorted(i for b in p1 for i in b.indices)
+            assert served == list(range(200))  # every request exactly once
+
+    def test_batches_respect_cap_and_never_overlap(self):
+        arr = onoff_arrivals(300, rate_on=2000.0, on_mean=0.02, off_mean=0.05, seed=3)
+        plan = plan_batches(arr, self.CAP, self.WAIT, self.COST)
+        assert all(1 <= b.size <= self.CAP for b in plan)
+        for prev, cur in zip(plan, plan[1:]):
+            assert cur.start >= prev.finish - 1e-12
+
+    def test_latency_deadline_drain(self):
+        """A batch starts no later than its oldest request's deadline
+        unless the server was still busy (backlog)."""
+        arr = poisson_arrivals(150, rate=300.0, seed=5)
+        plan = plan_batches(arr, self.CAP, self.WAIT, self.COST)
+        free = 0.0
+        for b in plan:
+            oldest = arr[b.indices[0]]
+            assert b.start <= max(free, oldest + self.WAIT) + 1e-12
+            free = b.finish
+
+    def test_batch_grows_under_load_and_shrinks_when_idle(self):
+        dense = np.zeros(4 * self.CAP)  # all requests queued at t=0
+        plan = plan_batches(dense, self.CAP, self.WAIT, self.COST)
+        assert [b.size for b in plan] == [self.CAP] * 4
+        sparse = np.arange(10) * 1.0  # 1s apart: no coalescing possible
+        plan = plan_batches(sparse, self.CAP, self.WAIT, self.COST)
+        assert [b.size for b in plan] == [1] * 10
+        lats = plan_latencies(sparse, plan)
+        # Idle-path latency = the drain wait plus one single-item service.
+        expected = self.WAIT + self.COST(1)
+        assert all(abs(lat - expected) < 1e-9 for lat in lats)
+
+    def test_rejects_unsorted_arrivals(self):
+        with pytest.raises(ValueError, match="sorted"):
+            plan_batches([1.0, 0.5], self.CAP, self.WAIT, self.COST)
+
+
+# ---------------------------------------------------------------------------
+# Load generation
+# ---------------------------------------------------------------------------
+
+
+class TestLoadGen:
+    def test_poisson_schedule_is_seeded_and_sorted(self):
+        a = poisson_arrivals(500, rate=100.0, seed=11)
+        b = poisson_arrivals(500, rate=100.0, seed=11)
+        assert np.array_equal(a, b)
+        assert np.all(np.diff(a) >= 0) and a.shape == (500,)
+        # Mean interarrival within 20% of 1/rate over 500 samples.
+        assert abs(np.diff(a).mean() - 0.01) < 0.002
+
+    def test_onoff_schedule_is_bursty(self):
+        arr = onoff_arrivals(500, rate_on=1000.0, on_mean=0.05, off_mean=0.2, seed=4)
+        assert np.all(np.diff(arr) >= 0) and arr.shape == (500,)
+        gaps = np.diff(arr)
+        # Burstiness: the biggest gap (an OFF period) dwarfs the median
+        # in-burst interarrival by an order of magnitude.
+        assert gaps.max() > 10 * np.median(gaps)
+
+
+# ---------------------------------------------------------------------------
+# Front-end: staleness bound enforcement and refresh policies
+# ---------------------------------------------------------------------------
+
+
+def _make_frontend(snap, **kwargs):
+    state = {"w": None}
+
+    def load(params):
+        state["w"] = params.copy()
+
+    def predict(x):
+        return x @ state["w"]
+
+    return ServingFrontend(predict, load, snap.reader(), **kwargs)
+
+
+class TestFrontendStaleness:
+    def _drive(self, policy, bound):
+        trace = Trace(meta={"pattern": "serving", "batch_cap": 4,
+                            "max_staleness_steps": bound})
+        snap = ModelSnapshotter(4, trace=trace)
+        fe = _make_frontend(snap, batch_cap=4, max_wait=0.0,
+                            max_staleness_steps=bound, refresh_policy=policy,
+                            trace=trace)
+        x = np.ones(4, dtype=np.float32)
+        for t in range(1, 31):
+            snap.on_step(np.full(4, float(t), dtype=np.float32), step=t)
+            req = fe.submit(x)
+            fe.serve_batch([fe._queue.popleft()])
+            assert req.done
+        snap.close()
+        return fe, trace
+
+    def test_lazy_policy_enforces_staleness_bound(self):
+        bound = 5
+        fe, trace = self._drive("lazy", bound)
+        staleness = [r.staleness for r in fe._finished]
+        assert max(staleness) <= bound
+        assert max(staleness) > 0  # the bound actually did the driving
+        # Lazy refresh saves uploads: far fewer refreshes than batches.
+        assert fe.reader.refreshes < len(fe._finished) / 2
+        check_serving_staleness_bound(trace)
+
+    def test_fresh_policy_serves_zero_staleness(self):
+        fe, trace = self._drive("fresh", None)
+        assert all(r.staleness == 0 for r in fe._finished)
+        assert fe.reader.refreshes == len(fe._finished)
+
+    def test_served_result_uses_refreshed_weights(self):
+        snap = ModelSnapshotter(4)
+        fe = _make_frontend(snap, batch_cap=2, max_wait=0.0)
+        snap.on_step(np.full(4, 2.0, dtype=np.float32), step=1)
+        req = fe.submit(np.ones(4, dtype=np.float32))
+        fe.serve_batch([fe._queue.popleft()])
+        assert req.result == pytest.approx(8.0)
+        assert req.step == 1
+        snap.on_step(np.full(4, 3.0, dtype=np.float32), step=2)
+        req2 = fe.submit(np.ones(4, dtype=np.float32))
+        fe.serve_batch([fe._queue.popleft()])
+        assert req2.result == pytest.approx(12.0)
+        assert req2.step == 2
+        snap.close()
+
+    def test_threaded_frontend_drains_on_stop(self):
+        snap = ModelSnapshotter(4)
+        snap.on_step(np.ones(4, dtype=np.float32), step=1)
+        fe = _make_frontend(snap, batch_cap=4, max_wait=0.001).start()
+        reqs = [fe.submit(np.ones(4, dtype=np.float32)) for _ in range(20)]
+        fe.stop()
+        assert all(r.done for r in reqs)
+        with pytest.raises(RuntimeError, match="stopped"):
+            fe.submit(np.ones(4, dtype=np.float32))
+        stats = fe.stats()
+        assert stats.served == 20 and stats.max_batch <= 4
+        snap.close()
+
+
+# ---------------------------------------------------------------------------
+# Serving trace invariants
+# ---------------------------------------------------------------------------
+
+
+def _service(t0, t1, *, seq=0, size=1, step=1, stale=0.0):
+    return TraceEvent("service", MASTER, t0, t1, op="serving/batch",
+                      seq=seq, round=size, iteration=step, value=stale)
+
+
+class TestServingInvariants:
+    def test_check_all_dispatches_serving_checks(self):
+        trace = Trace(meta={"pattern": "serving", "batch_cap": 4,
+                            "max_staleness_steps": 2})
+        trace.add(_service(0.0, 0.1, size=3))
+        ran = check_all(trace)
+        assert "serving-no-overlap" in ran
+        assert "serving-batch-cap" in ran
+        assert "serving-staleness-bound" in ran
+        assert "serving-publish-monotone" in ran
+
+    def test_overlapping_batches_rejected(self):
+        trace = Trace(meta={"pattern": "serving"})
+        trace.add(_service(0.0, 0.2, seq=0))
+        trace.add(_service(0.1, 0.3, seq=1))
+        with pytest.raises(InvariantViolation, match="overlap"):
+            check_serving_no_overlap(trace)
+
+    def test_batch_cap_violation_rejected(self):
+        trace = Trace(meta={"pattern": "serving", "batch_cap": 4})
+        trace.add(_service(0.0, 0.1, size=5))
+        with pytest.raises(InvariantViolation, match="batch_cap"):
+            check_serving_batch_cap(trace)
+
+    def test_staleness_bound_violation_rejected(self):
+        trace = Trace(meta={"pattern": "serving", "max_staleness_steps": 2})
+        trace.add(_service(0.0, 0.1, stale=3.0))
+        with pytest.raises(InvariantViolation, match="staleness"):
+            check_serving_staleness_bound(trace)
+
+    def test_publish_thinning_widens_the_allowance(self):
+        trace = Trace(meta={"pattern": "serving", "max_staleness_steps": 2,
+                            "publish_every": 3})
+        trace.add(_service(0.0, 0.1, stale=4.0))  # 2 + (3-1) = 4 is legal
+        check_serving_staleness_bound(trace)
+        trace.add(_service(0.2, 0.3, stale=5.0))
+        with pytest.raises(InvariantViolation):
+            check_serving_staleness_bound(trace)
+
+    def test_publish_versions_must_advance(self):
+        trace = Trace(meta={"pattern": "serving"})
+        trace.add(TraceEvent("mark", MASTER, 0.0, 0.0, op="serving/publish",
+                             iteration=5, value=1.0))
+        trace.add(TraceEvent("mark", MASTER, 0.1, 0.1, op="serving/publish",
+                             iteration=3, value=2.0))
+        with pytest.raises(InvariantViolation, match="older"):
+            check_serving_publish_monotone(trace)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: an attached serving tier never perturbs training
+# ---------------------------------------------------------------------------
+
+
+def _spec(backend="threads"):
+    train, test = make_mnist_like(n_train=256, n_test=128, seed=31, difficulty=0.8)
+    return ExperimentSpec(
+        train_set=train, test_set=test,
+        model_builder=lambda: build_mlp(seed=3), num_gpus=4,
+        config=TrainerConfig(batch_size=16, seed=0, backend=backend),
+    ).normalize()
+
+
+def _trajectory(result):
+    return [(r.iteration, r.sim_time, r.train_loss, r.test_accuracy)
+            for r in result.records]
+
+
+def _train_with_live_serving(backend, method="sync-easgd3", iterations=8):
+    """Train with a snapshotter attached AND a front-end actively serving
+    micro-batched traffic (closed loop) for the whole run."""
+    spec = _spec(backend)
+    replica = build_mlp(seed=99)  # the serving tier's own weight copy
+    snap = ModelSnapshotter(replica.num_params)
+    outcome = {}
+
+    def train_main():
+        try:
+            outcome["result"] = run_method(spec, method, iterations=iterations,
+                                           snapshotter=snap)
+        except BaseException as exc:  # pragma: no cover - ferried to assert
+            outcome["error"] = exc
+
+    th = threading.Thread(target=train_main)
+    th.start()
+    while snap.buffer.version == 0 and th.is_alive():
+        time.sleep(0.001)
+    served = 0
+    if snap.buffer.version > 0:
+        fe = ServingFrontend.for_network(replica, snap.reader(),
+                                         batch_cap=4, max_wait=0.001).start()
+        gen = ClosedLoopLoadGen(clients=2, requests_per_client=10,
+                                think_mean=0.0005, seed=1)
+        x = spec.test_set.images
+        done = gen.run(fe, lambda i: x[i % len(x)])
+        fe.stop()
+        served = len(done)
+    th.join()
+    if "error" in outcome:
+        raise outcome["error"]
+    snap.close()
+    return outcome["result"], served
+
+
+class TestBitIdentity:
+    def test_threads_backend_trajectory_unchanged(self):
+        baseline = run_method(_spec("threads"), "sync-easgd3", iterations=8)
+        result, served = _train_with_live_serving("threads")
+        assert served > 0
+        assert _trajectory(result) == _trajectory(baseline)
+
+    @pytest.mark.mp
+    def test_processes_backend_trajectory_unchanged(self):
+        if not fork_available():
+            pytest.skip("needs the fork start method")
+        baseline = run_method(_spec("processes"), "sync-easgd3", iterations=6)
+        result, served = _train_with_live_serving("processes", iterations=6)
+        assert served > 0
+        assert _trajectory(result) == _trajectory(baseline)
+
+    def test_eval_path_reads_through_the_guard(self):
+        """With a snapshotter attached, the eval path reads the seqlock
+        copy, not the live reference — and gets identical bits."""
+        from repro.engine.pipeline import StepPipeline
+
+        spec = _spec("threads")
+        snap = ModelSnapshotter(build_mlp(seed=3).num_params)
+        from repro.algorithms.registry import make_trainer
+
+        trainer = make_trainer("sync-easgd3", spec.model_builder(),
+                               spec.train_set, spec.test_set,
+                               spec.make_platform(), spec.config, None)
+        pipeline = StepPipeline(trainer, trainer.make_step(), snapshotter=snap)
+        result = pipeline.run(4)
+        assert result.records
+        # The publish for the final step tags the buffer with it, and the
+        # guarded view returns those exact bits.
+        assert snap.buffer.step == 4
+        view = pipeline.eval_view(4)
+        direct = pipeline.strategy.eval_params()
+        assert view is not direct
+        assert np.array_equal(view, np.asarray(direct, dtype=np.float32))
+        snap.close()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: open-loop load against a live training run (threads)
+# ---------------------------------------------------------------------------
+
+
+class TestEndToEnd:
+    def test_open_loop_serving_with_trace_invariants(self):
+        spec = _spec("threads")
+        replica = build_mlp(seed=7)
+        trace = Trace(meta={"pattern": "serving", "batch_cap": 4,
+                            "max_staleness_steps": None, "publish_every": 1})
+        snap = ModelSnapshotter(replica.num_params, trace=trace)
+        outcome = {}
+
+        def train_main():
+            outcome["result"] = run_method(spec, "sync-easgd3", iterations=8,
+                                           snapshotter=snap)
+
+        th = threading.Thread(target=train_main)
+        th.start()
+        while snap.buffer.version == 0 and th.is_alive():
+            time.sleep(0.001)
+        fe = ServingFrontend.for_network(replica, snap.reader(), batch_cap=4,
+                                         max_wait=0.001, trace=trace).start()
+        arrivals = poisson_arrivals(30, rate=2000.0, seed=2)
+        reqs = OpenLoopLoadGen(arrivals).run(
+            fe, lambda i: spec.test_set.images[i % len(spec.test_set.images)]
+        )
+        th.join()
+        fe.stop()
+        assert all(r.done and r.result is not None for r in reqs)
+        assert all(r.step >= 1 for r in reqs)
+        ran = check_all(trace)
+        assert "serving-no-overlap" in ran and "serving-batch-cap" in ran
+        stats = fe.stats()
+        assert stats.served == 30 and stats.p99_latency >= stats.p50_latency
+        snap.close()
