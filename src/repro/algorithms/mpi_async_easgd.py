@@ -29,7 +29,7 @@ master must never mutate it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -151,6 +151,7 @@ def run_mpi_async_easgd(
     trace: Optional[Trace] = None,
     backend: str = "threads",
     transport: Optional[str] = None,
+    pool: Optional[Any] = None,
 ) -> MpiAsyncEasgdResult:
     """Run Async EASGD across ``ranks`` real threads or processes.
 
@@ -158,7 +159,9 @@ def run_mpi_async_easgd(
     round-robin service makes the schedule deterministic, so the returned
     weights are bit-identical across backends and transports for a fixed
     seed. ``transport`` picks the process backend's byte path (``"shm"``
-    or ``"queue"``; ``None`` = backend default).
+    or ``"queue"``; ``None`` = backend default). ``pool`` dispatches the
+    process backend to a persistent :class:`repro.pool.WorkerPool`
+    instead of forking per call (amortized spin-up, identical bits).
     """
     if iterations <= 0:
         raise ValueError("iterations must be positive")
@@ -172,7 +175,8 @@ def run_mpi_async_easgd(
         trace.meta.setdefault("lock_free", False)
         trace.meta.setdefault("service", "round-robin")
     comm = make_communicator(
-        ranks, backend=backend, timeout=timeout, trace=trace, transport=transport
+        ranks, backend=backend, timeout=timeout, trace=trace, transport=transport,
+        pool=pool,
     )
     try:
         results = comm.run(

@@ -17,7 +17,7 @@ and ``processes``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -103,6 +103,7 @@ def run_mpi_sync_sgd(
     collective: str = "tree",
     wire_dtype: str = "float32",
     chunk_elems: Optional[int] = None,
+    pool: Optional[Any] = None,
 ) -> MpiSgdResult:
     """Run synchronous data-parallel SGD across ``ranks`` real workers.
 
@@ -113,6 +114,8 @@ def run_mpi_sync_sgd(
     the on-fabric bytes but rounds them (approximate weights);
     ``chunk_elems`` pipelines the tree reduce's edges in fixed-size
     chunks (bit-exact, but no longer one packed message per edge).
+    ``pool`` dispatches the process backend to a persistent
+    :class:`repro.pool.WorkerPool` instead of forking per call.
     """
     if iterations <= 0:
         raise ValueError("iterations must be positive")
@@ -130,6 +133,7 @@ def run_mpi_sync_sgd(
     comm = make_communicator(
         ranks, backend=backend, timeout=timeout, trace=trace, transport=transport,
         collective=collective, wire_dtype=wire_dtype, chunk_elems=chunk_elems,
+        pool=pool,
     )
     try:
         results = comm.run(

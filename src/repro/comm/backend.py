@@ -58,10 +58,17 @@ def make_communicator(size: int, backend: str = "threads", **kwargs: Any):
     both are shared knobs, honoured identically by either backend. The
     process-only tuning knobs are meaningless for threads and are dropped
     rather than rejected, so one call site can serve both backends.
+
+    ``pool`` (a :class:`repro.pool.WorkerPool`) attaches the process
+    backend to persistent pre-forked workers: ``run`` then dispatches to
+    the pool instead of forking per call — amortized spin-up, identical
+    numerics. Threads spin up cheaply, so the knob is dropped there.
     """
     validate_backend(backend)
     if kwargs.get("transport", "") is None:
         kwargs.pop("transport")  # None = the backend's own default
+    if kwargs.get("pool", "") is None:
+        kwargs.pop("pool")
     if backend == "processes":
         if not fork_available():  # pragma: no cover - POSIX always has fork
             raise RuntimeError(
@@ -73,4 +80,5 @@ def make_communicator(size: int, backend: str = "threads", **kwargs: Any):
     kwargs.pop("shm_slots", None)
     kwargs.pop("shm_min_bytes", None)
     kwargs.pop("pin_cpus", None)
+    kwargs.pop("pool", None)
     return InProcessCommunicator(size, **kwargs)

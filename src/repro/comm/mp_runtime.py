@@ -93,6 +93,8 @@ __all__ = [
     "RemoteRankError",
     "MpRankContext",
     "MultiprocessCommunicator",
+    "run_rank_program",
+    "emit_transport_marks",
 ]
 
 #: Extra parent-side patience beyond the rank timeout before declaring a
@@ -230,6 +232,43 @@ def _shippable_exception(rank: int, exc: BaseException) -> BaseException:
         return RemoteRankError(rank, f"rank {rank} failed with unpicklable {exc!r}")
 
 
+def run_rank_program(
+    ctx: "MpRankContext", fn: Callable[..., Any], args: Tuple[Any, ...]
+) -> Tuple[str, Any]:
+    """Run ``fn(ctx, *args)`` and normalize the outcome for shipping.
+
+    Returns ``("ok", result)`` or ``("err", exception)`` where the
+    exception is guaranteed to survive the queue back to the parent — the
+    one rank-execution contract shared by the one-shot fork path and the
+    persistent :class:`repro.pool.WorkerPool` dispatch loop.
+    """
+    status: str = "ok"
+    payload: Any = None
+    try:
+        payload = fn(ctx, *args)
+        try:
+            pickle.dumps(payload)
+        except Exception as exc:
+            # A silently-dying queue feeder thread would otherwise turn
+            # an unpicklable result into a phantom crash.
+            status, payload = "err", RemoteRankError(
+                ctx.rank, f"rank {ctx.rank} returned an unpicklable result: {exc}"
+            )
+    except BaseException as exc:
+        status, payload = "err", _shippable_exception(ctx.rank, exc)
+    return status, payload
+
+
+def emit_transport_marks(ctx: "MpRankContext", tstats: Dict[str, int]) -> None:
+    """One instant mark per transport counter: bytes-on-wire vs
+    bytes-copied become first-class trace facts."""
+    if ctx.trace is None:
+        return
+    now = ctx._elapsed()
+    for key, val in tstats.items():
+        ctx.trace.span("mark", ctx.rank, now, now, op=f"transport/{key}", value=float(val))
+
+
 class MpRankContext(RankContextBase):
     """One rank's view of the multiprocess communicator.
 
@@ -263,6 +302,7 @@ class MpRankContext(RankContextBase):
         wire_dtype: str = "float32",
         chunk_elems: Optional[int] = None,
         coll_prefix: Optional[str] = None,
+        arena_cache: Optional[Dict[str, CollectiveArena]] = None,
     ) -> None:
         self.size = size
         self.timeout = timeout
@@ -281,6 +321,12 @@ class MpRankContext(RankContextBase):
         #: Collective arenas keyed by (tag, elems); shared across ranks by
         #: name, created lazily on the first ring allreduce of that shape.
         self._arenas: Dict[Tuple[int, int], CollectiveArena] = {}
+        #: Cross-cell arena reuse (the pool path): a by-name cache owned
+        #: by the long-lived worker, consulted before creating a segment.
+        #: Cached arenas outlive this context — ``arena_names`` and
+        #: ``close_arenas`` then leave them alone (the pool unlinks at
+        #: shutdown), so consecutive cells recycle one mapping.
+        self._arena_cache = arena_cache
         #: Receiver-side seq counters for manually-emitted arena trace
         #: events (mirrors the sender's ``_next_seq`` discipline).
         self._recv_seq: Dict[Tuple[int, int], int] = {}
@@ -380,20 +426,34 @@ class MpRankContext(RankContextBase):
         arena = self._arenas.get(key)
         if arena is None:
             name = f"{self._coll_prefix}-t{tag}-n{elems}"
-            arena = CollectiveArena.create_or_attach(
-                name, self.size, elems, self.wire_dtype, timeout=self.timeout
-            )
+            cache = self._arena_cache
+            if cache is not None:
+                arena = cache.get(name)
+            if arena is None:
+                arena = CollectiveArena.create_or_attach(
+                    name, self.size, elems, self.wire_dtype, timeout=self.timeout
+                )
+                if cache is not None:
+                    cache[name] = arena
             self._arenas[key] = arena
         return arena
 
     def arena_names(self) -> List[str]:
-        """Arena segment names this rank mapped (for parent-side unlink)."""
+        """Arena segment names this rank mapped (for parent-side unlink).
+
+        Empty under an arena cache: cached mappings belong to the pool
+        worker and must survive this cell."""
+        if self._arena_cache is not None:
+            return []
         return [arena.name for arena in self._arenas.values()]
 
     def close_arenas(self) -> None:
-        """Drop this rank's arena mappings (the parent unlinks by name)."""
-        for arena in self._arenas.values():
-            arena.close()
+        """Drop this rank's arena mappings (the parent unlinks by name).
+
+        No-op under an arena cache — the pool recycles the mappings."""
+        if self._arena_cache is None:
+            for arena in self._arenas.values():
+                arena.close()
         self._arenas.clear()
 
     def _next_recv_seq(self, source: int, tag: int) -> int:
@@ -561,6 +621,7 @@ class MultiprocessCommunicator:
         wire_dtype: str = "float32",
         chunk_elems: Optional[int] = None,
         pin_cpus: Any = "auto",
+        pool: Optional[Any] = None,
     ) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
@@ -617,6 +678,20 @@ class MultiprocessCommunicator:
             trace.meta.setdefault("collective", collective)
             trace.meta.setdefault("wire_dtype", wire_dtype)
         self.fault_log = FaultLog()
+        #: The reuse path: when a :class:`repro.pool.WorkerPool` is
+        #: attached, ``run`` dispatches the rank program to its long-lived
+        #: forked workers (amortized fork, recycled slot rings and
+        #: collective arenas) instead of forking fresh ranks per call.
+        #: Numerics are identical by construction — the pool workers run
+        #: the same :class:`MpRankContext` code over the same fabric.
+        self._pool = pool
+        if pool is not None:
+            if size > pool.size:
+                raise ValueError(
+                    f"cell needs {size} ranks but the pool holds only {pool.size}"
+                )
+            if pool.backend != "processes":
+                raise ValueError("MultiprocessCommunicator requires a processes pool")
         self._mp = multiprocessing.get_context("fork")
         self._start = time.monotonic()
 
@@ -647,7 +722,14 @@ class MultiprocessCommunicator:
         state work; nothing is pickled on the way *in*. Return values
         travel back pickled; a rank whose result cannot be pickled fails
         with a :class:`RemoteRankError`.
+
+        With an attached pool the call is dispatched to its persistent
+        workers instead (``fn`` must then be a module-level function and
+        ``args`` picklable — fork inheritance does not apply to work
+        items submitted after the pool forked).
         """
+        if self._pool is not None:
+            return self._run_pooled(fn, args)
         if self.transport == "shm":
             # Spawn the resource tracker *before* forking: children then
             # inherit one shared tracker, so their ring registrations are
@@ -690,35 +772,14 @@ class MultiprocessCommunicator:
                 wire_dtype=self.wire_dtype, chunk_elems=self.chunk_elems,
                 coll_prefix=coll_prefix,
             )
-            status: str = "ok"
-            payload: Any = None
-            try:
-                payload = fn(ctx, *args)
-                try:
-                    pickle.dumps(payload)
-                except Exception as exc:
-                    # A silently-dying queue feeder thread would otherwise
-                    # turn an unpicklable result into a phantom crash.
-                    status, payload = "err", RemoteRankError(
-                        rank, f"rank {rank} returned an unpicklable result: {exc}"
-                    )
-            except BaseException as exc:
-                status, payload = "err", _shippable_exception(rank, exc)
+            status, payload = run_rank_program(ctx, fn, args)
             ring_names: List[str] = ctx.arena_names()
             ctx.close_arenas()
             tstats: Dict[str, int] = {}
             if transport is not None:
                 ring_names += transport.ring_names()
                 tstats = dict(transport.stats)
-                if ctx.trace is not None:
-                    # One instant mark per counter: bytes-on-wire vs
-                    # bytes-copied become first-class trace facts.
-                    now = ctx._elapsed()
-                    for key, val in tstats.items():
-                        ctx.trace.span(
-                            "mark", rank, now, now,
-                            op=f"transport/{key}", value=float(val),
-                        )
+                emit_transport_marks(ctx, tstats)
                 # Close mappings only — the parent unlinks by name after
                 # the run, so in-flight descriptors stay attachable.
                 transport.close()
@@ -820,3 +881,36 @@ class MultiprocessCommunicator:
         if failures:
             raise MultiRankError.aggregate(sorted(failures, key=lambda f: f[0]))
         return results
+
+    def _run_pooled(self, fn: Callable[..., Any], args: Tuple[Any, ...]) -> List[Any]:
+        """Dispatch the rank program to the attached persistent pool.
+
+        Same observable surface as the fork path: traces and fault
+        records merge into this communicator (timestamped against *this*
+        communicator's epoch, which the workers honour per job), transport
+        counters land in ``transport_stats``, and failures aggregate into
+        the identical :class:`MultiRankError` shape.
+        """
+        job = self._pool.submit(
+            self.size, fn, *args,
+            tracing=self.trace is not None,
+            faults=self.faults,
+            timeout=self.timeout,
+            max_retries=self.max_retries,
+            retry_backoff=self.retry_backoff,
+            transport=self.transport,
+            collective=self.collective,
+            wire_dtype=self.wire_dtype,
+            chunk_elems=self.chunk_elems,
+            start_time=self._start,
+        )
+        job.wait()
+        self.transport_stats = dict(job.transport_stats)
+        if self.trace is not None:
+            for ev in sorted(job.events, key=lambda e: (e.t0, e.t1, e.rank)):
+                self.trace.add(ev)
+        for rec in sorted(job.records, key=lambda r: r.time):
+            self.fault_log.record(rec.time, rec.kind, rec.subject, rec.detail)
+        if job.failures:
+            raise MultiRankError.aggregate(sorted(job.failures, key=lambda f: f[0]))
+        return list(job.results)

@@ -17,6 +17,10 @@ Commands
 ``serve``
     Train one method while a serving front-end answers inference traffic
     from the freshest published center weights (see ``docs/serving.md``).
+``sweep``
+    Run one method over a hyperparameter grid, optionally multiplexed
+    over a persistent worker pool (``--pool``/``--pool-size``) so fork
+    and shm spin-up is paid once per worker instead of once per cell.
 """
 
 from __future__ import annotations
@@ -233,6 +237,44 @@ def _build_parser() -> argparse.ArgumentParser:
                             "invariants (.jsonl -> archive; else Chrome JSON)")
     serve.add_argument("--json", metavar="PATH", default=None,
                        help="write serve stats + trajectory to a JSON file")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run one method over a hyperparameter grid (optionally pooled)",
+    )
+    sweep.add_argument("--method", required=True, choices=sorted(ALGORITHMS))
+    sweep.add_argument("--grid", required=True, metavar="SPEC",
+                       help="grid axes over TrainerConfig fields, e.g. "
+                            "'lr=0.01,0.03;rho=1.5,3.0'")
+    sweep.add_argument("--iterations", type=int, default=100)
+    sweep.add_argument("--dataset", default="mnist", choices=sorted(_DATASETS))
+    sweep.add_argument("--model", default="mlp", choices=sorted(_MODELS))
+    sweep.add_argument("--gpus", type=int, default=4)
+    sweep.add_argument("--batch-size", type=int, default=32)
+    sweep.add_argument("--lr", type=float, default=0.03)
+    sweep.add_argument("--rho", type=float, default=2.0)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--train-samples", type=int, default=1024)
+    sweep.add_argument("--difficulty", type=float, default=1.2)
+    sweep.add_argument("--backend", default="processes", choices=BACKENDS,
+                       help="pool worker substrate (only used with --pool)")
+    sweep.add_argument("--pool", action="store_true",
+                       help="multiplex the cells over a persistent worker "
+                            "pool instead of running them inline — same "
+                            "numerics, amortized spin-up")
+    sweep.add_argument("--pool-size", type=int, default=None, metavar="P",
+                       help="worker count for --pool (default: one per cell, "
+                            "capped by the CPU count); implies --pool")
+    sweep.add_argument("--checkpoint-root", metavar="DIR", default=None,
+                       help="make the sweep preemptible: finished cells "
+                            "leave done-markers here and running cells "
+                            "checkpoint under DIR/cells/<key>, so a killed "
+                            "sweep resumes instead of recomputing")
+    sweep.add_argument("--target", type=float, default=None,
+                       help="rank the grid by time-to-this-accuracy instead "
+                            "of final accuracy")
+    sweep.add_argument("--json", metavar="PATH", default=None,
+                       help="write the sweep points to a JSON file")
     return parser
 
 
@@ -599,6 +641,127 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid(spec_text: str, config: TrainerConfig):
+    """Parse ``'lr=0.01,0.03;rho=1.5,3.0'`` into a grid dict.
+
+    Values are coerced to the type of the named :class:`TrainerConfig`
+    field (``batch_size=16,32`` stays int, ``lr=...`` becomes float).
+    """
+    grid: dict = {}
+    for axis in spec_text.split(";"):
+        axis = axis.strip()
+        if not axis:
+            continue
+        name, eq, values = axis.partition("=")
+        name = name.strip()
+        if not eq:
+            raise ValueError(f"grid axis {axis!r} needs name=v1,v2,...")
+        if not hasattr(config, name):
+            raise ValueError(f"unknown TrainerConfig field {name!r}")
+        current = getattr(config, name)
+        cast = int if isinstance(current, int) and not isinstance(current, bool) else float
+        try:
+            grid[name] = [cast(v) for v in values.split(",") if v.strip()]
+        except ValueError:
+            raise ValueError(f"grid axis {name!r}: could not parse {values!r}")
+        if not grid[name]:
+            raise ValueError(f"grid axis {name!r} has no values")
+    if not grid:
+        raise ValueError("empty grid")
+    return grid
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.harness.sweeps import best_point, grid_sweep
+
+    train, test = _DATASETS[args.dataset](
+        n_train=args.train_samples,
+        n_test=max(args.train_samples // 4, 256),
+        seed=args.seed,
+        difficulty=args.difficulty,
+    )
+    builder = _MODELS[args.model]
+    if args.dataset == "cifar" and args.model in ("mlp", "lenet"):
+        spec_builder = lambda: builder(input_shape=(3, 32, 32), seed=args.seed)  # noqa: E731
+    else:
+        spec_builder = lambda: builder(seed=args.seed)  # noqa: E731
+    config = TrainerConfig(batch_size=args.batch_size, lr=args.lr,
+                           rho=args.rho, seed=args.seed)
+    try:
+        grid = _parse_grid(args.grid, config)
+    except ValueError as exc:
+        print(f"invalid --grid spec: {exc}", file=sys.stderr)
+        return 2
+    spec = ExperimentSpec(
+        train_set=train, test_set=test, model_builder=spec_builder,
+        num_gpus=args.gpus, config=config,
+    ).normalize()
+
+    n_cells = 1
+    for values in grid.values():
+        n_cells *= len(values)
+    pooled = args.pool or args.pool_size is not None
+    pool_size = None
+    if pooled:
+        pool_size = args.pool_size or min(n_cells, os.cpu_count() or 4, 8)
+        if pool_size < 1:
+            print("--pool-size must be >= 1", file=sys.stderr)
+            return 2
+    points = grid_sweep(
+        spec, args.method, grid, args.iterations,
+        pool_size=pool_size, backend=args.backend,
+        checkpoint_root=args.checkpoint_root,
+    )
+
+    axes = sorted(grid)
+    header = tuple(axes) + ("accuracy", "wall s", "spinup s")
+    rows = [
+        tuple(f"{p.params[k]:g}" for k in axes)
+        + (f"{p.final_accuracy:.3f}", f"{p.wall_time:.2f}", f"{p.spinup_time:.2f}")
+        for p in points
+    ]
+    widths = [max(len(r[i]) for r in [header] + rows) for i in range(len(header))]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    total_wall = sum(p.wall_time for p in points)
+    total_spin = sum(p.spinup_time for p in points)
+    mode = f"pooled over {pool_size} workers" if pooled else "inline"
+    print(f"\n{n_cells} cells ({mode}): {total_wall:.2f} s wall, "
+          f"{total_spin:.2f} s spin-up")
+    best = best_point(points, target=args.target)
+    label = ", ".join(f"{k}={best.params[k]:g}" for k in axes)
+    if args.target is not None:
+        t = best.time_to(args.target)
+        reach = f"reaches {args.target:.3f} in {t:.3f} s" if t is not None \
+            else f"never reaches {args.target:.3f}"
+        print(f"best: {label} ({reach})")
+    else:
+        print(f"best: {label} (accuracy {best.final_accuracy:.3f})")
+    if args.json:
+        import json
+
+        payload = {
+            "method": args.method, "iterations": args.iterations,
+            "grid": {k: list(v) for k, v in grid.items()},
+            "pooled": pooled, "pool_size": pool_size,
+            "points": [
+                {
+                    "params": p.params, "final_accuracy": p.final_accuracy,
+                    "wall_time": p.wall_time, "spinup_time": p.spinup_time,
+                }
+                for p in points
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"sweep written to {args.json}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro``."""
     args = _build_parser().parse_args(argv)
@@ -619,6 +782,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_knl(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
     except BrokenPipeError:  # e.g. `repro list | head` — not an error
         return 0
     raise AssertionError("unreachable")

@@ -20,7 +20,7 @@ from repro.data.dataset import Dataset
 from repro.data.normalize import standardize, standardize_like
 from repro.nn.network import Network
 
-__all__ = ["ExperimentSpec", "run_method", "run_methods"]
+__all__ = ["ExperimentSpec", "build_trainer", "run_method", "run_methods"]
 
 
 @dataclass
@@ -53,6 +53,25 @@ class ExperimentSpec:
         )
 
 
+def build_trainer(spec: ExperimentSpec, method: str, **trainer_kwargs):
+    """Instantiate the trainer for ``method`` from the frozen spec.
+
+    The spin-up half of :func:`run_method`: fresh model, fresh platform
+    (identical jitter streams), shared datasets. Split out so sweep
+    drivers can time construction separately from the training loop.
+    """
+    return make_trainer(
+        method,
+        spec.model_builder(),
+        spec.train_set,
+        spec.test_set,
+        spec.make_platform(),
+        spec.config,
+        spec.cost_model,
+        **trainer_kwargs,
+    )
+
+
 def run_method(
     spec: ExperimentSpec,
     method: str,
@@ -75,21 +94,25 @@ def run_method(
         raise ValueError("pass exactly one of iterations / target_accuracy")
     if snapshotter is not None and iterations is None:
         raise ValueError("snapshotter requires a fixed-length run")
-    trainer = make_trainer(
-        method,
-        spec.model_builder(),
-        spec.train_set,
-        spec.test_set,
-        spec.make_platform(),
-        spec.config,
-        spec.cost_model,
-        **trainer_kwargs,
-    )
+    trainer = build_trainer(spec, method, **trainer_kwargs)
     if iterations is not None:
         return trainer.train(iterations, resume=resume, snapshotter=snapshotter)
     if resume:
         raise ValueError("resume is only supported with fixed-length runs")
     return trainer.train_to_accuracy(target_accuracy, max_iterations)
+
+
+def _method_cell_main(
+    ctx,
+    spec: ExperimentSpec,
+    method: str,
+    iterations: Optional[int],
+    target_accuracy: Optional[float],
+    max_iterations: int,
+) -> RunResult:
+    """One method comparison as a 1-rank pool cell (``ctx`` unused: the
+    registered trainers are engine-driven, not message-passing)."""
+    return run_method(spec, method, iterations, target_accuracy, max_iterations)
 
 
 def run_methods(
@@ -98,9 +121,33 @@ def run_methods(
     iterations: Optional[int] = None,
     target_accuracy: Optional[float] = None,
     max_iterations: int = 20_000,
+    pool=None,
 ) -> Dict[str, RunResult]:
-    """Run several methods under identical conditions; keyed by method name."""
-    return {
-        m: run_method(spec, m, iterations, target_accuracy, max_iterations)
+    """Run several methods under identical conditions; keyed by method name.
+
+    ``pool`` (a :class:`repro.pool.WorkerPool`) runs the methods as
+    concurrent 1-rank cells over the shared workers instead of
+    sequentially — same per-method numerics (each cell builds its own
+    trainer from the frozen spec), sweep-level wall-clock only. Create
+    the pool with ``payload=spec`` *after* ``spec.normalize()`` so the
+    datasets ride fork inheritance instead of the dispatch pipe.
+    """
+    methods = list(methods)
+    if pool is None:
+        return {
+            m: run_method(spec, m, iterations, target_accuracy, max_iterations)
+            for m in methods
+        }
+    from repro.pool import POOL_PAYLOAD, SweepCell, SweepScheduler
+
+    spec_ref = POOL_PAYLOAD if pool.payload is spec else spec
+    cells = [
+        SweepCell(
+            key=f"method-{m}",
+            fn=_method_cell_main,
+            args=(spec_ref, m, iterations, target_accuracy, max_iterations),
+        )
         for m in methods
-    }
+    ]
+    outcomes = SweepScheduler(pool).run(cells)
+    return {m: outcome.result for m, outcome in zip(methods, outcomes)}

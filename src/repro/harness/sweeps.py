@@ -5,16 +5,28 @@ is extremely time-consuming" (Section 1) — that is exactly why the
 Θ(log P) Sync EASGD matters. This module runs a grid of (lr, rho, ...)
 configurations through one method under the fair-comparison protocol and
 ranks the outcomes.
+
+Two execution disciplines share one entry point:
+
+- **inline** (the default): every grid cell builds and trains its
+  trainer in this process, sequentially — the cold baseline.
+- **pooled** (``pool=`` or ``pool_size=``): cells become 1-rank
+  :class:`repro.pool.SweepCell` units multiplexed over a persistent
+  :class:`repro.pool.WorkerPool` by a :class:`repro.pool.SweepScheduler`
+  — spin-up (fork, shm arenas, trainer construction) is paid once per
+  worker instead of once per cell, with bit-identical per-cell results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.algorithms.base import RunResult, TrainerConfig
-from repro.harness.experiment import ExperimentSpec, run_method
+from repro.algorithms.base import RunResult
+from repro.harness.experiment import ExperimentSpec, build_trainer
 
 __all__ = ["SweepPoint", "grid_sweep", "best_point"]
 
@@ -25,6 +37,11 @@ class SweepPoint:
 
     params: Dict[str, float]
     result: RunResult
+    #: Wall seconds from cell dispatch to completion (build + train).
+    wall_time: float = 0.0
+    #: Seconds of pure spin-up inside ``wall_time``: dispatch/fork latency
+    #: plus trainer construction — the share a persistent pool amortizes.
+    spinup_time: float = 0.0
 
     @property
     def final_accuracy(self) -> float:
@@ -34,17 +51,83 @@ class SweepPoint:
         return self.result.time_to_accuracy(target)
 
 
+def _cell_key(params: Dict[str, Any]) -> str:
+    """A stable, human-readable identity for one grid cell."""
+    return ",".join(f"{k}={params[k]}" for k in sorted(params))
+
+
+def _swept_spec(spec: ExperimentSpec, params: Dict[str, Any]) -> ExperimentSpec:
+    return ExperimentSpec(
+        train_set=spec.train_set,
+        test_set=spec.test_set,
+        model_builder=spec.model_builder,
+        num_gpus=spec.num_gpus,
+        config=replace(spec.config, **params),
+        cost_model=spec.cost_model,
+        jitter_sigma=spec.jitter_sigma,
+        normalized=True,  # shares the (already normalized) arrays
+    )
+
+
+def _sweep_cell_main(
+    ctx: Any,
+    spec: ExperimentSpec,
+    method: str,
+    params: Dict[str, Any],
+    iterations: int,
+    checkpoint_root: Optional[str],
+) -> Tuple[float, RunResult]:
+    """One grid cell as a 1-rank pool program: build, maybe resume, train.
+
+    Returns ``(build_seconds, result)`` so the driver can fold trainer
+    construction into the cell's spin-up share. ``checkpoint_root``
+    threads PR 6 durability through the sweep: the cell checkpoints under
+    ``<root>/cells/<key>`` and resumes from the newest version there, so
+    a preempted sweep re-run only pays the unfinished tail of each cell.
+    """
+    swept = _swept_spec(spec, params)
+    resume = False
+    if checkpoint_root is not None:
+        cell_dir = os.path.join(checkpoint_root, "cells", _cell_key(params))
+        every = swept.config.checkpoint_every or max(1, iterations // 4)
+        swept.config = replace(
+            swept.config, checkpoint_every=every, checkpoint_dir=cell_dir
+        )
+        from repro.durability.checkpoint import list_versions
+
+        resume = os.path.isdir(cell_dir) and bool(list_versions(cell_dir))
+    t0 = time.monotonic()
+    trainer = build_trainer(swept, method)
+    build_s = time.monotonic() - t0
+    return build_s, trainer.train(iterations, resume=resume)
+
+
 def grid_sweep(
     spec: ExperimentSpec,
     method: str,
     grid: Dict[str, Sequence[float]],
     iterations: int,
+    *,
+    pool: Optional[Any] = None,
+    pool_size: Optional[int] = None,
+    backend: str = "processes",
+    checkpoint_root: Optional[str] = None,
+    timeout: Optional[float] = None,
 ) -> List[SweepPoint]:
     """Run ``method`` at every point of the cartesian ``grid``.
 
     ``grid`` keys must be :class:`TrainerConfig` fields (``lr``, ``rho``,
     ``mu``, ``batch_size``, ...). Each point gets a fresh model and
     platform (identical seeds), so only the swept values differ.
+
+    ``pool`` multiplexes the cells over an existing
+    :class:`repro.pool.WorkerPool`; ``pool_size`` creates (and closes) a
+    dedicated pool of that many ``backend`` workers for this call. Either
+    way the per-cell numerics are bit-identical to the inline path — the
+    pool only changes who pays spin-up. ``checkpoint_root`` makes the
+    sweep preemptible: finished cells leave done-markers and running
+    cells checkpoint under ``<root>/cells/<key>``, so a killed sweep
+    resumes instead of recomputing.
     """
     if not grid:
         raise ValueError("grid must contain at least one axis")
@@ -53,23 +136,80 @@ def grid_sweep(
             raise KeyError(f"unknown TrainerConfig field {key!r}")
     if any(len(values) == 0 for values in grid.values()):
         raise ValueError("every grid axis needs at least one value")
+    if pool is not None and pool_size is not None:
+        raise ValueError("pass pool or pool_size, not both")
 
     keys = sorted(grid)
-    points: List[SweepPoint] = []
-    for combo in itertools.product(*(grid[k] for k in keys)):
-        params = dict(zip(keys, combo))
-        swept = ExperimentSpec(
-            train_set=spec.train_set,
-            test_set=spec.test_set,
-            model_builder=spec.model_builder,
-            num_gpus=spec.num_gpus,
-            config=replace(spec.config, **params),
-            cost_model=spec.cost_model,
-            jitter_sigma=spec.jitter_sigma,
-            normalized=True,  # shares the (already normalized) arrays
+    cells_params = [
+        dict(zip(keys, combo))
+        for combo in itertools.product(*(grid[k] for k in keys))
+    ]
+    if pool is not None or pool_size is not None:
+        return _grid_sweep_pooled(
+            spec, method, cells_params, iterations,
+            pool=pool, pool_size=pool_size, backend=backend,
+            checkpoint_root=checkpoint_root, timeout=timeout,
         )
-        result = run_method(swept, method, iterations=iterations)
-        points.append(SweepPoint(params=params, result=result))
+
+    points: List[SweepPoint] = []
+    for params in cells_params:
+        t_submit = time.monotonic()
+        build_s, result = _sweep_cell_main(
+            None, spec, method, params, iterations, checkpoint_root
+        )
+        wall = time.monotonic() - t_submit
+        points.append(SweepPoint(
+            params=params, result=result, wall_time=wall, spinup_time=build_s,
+        ))
+    return points
+
+
+def _grid_sweep_pooled(
+    spec: ExperimentSpec,
+    method: str,
+    cells_params: List[Dict[str, Any]],
+    iterations: int,
+    pool: Optional[Any],
+    pool_size: Optional[int],
+    backend: str,
+    checkpoint_root: Optional[str],
+    timeout: Optional[float],
+) -> List[SweepPoint]:
+    from repro.comm.runtime import _DEFAULT_TIMEOUT
+    from repro.pool import POOL_PAYLOAD, SweepCell, SweepScheduler, WorkerPool
+
+    owned = pool is None
+    pool_obj = pool if pool is not None else WorkerPool(
+        pool_size, backend=backend, payload=spec
+    )
+    try:
+        # Ship the (large) spec through fork inheritance when the pool
+        # was built around it; over the dispatch pipe otherwise.
+        spec_ref = POOL_PAYLOAD if pool_obj.payload is spec else spec
+        sched = SweepScheduler(
+            pool_obj,
+            timeout=timeout if timeout is not None else _DEFAULT_TIMEOUT,
+            checkpoint_root=checkpoint_root,
+        )
+        cells = [
+            SweepCell(
+                key=_cell_key(params),
+                fn=_sweep_cell_main,
+                args=(spec_ref, method, params, iterations, checkpoint_root),
+            )
+            for params in cells_params
+        ]
+        outcomes = sched.run(cells)
+    finally:
+        if owned:
+            pool_obj.close()
+    points: List[SweepPoint] = []
+    for params, outcome in zip(cells_params, outcomes):
+        build_s, result = outcome.result
+        points.append(SweepPoint(
+            params=params, result=result, wall_time=outcome.wall_time,
+            spinup_time=outcome.spinup_time + build_s,
+        ))
     return points
 
 

@@ -1,0 +1,674 @@
+"""Persistent worker pool: fork once, run many experiment cells.
+
+Every sweep the harness runs today pays the full process spin-up bill per
+cell: fork ``P`` ranks, build queues, create shm slot rings and
+collective arenas, tear it all down, repeat.  For the paper's headline
+workloads — Table 4 weak scaling, Fig 6 pairwise comparisons, the
+Sec 7.2 batch-size study — the per-cell compute is small enough that
+spin-up dominates CI wall-clock.  :class:`WorkerPool` is the same
+amortization idea as the paper's packed single-buffer codesign: pay setup
+once, reuse it on every round.
+
+Design:
+
+- ``P_max`` rank processes are **forked at construction** (after
+  :func:`~repro.comm.shm_lifecycle.reap_stale_segments` and
+  :func:`~repro.comm.shm_lifecycle.adopt_owner_pid`, so debris from
+  killed runs is cleared and every segment the pool tree creates carries
+  the pool parent's pid).  Each worker owns a persistent message inbox
+  (the fabric), a persistent :class:`~repro.comm.shm_transport.ShmTransport`
+  (slot rings are recycled across cells), and a by-name
+  :class:`~repro.comm.shm_transport.CollectiveArena` cache (arenas are
+  sized once per shape and reused).
+- A **cell** is one ``fn(ctx, *args)`` rank program over ``n <= P_max``
+  ranks.  :meth:`submit` leases a contiguous block of free workers,
+  ships one work item per rank over a dispatch queue (distinct from the
+  message fabric, so dispatch never interleaves with rank traffic), and
+  returns a :class:`PoolJob` handle.  Cells on disjoint blocks run
+  concurrently — the scheduler packs them.
+- Each cell gets a **fresh** :class:`~repro.comm.mp_runtime.MpRankContext`
+  (fresh stashes, sequence counters, RNG-free) over the recycled fabric,
+  so numerics derive only from the cell's arguments and seeds: a pooled
+  cell is bit-identical to a cold-spawn run of the same program.
+- :meth:`reset` is the explicit hygiene barrier: workers drain their
+  inboxes, rebuild their transports (old ring segments are unlinked by
+  the parent), and zero every cached arena row — recovering a provably
+  clean fabric after a failed cell.
+- Work items are pickled (the pool forked long ago), so ``fn`` must be a
+  module-level function.  Big constant state (datasets, an
+  :class:`~repro.harness.experiment.ExperimentSpec`) should instead ride
+  fork inheritance: pass it as the pool's ``payload`` and put the
+  :data:`POOL_PAYLOAD` sentinel in a cell's args — each worker
+  substitutes its inherited copy, and the bytes never cross a pipe.
+
+``backend="threads"`` keeps the identical surface over
+:class:`~repro.comm.runtime.InProcessCommunicator` cells (thread spin-up
+is already cheap; the pool then only bounds concurrency and unifies the
+scheduler's code path).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+import os
+import pickle
+import queue as _queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+import uuid
+
+from repro.comm.mp_runtime import (
+    MpRankContext,
+    RemoteRankError,
+    emit_transport_marks,
+    fork_available,
+    run_rank_program,
+)
+from repro.comm.runtime import _DEFAULT_TIMEOUT, InProcessCommunicator, MultiRankError
+from repro.comm.shm_lifecycle import (
+    adopt_owner_pid,
+    reap_stale_segments,
+    segment_name,
+    unregister_segment,
+)
+from repro.comm.shm_transport import (
+    DEFAULT_MIN_BYTES,
+    DEFAULT_SLOTS,
+    ShmTransport,
+    validate_transport,
+)
+from repro.faults import FaultPlan
+from repro.trace.events import Trace
+
+__all__ = ["POOL_PAYLOAD", "PoolJob", "WorkerPool"]
+
+#: Parent-side patience beyond a job's rank timeout before declaring its
+#: workers hung (mirrors the one-shot communicator's collection grace).
+_COLLECT_GRACE = 30.0
+
+
+class _PayloadSentinel:
+    """Placeholder for the pool's fork-inherited payload in cell args.
+
+    Pickles by reference to the module attribute, so identity survives
+    the dispatch queue and workers can substitute with ``is``.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "POOL_PAYLOAD"
+
+    def __reduce__(self):
+        return (_payload_sentinel, ())
+
+
+def _payload_sentinel() -> "_PayloadSentinel":
+    return POOL_PAYLOAD
+
+
+#: Put this in a cell's args where the pool's ``payload`` should appear.
+POOL_PAYLOAD = _PayloadSentinel()
+
+
+class PoolJob:
+    """Parent-side handle for one dispatched cell."""
+
+    def __init__(self, job_id: int, base: int, nranks: int) -> None:
+        self.job_id = job_id
+        self.base = base
+        self.nranks = nranks
+        self.results: List[Any] = [None] * nranks
+        self.failures: List[Tuple[int, BaseException]] = []
+        self.events: List[Any] = []
+        self.records: List[Any] = []
+        self.transport_stats: Dict[str, int] = {}
+        #: Dispatch instant (monotonic) and completion instant.
+        self.t_submit = time.monotonic()
+        self.t_done: Optional[float] = None
+        self._error: Optional[BaseException] = None
+        self._pending = set(range(nranks))
+        self._done = threading.Event()
+        self.deadline: Optional[float] = None
+
+    @property
+    def wall_time(self) -> float:
+        """Submit-to-completion wall seconds (0.0 while running)."""
+        return 0.0 if self.t_done is None else self.t_done - self.t_submit
+
+    def _complete(self) -> None:
+        self.t_done = time.monotonic()
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Block until every rank of the cell reported."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"pool job {self.job_id} still running after {timeout}s")
+
+    def result(self, timeout: Optional[float] = None) -> List[Any]:
+        """Per-rank results; raises exactly like ``Communicator.run``."""
+        self.wait(timeout)
+        if self._error is not None:
+            raise self._error
+        if self.failures:
+            raise MultiRankError.aggregate(sorted(self.failures, key=lambda f: f[0]))
+        return list(self.results)
+
+
+class WorkerPool:
+    """``P_max`` long-lived ranks shared by many experiment cells.
+
+    ``payload`` is arbitrary fork-inherited state workers substitute for
+    :data:`POOL_PAYLOAD` in cell args.  ``timeout`` bounds shm ring
+    acquisition and is the default rank timeout for cells that don't
+    override it per job.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        backend: str = "processes",
+        timeout: float = _DEFAULT_TIMEOUT,
+        transport: str = "shm",
+        shm_slots: int = DEFAULT_SLOTS,
+        shm_min_bytes: int = DEFAULT_MIN_BYTES,
+        pin_cpus: Any = "auto",
+        payload: Any = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if backend not in ("threads", "processes"):
+            raise ValueError(f"unknown backend {backend!r}")
+        validate_transport(transport)
+        self.size = size
+        self.backend = backend
+        self.timeout = timeout
+        self.transport = transport
+        self.shm_slots = shm_slots
+        self.shm_min_bytes = shm_min_bytes
+        self.pin_cpus = pin_cpus
+        self.payload = payload
+        #: Completed-cell counter (amortization evidence for benchmarks).
+        self.jobs_run = 0
+        self._payload = payload
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._free = [True] * size
+        self._jobs: Dict[int, PoolJob] = {}
+        self._job_blocks: Dict[int, Tuple[int, int]] = {}
+        self._next_job = 0
+        self._closed = False
+        self._broken: Optional[str] = None
+        self._reset_gen = 0
+        self._reset_acks = 0
+        self._reset_names: List[str] = []
+        self._stop_names: List[str] = []
+        self._stopped = 0
+
+        if backend == "threads":
+            self._start = time.monotonic()
+            return
+
+        if not fork_available():
+            raise RuntimeError(
+                "the processes pool requires the 'fork' start method; "
+                "use backend='threads' on this platform"
+            )
+        if transport == "shm":
+            # One shared resource tracker inherited by every worker (same
+            # rationale as the one-shot communicator's pre-fork spawn).
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        # Satellite of the lifecycle contract: clear debris from runs that
+        # died by signal, then stamp the pool parent's pid into every
+        # segment the whole worker tree will ever create.
+        reap_stale_segments()
+        adopt_owner_pid()
+        self._mp = multiprocessing.get_context("fork")
+        self._start = time.monotonic()
+        #: Persistent message fabric: one inbox per pool rank; cells see
+        #: the slice ``inboxes[base:base+n]`` so a context's own-rank
+        #: indexing works unchanged on any block.
+        self._inboxes = [self._mp.Queue() for _ in range(size)]
+        self._work_qs = [self._mp.Queue() for _ in range(size)]
+        self._results_q = self._mp.Queue()
+        #: Stable per-pool stem for arena names: cells on the same block
+        #: derive the same names, so consecutive cells reuse one arena.
+        self._coll_stem = segment_name("coll", f"pool{uuid.uuid4().hex[:6]}")
+        pin_plan = self._pin_plan()
+        self._procs = [
+            self._mp.Process(
+                target=self._worker_loop, args=(r, pin_plan), name=f"pool-rank-{r}"
+            )
+            for r in range(size)
+        ]
+        for p in self._procs:
+            p.start()
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="pool-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- parent side -----------------------------------------------------------
+    def _pin_plan(self) -> Optional[List[int]]:
+        if not self.pin_cpus or not hasattr(os, "sched_getaffinity"):
+            return None
+        cpus = sorted(os.sched_getaffinity(0))
+        if not cpus:
+            return None
+        if self.pin_cpus == "auto" and len(cpus) < self.size:
+            return None
+        return cpus
+
+    def _coll_prefix(self, base: int, nranks: int, wire_dtype: str) -> str:
+        # The wire dtype is part of the identity: arena rows are laid out
+        # in wire format, so a float16 cell must never attach a float32
+        # cell's segment of the same shape.
+        stem = f"{self._coll_stem}b{base}x{nranks}"
+        return stem if wire_dtype == "float32" else f"{stem}{wire_dtype}"
+
+    def _allocate(self, nranks: int) -> int:
+        """First contiguous free block (caller holds the lock), or -1."""
+        run = 0
+        for i in range(self.size):
+            run = run + 1 if self._free[i] else 0
+            if run == nranks:
+                base = i - nranks + 1
+                for j in range(base, base + nranks):
+                    self._free[j] = False
+                return base
+        return -1
+
+    def _release(self, base: int, nranks: int) -> None:
+        for j in range(base, base + nranks):
+            self._free[j] = True
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._broken is not None:
+            raise RuntimeError(f"pool is broken: {self._broken}")
+
+    def submit(
+        self,
+        nranks: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        tracing: bool = False,
+        faults: Optional[FaultPlan] = None,
+        timeout: Optional[float] = None,
+        max_retries: int = 8,
+        retry_backoff: float = 0.001,
+        transport: Optional[str] = None,
+        collective: str = "tree",
+        wire_dtype: str = "float32",
+        chunk_elems: Optional[int] = None,
+        start_time: Optional[float] = None,
+    ) -> PoolJob:
+        """Dispatch ``fn(ctx, *args)`` over ``nranks`` pooled ranks.
+
+        Blocks until a contiguous block of workers is free — concurrent
+        submitters therefore pack the pool.  Returns immediately-usable
+        :class:`PoolJob`; call :meth:`PoolJob.result` for the per-rank
+        values (or :meth:`PoolJob.wait` plus the raw fields).
+        """
+        if not 0 < nranks <= self.size:
+            raise ValueError(f"cell needs 1..{self.size} ranks, got {nranks}")
+        timeout = self.timeout if timeout is None else timeout
+        if self.backend == "threads":
+            return self._submit_threads(
+                nranks, fn, args, tracing=tracing, faults=faults, timeout=timeout,
+                max_retries=max_retries, retry_backoff=retry_backoff,
+                collective=collective, wire_dtype=wire_dtype,
+                chunk_elems=chunk_elems, start_time=start_time,
+            )
+        # Fail fast on unpicklable work: a bad item would otherwise die in
+        # the queue's feeder thread and strand the job until its deadline.
+        try:
+            pickle.dumps((fn, args))
+        except Exception as exc:
+            raise ValueError(
+                f"pool work items must be picklable (module-level fn, "
+                f"picklable args; use POOL_PAYLOAD for inherited state): {exc}"
+            ) from None
+        with self._cond:
+            self._check_usable()
+            base = self._allocate(nranks)
+            while base < 0:
+                self._cond.wait()
+                self._check_usable()
+                base = self._allocate(nranks)
+            self._next_job += 1
+            job = PoolJob(self._next_job, base, nranks)
+            job.deadline = job.t_submit + timeout + _COLLECT_GRACE
+            self._jobs[job.job_id] = job
+            self._job_blocks[job.job_id] = (base, nranks)
+        opts = {
+            "tracing": tracing,
+            "faults": faults,
+            "timeout": timeout,
+            "max_retries": max_retries,
+            "retry_backoff": retry_backoff,
+            "transport": self.transport if transport is None else transport,
+            "collective": collective,
+            "wire_dtype": wire_dtype,
+            "chunk_elems": chunk_elems,
+            "start_time": self._start if start_time is None else start_time,
+            "coll_prefix": self._coll_prefix(base, nranks, wire_dtype),
+        }
+        for cell_rank in range(nranks):
+            self._work_qs[base + cell_rank].put(
+                ("job", job.job_id, base, nranks, cell_rank, fn, args, opts)
+            )
+        return job
+
+    def run(self, nranks: int, fn: Callable[..., Any], *args: Any, **opts: Any) -> List[Any]:
+        """Synchronous convenience: ``submit(...).result()``."""
+        return self.submit(nranks, fn, *args, **opts).result()
+
+    def _submit_threads(
+        self, nranks: int, fn: Callable[..., Any], args: Tuple[Any, ...], *,
+        tracing: bool, faults: Optional[FaultPlan], timeout: float,
+        max_retries: int, retry_backoff: float, collective: str,
+        wire_dtype: str, chunk_elems: Optional[int], start_time: Optional[float],
+    ) -> PoolJob:
+        """Thread-backend cell: an InProcessCommunicator on a driver thread.
+
+        Spin-up is cheap here; the pool's job is to bound concurrency to
+        ``P_max`` ranks and present the same handle/packing surface.
+        """
+        with self._cond:
+            self._check_usable()
+            base = self._allocate(nranks)
+            while base < 0:
+                self._cond.wait()
+                self._check_usable()
+                base = self._allocate(nranks)
+            self._next_job += 1
+            job = PoolJob(self._next_job, base, nranks)
+            self._jobs[job.job_id] = job
+        cell_args = tuple(self._payload if a is POOL_PAYLOAD else a for a in args)
+        trace = Trace() if tracing else None
+
+        def drive() -> None:
+            comm = InProcessCommunicator(
+                nranks, timeout=timeout, faults=faults, max_retries=max_retries,
+                retry_backoff=retry_backoff, trace=trace, collective=collective,
+                wire_dtype=wire_dtype, chunk_elems=chunk_elems,
+            )
+            try:
+                job.results = comm.run(fn, *cell_args)
+            except BaseException as exc:
+                job._error = exc
+            if trace is not None:
+                job.events = list(trace.events)
+            job.records = list(comm.fault_log.records)
+            with self._cond:
+                self._release(base, nranks)
+                self._jobs.pop(job.job_id, None)
+                self.jobs_run += 1
+                self._cond.notify_all()
+            job._complete()
+
+        threading.Thread(target=drive, name=f"pool-cell-{job.job_id}", daemon=True).start()
+        return job
+
+    def _collect_loop(self) -> None:
+        """Route worker reports to job handles; watch worker liveness."""
+        while True:
+            try:
+                report = self._results_q.get(timeout=0.2)
+            except _queue.Empty:
+                with self._cond:
+                    if self._closed and self._stopped >= self._live_workers():
+                        return
+                    self._check_health_locked()
+                continue
+            kind = report[0]
+            if kind == "done":
+                _, job_id, cell_rank, status, payload, events, records, tstats = report
+                with self._cond:
+                    job = self._jobs.get(job_id)
+                    if job is None:
+                        continue
+                    job.events.extend(events)
+                    job.records.extend(records)
+                    for key, val in tstats.items():
+                        job.transport_stats[key] = (
+                            job.transport_stats.get(key, 0) + int(val)
+                        )
+                    if status == "ok":
+                        job.results[cell_rank] = payload
+                    else:
+                        job.failures.append((cell_rank, payload))
+                    job._pending.discard(cell_rank)
+                    if not job._pending:
+                        self._finish_job_locked(job)
+            elif kind == "reset":
+                _, gen, _rank, names = report
+                with self._cond:
+                    if gen == self._reset_gen:
+                        self._reset_acks += 1
+                        self._reset_names.extend(names)
+                        self._cond.notify_all()
+            elif kind == "stop":
+                _, _rank, names = report
+                with self._cond:
+                    self._stopped += 1
+                    self._stop_names.extend(names)
+                    self._cond.notify_all()
+                    if self._closed and self._stopped >= self._live_workers():
+                        return
+
+    def _live_workers(self) -> int:
+        return sum(1 for p in self._procs if p.exitcode is None or p.exitcode == 0)
+
+    def _finish_job_locked(self, job: PoolJob) -> None:
+        self._jobs.pop(job.job_id, None)
+        block = self._job_blocks.pop(job.job_id, None)
+        if block is not None:
+            self._release(*block)
+        self.jobs_run += 1
+        self._cond.notify_all()
+        job._complete()
+
+    def _check_health_locked(self) -> None:
+        """Fail jobs whose workers died or whose deadline passed."""
+        if self._closed:
+            return
+        dead = [r for r, p in enumerate(self._procs) if p.exitcode is not None]
+        now = time.monotonic()
+        for job in list(self._jobs.values()):
+            lost = [
+                cr for cr in sorted(job._pending)
+                if job.base + cr in dead
+            ]
+            hung = job.deadline is not None and now > job.deadline
+            if not lost and not hung:
+                continue
+            reason = (
+                f"pool worker(s) {[job.base + c for c in lost]} died mid-cell"
+                if lost else f"cell exceeded its {job.deadline - job.t_submit:.0f}s deadline"
+            )
+            self._broken = reason
+            for cr in sorted(job._pending):
+                job.failures.append((cr, RemoteRankError(cr, f"rank {cr}: {reason}")))
+            job._pending.clear()
+            self._finish_job_locked(job)
+        if dead and self._broken is None:
+            self._broken = f"pool worker(s) {dead} died"
+            self._cond.notify_all()
+
+    def reset(self) -> None:
+        """Hygiene barrier: drain fabric, rebuild transports, zero arenas.
+
+        Returns once every worker acked — the fabric is then provably
+        indistinguishable from a freshly-forked pool (which is also why
+        the happy path never needs this: a *successful* cell consumes all
+        its messages and always overwrites reused rows before reading).
+        Call it after a failed cell before dispatching the next one.
+        """
+        if self.backend == "threads":
+            with self._cond:
+                while self._jobs:
+                    self._cond.wait()
+            return
+        with self._cond:
+            self._check_usable()
+            while self._jobs:
+                self._cond.wait()
+                self._check_usable()
+            self._reset_gen += 1
+            self._reset_acks = 0
+            self._reset_names = []
+            gen = self._reset_gen
+        for q in self._work_qs:
+            q.put(("reset", gen))
+        deadline = time.monotonic() + self.timeout + _COLLECT_GRACE
+        with self._cond:
+            while self._reset_acks < self.size:
+                if self._broken is not None:
+                    raise RuntimeError(f"pool is broken: {self._broken}")
+                if not self._cond.wait(timeout=max(0.0, deadline - time.monotonic())):
+                    raise TimeoutError("pool reset barrier timed out")
+            names = list(self._reset_names)
+        self._unlink(names)
+
+    def close(self) -> None:
+        """Stop every worker, then unlink all recycled shm segments."""
+        if self.backend == "threads":
+            with self._cond:
+                self._closed = True
+                while self._jobs:
+                    self._cond.wait()
+                self._cond.notify_all()
+            return
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        for q in self._work_qs:
+            try:
+                q.put(("stop",))
+            except (ValueError, OSError):  # pragma: no cover - queue torn down
+                pass
+        self._collector.join(timeout=self.timeout + _COLLECT_GRACE)
+        for p in self._procs:
+            p.join(timeout=5.0)
+        for p in self._procs:
+            if p.is_alive():  # pragma: no cover - hung-worker cleanup
+                p.terminate()
+                p.join(timeout=5.0)
+        with self._cond:
+            names = list(self._stop_names)
+            self._stop_names = []
+        self._unlink(names)
+        for q in [*self._inboxes, *self._work_qs, self._results_q]:
+            q.cancel_join_thread()
+            q.close()
+
+    def _unlink(self, names: List[str]) -> None:
+        """Destroy worker-reported segments (the parent-scoped unlink)."""
+        for name in names:
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:  # pragma: no cover - already gone
+                continue
+            seg.unlink()
+            seg.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- worker side -----------------------------------------------------------
+    def _worker_loop(self, pool_rank: int, pin_plan: Optional[List[int]]) -> None:
+        """The forked worker: serve cells until told to stop.
+
+        Persistent state across cells: the ShmTransport (slot rings) and
+        the by-name arena cache.  Everything cell-scoped — context,
+        stashes, trace, RNG — is rebuilt per job, which is what keeps
+        pooled cells bit-identical to cold spawns.
+        """
+        if pin_plan is not None:
+            try:
+                os.sched_setaffinity(0, {pin_plan[pool_rank % len(pin_plan)]})
+            except OSError:  # pragma: no cover - cgroup/permission quirk
+                pass
+        transport: Optional[ShmTransport] = None
+        arena_cache: Dict[str, Any] = {}
+
+        def teardown() -> List[str]:
+            nonlocal transport
+            names: List[str] = []
+            if transport is not None:
+                names += transport.ring_names()
+                transport.close()
+                transport = None
+            for arena in arena_cache.values():
+                names.append(arena.name)
+                arena.close()
+            arena_cache.clear()
+            # Reported names become the parent's to unlink — drop them
+            # from this worker's registry so its atexit sweep can't
+            # destroy segments a sibling may still hold descriptors into.
+            for name in names:
+                unregister_segment(name)
+            return names
+
+        while True:
+            item = self._work_qs[pool_rank].get()
+            kind = item[0]
+            if kind == "stop":
+                self._results_q.put(("stop", pool_rank, teardown()))
+                return
+            if kind == "reset":
+                gen = item[1]
+                # Drain stranded fabric traffic (a failed cell may have
+                # left messages — and ring descriptors — in flight).
+                while True:
+                    try:
+                        self._inboxes[pool_rank].get_nowait()
+                    except _queue.Empty:
+                        break
+                names = teardown()
+                self._results_q.put(("reset", gen, pool_rank, names))
+                continue
+            _, job_id, base, nranks, cell_rank, fn, args, opts = item
+            use_shm = opts["transport"] == "shm"
+            if use_shm and transport is None:
+                transport = ShmTransport(
+                    pool_rank, self.size, slots=self.shm_slots,
+                    min_bytes=self.shm_min_bytes, timeout=self.timeout,
+                )
+            args = tuple(self._payload if a is POOL_PAYLOAD else a for a in args)
+            ctx = MpRankContext(
+                cell_rank, nranks, self._inboxes[base:base + nranks],
+                opts["timeout"], opts["faults"], opts["max_retries"],
+                opts["retry_backoff"], opts["start_time"], opts["tracing"],
+                transport=transport if use_shm else None,
+                collective=opts["collective"], wire_dtype=opts["wire_dtype"],
+                chunk_elems=opts["chunk_elems"], coll_prefix=opts["coll_prefix"],
+                arena_cache=arena_cache,
+            )
+            stats_before = dict(transport.stats) if use_shm else {}
+            status, payload = run_rank_program(ctx, fn, args)
+            ctx.close_arenas()  # cache-owned: drops only the per-cell index
+            tstats: Dict[str, int] = {}
+            if use_shm and transport is not None:
+                tstats = {
+                    k: int(v) - int(stats_before.get(k, 0))
+                    for k, v in transport.stats.items()
+                }
+                emit_transport_marks(ctx, tstats)
+            events = list(ctx.trace.events) if ctx.trace is not None else []
+            records = list(ctx.fault_log.records)
+            self._results_q.put(
+                ("done", job_id, cell_rank, status, payload, events, records, tstats)
+            )

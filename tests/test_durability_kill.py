@@ -171,3 +171,67 @@ def test_kill_and_resume_chip_partition_processes(tmp_path):
     assert _trajectory(killed_json) == _trajectory(straight_json)
     assert (_newest_manifest(killed_dir)["arrays"]
             == _newest_manifest(straight_dir)["arrays"])
+
+
+#: A persistent pool with live shm fabric (slot rings + a collective
+#: arena), holding it open until killed. The 16 KB allreduce forces the
+#: messages onto real shm rings before the sentinel is written.
+_POOL_HOLD_SCRIPT = """
+import sys, time
+import numpy as np
+from repro.pool import WorkerPool
+
+def cell(ctx, x):
+    v = ctx.allreduce(np.full(4096, float(ctx.rank + x), dtype=np.float32))
+    return float(v[0])
+
+pool = WorkerPool(4, backend="processes")
+pool.run(4, cell, 1.0)
+open(sys.argv[1], "w").write("up")
+time.sleep(600)
+"""
+
+
+@pytest.mark.mp
+@pytest.mark.pool
+def test_sigkilled_pool_leaves_zero_stale_segments(tmp_path):
+    """A SIGKILLed pool strands its shm fabric; the next pool reaps it."""
+    from repro.comm.mp_runtime import fork_available
+    from repro.pool import WorkerPool
+
+    if not fork_available():
+        pytest.skip("needs the fork start method")
+    sentinel = tmp_path / "pool-up"
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _POOL_HOLD_SCRIPT, str(sentinel)],
+        cwd=REPO_ROOT, env=_env(), start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + POLL_TIMEOUT
+        while time.monotonic() < deadline:
+            if sentinel.exists():
+                break
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"pool holder exited early (rc={proc.returncode})"
+                )
+            time.sleep(0.02)
+        else:
+            raise AssertionError("pool never came up before the deadline")
+        # Kill the whole tree — pool parent and its forked workers — so
+        # no atexit hook anywhere gets to clean up.
+        os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+        rc = proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+    assert rc == -signal.SIGKILL, f"expected death by SIGKILL, got rc={rc}"
+
+    # The kill must actually strand segments (else this test checks nothing),
+    # and a fresh pool's startup reap must sweep every one of them.
+    assert stale_segments(), "SIGKILL left no shm debris to reap"
+    with WorkerPool(1, backend="processes"):
+        pass
+    assert stale_segments() == [], "pool startup failed to reap killed debris"
