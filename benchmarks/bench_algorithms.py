@@ -1,0 +1,163 @@
+"""Parameter-server zoo pairwise comparison at P=4.
+
+Runs every zoo family (DOWNPOUR, ADAG, EAMSGD, gossip SGD, bounded-async
+EASGD) and the Async EASGD baseline under identical conditions (same
+data, model, platform, hyperparameters) and reports, per family:
+
+- convergence: simulated time and iterations to a target training loss;
+- throughput: simulated steps/s (iterations per simulated second) and
+  harness wall-clock steps/s;
+- the staleness profile of applied updates (mean/max from the trace).
+
+Results land in ``BENCH_algorithms.json`` at the repo root and
+``benchmarks/artifacts/algorithms.json``. Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_algorithms.py [--quick]
+
+``--quick`` is the CI smoke mode: fewer iterations, shape assertions
+relaxed, no artifact written.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+import sys
+import time
+
+import pytest
+
+from repro.algorithms import TrainerConfig
+from repro.cluster import CostModel
+from repro.data import make_mnist_like
+from repro.harness import ExperimentSpec, run_method
+from repro.nn.models import build_lenet
+from repro.nn.spec import LENET
+from repro.trace.metrics import staleness_stats
+
+pytestmark = pytest.mark.algorithms
+
+GPUS = 4
+ITERATIONS = 300
+QUICK_ITERATIONS = 30
+
+#: Reachable by every family within ITERATIONS on the spec below.
+TARGET_LOSS = 1.0
+
+#: The zoo plus the baseline each family is compared against.
+BASELINE = "async-easgd"
+FAMILIES = ("downpour", "adag", "eamsgd", "gossip-sgd", "bounded-async-easgd")
+
+ROOT_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_algorithms.json"
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+
+
+def _make_spec() -> ExperimentSpec:
+    train, test = make_mnist_like(n_train=4096, n_test=1024, seed=101,
+                                  difficulty=1.6)
+    spec = ExperimentSpec(
+        train_set=train,
+        test_set=test,
+        model_builder=lambda: build_lenet(seed=7),
+        num_gpus=GPUS,
+        config=TrainerConfig(batch_size=32, lr=0.03, rho=2.0, seed=0,
+                             eval_every=10, eval_samples=512, trace=True),
+        cost_model=CostModel.from_spec(LENET),
+    )
+    return spec.normalize()
+
+
+def _time_to_loss(result, target: float):
+    """Simulated (time, iteration) of the first eval at or under target."""
+    for r in result.records:
+        if r.train_loss <= target:
+            return r.sim_time, r.iteration
+    return None, None
+
+
+def _cell(spec: ExperimentSpec, method: str, iterations: int) -> dict:
+    t0 = time.perf_counter()
+    res = run_method(spec, method, iterations=iterations)
+    wall = time.perf_counter() - t0
+    t_loss, it_loss = _time_to_loss(res, TARGET_LOSS)
+    stale = staleness_stats(res.trace)
+    return {
+        "method": method,
+        "iterations": res.iterations,
+        "sim_time_s": float(res.sim_time),
+        "sim_steps_per_sec": float(res.iterations / res.sim_time),
+        "wall_steps_per_sec": float(res.iterations / wall),
+        "final_train_loss": float(res.records[-1].train_loss),
+        "final_accuracy": float(res.final_accuracy),
+        "target_loss": TARGET_LOSS,
+        "sim_time_to_target_loss_s": t_loss,
+        "iterations_to_target_loss": it_loss,
+        "staleness_mean": stale["mean"],
+        "staleness_max": stale["max"],
+    }
+
+
+def run_experiment(quick: bool = False) -> dict:
+    iterations = QUICK_ITERATIONS if quick else ITERATIONS
+    spec = _make_spec()
+    cells = [_cell(spec, m, iterations) for m in (BASELINE, *FAMILIES)]
+    return {"cells": cells, "quick": quick}
+
+
+def check_and_archive(sections: dict) -> None:
+    cells = sections["cells"]
+    quick = sections["quick"]
+    by_method = {c["method"]: c for c in cells}
+
+    print(f"\n=== PS zoo pairwise comparison, P={GPUS}, "
+          f"{'quick' if quick else 'full'} ===")
+    print(f"  target train loss: {TARGET_LOSS}")
+    for c in cells:
+        reach = (f"{c['sim_time_to_target_loss_s']:8.3f}s "
+                 f"@ it {c['iterations_to_target_loss']}"
+                 if c["sim_time_to_target_loss_s"] is not None
+                 else "   (not reached)")
+        print(f"  {c['method']:<22} sim {c['sim_steps_per_sec']:6.1f} st/s  "
+              f"wall {c['wall_steps_per_sec']:6.1f} st/s  "
+              f"loss {c['final_train_loss']:.3f}  "
+              f"acc {c['final_accuracy']:.3f}  "
+              f"to-target {reach}  "
+              f"staleness {c['staleness_mean']:.2f}/{c['staleness_max']:.0f}")
+
+    # Shape checks (full mode only — quick runs are too short to converge).
+    if not quick:
+        for c in cells:
+            assert c["sim_time_to_target_loss_s"] is not None, (
+                f"{c['method']} never reached train loss {TARGET_LOSS}"
+            )
+        # The bound is the point: bounded-async never applies staler than
+        # its default tau, while the unbounded baseline is free to.
+        tau = 2 * (GPUS - 1)
+        assert by_method["bounded-async-easgd"]["staleness_max"] <= tau
+        # Local-segment families exchange less often, so each simulated
+        # step costs more but carries local_steps batches of progress.
+        assert (by_method["downpour"]["sim_steps_per_sec"]
+                < by_method[BASELINE]["sim_steps_per_sec"])
+
+        payload = json.dumps(
+            {"benchmark": "algorithms", "P": GPUS, "baseline": BASELINE,
+             "target_loss": TARGET_LOSS, "cells": cells},
+            indent=2,
+        )
+        ROOT_ARTIFACT.write_text(payload)
+        ARTIFACT_DIR.mkdir(exist_ok=True)
+        (ARTIFACT_DIR / "algorithms.json").write_text(payload)
+        print(f"  archived to {ROOT_ARTIFACT} and "
+              f"{ARTIFACT_DIR / 'algorithms.json'}")
+
+
+def bench_algorithms(benchmark):
+    """All zoo families vs the Async EASGD baseline at P=4."""
+    from conftest import run_once
+
+    sections = run_once(benchmark, run_experiment)
+    check_and_archive(sections)
+
+
+if __name__ == "__main__":
+    check_and_archive(run_experiment(quick="--quick" in sys.argv[1:]))

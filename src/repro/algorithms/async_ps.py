@@ -14,6 +14,18 @@ Async MEASGD       FCFS with a lock    Eq 2 (master), Eqs 5-6 (worker)
 Hogwild EASGD      lock-free           Eq 2 (master), Eq 1 (worker)
 =================  ==================  =============================
 
+The numerics of each family are expressed through the parameter-server
+protocol layer (:mod:`repro.engine.ps`): a :class:`CenterStore` bound to
+the master vector carries the server-side fold, a :class:`WorkerRule`
+the worker-side reply fold. The same seam hosts the classic
+parameter-server zoo in :mod:`repro.algorithms.ps_zoo` (DOWNPOUR, ADAG,
+EAMSGD, staleness-bounded EASGD) — those subclasses override the
+store/rule factories, the per-exchange local compute
+(:meth:`_AsyncPSBase._local_compute`, ``batches_per_exchange`` local
+batches per master exchange), and the staleness admission hook
+(:meth:`_AsyncPSBase._admit`, backed by
+:class:`repro.engine.ps.StalenessBound`).
+
 Timing structure (the paper's design point in Section 5.1): an SGD worker
 must *wait* for the master's reply before it can compute (its gradient is
 taken at the weights the master returns), so its cycle is strictly serial.
@@ -26,13 +38,13 @@ tie-breaking, so runs are reproducible for a fixed seed.
 The event loop is driven by :class:`repro.engine.StepPipeline` through
 the family's :class:`~repro.engine.EventStepStrategy`: only *some* events
 complete a logical step (a worker-master interaction); rejoins, messages
-from dead workers, and dropped/retransmitted messages merely mutate the
-simulation.
+from dead workers, dropped/retransmitted messages, and staleness-rejected
+contributions merely mutate the simulation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,15 +53,19 @@ from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
 from repro.cluster.simclock import EventQueue
 from repro.data.dataset import Dataset
+from repro.engine.ps import (
+    CenterStore,
+    ElasticCenterStore,
+    ElasticMomentumWorkerRule,
+    ElasticWorkerRule,
+    FreshPullWorkerRule,
+    SgdServerStore,
+    WorkerRule,
+)
 from repro.engine.strategy import EventStepStrategy
 from repro.faults import AllWorkersCrashedError, FaultLog, FaultPlan
 from repro.nn.network import Network
-from repro.optim.easgd import (
-    EASGDHyper,
-    elastic_center_update_single,
-    elastic_momentum_worker_update,
-    elastic_worker_update,
-)
+from repro.optim.easgd import EASGDHyper
 from repro.trace.events import MASTER
 
 __all__ = [
@@ -76,6 +92,9 @@ class _AsyncPSStep(EventStepStrategy):
         tr._init_states(g, tr.net.get_params())
         self.samplers = [tr.make_sampler(("worker", j)) for j in range(g)]
 
+        #: Local batches per master exchange (1 for the per-step families;
+        #: DOWNPOUR/ADAG/EAMSGD run several between pushes).
+        self.batches = tr.batches_per_exchange
         self.stage_t = tr.platform.stage_batch_time(tr.cost, cfg.batch_size)
         self.oneway_t = tr.platform.cpu_gpu_param_time(tr.cost, packed=tr.packed)
         self.service_t = tr.platform.cpu_update_time(tr.cost)
@@ -90,6 +109,7 @@ class _AsyncPSStep(EventStepStrategy):
             elastic=tr.elastic,
             packed=tr.packed,
             messages_per_exchange=1,
+            **tr._trace_meta(),
         )
         #: Request channels sent but not yet consumed/accounted; whatever
         #: is still here when the run ends becomes a "lost" fault event so
@@ -111,7 +131,8 @@ class _AsyncPSStep(EventStepStrategy):
         self.heartbeat = tr.heartbeat_timeout
         if self.heartbeat is None:
             self.heartbeat = 25.0 * (
-                self.stage_t + fwdbwd_base + 2.0 * self.oneway_t + self.service_t
+                self.batches * (self.stage_t + fwdbwd_base)
+                + 2.0 * self.oneway_t + self.service_t
             )
 
         self.master_free = 0.0
@@ -125,11 +146,15 @@ class _AsyncPSStep(EventStepStrategy):
         self.evicted: set = set()
         # Staleness instrumentation: how many master updates landed between
         # a worker's last sync and the application of its contribution —
-        # the quantity asynchronous convergence analyses bound.
+        # the quantity asynchronous convergence analyses bound. The sums
+        # cover *applied* updates; rejected/clipped admissions are counted
+        # separately (stale_rejects/stale_clips and the trainer's bound).
         self.master_version = 0
         self.worker_version = [0] * g
         self.staleness_sum = 0
         self.staleness_max = 0
+        self.stale_rejects = 0
+        self.stale_clips = 0
         self.completed = 0
         self._breakdown = pipeline.breakdown
 
@@ -150,7 +175,11 @@ class _AsyncPSStep(EventStepStrategy):
         fwdbwd = tr.platform.fwdbwd_time(tr.cost, tr.config.batch_size, worker=j)
         if plan is not None:
             fwdbwd *= plan.slowdown(j, start)  # straggler/stall inflation
-        compute_done = start + self.stage_t + fwdbwd
+        # Multi-batch families stage and compute batches_per_exchange times
+        # per cycle; n == 1 reproduces the per-step timing exactly.
+        stage_total = self.stage_t * self.batches
+        fwd_total = fwdbwd * self.batches
+        compute_done = start + stage_total + fwd_total
         if tr.elastic:
             # EASGD: the send does not wait for the pass (overlap).
             arrival = start + self.oneway_t
@@ -168,15 +197,15 @@ class _AsyncPSStep(EventStepStrategy):
                 arrival += lag
                 delayed = True
         if trace is not None:
-            trace.span("staging", j, start, start + self.stage_t, op="cpu-gpu-data")
-            trace.span("compute", j, start + self.stage_t, compute_done, op="fwd-bwd")
+            trace.span("staging", j, start, start + stage_total, op="cpu-gpu-data")
+            trace.span("compute", j, start + stage_total, compute_done, op="fwd-bwd")
             send_t0 = start if tr.elastic else compute_done
             trace.send(j, MASTER, send_t0, arrival, tag=0, nbytes=self.nb, seq=seq,
                        op="ps-request")
             self.inflight.add((j, seq))
             if delayed:
                 trace.fault(j, arrival, "delay", peer=MASTER, seq=seq)
-        self.queue.push(arrival, ("arrival", j, compute_done, fwdbwd, seq, 0))
+        self.queue.push(arrival, ("arrival", j, compute_done, fwd_total, seq, 0))
 
     # -- the event loop hooks --------------------------------------------------
     def pending(self) -> bool:
@@ -219,8 +248,7 @@ class _AsyncPSStep(EventStepStrategy):
             # Recovery: the worker restores by re-pulling the elastic
             # center (checkpoint = the master's Wbar), resetting its
             # velocity and staleness bookkeeping, then resumes cycling.
-            tr.worker_w[j][...] = tr.master
-            tr.worker_v[j][...] = 0.0
+            tr._resync(j)
             self.worker_version[j] = self.master_version
             self.evicted.discard(j)
             self.last_seen[j] = now
@@ -275,26 +303,56 @@ class _AsyncPSStep(EventStepStrategy):
         if not tr.lock_free:
             self.master_free = service_done
         self.waiting_total += service_start - arrival
+        reply_at = service_done + self.oneway_t
+        if tr.elastic:
+            resume = max(reply_at, compute_done) + self.local_upd_t
+        else:
+            resume = reply_at
 
-        # --- numerics: gradient at the worker's current local weights ---
-        images, labels = self.samplers[j].next_batch()
-        tr.net.set_params(tr.worker_w[j])
-        self.last_loss = tr.net.gradient(images, labels, tr.loss)
+        # --- numerics: local pass(es) at the worker's current weights ---
+        self.last_loss = tr._local_compute(j, self.samplers[j])
         staleness = self.master_version - self.worker_version[j]
+        verdict, scale = tr._admit(staleness)
+        if verdict == "reject":
+            # Staler than the bound: the contribution is discarded and
+            # the worker resyncs from the center — the local progress is
+            # the price of the hard staleness guarantee. The master still
+            # spent a service slot inspecting the request, so the event
+            # charges like a served one but completes no step.
+            tr._resync(j)
+            self.worker_version[j] = self.master_version
+            self.stale_rejects += 1
+            pipeline.sim_time = max(pipeline.sim_time, service_done)
+            if trace is not None:
+                self.inflight.discard((j, seq))
+                trace.recv(MASTER, j, arrival, service_start, tag=0, nbytes=self.nb,
+                           seq=seq, op="ps-request")
+                trace.span("service", MASTER, service_start, service_done,
+                           op="ps-reject", value=arrival)
+                trace.send(MASTER, j, service_done, reply_at, tag=1, nbytes=self.nb,
+                           seq=seq, op="ps-reply")
+                trace.recv(j, MASTER, reply_at, reply_at, tag=1, nbytes=self.nb,
+                           seq=seq, op="ps-reply")
+                trace.fault(j, service_done, "stale-reject", peer=MASTER, seq=seq)
+            self._launch_cycle(j, resume)
+            breakdown.add("cpu-gpu data", self.stage_t * self.batches)
+            breakdown.add("cpu-gpu para", 2.0 * self.oneway_t)
+            breakdown.add("for/backward", fwdbwd)
+            breakdown.add("cpu update", self.service_t)
+            if tr.elastic:
+                breakdown.add("gpu update", self.local_upd_t)
+            return False
+        if verdict == "clip":
+            self.stale_clips += 1
         self.staleness_sum += staleness
         self.staleness_max = max(self.staleness_max, staleness)
-        tr._interaction(j, tr.net.grads)
+        tr._interaction(j, tr.net.grads, scale)
         self.master_version += 1
         self.worker_version[j] = self.master_version
 
         # --- bookkeeping -----------------------------------------------
         t = t_next
         self.completed = t
-        reply_at = service_done + self.oneway_t
-        if tr.elastic:
-            resume = max(reply_at, compute_done) + self.local_upd_t
-        else:
-            resume = reply_at
         pipeline.sim_time = max(pipeline.sim_time, service_done)
 
         if trace is not None:
@@ -307,15 +365,15 @@ class _AsyncPSStep(EventStepStrategy):
                        seq=seq, op="ps-reply", iteration=t)
             trace.recv(j, MASTER, reply_at, reply_at, tag=1, nbytes=self.nb,
                        seq=seq, op="ps-reply", iteration=t)
-            if tr.elastic:
+            if tr.update_op is not None:
                 u0 = max(reply_at, compute_done)
                 trace.span("update", j, u0, u0 + self.local_upd_t,
-                           op="elastic-update", iteration=t,
+                           op=tr.update_op, iteration=t,
                            value=float(staleness))
 
         self._launch_cycle(j, resume)
 
-        breakdown.add("cpu-gpu data", self.stage_t)
+        breakdown.add("cpu-gpu data", self.stage_t * self.batches)
         breakdown.add("cpu-gpu para", 2.0 * self.oneway_t)
         breakdown.add("for/backward", fwdbwd)
         breakdown.add("cpu update", self.service_t)
@@ -350,6 +408,7 @@ class _AsyncPSStep(EventStepStrategy):
         for j in range(self.g):
             arrays[f"worker-w-{j}"] = tr.worker_w[j]
             arrays[f"worker-v-{j}"] = tr.worker_v[j]
+        arrays.update(tr._family_arrays())
         # Sets serialize sorted: their iteration order is insertion
         # history, which a resumed process must not inherit implicitly.
         meta = {
@@ -371,6 +430,9 @@ class _AsyncPSStep(EventStepStrategy):
             "worker_version": list(self.worker_version),
             "staleness_sum": self.staleness_sum,
             "staleness_max": self.staleness_max,
+            "stale_rejects": self.stale_rejects,
+            "stale_clips": self.stale_clips,
+            "family": tr._family_state(),
             "completed": self.completed,
         }
         return {"arrays": arrays, "meta": meta}
@@ -383,6 +445,8 @@ class _AsyncPSStep(EventStepStrategy):
         for j in range(self.g):
             tr.worker_w[j][...] = arrays[f"worker-w-{j}"]
             tr.worker_v[j][...] = arrays[f"worker-v-{j}"]
+        for name, arr in tr._family_arrays().items():
+            arr[...] = arrays[name]
         for sampler, st in zip(self.samplers, meta["samplers"]):
             sampler.set_state(st)
         # The queue replaces everything begin() scheduled (initial cycles,
@@ -404,6 +468,9 @@ class _AsyncPSStep(EventStepStrategy):
         self.worker_version = [int(v) for v in meta["worker_version"]]
         self.staleness_sum = int(meta["staleness_sum"])
         self.staleness_max = int(meta["staleness_max"])
+        self.stale_rejects = int(meta.get("stale_rejects", 0))
+        self.stale_clips = int(meta.get("stale_clips", 0))
+        tr._load_family_state(meta.get("family", {}))
         self.completed = int(meta["completed"])
 
     def extras(self) -> Dict[str, float]:
@@ -414,6 +481,7 @@ class _AsyncPSStep(EventStepStrategy):
             "mean_staleness": self.staleness_sum / t if t else 0.0,
             "max_staleness": float(self.staleness_max),
         }
+        extras.update(self.trainer._family_extras())
         if self.trainer.faults is not None:
             extras.update(
                 {
@@ -427,13 +495,19 @@ class _AsyncPSStep(EventStepStrategy):
 
 
 class _AsyncPSBase(BaseTrainer):
-    """Shared DES machinery; subclasses set flags and implement the numerics."""
+    """Shared DES machinery; subclasses pick the store/rule and flags."""
 
     name = "async-base"
     lock_free = False  # Hogwild variants override
     elastic = False  # EASGD variants override (enables compute/comm overlap)
     momentum = False
     packed = False  # existing async implementations send per-blob
+    #: Local batches a worker runs between master exchanges (DOWNPOUR's
+    #: push cadence, ADAG's accumulation window, EAMSGD's comm period).
+    batches_per_exchange = 1
+    #: Op stamped on the per-exchange "update" span carrying the applied
+    #: staleness as its value; None suppresses the span (plain async SGD).
+    update_op: Optional[str] = None
 
     def __init__(
         self,
@@ -494,19 +568,69 @@ class _AsyncPSBase(BaseTrainer):
 
     # -- numerics hooks ------------------------------------------------------
     def _init_states(self, g: int, init: np.ndarray) -> None:
-        """Master weights and per-worker replicas/velocities."""
+        """Master weights, per-worker replicas/velocities, store + rule."""
         self.master = init.copy()
         self.worker_w: List[np.ndarray] = [init.copy() for _ in range(g)]
         self.worker_v: List[np.ndarray] = [np.zeros_like(init) for _ in range(g)]
         self.master_v = np.zeros_like(init)
+        self.store = self._make_store(g)
+        self.rule = self._make_rule()
 
-    def _interaction(self, j: int, grad: np.ndarray) -> None:
+    def _make_store(self, g: int) -> CenterStore:
+        """The family's server-side store, bound to the master vector."""
+        raise NotImplementedError
+
+    def _make_rule(self) -> WorkerRule:
+        """The family's worker-side reply-fold rule."""
+        raise NotImplementedError
+
+    def _local_compute(self, j: int, sampler) -> float:
+        """Worker j's compute between exchanges; returns the last batch loss.
+
+        The default is one gradient at the worker's current local weights
+        (left in ``self.net.grads`` for :meth:`_interaction`); multi-batch
+        families override and run ``batches_per_exchange`` local steps.
+        """
+        images, labels = sampler.next_batch()
+        self.net.set_params(self.worker_w[j])
+        return self.net.gradient(images, labels, self.loss)
+
+    def _admit(self, staleness: int) -> Tuple[str, float]:
+        """Staleness admission; the unbounded families apply everything."""
+        return "apply", 1.0
+
+    def _resync(self, j: int) -> None:
+        """Restore worker j from the center (rejoin / staleness reject)."""
+        self.worker_w[j][...] = self.master
+        self.worker_v[j][...] = 0.0
+
+    def _interaction(self, j: int, grad: np.ndarray, scale: float = 1.0) -> None:
         """Apply one worker-master exchange's updates (in arrival order)."""
         raise NotImplementedError
 
     def _eval_vector(self) -> np.ndarray:
         """The vector whose accuracy the trajectory tracks (master state)."""
         return self.master
+
+    # -- family extension hooks (state/trace/extras) -------------------------
+    def _trace_meta(self) -> Dict:
+        """Extra trace metadata (e.g. the staleness bound the checks enforce)."""
+        return {}
+
+    def _family_arrays(self) -> Dict[str, np.ndarray]:
+        """Extra per-run arrays to checkpoint (anchors, accumulators)."""
+        return {}
+
+    def _family_state(self) -> Dict:
+        """Extra picklable family state to checkpoint (bound counters)."""
+        return {}
+
+    def _load_family_state(self, state: Dict) -> None:
+        """Restore :meth:`_family_state`."""
+
+    def _family_extras(self) -> Dict[str, float]:
+        """Extra method-specific scalars for ``RunResult.extras``."""
+        return {}
 
     def make_step(self) -> _AsyncPSStep:
         return _AsyncPSStep(self)
@@ -517,22 +641,27 @@ class AsyncSGDTrainer(_AsyncPSBase):
 
     name = "Async SGD"
 
-    def _interaction(self, j: int, grad: np.ndarray) -> None:
-        self.master -= self.hyper.lr * grad
-        self.worker_w[j][...] = self.master  # reply: the fresh weights
+    def _make_store(self, g: int) -> CenterStore:
+        return SgdServerStore(self.hyper.lr).bind(self.master)
+
+    def _make_rule(self) -> WorkerRule:
+        return FreshPullWorkerRule()
+
+    def _interaction(self, j: int, grad: np.ndarray, scale: float = 1.0) -> None:
+        self.store.push(grad, scale)
+        self.rule.apply(self.worker_w[j], self.store.weights)  # reply: fresh weights
 
 
-class AsyncMSGDTrainer(_AsyncPSBase):
+class AsyncMSGDTrainer(AsyncSGDTrainer):
     """Async SGD with master-side momentum (Equations 3-4)."""
 
     name = "Async MSGD"
     momentum = True
 
-    def _interaction(self, j: int, grad: np.ndarray) -> None:
-        self.master_v *= self.hyper.mu
-        self.master_v -= self.hyper.lr * grad
-        self.master += self.master_v
-        self.worker_w[j][...] = self.master
+    def _make_store(self, g: int) -> CenterStore:
+        return SgdServerStore(self.hyper.lr, self.hyper.mu).bind(
+            self.master, self.master_v
+        )
 
 
 class HogwildSGDTrainer(AsyncSGDTrainer):
@@ -547,26 +676,33 @@ class AsyncEASGDTrainer(_AsyncPSBase):
 
     name = "Async EASGD"
     elastic = True
+    update_op = "elastic-update"
 
-    def _interaction(self, j: int, grad: np.ndarray) -> None:
-        wbar_t = self.master.copy()  # what the master returns (step 1)
-        elastic_center_update_single(self.master, self.worker_w[j], self.hyper)
-        elastic_worker_update(self.worker_w[j], grad, wbar_t, self.hyper)
+    def _make_store(self, g: int) -> ElasticCenterStore:
+        return ElasticCenterStore(self.hyper).bind(self.master)
+
+    def _make_rule(self) -> WorkerRule:
+        return ElasticWorkerRule()
+
+    def _interaction(self, j: int, grad: np.ndarray, scale: float = 1.0) -> None:
+        # Step 1: the master replies the pre-fold center, then folds (Eq 2);
+        # the worker applies Eq 1 against the replied Wbar_t.
+        wbar_t = self.store.exchange(self.worker_w[j], scale)
+        self.rule.apply(self.worker_w[j], grad, wbar_t, self.hyper, scale)
 
 
-class AsyncMEASGDTrainer(_AsyncPSBase):
+class AsyncMEASGDTrainer(AsyncEASGDTrainer):
     """The paper's Async MEASGD: elastic averaging + momentum (Eqs 5-6)."""
 
     name = "Async MEASGD"
-    elastic = True
     momentum = True
 
-    def _interaction(self, j: int, grad: np.ndarray) -> None:
-        wbar_t = self.master.copy()
-        elastic_center_update_single(self.master, self.worker_w[j], self.hyper)
-        elastic_momentum_worker_update(
-            self.worker_w[j], self.worker_v[j], grad, wbar_t, self.hyper
-        )
+    def _make_rule(self) -> WorkerRule:
+        return ElasticMomentumWorkerRule()
+
+    def _interaction(self, j: int, grad: np.ndarray, scale: float = 1.0) -> None:
+        wbar_t = self.store.exchange(self.worker_w[j], scale)
+        self.rule.apply(self.worker_w[j], self.worker_v[j], grad, wbar_t, self.hyper)
 
 
 class HogwildEASGDTrainer(AsyncEASGDTrainer):

@@ -24,12 +24,8 @@ from repro.algorithms.base import BaseTrainer, TrainerConfig
 from repro.cluster.cost import CostModel
 from repro.cluster.multinode import GpuClusterPlatform
 from repro.data.dataset import Dataset
-from repro.engine.strategy import (
-    ClockStepStrategy,
-    gather_gradients,
-    jittered_fwdbwd,
-    SyncElasticUpdate,
-)
+from repro.engine.compute import gather_gradients, jittered_fwdbwd
+from repro.engine.strategy import ClockStepStrategy, SyncElasticUpdate
 from repro.nn.network import Network
 from repro.optim.easgd import EASGDHyper
 

@@ -1,0 +1,310 @@
+"""The parameter-server zoo over the rank runtimes (threads/processes).
+
+The message-passing twins of the :mod:`repro.algorithms.ps_zoo` families.
+Each is a deterministic rank program over
+:func:`repro.comm.backend.make_communicator`, the same discipline as
+:mod:`repro.algorithms.mpi_async_easgd`: rank 0 is the server holding the
+center through the family's :class:`repro.engine.ps.CenterStore`, ranks
+1..P-1 are workers that run ``local_steps`` batches per exchange and fold
+the reply with the family's :class:`~repro.engine.ps.WorkerRule`. The
+server serves workers in round-robin order, so the interleaving — and
+therefore the final weights — is bit-identical across backends
+(``threads`` vs ``processes``) and transports (``queue`` vs ``shm``).
+
+Gossip has no server: all P ranks are peers, and each round they pair up
+by the deterministic tournament schedule (:func:`repro.comm.topology.
+gossip_pairs`) and average pairwise via an explicit send/recv exchange
+(lower rank sends first, higher rank receives first — deadlock-free under
+any buffering).
+
+The bounded family threads a :class:`~repro.engine.ps.StalenessBound`
+through the server: staleness is tracked with real master versions, and a
+rejected worker's local progress is discarded in favour of a center
+resync — the same semantics the simulated trainer implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.backend import make_communicator
+from repro.comm.runtime import RankContextBase
+from repro.comm.topology import gossip_pairs
+from repro.data.dataset import Dataset
+from repro.data.loader import BatchSampler
+from repro.engine.ps import (
+    AdagServerStore,
+    DeltaServerStore,
+    ElasticCenterStore,
+    ElasticPullWorkerRule,
+    ElasticWorkerRule,
+    StalenessBound,
+)
+from repro.engine.rank_loop import rank_steps
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.network import Network
+from repro.optim.easgd import EASGDHyper
+
+__all__ = ["PS_RUNNER_METHODS", "MpiPsResult", "run_mpi_ps", "run_mpi_gossip"]
+
+#: Wire tags for the request/reply pair (clear of the collective strides).
+TAG_REQ = 11  # worker -> server: family payload
+TAG_REP = 12  # server -> worker: family reply
+TAG_GOSSIP = 13  # peer <-> peer pairwise exchange
+
+#: Centered families this runner implements (gossip runs peer-to-peer).
+PS_RUNNER_METHODS = ("downpour", "adag", "eamsgd", "bounded-async-easgd")
+
+
+@dataclass
+class MpiPsResult:
+    """Outcome of one message-passing parameter-server-zoo run."""
+
+    center: np.ndarray  # final center (gossip: the consensus mean)
+    worker_weights: List[np.ndarray]  # final local weights per worker
+    mean_losses: List[float]  # per-round batch loss averaged over workers
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+def _server_main(ctx: RankContextBase, method: str, center: np.ndarray,
+                 iterations: int, hyper: EASGDHyper, tau: Optional[int]):
+    """Rank 0: serve one exchange per worker per round, round-robin."""
+    workers = ctx.size - 1
+    if method == "downpour":
+        store = DeltaServerStore().bind(center)
+    elif method == "adag":
+        store = AdagServerStore(hyper.lr, workers).bind(center)
+    else:  # eamsgd / bounded-async-easgd share the elastic fold
+        store = ElasticCenterStore(hyper).bind(center)
+    bound = None
+    if method == "bounded-async-easgd":
+        bound = StalenessBound(2 * max(workers - 1, 1) if tau is None else tau)
+    version = 0
+    worker_version = [0] * (workers + 1)
+    mean_losses: List[float] = []
+    for _t in rank_steps(ctx, iterations):
+        loss_sum = 0.0
+        for j in range(1, ctx.size):
+            batch_loss, payload = ctx.recv(source=j, tag=TAG_REQ)
+            loss_sum += float(batch_loss)
+            if bound is not None:
+                verdict, _scale = bound.admit(version - worker_version[j])
+                if verdict == "reject":
+                    # Discard the contribution; the worker resyncs from the
+                    # untouched center. No version bump — nothing landed.
+                    worker_version[j] = version
+                    ctx.send(("reject", center.copy()), dest=j, tag=TAG_REP)
+                    continue
+            if method in ("eamsgd", "bounded-async-easgd"):
+                # Elastic exchange: reply the pre-fold center, then fold.
+                # The payload may alias the worker's arena under the thread
+                # backend, so fold before replying.
+                reply = store.exchange(payload)
+            else:
+                # Delta/accumulated-gradient fold; reply the fresh center.
+                store.push(payload)
+                reply = center.copy()
+            version += 1
+            worker_version[j] = version
+            ctx.send(("apply", reply), dest=j, tag=TAG_REP)
+        mean_losses.append(loss_sum / workers)
+    extras = bound.extras() if bound is not None else {}
+    return center, mean_losses, extras
+
+
+def _worker_main(ctx: RankContextBase, method: str, template: Network,
+                 train_set: Dataset, iterations: int, batch_size: int,
+                 local_steps: int, hyper: EASGDHyper, seed: int):
+    """Ranks 1..P-1: local steps per exchange, family-specific payload."""
+    net = template.clone(name=f"ps-rank{ctx.rank}")
+    local = template.get_params()
+    anchor = local.copy() if method == "downpour" else None
+    acc = np.zeros_like(local) if method == "adag" else None
+    velocity = np.zeros_like(local) if method == "eamsgd" else None
+    elastic_rule = ElasticWorkerRule()
+    pull_rule = ElasticPullWorkerRule()
+    sampler = BatchSampler(train_set, batch_size, seed, name=("worker", ctx.rank))
+    loss = SoftmaxCrossEntropy()
+
+    for _t in rank_steps(ctx, iterations):
+        batch_loss = 0.0
+        for _s in range(local_steps):
+            images, labels = sampler.next_batch()
+            net.set_params(local)
+            batch_loss = net.gradient(images, labels, loss)
+            if method == "downpour":
+                local -= hyper.lr * net.grads
+            elif method == "adag":
+                acc += net.grads
+                local -= hyper.lr * net.grads
+            elif method == "eamsgd":
+                velocity *= hyper.mu
+                velocity -= hyper.lr * net.grads
+                local += velocity
+            else:  # bounded-async-easgd: one gradient per exchange (Eq 1)
+                break
+        grad = net.grads.copy()
+
+        if method == "downpour":
+            payload = local - anchor
+        elif method == "adag":
+            payload = acc.copy()
+        else:
+            payload = local.copy()
+        ctx.send((np.float32(batch_loss), payload), dest=0, tag=TAG_REQ)
+        verdict, reply = ctx.recv(source=0, tag=TAG_REP)
+
+        if verdict == "reject":
+            local[...] = reply  # resync; local progress is discarded
+            if velocity is not None:
+                velocity[...] = 0.0
+        elif method == "downpour":
+            local[...] = reply
+            anchor[...] = reply
+        elif method == "adag":
+            local[...] = reply
+            acc[...] = 0.0
+        elif method == "eamsgd":
+            pull_rule.apply(local, reply, hyper)
+        else:  # bounded-async-easgd
+            elastic_rule.apply(local, grad, reply, hyper)
+    return local
+
+
+def _rank_main(ctx: RankContextBase, method, template, train_set, iterations,
+               batch_size, local_steps, hyper, seed, tau):
+    if ctx.rank == 0:
+        center = template.get_params()
+        return _server_main(ctx, method, center, iterations, hyper, tau)
+    return _worker_main(ctx, method, template, train_set, iterations,
+                        batch_size, local_steps, hyper, seed)
+
+
+def run_mpi_ps(
+    method: str,
+    network: Network,
+    train_set: Dataset,
+    ranks: int,
+    iterations: int,
+    batch_size: int = 32,
+    local_steps: int = 4,
+    lr: float = 0.05,
+    rho: float = 2.0,
+    mu: float = 0.9,
+    tau: Optional[int] = None,
+    seed: int = 0,
+    timeout: float = 120.0,
+    backend: str = "threads",
+    transport: Optional[str] = None,
+    pool: Optional[Any] = None,
+) -> MpiPsResult:
+    """Run one centered zoo family across ``ranks`` real threads/processes.
+
+    ``ranks`` counts the server: ``ranks - 1`` workers train. The server's
+    round-robin service makes the schedule deterministic, so the returned
+    weights are bit-identical across backends and transports for a fixed
+    seed.
+    """
+    if method not in PS_RUNNER_METHODS:
+        raise ValueError(f"method must be one of {PS_RUNNER_METHODS}, got {method!r}")
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    if ranks < 2:
+        raise ValueError("need at least 2 ranks (one server, one worker)")
+    if local_steps < 1:
+        raise ValueError("local_steps must be >= 1")
+    hyper = EASGDHyper(lr=lr, rho=rho, mu=mu)
+
+    comm = make_communicator(ranks, backend=backend, timeout=timeout,
+                             transport=transport, pool=pool)
+    try:
+        results = comm.run(
+            _rank_main, method, network, train_set, iterations, batch_size,
+            local_steps, hyper, seed, tau,
+        )
+    finally:
+        comm.close()
+    center, mean_losses, extras = results[0]
+    return MpiPsResult(
+        center=center,
+        worker_weights=list(results[1:]),
+        mean_losses=mean_losses,
+        extras=extras,
+    )
+
+
+def _gossip_rank_main(ctx: RankContextBase, template: Network,
+                      train_set: Dataset, iterations: int, batch_size: int,
+                      lr: float, seed: int):
+    """All ranks are peers: local SGD step, then tournament-pair averaging."""
+    net = template.clone(name=f"gossip-rank{ctx.rank}")
+    local = template.get_params()
+    sampler = BatchSampler(train_set, batch_size, seed, name=("worker", ctx.rank))
+    loss = SoftmaxCrossEntropy()
+    losses: List[float] = []
+
+    for t in rank_steps(ctx, iterations):
+        images, labels = sampler.next_batch()
+        net.set_params(local)
+        losses.append(float(net.gradient(images, labels, loss)))
+        local -= lr * net.grads
+
+        for a, b in gossip_pairs(t, ctx.size):
+            if ctx.rank == a:  # lower rank sends first: deadlock-free
+                ctx.send(local.copy(), dest=b, tag=TAG_GOSSIP)
+                peer_w = ctx.recv(source=b, tag=TAG_GOSSIP)
+            elif ctx.rank == b:
+                peer_w = ctx.recv(source=a, tag=TAG_GOSSIP)
+                ctx.send(local.copy(), dest=a, tag=TAG_GOSSIP)
+            else:
+                continue
+            local[...] = 0.5 * (local + peer_w)
+    return local, losses
+
+
+def run_mpi_gossip(
+    network: Network,
+    train_set: Dataset,
+    ranks: int,
+    iterations: int,
+    batch_size: int = 32,
+    lr: float = 0.05,
+    seed: int = 0,
+    timeout: float = 120.0,
+    backend: str = "threads",
+    transport: Optional[str] = None,
+    pool: Optional[Any] = None,
+) -> MpiPsResult:
+    """Run decentralized gossip SGD across ``ranks`` real threads/processes.
+
+    All ranks train; the returned center is the consensus mean of the
+    final replicas. The tournament pairing schedule is deterministic, so
+    the result is bit-identical across backends and transports.
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    if ranks < 2:
+        raise ValueError("need at least 2 ranks")
+    comm = make_communicator(ranks, backend=backend, timeout=timeout,
+                             transport=transport, pool=pool)
+    try:
+        results = comm.run(
+            _gossip_rank_main, network, train_set, iterations, batch_size, lr, seed,
+        )
+    finally:
+        comm.close()
+    replicas = [r[0] for r in results]
+    per_rank_losses = [r[1] for r in results]
+    mean_losses = [
+        float(np.mean([ranklosses[t] for ranklosses in per_rank_losses]))
+        for t in range(iterations)
+    ]
+    consensus = np.mean(np.stack(replicas, axis=0), axis=0)
+    return MpiPsResult(
+        center=consensus,
+        worker_weights=replicas,
+        mean_losses=mean_losses,
+    )

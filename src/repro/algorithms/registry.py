@@ -27,6 +27,13 @@ from repro.algorithms.async_ps import (
 )
 from repro.algorithms.base import BaseTrainer
 from repro.algorithms.original_easgd import OriginalEASGDTrainer
+from repro.algorithms.ps_zoo import (
+    AdagTrainer,
+    BoundedAsyncEasgdTrainer,
+    DownpourTrainer,
+    EamsgdTrainer,
+    GossipSGDTrainer,
+)
 from repro.algorithms.sync_easgd import SyncEASGDTrainer
 from repro.algorithms.sync_sgd import SyncSGDTrainer
 
@@ -79,6 +86,12 @@ ALGORITHMS: Dict[str, Callable[..., BaseTrainer]] = {
     # cluster-scale trainers (platform adapted from the harness GpuPlatform)
     "knl-sync-easgd": _make_knl_sync_easgd,
     "cluster-sync-easgd": _make_cluster_sync_easgd,
+    # the parameter-server zoo (the PS protocol layer's new families)
+    "downpour": DownpourTrainer,
+    "adag": AdagTrainer,
+    "eamsgd": EamsgdTrainer,
+    "gossip-sgd": GossipSGDTrainer,
+    "bounded-async-easgd": BoundedAsyncEasgdTrainer,
 }
 
 
@@ -88,26 +101,54 @@ class AlgorithmInfo:
 
     family: str  # which trainer family implements it
     sync: str  # "sync" or "async"
-    section: str  # where the paper introduces or measures it
+    section: str  # where the paper (or cited work) introduces/measures it
+    family_class: str = "centered"  # "centered" (a real center) or "decentralized"
+    staleness: str = "none (bulk-sync)"  # the family's staleness semantics
+    backends: str = "threads, processes"  # engine backends the family runs on
 
 
 ALGORITHM_INFO: Dict[str, AlgorithmInfo] = {
-    "original-easgd": AlgorithmInfo("round-robin EASGD", "sync", "Alg 1, Table 3"),
-    "original-easgd*": AlgorithmInfo("round-robin EASGD", "sync", "Alg 1, Table 3"),
-    "async-sgd": AlgorithmInfo("parameter server", "async", "Sec 3.1"),
-    "async-msgd": AlgorithmInfo("parameter server", "async", "Sec 3.1, Eqs 3-4"),
-    "hogwild-sgd": AlgorithmInfo("parameter server", "async", "Sec 3.2"),
-    "sync-sgd": AlgorithmInfo("allreduce SGD", "sync", "Sec 5.2, Fig 10"),
-    "sync-sgd-unpacked": AlgorithmInfo("allreduce SGD", "sync", "Sec 5.2, Fig 10"),
-    "async-easgd": AlgorithmInfo("parameter server", "async", "Sec 5.1, Eqs 1-2"),
-    "async-measgd": AlgorithmInfo("parameter server", "async", "Sec 5.1, Eqs 5-6"),
-    "hogwild-easgd": AlgorithmInfo("parameter server", "async", "Sec 5.1"),
+    "original-easgd": AlgorithmInfo(
+        "round-robin EASGD", "sync", "Alg 1, Table 3"),
+    "original-easgd*": AlgorithmInfo(
+        "round-robin EASGD", "sync", "Alg 1, Table 3"),
+    "async-sgd": AlgorithmInfo(
+        "parameter server", "async", "Sec 3.1", staleness="unbounded"),
+    "async-msgd": AlgorithmInfo(
+        "parameter server", "async", "Sec 3.1, Eqs 3-4", staleness="unbounded"),
+    "hogwild-sgd": AlgorithmInfo(
+        "parameter server", "async", "Sec 3.2", staleness="unbounded"),
+    "sync-sgd": AlgorithmInfo(
+        "allreduce SGD", "sync", "Sec 5.2, Fig 10"),
+    "sync-sgd-unpacked": AlgorithmInfo(
+        "allreduce SGD", "sync", "Sec 5.2, Fig 10"),
+    "async-easgd": AlgorithmInfo(
+        "parameter server", "async", "Sec 5.1, Eqs 1-2", staleness="unbounded"),
+    "async-measgd": AlgorithmInfo(
+        "parameter server", "async", "Sec 5.1, Eqs 5-6", staleness="unbounded"),
+    "hogwild-easgd": AlgorithmInfo(
+        "parameter server", "async", "Sec 5.1", staleness="unbounded"),
     "sync-easgd1": AlgorithmInfo("tree EASGD", "sync", "Sec 6.1, Alg 2"),
     "sync-easgd2": AlgorithmInfo("tree EASGD", "sync", "Sec 6.1, Alg 3"),
     "sync-easgd3": AlgorithmInfo("tree EASGD", "sync", "Sec 6.1, Alg 3+overlap"),
     "sync-easgd": AlgorithmInfo("tree EASGD", "sync", "Sec 6.1, Alg 3+overlap"),
     "knl-sync-easgd": AlgorithmInfo("KNL cluster", "sync", "Sec 6.2, Alg 4"),
     "cluster-sync-easgd": AlgorithmInfo("GPU cluster", "sync", "Sec 7, Table 4"),
+    "downpour": AlgorithmInfo(
+        "parameter server", "async", "Dean et al. 2012",
+        staleness="unbounded"),
+    "adag": AlgorithmInfo(
+        "parameter server", "async", "accumulated-gradient ASGD",
+        staleness="unbounded"),
+    "eamsgd": AlgorithmInfo(
+        "parameter server", "async", "Zhang et al. 2015, Eqs 5-6",
+        staleness="unbounded"),
+    "gossip-sgd": AlgorithmInfo(
+        "gossip", "sync", "Jin et al. 2016",
+        family_class="decentralized", staleness="none (pairwise)"),
+    "bounded-async-easgd": AlgorithmInfo(
+        "parameter server", "async", "bounded-delay EASGD",
+        staleness="bounded: tau (reject/clip)"),
 }
 
 

@@ -35,12 +35,11 @@ from repro.algorithms.base import BaseTrainer, TrainerConfig
 from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
 from repro.data.dataset import Dataset
+from repro.engine.compute import gather_gradients, jittered_fwdbwd
 from repro.engine.faults import SyncFaultTracker
 from repro.engine.strategy import (
     ClockStepStrategy,
     CommStrategy,
-    gather_gradients,
-    jittered_fwdbwd,
     SyncElasticUpdate,
 )
 from repro.faults import FaultLog, FaultPlan

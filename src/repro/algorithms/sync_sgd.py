@@ -30,12 +30,11 @@ from repro.cluster.cost import CostModel
 from repro.cluster.platform import GpuPlatform
 from repro.comm.collectives import ring_allreduce_cost, tree_rounds, validate_collective
 from repro.data.dataset import Dataset
+from repro.engine.compute import gather_gradients, jittered_fwdbwd
 from repro.engine.faults import SyncFaultTracker
 from repro.engine.strategy import (
     ClockStepStrategy,
     CommStrategy,
-    gather_gradients,
-    jittered_fwdbwd,
     MeanGradientUpdate,
 )
 from repro.faults import FaultLog, FaultPlan

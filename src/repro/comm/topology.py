@@ -15,7 +15,13 @@ from typing import List, Tuple
 
 from repro.comm.alphabeta import CRAY_ARIES, LinkModel, PCIE_GEN3_X16, PCIE_SWITCH_P2P
 
-__all__ = ["GpuNodeTopology", "KnlClusterTopology", "ring_neighbors", "ring_edges"]
+__all__ = [
+    "GpuNodeTopology",
+    "KnlClusterTopology",
+    "gossip_pairs",
+    "ring_neighbors",
+    "ring_edges",
+]
 
 
 def ring_neighbors(rank: int, p: int) -> Tuple[int, int]:
@@ -42,6 +48,35 @@ def ring_edges(p: int) -> List[Tuple[int, int]]:
     if p == 1:
         return []
     return [(r, (r + 1) % p) for r in range(p)]
+
+
+def gossip_pairs(round_index: int, p: int) -> List[Tuple[int, int]]:
+    """Deterministic peer pairing for gossip round ``round_index``.
+
+    The circle (round-robin tournament) schedule: rank ``p-1`` stays
+    seated, the rest rotate one seat per round, and opposite seats pair
+    up. Every unordered pair meets exactly once per ``p-1`` rounds (for
+    even P; odd P adds a phantom seat, so one rank sits out — a bye —
+    each round and the period is P). Pairs come back sorted, each as
+    ``(low, high)``, so traces and checks agree on edge identity.
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    if round_index < 0:
+        raise ValueError("round_index must be non-negative")
+    if p == 1:
+        return []
+    n = p + (p % 2)  # phantom seat gives odd P its bye
+    m = n - 1
+    seats = [n - 1] + [(i + round_index) % m for i in range(m)]
+    pairs = []
+    for i in range(n // 2):
+        a, b = seats[i], seats[n - 1 - i]
+        if a >= p or b >= p:
+            continue  # the phantom's partner sits out this round
+        pairs.append((min(a, b), max(a, b)))
+    pairs.sort()
+    return pairs
 
 
 @dataclass(frozen=True)

@@ -38,16 +38,31 @@ The engine vocabulary:
   rather than one loop per run.
 """
 
+from repro.engine.compute import gather_gradients, jittered_fwdbwd
 from repro.engine.faults import SyncFaultTracker
 from repro.engine.pipeline import run_training, StepPipeline
 from repro.engine.policy import EvalPolicy
+from repro.engine.ps import (
+    AccumGradWorkerRule,
+    AdagServerStore,
+    CenterStore,
+    DeltaServerStore,
+    ElasticCenterStore,
+    ElasticMomentumWorkerRule,
+    ElasticPullWorkerRule,
+    ElasticWorkerRule,
+    FreshPullWorkerRule,
+    GossipStore,
+    LocalSgdWorkerRule,
+    SgdServerStore,
+    StalenessBound,
+    WorkerRule,
+)
 from repro.engine.rank_loop import local_steps, rank_steps
 from repro.engine.strategy import (
     ClockStepStrategy,
     CommStrategy,
     EventStepStrategy,
-    gather_gradients,
-    jittered_fwdbwd,
     MeanGradientUpdate,
     StepStrategy,
     SyncElasticUpdate,
@@ -65,6 +80,20 @@ __all__ = [
     "UpdateRule",
     "SyncElasticUpdate",
     "MeanGradientUpdate",
+    "CenterStore",
+    "ElasticCenterStore",
+    "SgdServerStore",
+    "DeltaServerStore",
+    "AdagServerStore",
+    "GossipStore",
+    "WorkerRule",
+    "ElasticWorkerRule",
+    "ElasticMomentumWorkerRule",
+    "ElasticPullWorkerRule",
+    "FreshPullWorkerRule",
+    "LocalSgdWorkerRule",
+    "AccumGradWorkerRule",
+    "StalenessBound",
     "SyncFaultTracker",
     "gather_gradients",
     "jittered_fwdbwd",

@@ -12,19 +12,24 @@ The strategies themselves are thin compositions of two smaller objects:
 - an :class:`UpdateRule` carrying the family's parameter mathematics, and
 - a :class:`CommStrategy` carrying its communication cost/trace model.
 
-The helpers at the bottom (:func:`gather_gradients`,
-:func:`jittered_fwdbwd`) are the "stage data -> local compute" phase all
-synchronous families share verbatim.
+The update rules are expressed through the parameter-server protocol
+layer (:mod:`repro.engine.ps`): a :class:`~repro.engine.ps.CenterStore`
+holds the server-side fold, a :class:`~repro.engine.ps.WorkerRule` the
+worker-side mathematics. The shared compute helpers
+(:func:`gather_gradients`, :func:`jittered_fwdbwd`) live in
+:mod:`repro.engine.compute` and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, List, Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from repro.comm.collectives import tree_reduce
-from repro.optim.easgd import EASGDHyper, elastic_worker_update
+from repro.engine.compute import gather_gradients, jittered_fwdbwd
+from repro.engine.ps import ElasticCenterStore, ElasticWorkerRule
+from repro.optim.easgd import EASGDHyper
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.pipeline import StepPipeline
@@ -172,10 +177,15 @@ class SyncElasticUpdate(UpdateRule):
 
     Shared verbatim by Sync EASGD1/2/3, the KNL cluster trainer, and the
     multinode cluster trainer — the unification the engine exists for.
+    Expressed through the PS layer: an :class:`ElasticWorkerRule` applies
+    Eq 1 per live worker against the pre-update center, then an
+    :class:`ElasticCenterStore` folds the tree-reduced sum (Eq 2).
     """
 
     def __init__(self, hyper: EASGDHyper) -> None:
         self.hyper = hyper
+        self.store = ElasticCenterStore(hyper)
+        self.rule = ElasticWorkerRule()
 
     def apply(
         self,
@@ -187,9 +197,9 @@ class SyncElasticUpdate(UpdateRule):
         sum_w = tree_reduce([workers[j] for j in live])  # step 3: tree sum
         center_t = center  # Eq 1/Eq 2 both read the pre-update center
         for i, j in enumerate(live):  # step 4: Eq 1 on every live worker
-            elastic_worker_update(workers[j], grads[i], center_t, self.hyper)
+            self.rule.apply(workers[j], grads[i], center_t, self.hyper)
         # step 5: Eq 2 — in place, reading the pre-update value once.
-        center += self.hyper.alpha * (sum_w - len(live) * center)
+        self.store.bind(center).fold_sum(sum_w, len(live))
 
 
 class MeanGradientUpdate(UpdateRule):
@@ -202,42 +212,3 @@ class MeanGradientUpdate(UpdateRule):
               count: int) -> None:
         weights -= self.lr * (tree_reduce(grads) / count)
         net.set_params(weights)
-
-
-def gather_gradients(
-    trainer,
-    samplers,
-    live: Sequence[int],
-    weights: Optional[Sequence[np.ndarray]] = None,
-) -> Tuple[List[np.ndarray], List[float]]:
-    """Stage one batch and compute one gradient per live worker.
-
-    When ``weights`` is given each worker's replica is loaded before its
-    pass (the EASGD families); when it is None the network keeps its
-    current (shared) parameters (the Sync SGD family).
-    """
-    grads: List[np.ndarray] = []
-    losses: List[float] = []
-    for j in live:
-        images, labels = samplers[j].next_batch()
-        if weights is not None:
-            trainer.net.set_params(weights[j])
-        losses.append(trainer.net.gradient(images, labels, trainer.loss))
-        grads.append(trainer.net.grads.copy())
-    return grads, losses
-
-
-def jittered_fwdbwd(
-    platform,
-    cost,
-    batch_size: int,
-    live: Sequence[int],
-    plan,
-    sim_time: float,
-) -> List[float]:
-    """Per-live-worker forward/backward seconds with straggler inflation."""
-    return [
-        platform.fwdbwd_time(cost, batch_size, worker=j)
-        * (plan.slowdown(j, sim_time) if plan is not None else 1.0)
-        for j in live
-    ]

@@ -61,10 +61,11 @@ _MODELS = {
 
 
 def _render_algorithm_table() -> str:
-    """The registry as an aligned table: name, family, sync style, section."""
-    header = ("method", "family", "mode", "paper")
+    """The registry as an aligned table: name, family, class, staleness, etc."""
+    header = ("method", "family", "class", "mode", "staleness", "backends", "paper")
     rows = [
-        (name, info.family, info.sync, info.section)
+        (name, info.family, info.family_class, info.sync, info.staleness,
+         info.backends, info.section)
         for name, info in sorted(ALGORITHM_INFO.items())
     ]
     widths = [max(len(r[i]) for r in [header] + rows) for i in range(len(header))]
@@ -152,6 +153,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--difficulty", type=float, default=1.5)
     run.add_argument("--paper-scale-cost", action="store_true",
                      help="charge the clock for the full-scale model (LeNet/AlexNet spec)")
+    run.add_argument("--tau", type=int, default=None, metavar="T",
+                     help="staleness bound for bounded-async-easgd: reject or "
+                          "clip contributions staler than T master versions "
+                          "(default: 2*(P-1))")
+    run.add_argument("--staleness-policy", default=None,
+                     choices=("reject", "clip"),
+                     help="what bounded-async-easgd does past --tau: 'reject' "
+                          "(discard + resync, the hard guarantee) or 'clip' "
+                          "(apply damped by tau/staleness)")
+    run.add_argument("--local-steps", type=int, default=None, metavar="N",
+                     help="local batches per master exchange for the "
+                          "multi-step zoo families (downpour, adag, eamsgd; "
+                          "default 4)")
     run.add_argument("--faults", metavar="SPEC", default=None,
                      help="fault plan, e.g. 'crash:1@0.5>2.0;straggler:2x3.0;drop:0.05' "
                           "(clauses: crash:W@T[>R] straggler:WxF[@T] stall:W@T+D "
@@ -331,6 +345,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"invalid --faults spec: {exc}", file=sys.stderr)
             return 2
+    if args.tau is not None:
+        trainer_kwargs["tau"] = args.tau
+    if args.staleness_policy is not None:
+        trainer_kwargs["staleness_policy"] = args.staleness_policy
+    if args.local_steps is not None:
+        trainer_kwargs["local_steps"] = args.local_steps
 
     try:
         if args.target is not None:
@@ -351,6 +371,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"method {args.method!r} does not support fault injection",
                   file=sys.stderr)
             return 2
+        for kwarg, flag in (("tau", "--tau"), ("staleness_policy", "--staleness-policy"),
+                            ("local_steps", "--local-steps")):
+            if kwarg in trainer_kwargs and kwarg in str(exc):
+                print(f"method {args.method!r} does not support {flag}",
+                      file=sys.stderr)
+                return 2
         raise
     except ValueError as exc:
         if args.faults:  # e.g. the plan targets a worker the platform lacks

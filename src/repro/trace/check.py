@@ -36,6 +36,8 @@ __all__ = [
     "check_overlap",
     "check_no_overlap",
     "check_fcfs_service",
+    "check_update_staleness_bound",
+    "check_gossip_pairing",
     "check_serving_no_overlap",
     "check_serving_batch_cap",
     "check_serving_staleness_bound",
@@ -243,7 +245,8 @@ def check_packed_single_message(trace: Trace) -> None:
     """
     counts: Dict[Tuple[int, str, int, Optional[int], int], int] = {}
     for e in trace.sends():
-        if e.op in TREE_OPS + RING_OPS + ("round-robin", "ps-request", "ps-reply"):
+        if e.op in TREE_OPS + RING_OPS + ("round-robin", "ps-request", "ps-reply",
+                                          "gossip-exchange"):
             key = (e.iteration, e.op, e.rank, e.peer, e.round)
             counts[key] = counts.get(key, 0) + 1
     for key, n in sorted(counts.items()):
@@ -292,6 +295,66 @@ def check_fcfs_service(trace: Trace) -> None:
                 "service spans overlap under a locked master: "
                 f"[{prev.t0:.6g},{prev.t1:.6g}] vs [{cur.t0:.6g},{cur.t1:.6g}]"
             )
+
+
+def check_update_staleness_bound(trace: Trace, tau: Optional[int] = None) -> None:
+    """No applied parameter-server update was staler than ``tau``.
+
+    Applied updates carry their staleness in the ``value`` of the
+    per-exchange "update" span (``elastic-update`` / ``ps-apply`` ops);
+    the bound comes from ``meta['staleness_bound']`` unless given. This is
+    the trace-level face of :class:`repro.engine.ps.StalenessBound` with
+    the reject policy — rejected contributions emit a ``stale-reject``
+    fault instead of an update span, so every update span must obey tau.
+    """
+    if tau is None:
+        raw = trace.meta.get("staleness_bound")
+        if raw is None:
+            raise InvariantViolation("trace meta lacks a 'staleness_bound'")
+        tau = int(raw)
+    for e in trace.by_kind("update"):
+        if e.op in metrics.STALENESS_OPS and e.value > tau:
+            raise InvariantViolation(
+                f"update at t={e.t0:.6g} on rank {e.rank} applied staleness "
+                f"{e.value:.0f} > bound tau={tau}"
+            )
+
+
+def check_gossip_pairing(trace: Trace, p: Optional[int] = None) -> None:
+    """Gossip exchanges follow the deterministic tournament schedule.
+
+    Per iteration: every exchange edge must be one of that round's
+    scheduled pairs (:func:`repro.comm.topology.gossip_pairs`), each
+    direction of a pair appears at most once, and both directions appear
+    together (pairwise averaging is symmetric). Ranks outside any pair
+    (byes, crashed peers) exchange nothing.
+    """
+    from repro.comm.topology import gossip_pairs
+
+    p = p or _ranks(trace)
+    by_iter: Dict[int, Set[Tuple[int, int]]] = {}
+    for e in trace.sends():
+        if e.op == "gossip-exchange":
+            edges = by_iter.setdefault(e.iteration, set())
+            if (e.rank, e.peer) in edges:
+                raise InvariantViolation(
+                    f"iteration {e.iteration}: duplicate gossip edge "
+                    f"{e.rank}->{e.peer}"
+                )
+            edges.add((e.rank, e.peer))
+    for iteration, edges in sorted(by_iter.items()):
+        scheduled = set(gossip_pairs(iteration, p))
+        for a, b in sorted(edges):
+            if (min(a, b), max(a, b)) not in scheduled:
+                raise InvariantViolation(
+                    f"iteration {iteration}: gossip edge {a}->{b} is not in "
+                    f"the round's schedule {sorted(scheduled)}"
+                )
+            if (b, a) not in edges:
+                raise InvariantViolation(
+                    f"iteration {iteration}: gossip edge {a}->{b} has no "
+                    "reverse direction — pairwise averaging must be symmetric"
+                )
 
 
 def _serving_batches(trace: Trace) -> List:
@@ -416,6 +479,13 @@ def check_all(trace: Trace) -> List[str]:
     elif pattern == "ps":
         if not trace.meta.get("lock_free"):
             run("fcfs-service", check_fcfs_service, trace)
+        if (trace.meta.get("staleness_bound") is not None
+                and trace.meta.get("staleness_policy", "reject") == "reject"):
+            run("update-staleness-bound", check_update_staleness_bound, trace)
+    elif pattern == "gossip":
+        run("gossip-pairing", check_gossip_pairing, trace)
+        if trace.meta.get("packed"):
+            run("packed-single-message", check_packed_single_message, trace)
     elif pattern == "serving":
         run("serving-no-overlap", check_serving_no_overlap, trace)
         run("serving-publish-monotone", check_serving_publish_monotone, trace)

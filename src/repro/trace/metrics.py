@@ -157,9 +157,20 @@ def critical_path_seconds(trace: Trace) -> float:
     return best
 
 
+#: Update-span ops whose ``value`` carries the applied staleness.
+STALENESS_OPS = ("elastic-update", "ps-apply")
+
+
 def staleness_stats(trace: Trace) -> Dict[str, float]:
-    """Mean/max staleness carried by elastic-update events."""
-    vals = [e.value for e in trace.by_kind("update") if e.op == "elastic-update"]
+    """Mean/max staleness carried by applied parameter-server updates.
+
+    Covers the elastic families' ``elastic-update`` spans and the
+    non-elastic zoo's ``ps-apply`` spans (DOWNPOUR/ADAG); rejected
+    contributions never emit an update span, so these statistics are over
+    *applied* updates — the quantity a :class:`repro.engine.ps
+    .StalenessBound` with the reject policy guarantees stays under tau.
+    """
+    vals = [e.value for e in trace.by_kind("update") if e.op in STALENESS_OPS]
     if not vals:
         return {"mean": 0.0, "max": 0.0, "count": 0.0}
     return {"mean": sum(vals) / len(vals), "max": max(vals), "count": float(len(vals))}

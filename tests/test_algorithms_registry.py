@@ -26,6 +26,11 @@ EXPECTED_METHODS = {
     "sync-easgd",
     "knl-sync-easgd",
     "cluster-sync-easgd",
+    "downpour",
+    "adag",
+    "eamsgd",
+    "gossip-sgd",
+    "bounded-async-easgd",
 }
 
 
@@ -39,6 +44,15 @@ class TestRegistry:
             assert info.sync in ("sync", "async"), name
             assert info.family, name
             assert info.section, name
+            assert info.family_class in ("centered", "decentralized"), name
+            assert info.staleness, name
+            assert info.backends, name
+
+    def test_family_class_metadata(self):
+        assert ALGORITHM_INFO["gossip-sgd"].family_class == "decentralized"
+        assert ALGORITHM_INFO["async-easgd"].family_class == "centered"
+        assert "bounded" in ALGORITHM_INFO["bounded-async-easgd"].staleness
+        assert ALGORITHM_INFO["sync-easgd"].staleness.startswith("none")
 
     def test_unknown_name_raises_with_suggestions(self):
         with pytest.raises(KeyError, match="unknown algorithm"):

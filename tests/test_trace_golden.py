@@ -19,6 +19,13 @@ import pytest
 from repro.algorithms import TrainerConfig
 from repro.algorithms.async_ps import AsyncEASGDTrainer
 from repro.algorithms.original_easgd import OriginalEASGDTrainer
+from repro.algorithms.ps_zoo import (
+    AdagTrainer,
+    BoundedAsyncEasgdTrainer,
+    DownpourTrainer,
+    EamsgdTrainer,
+    GossipSGDTrainer,
+)
 from repro.algorithms.sync_easgd import SyncEASGDTrainer
 from repro.algorithms.sync_sgd import SyncSGDTrainer
 from repro.cluster import CostModel, GpuPlatform
@@ -42,6 +49,12 @@ METHODS = {
     "sync-sgd": (SyncSGDTrainer, {}),
     "sync-sgd-ring": (SyncSGDTrainer, {"collective": "ring"}),
     "async-easgd": (AsyncEASGDTrainer, {}),
+    # the parameter-server zoo (PS protocol layer families)
+    "downpour": (DownpourTrainer, {}),
+    "adag": (AdagTrainer, {}),
+    "eamsgd": (EamsgdTrainer, {}),
+    "gossip-sgd": (GossipSGDTrainer, {}),
+    "bounded-async-easgd": (BoundedAsyncEasgdTrainer, {}),
 }
 
 
